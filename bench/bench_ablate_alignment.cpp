@@ -1,0 +1,77 @@
+// Ablation (paper section 3.1): 64-byte vs 16-byte data alignment.
+// PETSc's default 16-byte heap alignment broke/hurt AVX-512 on KNL; the
+// paper's fix is cache-line alignment. Kestrel allocates aligned by
+// default, so the deliberately misaligned variant is produced by offsetting
+// into an oversized buffer.
+
+#include <cstdio>
+#include <cstring>
+
+#include "base/aligned.hpp"
+#include "base/log.hpp"
+#include "bench_common.hpp"
+#include "mat/sell.hpp"
+#include "simd/dispatch.hpp"
+
+namespace {
+
+using namespace kestrel;
+
+/// Times the raw SELL kernel on a copy of the matrix whose val array is
+/// displaced `offset` bytes from a cache-line boundary.
+double time_with_offset(const mat::Sell& sell, std::size_t offset) {
+  const std::size_t nelems = static_cast<std::size_t>(sell.stored_elements());
+  AlignedBuffer<Scalar> val_buf(nelems + 8);
+  AlignedBuffer<Index> idx_buf(nelems + 16);
+  Scalar* val =
+      reinterpret_cast<Scalar*>(reinterpret_cast<char*>(val_buf.data()) +
+                                offset);
+  Index* idx = reinterpret_cast<Index*>(
+      reinterpret_cast<char*>(idx_buf.data()) + offset / 2);
+  std::memcpy(val, sell.val(), nelems * sizeof(Scalar));
+  std::memcpy(idx, sell.colidx(), nelems * sizeof(Index));
+
+  mat::SellView view = sell.view();
+  view.val = val;
+  view.colidx = idx;
+
+  auto fn = simd::lookup_as<simd::SellSpmvFn>(simd::Op::kSellSpmv,
+                                              simd::detect_best_tier());
+  Vector x(sell.cols(), 1.0), y(sell.rows());
+  fn(view, x.data(), y.data());
+  double best = 1e300;
+  double spent = 0.0;
+  while (spent < 0.2) {
+    const double t0 = wall_time();
+    fn(view, x.data(), y.data());
+    const double dt = wall_time() - t0;
+    best = dt < best ? dt : best;
+    spent += dt;
+  }
+  volatile double sink = y[0];
+  (void)sink;
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using namespace kestrel;
+  bench::header("Ablation 3.1: 64-byte vs 16-byte alignment of SELL data");
+  const mat::Sell sell(bench::gray_scott_matrix(384));
+  const double t64 = time_with_offset(sell, 0);
+  const double t16 = time_with_offset(sell, 16);
+  std::printf("%-28s %10.2f Gflop/s\n", "64-byte (cache line) aligned",
+              bench::gflops(sell, t64));
+  std::printf("%-28s %10.2f Gflop/s\n", "16-byte aligned (PETSc default)",
+              bench::gflops(sell, t16));
+  std::printf("penalty from misalignment: %+.1f%%\n",
+              100.0 * (t16 / t64 - 1.0));
+  std::printf(
+      "\nExpected (paper): cache-line alignment avoids peel code and\n"
+      "line-straddling vector loads; on KNL the 16-byte default even hung\n"
+      "with aligned-load instructions. (Kestrel issues unaligned-load\n"
+      "forms, so misalignment costs bandwidth, not correctness; modern\n"
+      "cores show a smaller penalty than KNL did.)\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation (paper section 5.5): manual outer-loop unrolling + software
+// prefetch in the SELL AVX-512 kernel. The paper: "these classic
+// optimization techniques do not affect the performance significantly" —
+// this bench measures both variants so the claim is checkable on any host.
+
+#include <cstdio>
+
+#include "base/log.hpp"
+#include "bench_common.hpp"
+#include "mat/sell.hpp"
+
+namespace {
+
+using namespace kestrel;
+
+double time_prefetch_spmv(const mat::Sell& sell) {
+  Vector x(sell.cols(), 1.0), y(sell.rows());
+  sell.spmv_prefetch(x.data(), y.data());
+  double best = 1e300, spent = 0.0;
+  while (spent < 0.2) {
+    const double t0 = wall_time();
+    sell.spmv_prefetch(x.data(), y.data());
+    const double dt = wall_time() - t0;
+    best = dt < best ? dt : best;
+    spent += dt;
+  }
+  volatile double sink = y[0];
+  (void)sink;
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using namespace kestrel;
+  bench::header(
+      "Ablation 5.5: SELL AVX-512 with outer unroll + software prefetch");
+  std::printf("%-18s %10s %14s %10s\n", "matrix", "plain GF",
+              "unroll+pf GF", "delta");
+  for (Index n : {256, 384, 512}) {
+    const mat::Sell sell(bench::gray_scott_matrix(n));
+    const double t_plain = bench::time_spmv(sell);
+    const double t_pf = time_prefetch_spmv(sell);
+    std::printf("gray-scott %4d^2 %10.2f %14.2f %+9.1f%%\n", n,
+                bench::gflops(sell, t_plain), bench::gflops(sell, t_pf),
+                100.0 * (t_plain / t_pf - 1.0));
+  }
+  std::printf(
+      "\nExpected (paper): no significant effect — the kernel is dominated\n"
+      "by the gather and the memory stream, which hardware prefetchers\n"
+      "already track well for this layout.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation (paper section 5.4): SELL-C-sigma row sorting. Sorting
+// windows shrink padding on irregular matrices but cost a permuted output
+// pass and can hurt input-vector locality — the reason the paper leaves
+// ordering to the grid layer.
+
+#include <cstdio>
+
+#include "base/rng.hpp"
+#include "bench_common.hpp"
+#include "mat/coo.hpp"
+#include "mat/sell.hpp"
+
+namespace {
+
+using namespace kestrel;
+
+mat::Csr irregular_matrix(Index n) {
+  Rng rng(7);
+  mat::Coo coo(n, n);
+  for (Index i = 0; i < n; ++i) {
+    const double u = rng.next_double();
+    Index len = static_cast<Index>(1.0 + 5.0 / (0.03 + u));
+    if (len > 96) len = 96;
+    // banded around the diagonal to keep some locality
+    for (Index k = 0; k < len; ++k) {
+      const Index j =
+          (i + rng.next_index(257) - 128 + n) % n;
+      coo.add(i, j, rng.uniform(-1.0, 1.0));
+    }
+  }
+  return coo.to_csr();
+}
+
+}  // namespace
+
+int main() {
+  using namespace kestrel;
+  bench::header("Ablation 5.4: SELL-C-sigma sorting window sweep");
+
+  const struct {
+    const char* label;
+    mat::Csr matrix;
+  } cases[] = {
+      {"gray-scott 256^2 (uniform rows)", bench::gray_scott_matrix(256)},
+      {"irregular 60k (power-law rows)", irregular_matrix(60000)},
+  };
+
+  for (const auto& c : cases) {
+    std::printf("\n-- %s --\n", c.label);
+    std::printf("%10s %12s %14s %10s\n", "sigma", "fill ratio",
+                "stored elems", "Gflop/s");
+    for (Index sigma : {1, 8, 64, 512, 1 << 20}) {
+      mat::SellOptions opts;
+      opts.sigma = std::min<Index>(sigma, c.matrix.rows());
+      const mat::Sell sell(c.matrix, opts);
+      const double t = bench::time_spmv(sell);
+      std::printf("%10d %12.4f %14lld %10.2f\n", opts.sigma,
+                  sell.fill_ratio(),
+                  static_cast<long long>(sell.stored_elements()),
+                  bench::gflops(sell, t));
+    }
+  }
+  std::printf(
+      "\nExpected (paper): sorting buys nothing on uniform-row PDE\n"
+      "matrices (fill is already ~1) and trades padding for permutation\n"
+      "overhead and lost locality on irregular ones — supporting the\n"
+      "paper's default of no sorting in the kernel layer.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation (paper section 5.1): slice height sweep. C = 8 (one ZMM of
+// doubles) is the paper's choice for KNL; smaller C pads less but
+// under-fills the vector registers, larger C pads more for no gain.
+
+#include <cstdio>
+
+#include "base/rng.hpp"
+#include "bench_common.hpp"
+#include "mat/coo.hpp"
+#include "mat/sell.hpp"
+
+namespace {
+
+using namespace kestrel;
+
+mat::Csr mildly_irregular(Index n) {
+  Rng rng(11);
+  mat::Coo coo(n, n);
+  for (Index i = 0; i < n; ++i) {
+    const Index len = 6 + rng.next_index(9);  // 6..14 nonzeros
+    for (Index k = 0; k < len; ++k) {
+      coo.add(i, (i + rng.next_index(129) - 64 + n) % n,
+              rng.uniform(-1.0, 1.0));
+    }
+  }
+  return coo.to_csr();
+}
+
+void sweep(const char* label, const mat::Csr& csr) {
+  std::printf("\n-- %s --\n", label);
+  std::printf("%8s %12s %10s %12s\n", "C", "fill ratio", "Gflop/s",
+              "kernel tier");
+  for (Index c : {1, 2, 4, 8, 16, 32}) {
+    mat::SellOptions opts;
+    opts.slice_height = c;
+    const mat::Sell sell(csr, opts);
+    const double t = bench::time_spmv(sell);
+    const char* tier = c % 8 == 0   ? "avx512"
+                       : c % 4 == 0 ? "avx2"
+                                    : "scalar";
+    std::printf("%8d %12.4f %10.2f %12s\n", c, sell.fill_ratio(),
+                bench::gflops(sell, t), tier);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace kestrel;
+  bench::header("Ablation 5.1: SELL slice height sweep");
+  sweep("gray-scott 320^2 (uniform 10/row)", bench::gray_scott_matrix(320));
+  sweep("mildly irregular 80k", mildly_irregular(80000));
+  std::printf(
+      "\nExpected (paper): C = 8 — the 512-bit register height — is the\n"
+      "sweet spot: full-width unmasked vectors with minimal padding.\n"
+      "C < 8 can't fill a ZMM register; C > 8 pads more without adding\n"
+      "parallelism.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+#pragma once
+// Shared helpers for the figure-reproduction benches: workload builders,
+// wall-clock kernel timing, and table formatting.
+
+#include <cstdio>
+#include <string>
+
+#include "app/gray_scott.hpp"
+#include "base/log.hpp"
+#include "mat/csr.hpp"
+#include "mat/matrix.hpp"
+#include "vec/vector.hpp"
+
+namespace kestrel::bench {
+
+/// The paper's test matrix at a laptop-scale resolution: the Gray–Scott
+/// Jacobian at the initial condition (10 nonzeros in every row).
+inline mat::Csr gray_scott_matrix(Index n) {
+  app::GrayScott gs(n);
+  Vector u;
+  gs.initial_condition(u);
+  return gs.rhs_jacobian(u);
+}
+
+/// Best-of-k timing of y = A x. Returns seconds per multiply.
+inline double time_spmv(const mat::Matrix& a, int min_reps = 20,
+                        double min_seconds = 0.15) {
+  Vector x(a.cols()), y(a.rows());
+  for (Index i = 0; i < x.size(); ++i) {
+    x[i] = 0.5 + 0.25 * ((i * 2654435761u) % 1024) / 1024.0;
+  }
+  // warm up (page in the matrix)
+  a.spmv(x.data(), y.data());
+
+  double best = 1e300;
+  double spent = 0.0;
+  int reps = 0;
+  while (reps < min_reps || spent < min_seconds) {
+    const double t0 = wall_time();
+    a.spmv(x.data(), y.data());
+    const double dt = wall_time() - t0;
+    best = dt < best ? dt : best;
+    spent += dt;
+    ++reps;
+  }
+  // keep y alive
+  volatile double sink = y[0];
+  (void)sink;
+  return best;
+}
+
+inline double gflops(const mat::Matrix& a, double seconds) {
+  return 2.0 * static_cast<double>(a.nnz()) / seconds / 1e9;
+}
+
+inline double achieved_gbs(const mat::Matrix& a, double seconds) {
+  return static_cast<double>(a.spmv_traffic_bytes()) / seconds / 1e9;
+}
+
+inline void header(const std::string& title) {
+  std::printf("\n============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("============================================================\n");
+}
+
+}  // namespace kestrel::bench

@@ -1,0 +1,102 @@
+// google-benchmark microbenchmarks of the raw SpMV kernels: every format x
+// every ISA tier this CPU supports, on the Gray-Scott Jacobian, plus the
+// parallel overlapped SpMV across fabric ranks.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_common.hpp"
+#include "mat/csr_perm.hpp"
+#include "mat/sell.hpp"
+#include "par/parmat.hpp"
+
+namespace {
+
+using namespace kestrel;
+using simd::IsaTier;
+
+const mat::Csr& shared_matrix() {
+  static const mat::Csr csr = bench::gray_scott_matrix(256);
+  return csr;
+}
+
+void bench_spmv(benchmark::State& state, const mat::Matrix& a) {
+  Vector x(a.cols(), 1.0), y(a.rows());
+  for (auto _ : state) {
+    a.spmv(x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["Gflop/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(a.nnz()) * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_CsrSpmv(benchmark::State& state) {
+  const auto tier = static_cast<IsaTier>(state.range(0));
+  if (!simd::cpu_supports(tier)) {
+    state.SkipWithError("tier unsupported on this CPU");
+    return;
+  }
+  mat::Csr a = shared_matrix();
+  a.set_tier(tier);
+  bench_spmv(state, a);
+}
+
+void BM_SellSpmv(benchmark::State& state) {
+  const auto tier = static_cast<IsaTier>(state.range(0));
+  if (!simd::cpu_supports(tier)) {
+    state.SkipWithError("tier unsupported on this CPU");
+    return;
+  }
+  mat::Sell a(shared_matrix());
+  a.set_tier(tier);
+  bench_spmv(state, a);
+}
+
+void BM_CsrPermSpmv(benchmark::State& state) {
+  const auto tier = static_cast<IsaTier>(state.range(0));
+  if (!simd::cpu_supports(tier)) {
+    state.SkipWithError("tier unsupported on this CPU");
+    return;
+  }
+  mat::CsrPerm a{mat::Csr(shared_matrix())};
+  a.set_tier(tier);
+  bench_spmv(state, a);
+}
+
+void BM_SellSliceHeight(benchmark::State& state) {
+  mat::SellOptions opts;
+  opts.slice_height = static_cast<Index>(state.range(0));
+  const mat::Sell a(shared_matrix(), opts);
+  bench_spmv(state, a);
+}
+
+void BM_ParallelSpmv(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  const mat::Csr& global = shared_matrix();
+  auto layout = std::make_shared<par::Layout>(
+      par::Layout::even(global.rows(), nranks));
+  // Note: this host has one core; with >1 rank this measures the overlap
+  // machinery (pack/send/recv) rather than parallel speedup.
+  for (auto _ : state) {
+    par::Fabric::run(nranks, [&](par::Comm& comm) {
+      par::ParMatrixOptions opts;
+      opts.diag_format = par::DiagFormat::kSell;
+      const par::ParMatrix a =
+          par::ParMatrix::from_global(global, layout, comm, opts);
+      par::ParVector x(layout, comm.rank()), y(layout, comm.rank());
+      for (Index i = 0; i < x.local_size(); ++i) x.local()[i] = 1.0;
+      for (int rep = 0; rep < 10; ++rep) a.spmv(x, y, comm);
+    });
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_CsrSpmv)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+BENCHMARK(BM_SellSpmv)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+BENCHMARK(BM_CsrPermSpmv)->Arg(0)->Arg(3);
+BENCHMARK(BM_SellSliceHeight)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_ParallelSpmv)->Arg(1)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);

@@ -1,0 +1,41 @@
+#include "app/advection_diffusion.hpp"
+
+#include <cmath>
+
+#include "base/error.hpp"
+#include "mat/coo.hpp"
+
+namespace kestrel::app {
+
+mat::Csr advection_diffusion(Index n, AdvectionDiffusionParams params) {
+  KESTREL_CHECK(n >= 1, "bad grid");
+  KESTREL_CHECK(params.eps > 0.0, "diffusion coefficient must be positive");
+  const Scalar h = 1.0 / (n + 1);
+  const Scalar d = params.eps / (h * h);
+
+  // first-order upwind: b > 0 takes the backward difference
+  const Scalar ax_minus = params.bx > 0 ? -params.bx / h : 0.0;
+  const Scalar ax_plus = params.bx > 0 ? 0.0 : params.bx / h;
+  const Scalar ax_diag = (std::abs(params.bx)) / h;
+  const Scalar ay_minus = params.by > 0 ? -params.by / h : 0.0;
+  const Scalar ay_plus = params.by > 0 ? 0.0 : params.by / h;
+  const Scalar ay_diag = (std::abs(params.by)) / h;
+
+  mat::Coo coo(n * n, n * n);
+  coo.reserve(static_cast<std::size_t>(n) * n * 5);
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < n; ++i) {
+      const Index row = j * n + i;
+      coo.add(row, row, 4.0 * d + ax_diag + ay_diag);
+      if (i > 0) coo.add(row, row - 1, -d + ax_minus);
+      if (i < n - 1) coo.add(row, row + 1, -d + ax_plus);
+      if (j > 0) coo.add(row, row - n, -d + ay_minus);
+      if (j < n - 1) coo.add(row, row + n, -d + ay_plus);
+    }
+  }
+  return coo.to_csr();
+}
+
+Vector advection_diffusion_rhs(Index n) { return Vector(n * n, 1.0); }
+
+}  // namespace kestrel::app

@@ -1,0 +1,27 @@
+#pragma once
+// Steady advection–diffusion operator: -eps ∇²u + (bx, by)·∇u with
+// homogeneous Dirichlet boundary, first-order upwind advection. Produces
+// the nonsymmetric, possibly advection-dominated systems that motivate
+// GMRES/BiCGStab + ILU in the PETSc solver stack the paper builds on (its
+// test code lives in PETSc's advection-diffusion tutorial directory).
+
+#include "base/types.hpp"
+#include "mat/csr.hpp"
+#include "vec/vector.hpp"
+
+namespace kestrel::app {
+
+struct AdvectionDiffusionParams {
+  Scalar eps = 1.0;  ///< diffusion coefficient
+  Scalar bx = 1.0;   ///< advection velocity, x
+  Scalar by = 0.5;   ///< advection velocity, y
+};
+
+/// Operator on an n x n interior grid of the unit square (h = 1/(n+1)),
+/// upwinded by the sign of (bx, by).
+mat::Csr advection_diffusion(Index n, AdvectionDiffusionParams params = {});
+
+/// Right-hand side for a constant source f = 1 on the same grid.
+Vector advection_diffusion_rhs(Index n);
+
+}  // namespace kestrel::app

@@ -1,0 +1,62 @@
+#pragma once
+// Gray–Scott reaction–diffusion system — the paper's evaluation problem
+// (section 7, equation (1)):
+//
+//   du/dt = D1 ∇²u - u v² + γ (1 - u)
+//   dv/dt = D2 ∇²v + u v² - (γ + κ) v
+//
+// discretized with central finite differences (5-point stencil) on a 2D
+// periodic grid with two interleaved dof per node. Parameter defaults
+// follow Hundsdorfer & Verwer (2003), p. 21 — the reference the paper
+// cites — with periodic instead of homogeneous Neumann boundaries, exactly
+// the paper's simplification.
+
+#include "app/grid2d.hpp"
+#include "ts/theta.hpp"
+
+namespace kestrel::app {
+
+struct GrayScottParams {
+  Scalar d1 = 8.0e-5;     ///< diffusion of u
+  Scalar d2 = 4.0e-5;     ///< diffusion of v
+  Scalar gamma = 0.024;   ///< feed rate
+  Scalar kappa = 0.06;    ///< kill rate
+  Scalar domain = 2.5;    ///< square domain edge length
+};
+
+class GrayScott final : public ts::RhsFunction {
+ public:
+  GrayScott(Index n, GrayScottParams params = {});
+
+  const Grid2D& grid() const { return grid_; }
+  const GrayScottParams& params() const { return params_; }
+
+  // ts::RhsFunction ---------------------------------------------------------
+  Index size() const override { return grid_.size(); }
+  void rhs(const Vector& u, Vector& f) const override;
+  mat::Csr rhs_jacobian(const Vector& u) const override;
+
+  /// Standard pattern-forming initial state: u = 1, v = 0 everywhere except
+  /// a centered square (side = 1/4 of the domain) seeded with u = 1/2,
+  /// v = 1/4 plus a small deterministic perturbation to break symmetry.
+  void initial_condition(Vector& u) const;
+
+  /// Component accessors into an interleaved state vector.
+  Scalar u_at(const Vector& state, Index i, Index j) const {
+    return state[grid_.idx(i, j, 0)];
+  }
+  Scalar v_at(const Vector& state, Index i, Index j) const {
+    return state[grid_.idx(i, j, 1)];
+  }
+
+ private:
+  Grid2D grid_;
+  GrayScottParams params_;
+};
+
+/// Builds the multigrid interpolation chain for `levels` grid levels
+/// starting at the Gray–Scott fine grid (levels-1 interpolation matrices).
+std::vector<mat::Csr> gray_scott_interpolation_chain(const Grid2D& fine,
+                                                     int levels);
+
+}  // namespace kestrel::app

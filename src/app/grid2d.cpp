@@ -1,0 +1,59 @@
+#include "app/grid2d.hpp"
+
+#include <array>
+#include <map>
+
+#include "base/error.hpp"
+#include "mat/coo.hpp"
+
+namespace kestrel::app {
+
+Grid2D::Grid2D(Index nx, Index ny, Index dof, Scalar lx, Scalar ly)
+    : nx_(nx), ny_(ny), dof_(dof), lx_(lx), ly_(ly) {
+  KESTREL_CHECK(nx >= 1 && ny >= 1 && dof >= 1, "bad grid parameters");
+  KESTREL_CHECK(lx > 0.0 && ly > 0.0, "bad domain size");
+  const GIndex total = static_cast<GIndex>(nx) * ny * dof;
+  KESTREL_CHECK(total < (GIndex{1} << 31),
+                "grid exceeds 32-bit indexing (the paper notes 16384^2 x 2 "
+                "is near this limit)");
+}
+
+Grid2D Grid2D::coarsen() const {
+  KESTREL_CHECK(can_coarsen(), "grid dimensions must be even to coarsen");
+  return Grid2D(nx_ / 2, ny_ / 2, dof_, lx_, ly_);
+}
+
+mat::Csr Grid2D::interpolation() const {
+  const Grid2D coarse = coarsen();
+  mat::Coo p(size(), coarse.size());
+
+  // Fine node (i, j); coarse nodes live at even fine coordinates.
+  for (Index j = 0; j < ny_; ++j) {
+    for (Index i = 0; i < nx_; ++i) {
+      const Index ci = i / 2;
+      const Index cj = j / 2;
+      const bool ox = (i % 2) != 0;  // offset in x
+      const bool oy = (j % 2) != 0;
+      for (Index c = 0; c < dof_; ++c) {
+        const Index row = idx(i, j, c);
+        if (!ox && !oy) {
+          p.add(row, coarse.idx(ci, cj, c), 1.0);
+        } else if (ox && !oy) {
+          p.add(row, coarse.idx(ci, cj, c), 0.5);
+          p.add(row, coarse.idx(ci + 1, cj, c), 0.5);
+        } else if (!ox && oy) {
+          p.add(row, coarse.idx(ci, cj, c), 0.5);
+          p.add(row, coarse.idx(ci, cj + 1, c), 0.5);
+        } else {
+          p.add(row, coarse.idx(ci, cj, c), 0.25);
+          p.add(row, coarse.idx(ci + 1, cj, c), 0.25);
+          p.add(row, coarse.idx(ci, cj + 1, c), 0.25);
+          p.add(row, coarse.idx(ci + 1, cj + 1, c), 0.25);
+        }
+      }
+    }
+  }
+  return p.to_csr();
+}
+
+}  // namespace kestrel::app

@@ -1,0 +1,52 @@
+#pragma once
+// 2D periodic structured grid with interleaved degrees of freedom — the
+// DMDA-like substrate for the paper's Gray–Scott experiment (5-point
+// stencil, 2 dof per node, periodic boundary).
+
+#include "base/types.hpp"
+#include "mat/csr.hpp"
+
+namespace kestrel::app {
+
+class Grid2D {
+ public:
+  Grid2D(Index nx, Index ny, Index dof = 1, Scalar lx = 1.0, Scalar ly = 1.0);
+
+  Index nx() const { return nx_; }
+  Index ny() const { return ny_; }
+  Index dof() const { return dof_; }
+  Index nodes() const { return nx_ * ny_; }
+  Index size() const { return nodes() * dof_; }
+  Scalar hx() const { return lx_ / nx_; }
+  Scalar hy() const { return ly_ / ny_; }
+  Scalar lx() const { return lx_; }
+  Scalar ly() const { return ly_; }
+
+  /// Periodic wrap.
+  Index wrap_x(Index i) const { return (i % nx_ + nx_) % nx_; }
+  Index wrap_y(Index j) const { return (j % ny_ + ny_) % ny_; }
+
+  /// Global unknown index of component c at node (i, j), with wrapping.
+  Index idx(Index i, Index j, Index c = 0) const {
+    return (wrap_y(j) * nx_ + wrap_x(i)) * dof_ + c;
+  }
+
+  /// Node coordinates (cell-centered spacing, node k at k*h).
+  Scalar x(Index i) const { return i * hx(); }
+  Scalar y(Index j) const { return j * hy(); }
+
+  /// Factor-2 coarsening (requires even nx, ny).
+  Grid2D coarsen() const;
+  bool can_coarsen() const { return nx_ % 2 == 0 && ny_ % 2 == 0; }
+
+  /// Bilinear interpolation from this->coarsen() back to this grid,
+  /// applied independently per dof (block-diagonal in components).
+  /// Rows = this->size(), cols = coarse.size().
+  mat::Csr interpolation() const;
+
+ private:
+  Index nx_, ny_, dof_;
+  Scalar lx_, ly_;
+};
+
+}  // namespace kestrel::app

@@ -1,0 +1,52 @@
+#include "app/laplacian.hpp"
+
+#include "base/error.hpp"
+#include "mat/coo.hpp"
+
+namespace kestrel::app {
+
+mat::Csr laplacian_dirichlet(Index nx, Index ny) {
+  KESTREL_CHECK(nx >= 1 && ny >= 1, "bad grid");
+  const Scalar hx = 1.0 / (nx + 1);
+  const Scalar hy = 1.0 / (ny + 1);
+  const Scalar cx = 1.0 / (hx * hx);
+  const Scalar cy = 1.0 / (hy * hy);
+  const Index n = nx * ny;
+  mat::Coo coo(n, n);
+  coo.reserve(static_cast<std::size_t>(n) * 5);
+  for (Index j = 0; j < ny; ++j) {
+    for (Index i = 0; i < nx; ++i) {
+      const Index row = j * nx + i;
+      coo.add(row, row, 2.0 * (cx + cy));
+      if (i > 0) coo.add(row, row - 1, -cx);
+      if (i < nx - 1) coo.add(row, row + 1, -cx);
+      if (j > 0) coo.add(row, row - nx, -cy);
+      if (j < ny - 1) coo.add(row, row + nx, -cy);
+    }
+  }
+  return coo.to_csr();
+}
+
+mat::Csr laplacian_periodic(const Grid2D& grid, Index component,
+                            Scalar coefficient) {
+  KESTREL_CHECK(component >= 0 && component < grid.dof(),
+                "component out of range");
+  const Scalar cx = coefficient / (grid.hx() * grid.hx());
+  const Scalar cy = coefficient / (grid.hy() * grid.hy());
+  const Index n = grid.size();
+  mat::Coo coo(n, n);
+  coo.reserve(static_cast<std::size_t>(grid.nodes()) * 5);
+  for (Index j = 0; j < grid.ny(); ++j) {
+    for (Index i = 0; i < grid.nx(); ++i) {
+      const Index row = grid.idx(i, j, component);
+      coo.add(row, row, -2.0 * (cx + cy));
+      coo.add(row, grid.idx(i - 1, j, component), cx);
+      coo.add(row, grid.idx(i + 1, j, component), cx);
+      coo.add(row, grid.idx(i, j - 1, component), cy);
+      coo.add(row, grid.idx(i, j + 1, component), cy);
+    }
+  }
+  return coo.to_csr();
+}
+
+}  // namespace kestrel::app

@@ -1,0 +1,21 @@
+#pragma once
+// Standard 5-point Laplacian assemblies used by examples and tests.
+
+#include "app/grid2d.hpp"
+#include "mat/csr.hpp"
+
+namespace kestrel::app {
+
+/// Negative Laplacian (-∇²) with homogeneous Dirichlet boundary on an
+/// nx x ny interior grid with spacing hx = 1/(nx+1), hy = 1/(ny+1):
+/// SPD, the canonical multigrid/CG test operator.
+mat::Csr laplacian_dirichlet(Index nx, Index ny);
+
+/// Periodic 5-point Laplacian ∇² (note the sign: this is the diffusion
+/// operator as it appears in reaction–diffusion systems) scaled by
+/// `coefficient`, on one dof of `grid`, embedded in the grid's interleaved
+/// dof numbering at component `component`.
+mat::Csr laplacian_periodic(const Grid2D& grid, Index component,
+                            Scalar coefficient);
+
+}  // namespace kestrel::app

@@ -1,0 +1,28 @@
+#include "base/error.hpp"
+
+namespace kestrel {
+
+Error::Error(const std::string& what, const char* file, int line)
+    : std::runtime_error(what + " [" + file + ":" + std::to_string(line) +
+                         "]"),
+      file_(file),
+      line_(line) {}
+
+namespace detail {
+
+void throw_error(const std::string& msg, const char* file, int line) {
+  throw Error(msg, file, line);
+}
+
+std::string format_check_failure(const char* expr, const std::string& msg) {
+  std::string out = "check failed: ";
+  out += expr;
+  if (!msg.empty()) {
+    out += " — ";
+    out += msg;
+  }
+  return out;
+}
+
+}  // namespace detail
+}  // namespace kestrel

@@ -1,0 +1,53 @@
+#pragma once
+// Error handling: Kestrel reports precondition violations and runtime
+// failures with exceptions carrying file/line context.  KESTREL_CHECK is
+// always on; KESTREL_ASSERT compiles out in release builds and is meant for
+// hot paths.
+
+#include <stdexcept>
+#include <string>
+
+namespace kestrel {
+
+/// Exception thrown by all Kestrel precondition and runtime checks.
+class Error : public std::runtime_error {
+ public:
+  Error(const std::string& what, const char* file, int line);
+  const char* file() const noexcept { return file_; }
+  int line() const noexcept { return line_; }
+
+ private:
+  const char* file_;
+  int line_;
+};
+
+namespace detail {
+[[noreturn]] void throw_error(const std::string& msg, const char* file,
+                              int line);
+std::string format_check_failure(const char* expr, const std::string& msg);
+}  // namespace detail
+
+}  // namespace kestrel
+
+/// Always-on check; throws kestrel::Error with context on failure.
+#define KESTREL_CHECK(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::kestrel::detail::throw_error(                                     \
+          ::kestrel::detail::format_check_failure(#expr, (msg)),          \
+          __FILE__, __LINE__);                                            \
+    }                                                                     \
+  } while (0)
+
+/// Unconditional failure.
+#define KESTREL_FAIL(msg) \
+  ::kestrel::detail::throw_error((msg), __FILE__, __LINE__)
+
+/// Debug-only check for hot paths.
+#ifndef NDEBUG
+#define KESTREL_ASSERT(expr, msg) KESTREL_CHECK(expr, msg)
+#else
+#define KESTREL_ASSERT(expr, msg) \
+  do {                            \
+  } while (0)
+#endif

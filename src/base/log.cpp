@@ -1,0 +1,92 @@
+#include "base/log.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+#include "base/error.hpp"
+
+namespace kestrel {
+
+int EventLog::event_id(const std::string& name) {
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (events_[i].name == name) return static_cast<int>(i);
+  }
+  Event e;
+  e.name = name;
+  events_.push_back(e);
+  return static_cast<int>(events_.size() - 1);
+}
+
+void EventLog::begin(int id) {
+  auto& e = events_.at(static_cast<std::size_t>(id));
+  KESTREL_CHECK(!e.running, "event '" + e.name + "' already running");
+  e.running = true;
+  e.started = std::chrono::steady_clock::now();
+}
+
+void EventLog::end(int id, std::uint64_t flops) {
+  auto& e = events_.at(static_cast<std::size_t>(id));
+  KESTREL_CHECK(e.running, "event '" + e.name + "' not running");
+  e.running = false;
+  e.seconds += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             e.started)
+                   .count();
+  e.calls += 1;
+  e.flops += flops;
+}
+
+double EventLog::seconds(int id) const {
+  return events_.at(static_cast<std::size_t>(id)).seconds;
+}
+
+std::uint64_t EventLog::calls(int id) const {
+  return events_.at(static_cast<std::size_t>(id)).calls;
+}
+
+std::uint64_t EventLog::flops(int id) const {
+  return events_.at(static_cast<std::size_t>(id)).flops;
+}
+
+double EventLog::total_seconds() const {
+  double t = 0.0;
+  for (const auto& e : events_) t += e.seconds;
+  return t;
+}
+
+void EventLog::reset() {
+  for (auto& e : events_) {
+    e.seconds = 0.0;
+    e.calls = 0;
+    e.flops = 0;
+    e.running = false;
+  }
+}
+
+void EventLog::report(std::ostream& os) const {
+  os << std::left << std::setw(24) << "Event" << std::right << std::setw(10)
+     << "Calls" << std::setw(14) << "Time (s)" << std::setw(14) << "MFlops"
+     << std::setw(12) << "MF/s"
+     << "\n";
+  for (const auto& e : events_) {
+    if (e.calls == 0) continue;
+    const double mflops = static_cast<double>(e.flops) / 1e6;
+    os << std::left << std::setw(24) << e.name << std::right << std::setw(10)
+       << e.calls << std::setw(14) << std::fixed << std::setprecision(6)
+       << e.seconds << std::setw(14) << std::setprecision(2) << mflops
+       << std::setw(12)
+       << (e.seconds > 0 ? mflops / e.seconds : 0.0) << "\n";
+  }
+}
+
+EventLog& EventLog::global() {
+  static EventLog log;
+  return log;
+}
+
+double wall_time() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace kestrel

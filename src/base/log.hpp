@@ -1,0 +1,65 @@
+#pragma once
+// Lightweight event profiler modeled on PETSc's -log_view: named events
+// accumulate wall time, call counts and flop counts; a report prints the
+// table. Used by benches and examples to attribute time to MatMult vs the
+// rest of the solver stack (Figure 10 splits walltime exactly this way).
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace kestrel {
+
+class EventLog {
+ public:
+  /// Registers (or finds) an event by name; ids are stable for the lifetime
+  /// of the log.
+  int event_id(const std::string& name);
+
+  void begin(int id);
+  void end(int id, std::uint64_t flops = 0);
+
+  double seconds(int id) const;
+  std::uint64_t calls(int id) const;
+  std::uint64_t flops(int id) const;
+  double total_seconds() const;
+
+  void reset();
+  void report(std::ostream& os) const;
+
+  static EventLog& global();
+
+ private:
+  struct Event {
+    std::string name;
+    double seconds = 0.0;
+    std::uint64_t calls = 0;
+    std::uint64_t flops = 0;
+    std::chrono::steady_clock::time_point started{};
+    bool running = false;
+  };
+  std::vector<Event> events_;
+};
+
+/// RAII scope timer for an event in the global log.
+class ScopedEvent {
+ public:
+  explicit ScopedEvent(int id, std::uint64_t flops = 0)
+      : id_(id), flops_(flops) {
+    EventLog::global().begin(id_);
+  }
+  ~ScopedEvent() { EventLog::global().end(id_, flops_); }
+  ScopedEvent(const ScopedEvent&) = delete;
+  ScopedEvent& operator=(const ScopedEvent&) = delete;
+
+ private:
+  int id_;
+  std::uint64_t flops_;
+};
+
+/// Monotonic wall clock in seconds, for ad-hoc timing in benches.
+double wall_time();
+
+}  // namespace kestrel

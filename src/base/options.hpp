@@ -1,0 +1,49 @@
+#pragma once
+// PETSc-style options database: "-key value" (or bare "-flag") pairs parsed
+// from the command line or set programmatically. Solver components read
+// their configuration from here, so examples accept the same option names
+// the paper lists (e.g. -pc_type mg -pc_mg_levels 3 -mg_levels_pc_type
+// jacobi -mat_type sell -spmv_isa avx512).
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace kestrel {
+
+class Options {
+ public:
+  Options() = default;
+  Options(int argc, const char* const* argv) { parse(argc, argv); }
+
+  /// Parses "-key [value]" pairs; later settings override earlier ones.
+  /// A token starting with '-' that is not parseable as a number starts a
+  /// new key; anything else is the value of the preceding key.
+  void parse(int argc, const char* const* argv);
+
+  void set(const std::string& key, const std::string& value);
+  void set_flag(const std::string& key) { set(key, ""); }
+
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  Index get_index(const std::string& key, Index fallback) const;
+  Scalar get_scalar(const std::string& key, Scalar fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// All keys in insertion-independent (sorted) order; for -help output.
+  std::vector<std::string> keys() const;
+
+  /// Global database used by components that are not handed one explicitly.
+  static Options& global();
+
+ private:
+  std::optional<std::string> raw(const std::string& key) const;
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace kestrel

@@ -1,0 +1,26 @@
+#pragma once
+// Fundamental scalar/index types shared across Kestrel.
+//
+// The paper stores matrix values in 64-bit doubles and column indices in
+// 32-bit integers (its largest test, a 16384x16384 grid with 2 dof, is noted
+// as "close to the largest case that does not require 64-bit integers").
+// We keep the same choice and isolate it behind typedefs; assembly paths
+// check for overflow explicitly.
+
+#include <cstdint>
+#include <cstddef>
+
+namespace kestrel {
+
+using Scalar = double;
+using Index = std::int32_t;   ///< row/column index within one rank
+using GIndex = std::int64_t;  ///< global index across ranks / overflow checks
+
+/// Cache line size on every Intel architecture the paper targets (bytes).
+inline constexpr std::size_t kCacheLine = 64;
+
+/// SIMD width in doubles for a 512-bit ZMM register; also the default SELL
+/// slice height (paper section 5.1).
+inline constexpr Index kZmmDoubles = 8;
+
+}  // namespace kestrel

@@ -1,0 +1,79 @@
+// BiCGStab (van der Vorst) with right-preconditioning-style application of
+// M^{-1} inside the recurrences, for general nonsymmetric systems.
+
+#include <cmath>
+
+#include "base/error.hpp"
+#include "ksp/ksp.hpp"
+
+namespace kestrel::ksp {
+
+SolveResult BiCgStab::solve(LinearContext& ctx, const Vector& b,
+                            Vector& x) const {
+  const Index n = ctx.local_size();
+  KESTREL_CHECK(b.size() == n, "bicgstab: rhs size mismatch");
+  KESTREL_CHECK(x.size() == n, "bicgstab: solution size mismatch");
+  SolveResult result;
+
+  Vector r(n), rhat(n), p(n), v(n), s(n), t(n), phat(n), shat(n);
+
+  ctx.apply_operator(x, r);
+  r.aypx(-1.0, b);
+  rhat.copy_from(r);
+  const Scalar rnorm0 = ctx.norm2(r);
+  if (check(rnorm0, rnorm0, 0, &result)) return result;
+
+  Scalar rho = 1.0, alpha = 1.0, omega = 1.0;
+  p.set(0.0);
+  v.set(0.0);
+
+  for (int it = 1;; ++it) {
+    const Scalar rho_next = ctx.dot(rhat, r);
+    if (rho_next == 0.0 || omega == 0.0) {
+      result.converged = false;
+      result.reason = Reason::kDivergedBreakdown;
+      result.iterations = it;
+      return result;
+    }
+    const Scalar beta = (rho_next / rho) * (alpha / omega);
+    rho = rho_next;
+    // p = r + beta (p - omega v)
+    p.axpy(-omega, v);
+    p.aypx(beta, r);
+
+    ctx.apply_pc(p, phat);
+    ctx.apply_operator(phat, v);
+    alpha = rho / ctx.dot(rhat, v);
+
+    s.copy_from(r);
+    s.axpy(-alpha, v);
+    const Scalar snorm = ctx.norm2(s);
+    if (snorm <= settings_.atol ||
+        snorm <= settings_.rtol * rnorm0) {
+      x.axpy(alpha, phat);
+      (void)check(snorm, rnorm0, it, &result);
+      return result;
+    }
+
+    ctx.apply_pc(s, shat);
+    ctx.apply_operator(shat, t);
+    const Scalar tt = ctx.dot(t, t);
+    if (tt == 0.0) {
+      result.converged = false;
+      result.reason = Reason::kDivergedBreakdown;
+      result.iterations = it;
+      return result;
+    }
+    omega = ctx.dot(t, s) / tt;
+
+    x.axpy(alpha, phat);
+    x.axpy(omega, shat);
+    r.copy_from(s);
+    r.axpy(-omega, t);
+
+    const Scalar rnorm = ctx.norm2(r);
+    if (check(rnorm, rnorm0, it, &result)) return result;
+  }
+}
+
+}  // namespace kestrel::ksp

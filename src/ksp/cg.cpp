@@ -1,0 +1,52 @@
+// Preconditioned conjugate gradient (Hestenes–Stiefel), for SPD operators
+// with an SPD preconditioner.
+
+#include "base/error.hpp"
+#include "ksp/ksp.hpp"
+
+namespace kestrel::ksp {
+
+SolveResult Cg::solve(LinearContext& ctx, const Vector& b, Vector& x) const {
+  const Index n = ctx.local_size();
+  KESTREL_CHECK(b.size() == n, "cg: rhs size mismatch");
+  KESTREL_CHECK(x.size() == n, "cg: solution size mismatch");
+  SolveResult result;
+
+  Vector r(n), z(n), p(n), ap(n);
+
+  // r = b - A x
+  ctx.apply_operator(x, r);
+  r.aypx(-1.0, b);
+
+  ctx.apply_pc(r, z);
+  p.copy_from(z);
+  Scalar rz = ctx.dot(r, z);
+  const Scalar rnorm0 = ctx.norm2(r);
+  if (check(rnorm0, rnorm0, 0, &result)) return result;
+
+  for (int it = 1;; ++it) {
+    ctx.apply_operator(p, ap);
+    const Scalar pap = ctx.dot(p, ap);
+    if (pap <= 0.0) {
+      // operator not SPD (or breakdown)
+      result.converged = false;
+      result.reason = Reason::kDivergedBreakdown;
+      result.iterations = it;
+      return result;
+    }
+    const Scalar alpha = rz / pap;
+    x.axpy(alpha, p);
+    r.axpy(-alpha, ap);
+
+    const Scalar rnorm = ctx.norm2(r);
+    if (check(rnorm, rnorm0, it, &result)) return result;
+
+    ctx.apply_pc(r, z);
+    const Scalar rz_next = ctx.dot(r, z);
+    const Scalar beta = rz_next / rz;
+    rz = rz_next;
+    p.aypx(beta, z);  // p = z + beta p
+  }
+}
+
+}  // namespace kestrel::ksp

@@ -1,0 +1,53 @@
+// Chebyshev semi-iteration over the spectrum [emin, emax] of the
+// preconditioned operator. No inner products per iteration, which is why
+// PETSc prefers it as a parallel multigrid smoother; here it doubles as an
+// alternative smoother for the MG preconditioner.
+
+#include "base/error.hpp"
+#include "ksp/ksp.hpp"
+
+namespace kestrel::ksp {
+
+SolveResult Chebyshev::solve(LinearContext& ctx, const Vector& b,
+                             Vector& x) const {
+  const Index n = ctx.local_size();
+  KESTREL_CHECK(b.size() == n, "chebyshev: rhs size mismatch");
+  KESTREL_CHECK(x.size() == n, "chebyshev: solution size mismatch");
+  KESTREL_CHECK(emax_ > 0.0 && emax_ > emin_,
+                "chebyshev: invalid eigenvalue bounds");
+  SolveResult result;
+
+  const Scalar theta = 0.5 * (emax_ + emin_);  // center
+  const Scalar delta = 0.5 * (emax_ - emin_);  // half-width
+
+  Vector r(n), z(n), p(n);
+  ctx.apply_operator(x, r);
+  r.aypx(-1.0, b);
+  const Scalar rnorm0 = ctx.norm2(r);
+  if (check(rnorm0, rnorm0, 0, &result)) return result;
+
+  Scalar alpha = 0.0;
+  for (int it = 1;; ++it) {
+    ctx.apply_pc(r, z);
+    if (it == 1) {
+      p.copy_from(z);
+      alpha = 1.0 / theta;
+    } else {
+      Scalar beta;
+      if (it == 2) {
+        beta = 0.5 * (delta * alpha) * (delta * alpha);
+      } else {
+        beta = (delta * alpha / 2.0) * (delta * alpha / 2.0);
+      }
+      alpha = 1.0 / (theta - beta / alpha);
+      p.aypx(beta, z);  // p = z + beta p
+    }
+    x.axpy(alpha, p);
+    ctx.apply_operator(x, r);
+    r.aypx(-1.0, b);
+    const Scalar rnorm = ctx.norm2(r);
+    if (check(rnorm, rnorm0, it, &result)) return result;
+  }
+}
+
+}  // namespace kestrel::ksp

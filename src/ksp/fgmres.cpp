@@ -1,0 +1,148 @@
+// Flexible GMRES (Saad 1993): right-preconditioned GMRES that stores the
+// preconditioned directions Z_j, so the preconditioner may change between
+// iterations (e.g. an inner iterative solve or an adaptive multigrid
+// cycle). PETSc exposes this as -ksp_type fgmres; Kestrel includes it for
+// the same solver-composability reasons (paper section 2: composable
+// hierarchy of solvers).
+
+#include <cmath>
+#include <vector>
+
+#include "base/error.hpp"
+#include "ksp/ksp.hpp"
+
+namespace kestrel::ksp {
+
+SolveResult FGmres::solve(LinearContext& ctx, const Vector& b,
+                          Vector& x) const {
+  const Index n = ctx.local_size();
+  KESTREL_CHECK(b.size() == n, "fgmres: rhs size mismatch");
+  KESTREL_CHECK(x.size() == n, "fgmres: solution size mismatch");
+  const int m = settings_.gmres_restart;
+  KESTREL_CHECK(m >= 1, "fgmres: restart must be >= 1");
+  SolveResult result;
+
+  Vector r(n), w(n);
+  std::vector<Vector> v(static_cast<std::size_t>(m) + 1);  // Krylov basis
+  std::vector<Vector> z(static_cast<std::size_t>(m));      // M^{-1} v_j
+  std::vector<std::vector<Scalar>> h(
+      static_cast<std::size_t>(m),
+      std::vector<Scalar>(static_cast<std::size_t>(m) + 1, 0.0));
+  std::vector<Scalar> cs(static_cast<std::size_t>(m), 0.0);
+  std::vector<Scalar> sn(static_cast<std::size_t>(m), 0.0);
+  std::vector<Scalar> g(static_cast<std::size_t>(m) + 1, 0.0);
+
+  // unpreconditioned residual (right preconditioning)
+  ctx.apply_operator(x, r);
+  r.aypx(-1.0, b);
+  const Scalar rnorm0 = ctx.norm2(r);
+  if (check(rnorm0, rnorm0, 0, &result)) return result;
+
+  int total_it = 0;
+  while (true) {
+    ctx.apply_operator(x, r);
+    r.aypx(-1.0, b);
+    const Scalar beta = ctx.norm2(r);
+    if (beta == 0.0) {
+      result.converged = true;
+      result.reason = Reason::kConvergedAtol;
+      result.iterations = total_it;
+      result.residual_norm = 0.0;
+      return result;
+    }
+    v[0].copy_from(r);
+    v[0].scale(1.0 / beta);
+    std::fill(g.begin(), g.end(), 0.0);
+    g[0] = beta;
+
+    int k = 0;
+    for (int j = 0; j < m; ++j) {
+      ++total_it;
+      // z_j = M^{-1} v_j  (stored!), w = A z_j
+      ctx.apply_pc(v[static_cast<std::size_t>(j)],
+                   z[static_cast<std::size_t>(j)]);
+      ctx.apply_operator(z[static_cast<std::size_t>(j)], w);
+      for (int i = 0; i <= j; ++i) {
+        const Scalar hij = ctx.dot(w, v[static_cast<std::size_t>(i)]);
+        h[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = hij;
+        w.axpy(-hij, v[static_cast<std::size_t>(i)]);
+      }
+      const Scalar hlast = ctx.norm2(w);
+      h[static_cast<std::size_t>(j)][static_cast<std::size_t>(j) + 1] =
+          hlast;
+
+      auto& col = h[static_cast<std::size_t>(j)];
+      for (int i = 0; i < j; ++i) {
+        const Scalar tmp = cs[static_cast<std::size_t>(i)] *
+                               col[static_cast<std::size_t>(i)] +
+                           sn[static_cast<std::size_t>(i)] *
+                               col[static_cast<std::size_t>(i) + 1];
+        col[static_cast<std::size_t>(i) + 1] =
+            -sn[static_cast<std::size_t>(i)] *
+                col[static_cast<std::size_t>(i)] +
+            cs[static_cast<std::size_t>(i)] *
+                col[static_cast<std::size_t>(i) + 1];
+        col[static_cast<std::size_t>(i)] = tmp;
+      }
+      const Scalar denom = std::hypot(col[static_cast<std::size_t>(j)],
+                                      col[static_cast<std::size_t>(j) + 1]);
+      if (denom == 0.0) {
+        cs[static_cast<std::size_t>(j)] = 1.0;
+        sn[static_cast<std::size_t>(j)] = 0.0;
+      } else {
+        cs[static_cast<std::size_t>(j)] =
+            col[static_cast<std::size_t>(j)] / denom;
+        sn[static_cast<std::size_t>(j)] =
+            col[static_cast<std::size_t>(j) + 1] / denom;
+      }
+      col[static_cast<std::size_t>(j)] = denom;
+      col[static_cast<std::size_t>(j) + 1] = 0.0;
+      g[static_cast<std::size_t>(j) + 1] =
+          -sn[static_cast<std::size_t>(j)] * g[static_cast<std::size_t>(j)];
+      g[static_cast<std::size_t>(j)] =
+          cs[static_cast<std::size_t>(j)] * g[static_cast<std::size_t>(j)];
+
+      k = j + 1;
+      const Scalar rnorm = std::abs(g[static_cast<std::size_t>(j) + 1]);
+      const bool done = check(rnorm, rnorm0, total_it, &result);
+      if (!done && hlast != 0.0) {
+        v[static_cast<std::size_t>(j) + 1].copy_from(w);
+        v[static_cast<std::size_t>(j) + 1].scale(1.0 / hlast);
+      }
+      if (done || hlast == 0.0) break;
+    }
+
+    // x += Z y with H y = g (the flexible update uses Z, not V)
+    std::vector<Scalar> y(static_cast<std::size_t>(k), 0.0);
+    for (int i = k - 1; i >= 0; --i) {
+      Scalar sum = g[static_cast<std::size_t>(i)];
+      for (int j2 = i + 1; j2 < k; ++j2) {
+        sum -= h[static_cast<std::size_t>(j2)][static_cast<std::size_t>(i)] *
+               y[static_cast<std::size_t>(j2)];
+      }
+      const Scalar hii =
+          h[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)];
+      if (hii == 0.0) {
+        result.converged = false;
+        result.reason = Reason::kDivergedBreakdown;
+        result.iterations = total_it;
+        return result;
+      }
+      y[static_cast<std::size_t>(i)] = sum / hii;
+    }
+    // fused multi-vector update (VecMAXPY) over the stored Z directions
+    std::vector<const Vector*> ptrs(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) {
+      ptrs[static_cast<std::size_t>(i)] = &z[static_cast<std::size_t>(i)];
+    }
+    x.maxpy(static_cast<std::size_t>(k), y.data(), ptrs.data());
+
+    if (result.converged || result.reason == Reason::kDivergedNan ||
+        (result.reason == Reason::kDivergedMaxIts &&
+         total_it >= settings_.max_iterations)) {
+      return result;
+    }
+  }
+}
+
+}  // namespace kestrel::ksp

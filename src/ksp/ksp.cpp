@@ -1,0 +1,116 @@
+#include "ksp/ksp.hpp"
+
+#include <cmath>
+
+#include "base/error.hpp"
+#include "base/rng.hpp"
+#include "ksp/context.hpp"
+#include "pc/pc.hpp"
+
+namespace kestrel::ksp {
+
+const char* reason_name(Reason r) {
+  switch (r) {
+    case Reason::kConvergedRtol:
+      return "converged_rtol";
+    case Reason::kConvergedAtol:
+      return "converged_atol";
+    case Reason::kDivergedMaxIts:
+      return "diverged_max_iterations";
+    case Reason::kDivergedNan:
+      return "diverged_nan";
+    case Reason::kDivergedBreakdown:
+      return "diverged_breakdown";
+  }
+  return "?";
+}
+
+void LinearContext::apply_pc(const Vector& r, Vector& z) {
+  z.copy_from(r);
+}
+
+Scalar LinearContext::dot(const Vector& a, const Vector& b) {
+  return a.dot(b);
+}
+
+Scalar LinearContext::norm2(const Vector& a) {
+  return std::sqrt(dot(a, a));
+}
+
+bool Solver::check(Scalar rnorm, Scalar rnorm0, int it,
+                   SolveResult* out) const {
+  out->iterations = it;
+  out->residual_norm = rnorm;
+  if (settings_.monitor) settings_.monitor(it, rnorm);
+  if (std::isnan(rnorm) || std::isinf(rnorm)) {
+    out->converged = false;
+    out->reason = Reason::kDivergedNan;
+    return true;
+  }
+  if (rnorm <= settings_.atol) {
+    out->converged = true;
+    out->reason = Reason::kConvergedAtol;
+    return true;
+  }
+  if (rnorm <= settings_.rtol * rnorm0) {
+    out->converged = true;
+    out->reason = Reason::kConvergedRtol;
+    return true;
+  }
+  if (it >= settings_.max_iterations) {
+    out->converged = false;
+    out->reason = Reason::kDivergedMaxIts;
+    return true;
+  }
+  return false;
+}
+
+std::unique_ptr<Solver> make_solver(const std::string& type,
+                                    Settings settings) {
+  if (type == "cg") return std::make_unique<Cg>(settings);
+  if (type == "gmres") return std::make_unique<Gmres>(settings);
+  if (type == "fgmres") return std::make_unique<FGmres>(settings);
+  if (type == "bicgstab" || type == "bcgs") {
+    return std::make_unique<BiCgStab>(settings);
+  }
+  if (type == "richardson") return std::make_unique<Richardson>(settings);
+  KESTREL_FAIL("unknown solver type '" + type +
+               "' (expected cg|gmres|fgmres|bicgstab|richardson)");
+}
+
+Scalar estimate_max_eigenvalue(LinearContext& ctx, int iterations,
+                               std::uint64_t seed) {
+  const Index n = ctx.local_size();
+  Rng rng(seed);
+  Vector v(n), av(n), z(n);
+  for (Index i = 0; i < n; ++i) v[i] = rng.uniform(-1.0, 1.0);
+  Scalar lambda = 1.0;
+  for (int it = 0; it < iterations; ++it) {
+    const Scalar nv = ctx.norm2(v);
+    if (nv == 0.0) break;
+    v.scale(1.0 / nv);
+    ctx.apply_operator(v, av);
+    ctx.apply_pc(av, z);  // z = M^{-1} A v
+    lambda = ctx.dot(v, z);
+    v.copy_from(z);
+  }
+  return std::abs(lambda);
+}
+
+void SeqContext::apply_pc(const Vector& r, Vector& z) {
+  if (pc_ == nullptr) {
+    z.copy_from(r);
+    return;
+  }
+  pc_->apply(r, z);
+}
+
+void ParContext::apply_pc(const Vector& r, Vector& z) {
+  if (pc_ == nullptr) {
+    z.copy_from(r);
+    return;
+  }
+  pc_->apply(r, z);
+}
+
+}  // namespace kestrel::ksp

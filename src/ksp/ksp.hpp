@@ -1,0 +1,164 @@
+#pragma once
+// Krylov solver layer (PETSc KSP).
+//
+// Solvers are written against LinearContext, which hides whether the
+// operator/preconditioner/dot-products are sequential or distributed: the
+// same CG/GMRES code runs on one rank against a mat::Matrix or on many
+// ranks against a ParMatrix (with allreduce dot products), mirroring how
+// PETSc layers KSP above Mat/Vec (paper Figure 1).
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "base/types.hpp"
+#include "vec/vector.hpp"
+
+namespace kestrel::pc {
+class Pc;
+}
+
+namespace kestrel::ksp {
+
+enum class Reason {
+  kConvergedRtol,
+  kConvergedAtol,
+  kDivergedMaxIts,
+  kDivergedNan,
+  kDivergedBreakdown,
+};
+
+const char* reason_name(Reason r);
+
+struct SolveResult {
+  bool converged = false;
+  int iterations = 0;
+  Scalar residual_norm = 0.0;
+  Reason reason = Reason::kDivergedMaxIts;
+};
+
+struct Settings {
+  Scalar rtol = 1e-8;
+  Scalar atol = 1e-50;
+  int max_iterations = 10000;
+  int gmres_restart = 30;
+  /// Called after each iteration with (iteration, residual norm).
+  std::function<void(int, Scalar)> monitor;
+};
+
+/// The solver's window onto the linear system. Vectors passed to solvers
+/// are the LOCAL blocks; dot() performs the global reduction when the
+/// context is distributed.
+class LinearContext {
+ public:
+  virtual ~LinearContext() = default;
+
+  /// Local length of solution/rhs vectors.
+  virtual Index local_size() const = 0;
+  /// y = A * x.
+  virtual void apply_operator(const Vector& x, Vector& y) = 0;
+  /// z = M^{-1} r; identity by default.
+  virtual void apply_pc(const Vector& r, Vector& z);
+  /// Globally reduced inner product.
+  virtual Scalar dot(const Vector& a, const Vector& b);
+
+  Scalar norm2(const Vector& a);
+};
+
+class Solver {
+ public:
+  virtual ~Solver() = default;
+  explicit Solver(Settings settings = {}) : settings_(settings) {}
+
+  /// Solves A x = b starting from the incoming x (use x.set(0) for a zero
+  /// initial guess).
+  virtual SolveResult solve(LinearContext& ctx, const Vector& b,
+                            Vector& x) const = 0;
+  virtual std::string name() const = 0;
+
+  Settings& settings() { return settings_; }
+  const Settings& settings() const { return settings_; }
+
+ protected:
+  /// Shared convergence test; returns true when iteration should stop.
+  bool check(Scalar rnorm, Scalar rnorm0, int it, SolveResult* out) const;
+
+  Settings settings_;
+};
+
+/// Factory keyed by PETSc-style names: cg, gmres, bicgstab, richardson,
+/// chebyshev.
+std::unique_ptr<Solver> make_solver(const std::string& type,
+                                    Settings settings = {});
+
+// Concrete solvers ---------------------------------------------------------
+
+class Cg final : public Solver {
+ public:
+  using Solver::Solver;
+  SolveResult solve(LinearContext& ctx, const Vector& b,
+                    Vector& x) const override;
+  std::string name() const override { return "cg"; }
+};
+
+class Gmres final : public Solver {
+ public:
+  using Solver::Solver;
+  SolveResult solve(LinearContext& ctx, const Vector& b,
+                    Vector& x) const override;
+  std::string name() const override { return "gmres"; }
+};
+
+/// Flexible GMRES (right-preconditioned; the preconditioner may vary per
+/// iteration).
+class FGmres final : public Solver {
+ public:
+  using Solver::Solver;
+  SolveResult solve(LinearContext& ctx, const Vector& b,
+                    Vector& x) const override;
+  std::string name() const override { return "fgmres"; }
+};
+
+class BiCgStab final : public Solver {
+ public:
+  using Solver::Solver;
+  SolveResult solve(LinearContext& ctx, const Vector& b,
+                    Vector& x) const override;
+  std::string name() const override { return "bicgstab"; }
+};
+
+class Richardson final : public Solver {
+ public:
+  explicit Richardson(Settings settings = {}, Scalar omega = 1.0)
+      : Solver(settings), omega_(omega) {}
+  SolveResult solve(LinearContext& ctx, const Vector& b,
+                    Vector& x) const override;
+  std::string name() const override { return "richardson"; }
+
+ private:
+  Scalar omega_;
+};
+
+class Chebyshev final : public Solver {
+ public:
+  /// Requires estimates of the preconditioned operator's extreme
+  /// eigenvalues; PETSc-style smoothing defaults target the upper part of
+  /// the spectrum.
+  Chebyshev(Settings settings, Scalar emin, Scalar emax)
+      : Solver(settings), emin_(emin), emax_(emax) {}
+  SolveResult solve(LinearContext& ctx, const Vector& b,
+                    Vector& x) const override;
+  std::string name() const override { return "chebyshev"; }
+
+ private:
+  Scalar emin_, emax_;
+};
+
+/// Largest eigenvalue estimate of the preconditioned operator M^{-1}A via
+/// power iteration (used to configure Chebyshev smoothers).
+Scalar estimate_max_eigenvalue(LinearContext& ctx, int iterations = 20,
+                               std::uint64_t seed = 12345);
+
+// Ready-made contexts -------------------------------------------------------
+
+}  // namespace kestrel::ksp

@@ -1,0 +1,34 @@
+// Damped Richardson iteration x += omega * M^{-1}(b - A x) — the classic
+// stationary method; with a Jacobi preconditioner this is the smoother the
+// paper's multigrid configuration uses on every level
+// (-mg_levels_pc_type jacobi).
+
+#include "base/error.hpp"
+#include "ksp/ksp.hpp"
+
+namespace kestrel::ksp {
+
+SolveResult Richardson::solve(LinearContext& ctx, const Vector& b,
+                              Vector& x) const {
+  const Index n = ctx.local_size();
+  KESTREL_CHECK(b.size() == n, "richardson: rhs size mismatch");
+  KESTREL_CHECK(x.size() == n, "richardson: solution size mismatch");
+  SolveResult result;
+
+  Vector r(n), z(n);
+  ctx.apply_operator(x, r);
+  r.aypx(-1.0, b);
+  const Scalar rnorm0 = ctx.norm2(r);
+  if (check(rnorm0, rnorm0, 0, &result)) return result;
+
+  for (int it = 1;; ++it) {
+    ctx.apply_pc(r, z);
+    x.axpy(omega_, z);
+    ctx.apply_operator(x, r);
+    r.aypx(-1.0, b);
+    const Scalar rnorm = ctx.norm2(r);
+    if (check(rnorm, rnorm0, it, &result)) return result;
+  }
+}
+
+}  // namespace kestrel::ksp

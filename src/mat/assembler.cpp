@@ -1,0 +1,74 @@
+#include "mat/assembler.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/error.hpp"
+
+namespace kestrel::mat {
+
+Assembler::Assembler(Index m, Index n) : m_(m), n_(n) {
+  KESTREL_CHECK(m >= 0 && n >= 0, "negative matrix dimension");
+}
+
+void Assembler::set(Index i, Index j, Scalar v, Mode mode) {
+  if (i < 0 || j < 0) return;  // PETSc convention: skip silently
+  KESTREL_CHECK(i < m_ && j < n_, "Assembler::set index out of range");
+  entries_.push_back({i, j, v, mode});
+}
+
+void Assembler::set_block(Index i0, Index j0, Index rows, Index cols,
+                          const Scalar* v, Mode mode) {
+  for (Index r = 0; r < rows; ++r) {
+    for (Index c = 0; c < cols; ++c) {
+      set(i0 + r, j0 + c, v[r * cols + c], mode);
+    }
+  }
+}
+
+void Assembler::clear() { entries_.clear(); }
+
+Csr Assembler::assemble(bool drop_zeros) const {
+  // stable sort by (i, j) keeps per-entry insertion order for the fold
+  std::vector<std::size_t> order(entries_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     const Entry& ea = entries_[a];
+                     const Entry& eb = entries_[b];
+                     return ea.i != eb.i ? ea.i < eb.i : ea.j < eb.j;
+                   });
+
+  std::vector<Index> rowptr(static_cast<std::size_t>(m_) + 1, 0);
+  std::vector<Index> colidx;
+  std::vector<Scalar> val;
+
+  std::size_t k = 0;
+  while (k < order.size()) {
+    const Entry& first = entries_[order[k]];
+    const Index i = first.i;
+    const Index j = first.j;
+    Scalar value = 0.0;
+    while (k < order.size() && entries_[order[k]].i == i &&
+           entries_[order[k]].j == j) {
+      const Entry& e = entries_[order[k]];
+      if (e.mode == Mode::kInsert) {
+        value = e.v;
+      } else {
+        value += e.v;
+      }
+      ++k;
+    }
+    if (drop_zeros && value == 0.0) continue;
+    rowptr[static_cast<std::size_t>(i) + 1]++;
+    colidx.push_back(j);
+    val.push_back(value);
+  }
+  for (Index i = 0; i < m_; ++i) {
+    rowptr[static_cast<std::size_t>(i) + 1] +=
+        rowptr[static_cast<std::size_t>(i)];
+  }
+  return Csr(m_, n_, std::move(rowptr), std::move(colidx), std::move(val));
+}
+
+}  // namespace kestrel::mat

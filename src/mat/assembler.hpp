@@ -1,0 +1,52 @@
+#pragma once
+// PETSc MatSetValues-style assembly: entries may be INSERTed (last write
+// wins) or ADDed (accumulate), negative indices are silently ignored (the
+// PETSc convention for rows/columns eliminated by boundary conditions),
+// and assembly ends with an explicit assemble() that produces the compute
+// format. This is the API the paper's application layer uses to build
+// Jacobians; Coo remains the lower-level ADD-only fast path.
+
+#include <vector>
+
+#include "base/types.hpp"
+#include "mat/csr.hpp"
+
+namespace kestrel::mat {
+
+class Assembler {
+ public:
+  enum class Mode { kInsert, kAdd };
+
+  Assembler(Index m, Index n);
+
+  Index rows() const { return m_; }
+  Index cols() const { return n_; }
+
+  /// Stages one entry. Negative i or j is ignored (PETSc convention).
+  void set(Index i, Index j, Scalar v, Mode mode = Mode::kInsert);
+  void add(Index i, Index j, Scalar v) { set(i, j, v, Mode::kAdd); }
+
+  /// Stages a dense row-major block at (i0, j0); negative origin rejects
+  /// the whole block edge-by-edge like PETSc (per-entry skip).
+  void set_block(Index i0, Index j0, Index rows, Index cols,
+                 const Scalar* v, Mode mode = Mode::kInsert);
+
+  std::size_t staged() const { return entries_.size(); }
+  void clear();
+
+  /// Folds staged entries in insertion order: for each (i, j), an INSERT
+  /// resets the running value, an ADD accumulates — matching PETSc's
+  /// per-entry semantics.
+  Csr assemble(bool drop_zeros = false) const;
+
+ private:
+  struct Entry {
+    Index i, j;
+    Scalar v;
+    Mode mode;
+  };
+  Index m_, n_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace kestrel::mat

@@ -1,0 +1,99 @@
+#include "mat/bcsr.hpp"
+
+#include <map>
+
+#include "base/error.hpp"
+#include "mat/csr.hpp"
+#include "simd/dispatch.hpp"
+
+namespace kestrel::mat {
+
+Bcsr::Bcsr(const Csr& csr, Index bs) : bs_(bs), nnz_(csr.nnz()) {
+  KESTREL_CHECK(bs >= 1, "block size must be positive");
+  KESTREL_CHECK(csr.rows() % bs == 0 && csr.cols() % bs == 0,
+                "matrix dimensions must be divisible by the block size");
+  mb_ = csr.rows() / bs;
+  nb_ = csr.cols() / bs;
+
+  // Pass 1: which block columns are occupied per block row.
+  std::vector<Index> rowptr(static_cast<std::size_t>(mb_) + 1, 0);
+  std::vector<std::vector<Index>> bcols(static_cast<std::size_t>(mb_));
+  for (Index ib = 0; ib < mb_; ++ib) {
+    std::map<Index, bool> seen;
+    for (Index r = 0; r < bs; ++r) {
+      for (Index c : csr.row_cols(ib * bs + r)) seen[c / bs] = true;
+    }
+    auto& cols = bcols[static_cast<std::size_t>(ib)];
+    cols.reserve(seen.size());
+    for (const auto& [jb, _] : seen) cols.push_back(jb);
+    rowptr[static_cast<std::size_t>(ib) + 1] =
+        rowptr[static_cast<std::size_t>(ib)] +
+        static_cast<Index>(cols.size());
+  }
+
+  const std::size_t nblocks =
+      static_cast<std::size_t>(rowptr[static_cast<std::size_t>(mb_)]);
+  rowptr_.resize(rowptr.size());
+  std::copy(rowptr.begin(), rowptr.end(), rowptr_.begin());
+  colidx_.resize(nblocks);
+  val_.resize(nblocks * static_cast<std::size_t>(bs) * bs);
+  val_.fill(0.0);
+
+  // Pass 2: fill values.
+  for (Index ib = 0; ib < mb_; ++ib) {
+    const auto& cols = bcols[static_cast<std::size_t>(ib)];
+    const Index base = rowptr_[static_cast<std::size_t>(ib)];
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      colidx_[static_cast<std::size_t>(base) + k] = cols[k];
+    }
+    for (Index r = 0; r < bs; ++r) {
+      const Index row = ib * bs + r;
+      const auto rc = csr.row_cols(row);
+      const auto rv = csr.row_vals(row);
+      for (std::size_t e = 0; e < rc.size(); ++e) {
+        const Index jb = rc[e] / bs;
+        // binary search for jb within this block row
+        const auto it = std::lower_bound(cols.begin(), cols.end(), jb);
+        const Index slot = base + static_cast<Index>(it - cols.begin());
+        Scalar* blk = val_.data() +
+                      static_cast<std::size_t>(slot) * bs * bs;
+        blk[r * bs + (rc[e] % bs)] = rv[e];
+      }
+    }
+  }
+}
+
+void Bcsr::spmv(const Scalar* x, Scalar* y) const {
+  auto fn = simd::lookup_as<simd::BcsrSpmvFn>(simd::Op::kBcsrSpmv, tier_);
+  fn(view(), x, y);
+}
+
+void Bcsr::get_diagonal(Vector& d) const {
+  KESTREL_CHECK(mb_ == nb_, "get_diagonal requires a square matrix");
+  d.resize(rows());
+  d.set(0.0);
+  for (Index ib = 0; ib < mb_; ++ib) {
+    for (Index k = rowptr_[ib]; k < rowptr_[ib + 1]; ++k) {
+      if (colidx_[k] == ib) {
+        const Scalar* blk =
+            val_.data() + static_cast<std::size_t>(k) * bs_ * bs_;
+        for (Index r = 0; r < bs_; ++r) d[ib * bs_ + r] = blk[r * bs_ + r];
+      }
+    }
+  }
+}
+
+std::size_t Bcsr::storage_bytes() const {
+  return rowptr_.size() * sizeof(Index) + colidx_.size() * sizeof(Index) +
+         val_.size() * sizeof(Scalar);
+}
+
+std::size_t Bcsr::spmv_traffic_bytes() const {
+  // 8 bytes per stored scalar + 4 bytes per block column index + rowptr +
+  // x and y.
+  return val_.size() * sizeof(Scalar) + colidx_.size() * sizeof(Index) +
+         rowptr_.size() * sizeof(Index) +
+         8 * static_cast<std::size_t>(rows() + cols());
+}
+
+}  // namespace kestrel::mat

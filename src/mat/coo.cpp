@@ -1,0 +1,74 @@
+#include "mat/coo.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/error.hpp"
+#include "mat/csr.hpp"
+
+namespace kestrel::mat {
+
+Coo::Coo(Index m, Index n) : m_(m), n_(n) {
+  KESTREL_CHECK(m >= 0 && n >= 0, "negative matrix dimension");
+}
+
+void Coo::add(Index i, Index j, Scalar v) {
+  KESTREL_ASSERT(i >= 0 && i < m_ && j >= 0 && j < n_,
+                 "Coo::add index out of range");
+  ij_.push_back((static_cast<std::uint64_t>(static_cast<std::uint32_t>(i))
+                 << 32) |
+                static_cast<std::uint32_t>(j));
+  val_.push_back(v);
+}
+
+void Coo::add_block(Index i0, Index j0, Index rows, Index cols,
+                    const Scalar* v) {
+  for (Index r = 0; r < rows; ++r) {
+    for (Index c = 0; c < cols; ++c) {
+      add(i0 + r, j0 + c, v[r * cols + c]);
+    }
+  }
+}
+
+void Coo::clear() {
+  ij_.clear();
+  val_.clear();
+}
+
+Csr Coo::to_csr(bool drop_zeros) const {
+  const std::size_t nt = ij_.size();
+  std::vector<std::size_t> order(nt);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return ij_[a] < ij_[b];
+  });
+
+  std::vector<Index> rowptr(static_cast<std::size_t>(m_) + 1, 0);
+  std::vector<Index> colidx;
+  std::vector<Scalar> val;
+  colidx.reserve(nt);
+  val.reserve(nt);
+
+  std::size_t k = 0;
+  while (k < nt) {
+    const std::uint64_t key = ij_[order[k]];
+    Scalar sum = 0.0;
+    while (k < nt && ij_[order[k]] == key) {
+      sum += val_[order[k]];
+      ++k;
+    }
+    if (drop_zeros && sum == 0.0) continue;
+    const Index i = static_cast<Index>(key >> 32);
+    const Index j = static_cast<Index>(key & 0xFFFFFFFFu);
+    rowptr[static_cast<std::size_t>(i) + 1]++;
+    colidx.push_back(j);
+    val.push_back(sum);
+  }
+  for (Index i = 0; i < m_; ++i) {
+    rowptr[static_cast<std::size_t>(i) + 1] +=
+        rowptr[static_cast<std::size_t>(i)];
+  }
+  return Csr(m_, n_, std::move(rowptr), std::move(colidx), std::move(val));
+}
+
+}  // namespace kestrel::mat

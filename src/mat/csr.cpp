@@ -1,0 +1,177 @@
+#include "mat/csr.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+#include "mat/coo.hpp"
+#include "simd/dispatch.hpp"
+
+namespace kestrel::mat {
+
+namespace {
+
+template <class T>
+AlignedBuffer<T> to_aligned(const std::vector<T>& v) {
+  AlignedBuffer<T> out(v.size());
+  std::copy(v.begin(), v.end(), out.begin());
+  return out;
+}
+
+}  // namespace
+
+Csr::Csr(Index m, Index n, std::vector<Index> rowptr,
+         std::vector<Index> colidx, std::vector<Scalar> val)
+    : m_(m),
+      n_(n),
+      rowptr_(to_aligned(rowptr)),
+      colidx_(to_aligned(colidx)),
+      val_(to_aligned(val)) {
+  validate();
+}
+
+void Csr::validate() const {
+  KESTREL_CHECK(m_ >= 0 && n_ >= 0, "negative dimension");
+  KESTREL_CHECK(rowptr_.size() == static_cast<std::size_t>(m_) + 1,
+                "rowptr must have m+1 entries");
+  KESTREL_CHECK(rowptr_[0] == 0, "rowptr[0] must be 0");
+  for (Index i = 0; i < m_; ++i) {
+    KESTREL_CHECK(rowptr_[i] <= rowptr_[i + 1], "rowptr must be monotone");
+    for (Index k = rowptr_[i]; k + 1 < rowptr_[i + 1]; ++k) {
+      KESTREL_CHECK(colidx_[k] < colidx_[k + 1],
+                    "column indices must be strictly increasing per row");
+    }
+    for (Index k = rowptr_[i]; k < rowptr_[i + 1]; ++k) {
+      KESTREL_CHECK(colidx_[k] >= 0 && colidx_[k] < n_,
+                    "column index out of range");
+    }
+  }
+  KESTREL_CHECK(colidx_.size() ==
+                    static_cast<std::size_t>(
+                        m_ == 0 ? 0 : rowptr_[static_cast<std::size_t>(m_)]),
+                "colidx size mismatch");
+  KESTREL_CHECK(val_.size() == colidx_.size(), "val size mismatch");
+}
+
+Csr Csr::from_coo(const Coo& coo, bool drop_zeros) {
+  return coo.to_csr(drop_zeros);
+}
+
+void Csr::spmv(const Scalar* x, Scalar* y) const {
+  auto fn = simd::lookup_as<simd::CsrSpmvFn>(simd::Op::kCsrSpmv, tier_);
+  fn(view(), x, y);
+}
+
+void Csr::get_diagonal(Vector& d) const {
+  KESTREL_CHECK(m_ == n_, "get_diagonal requires a square matrix");
+  d.resize(m_);
+  for (Index i = 0; i < m_; ++i) d[i] = at(i, i);
+}
+
+Scalar Csr::at(Index i, Index j) const {
+  KESTREL_CHECK(i >= 0 && i < m_ && j >= 0 && j < n_, "index out of range");
+  const Index* begin = colidx_.data() + rowptr_[i];
+  const Index* end = colidx_.data() + rowptr_[i + 1];
+  const Index* it = std::lower_bound(begin, end, j);
+  if (it != end && *it == j) return val_[rowptr_[i] + (it - begin)];
+  return 0.0;
+}
+
+std::size_t Csr::storage_bytes() const {
+  return rowptr_.size() * sizeof(Index) + colidx_.size() * sizeof(Index) +
+         val_.size() * sizeof(Scalar);
+}
+
+std::size_t Csr::spmv_traffic_bytes() const {
+  // Paper section 6: 12*nnz + 24*m + 8*n bytes — 12 bytes per stored
+  // element (8 value + 4 column index), 24 bytes per row (output vector
+  // write-allocate + the rowptr arrays of the diagonal and off-diagonal
+  // blocks), 8 bytes per column for the input vector.
+  return static_cast<std::size_t>(12 * nnz()) +
+         24 * static_cast<std::size_t>(m_) + 8 * static_cast<std::size_t>(n_);
+}
+
+void Csr::spmv_transpose(const Scalar* x, Scalar* y) const {
+  for (Index j = 0; j < n_; ++j) y[j] = 0.0;
+  for (Index i = 0; i < m_; ++i) {
+    const Scalar xi = x[i];
+    if (xi == 0.0) continue;
+    for (Index k = rowptr_[i]; k < rowptr_[i + 1]; ++k) {
+      y[colidx_[k]] += val_[k] * xi;
+    }
+  }
+}
+
+void Csr::copy_values_from(const Csr& other) {
+  KESTREL_CHECK(other.m_ == m_ && other.n_ == n_ && other.nnz() == nnz(),
+                "copy_values_from: shape mismatch");
+  for (Index i = 0; i < m_; ++i) {
+    KESTREL_CHECK(other.rowptr_[i + 1] == rowptr_[i + 1],
+                  "copy_values_from: pattern changed");
+  }
+  for (Index k = 0; k < static_cast<Index>(nnz()); ++k) {
+    KESTREL_CHECK(other.colidx_[k] == colidx_[k],
+                  "copy_values_from: pattern changed");
+    val_[k] = other.val_[k];
+  }
+}
+
+Csr Csr::transpose() const {
+  std::vector<Index> rowptr(static_cast<std::size_t>(n_) + 1, 0);
+  const Index total = static_cast<Index>(nnz());
+  for (Index k = 0; k < total; ++k) {
+    rowptr[static_cast<std::size_t>(colidx_[k]) + 1]++;
+  }
+  for (Index j = 0; j < n_; ++j) {
+    rowptr[static_cast<std::size_t>(j) + 1] +=
+        rowptr[static_cast<std::size_t>(j)];
+  }
+  std::vector<Index> colidx(static_cast<std::size_t>(total));
+  std::vector<Scalar> val(static_cast<std::size_t>(total));
+  std::vector<Index> next(rowptr.begin(), rowptr.end() - 1);
+  for (Index i = 0; i < m_; ++i) {
+    for (Index k = rowptr_[i]; k < rowptr_[i + 1]; ++k) {
+      const Index pos = next[static_cast<std::size_t>(colidx_[k])]++;
+      colidx[static_cast<std::size_t>(pos)] = i;
+      val[static_cast<std::size_t>(pos)] = val_[k];
+    }
+  }
+  return Csr(n_, m_, std::move(rowptr), std::move(colidx), std::move(val));
+}
+
+Csr Csr::extract(const std::vector<Index>& rows,
+                 const std::vector<Index>& cols) const {
+  KESTREL_CHECK(std::is_sorted(cols.begin(), cols.end()),
+                "extract requires sorted columns");
+  // global column -> local column map
+  std::vector<Index> colmap(static_cast<std::size_t>(n_), -1);
+  for (std::size_t j = 0; j < cols.size(); ++j) {
+    KESTREL_CHECK(cols[j] >= 0 && cols[j] < n_, "extract column range");
+    colmap[static_cast<std::size_t>(cols[j])] = static_cast<Index>(j);
+  }
+  std::vector<Index> rowptr;
+  rowptr.reserve(rows.size() + 1);
+  rowptr.push_back(0);
+  std::vector<Index> colidx;
+  std::vector<Scalar> val;
+  for (Index gi : rows) {
+    KESTREL_CHECK(gi >= 0 && gi < m_, "extract row range");
+    for (Index k = rowptr_[gi]; k < rowptr_[gi + 1]; ++k) {
+      const Index lj = colmap[static_cast<std::size_t>(colidx_[k])];
+      if (lj >= 0) {
+        colidx.push_back(lj);
+        val.push_back(val_[k]);
+      }
+    }
+    rowptr.push_back(static_cast<Index>(colidx.size()));
+  }
+  return Csr(static_cast<Index>(rows.size()), static_cast<Index>(cols.size()),
+             std::move(rowptr), std::move(colidx), std::move(val));
+}
+
+Index Csr::max_row_nnz() const {
+  Index best = 0;
+  for (Index i = 0; i < m_; ++i) best = std::max(best, row_nnz(i));
+  return best;
+}
+
+}  // namespace kestrel::mat

@@ -1,0 +1,54 @@
+#include "mat/csr_perm.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "simd/dispatch.hpp"
+
+namespace kestrel::mat {
+
+CsrPerm::CsrPerm(Csr csr) : csr_(std::move(csr)) {
+  const Index m = csr_.rows();
+  std::vector<Index> order(static_cast<std::size_t>(m));
+  std::iota(order.begin(), order.end(), Index{0});
+  // Stable sort by row length keeps ascending row order within a group,
+  // which preserves some locality in the output vector.
+  std::stable_sort(order.begin(), order.end(), [this](Index a, Index b) {
+    return csr_.row_nnz(a) < csr_.row_nnz(b);
+  });
+
+  perm_.resize(static_cast<std::size_t>(m));
+  std::copy(order.begin(), order.end(), perm_.begin());
+
+  std::vector<Index> begins;
+  std::vector<Index> rlens;
+  Index i = 0;
+  while (i < m) {
+    const Index len = csr_.row_nnz(order[static_cast<std::size_t>(i)]);
+    begins.push_back(i);
+    rlens.push_back(len);
+    while (i < m && csr_.row_nnz(order[static_cast<std::size_t>(i)]) == len) {
+      ++i;
+    }
+  }
+  begins.push_back(m);
+  ngroups_ = static_cast<Index>(rlens.size());
+  group_begin_.resize(begins.size());
+  std::copy(begins.begin(), begins.end(), group_begin_.begin());
+  group_rlen_.resize(rlens.size());
+  std::copy(rlens.begin(), rlens.end(), group_rlen_.begin());
+}
+
+void CsrPerm::spmv(const Scalar* x, Scalar* y) const {
+  auto fn =
+      simd::lookup_as<simd::CsrPermSpmvFn>(simd::Op::kCsrPermSpmv, tier_);
+  fn(view(), x, y);
+}
+
+std::size_t CsrPerm::storage_bytes() const {
+  return csr_.storage_bytes() +
+         (group_begin_.size() + perm_.size() + group_rlen_.size()) *
+             sizeof(Index);
+}
+
+}  // namespace kestrel::mat

@@ -1,0 +1,48 @@
+#pragma once
+// CSR with permutation (PETSc AIJPERM, after D'Azevedo/Fahey/Mills 2005,
+// paper section 2.4): data stays in CSR order, an extra permutation groups
+// rows of equal nonzero count, and SpMV vectorizes across rows of a group.
+
+#include <vector>
+
+#include "base/aligned.hpp"
+#include "mat/csr.hpp"
+#include "mat/kernels/views.hpp"
+#include "mat/matrix.hpp"
+
+namespace kestrel::mat {
+
+class CsrPerm final : public Matrix {
+ public:
+  explicit CsrPerm(Csr csr);
+
+  Index rows() const override { return csr_.rows(); }
+  Index cols() const override { return csr_.cols(); }
+  std::int64_t nnz() const override { return csr_.nnz(); }
+  void spmv(const Scalar* x, Scalar* y) const override;
+  using Matrix::spmv;
+  void get_diagonal(Vector& d) const override { csr_.get_diagonal(d); }
+  std::string format_name() const override { return "csrperm"; }
+  std::size_t storage_bytes() const override;
+  std::size_t spmv_traffic_bytes() const override {
+    // CSR traffic plus the permutation array read (4 bytes/row).
+    return csr_.spmv_traffic_bytes() + 4 * static_cast<std::size_t>(rows());
+  }
+
+  Index num_groups() const { return ngroups_; }
+  const Csr& csr() const { return csr_; }
+
+  CsrPermView view() const {
+    return {csr_.view(), ngroups_, group_begin_.data(), perm_.data(),
+            group_rlen_.data()};
+  }
+
+ private:
+  Csr csr_;
+  Index ngroups_ = 0;
+  AlignedBuffer<Index> group_begin_;
+  AlignedBuffer<Index> perm_;
+  AlignedBuffer<Index> group_rlen_;
+};
+
+}  // namespace kestrel::mat

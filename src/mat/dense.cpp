@@ -1,0 +1,90 @@
+#include "mat/dense.hpp"
+
+#include <cmath>
+
+#include "base/error.hpp"
+#include "mat/csr.hpp"
+
+namespace kestrel::mat {
+
+Dense Dense::from_csr(const Csr& csr) {
+  Dense d(csr.rows(), csr.cols());
+  for (Index i = 0; i < csr.rows(); ++i) {
+    const auto cols = csr.row_cols(i);
+    const auto vals = csr.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      d.at(i, cols[k]) = vals[k];
+    }
+  }
+  return d;
+}
+
+std::int64_t Dense::nnz() const {
+  std::int64_t count = 0;
+  for (Scalar v : a_) count += (v != 0.0);
+  return count;
+}
+
+void Dense::spmv(const Scalar* x, Scalar* y) const {
+  for (Index i = 0; i < m_; ++i) {
+    const Scalar* row = a_.data() + static_cast<std::size_t>(i) * n_;
+    Scalar sum = 0.0;
+    for (Index j = 0; j < n_; ++j) sum += row[j] * x[j];
+    y[i] = sum;
+  }
+}
+
+void Dense::get_diagonal(Vector& d) const {
+  KESTREL_CHECK(m_ == n_, "get_diagonal requires a square matrix");
+  d.resize(m_);
+  for (Index i = 0; i < m_; ++i) d[i] = at(i, i);
+}
+
+void Dense::lu_factor() {
+  KESTREL_CHECK(m_ == n_, "LU requires a square matrix");
+  piv_.resize(static_cast<std::size_t>(m_));
+  for (Index k = 0; k < m_; ++k) {
+    // partial pivoting
+    Index p = k;
+    Scalar best = std::abs(at(k, k));
+    for (Index i = k + 1; i < m_; ++i) {
+      const Scalar v = std::abs(at(i, k));
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    KESTREL_CHECK(best > 0.0, "LU: matrix is singular");
+    piv_[static_cast<std::size_t>(k)] = p;
+    if (p != k) {
+      for (Index j = 0; j < n_; ++j) std::swap(at(k, j), at(p, j));
+    }
+    const Scalar pivot = at(k, k);
+    for (Index i = k + 1; i < m_; ++i) {
+      const Scalar l = at(i, k) / pivot;
+      at(i, k) = l;
+      for (Index j = k + 1; j < n_; ++j) at(i, j) -= l * at(k, j);
+    }
+  }
+}
+
+void Dense::lu_solve(const Scalar* b, Scalar* x) const {
+  KESTREL_CHECK(factored(), "lu_solve requires lu_factor first");
+  if (x != b) {
+    for (Index i = 0; i < m_; ++i) x[i] = b[i];
+  }
+  // apply permutation and forward substitution (L has unit diagonal)
+  for (Index k = 0; k < m_; ++k) {
+    const Index p = piv_[static_cast<std::size_t>(k)];
+    if (p != k) std::swap(x[k], x[p]);
+    for (Index i = k + 1; i < m_; ++i) x[i] -= at(i, k) * x[k];
+  }
+  // back substitution
+  for (Index i = m_ - 1; i >= 0; --i) {
+    Scalar sum = x[i];
+    for (Index j = i + 1; j < n_; ++j) sum -= at(i, j) * x[j];
+    x[i] = sum / at(i, i);
+  }
+}
+
+}  // namespace kestrel::mat

@@ -1,0 +1,59 @@
+#pragma once
+// Row-major dense matrix: the correctness oracle for every sparse SpMV
+// kernel in the test suite, and the direct coarse-grid solver inside the
+// multigrid preconditioner (LU with partial pivoting).
+
+#include <vector>
+
+#include "base/aligned.hpp"
+#include "mat/matrix.hpp"
+
+namespace kestrel::mat {
+
+class Csr;
+
+class Dense final : public Matrix {
+ public:
+  Dense() = default;
+  Dense(Index m, Index n) : m_(m), n_(n), a_(size_of(m, n), 0.0) {}
+  static Dense from_csr(const Csr& csr);
+
+  Index rows() const override { return m_; }
+  Index cols() const override { return n_; }
+  std::int64_t nnz() const override;
+  void spmv(const Scalar* x, Scalar* y) const override;
+  using Matrix::spmv;
+  void get_diagonal(Vector& d) const override;
+  std::string format_name() const override { return "dense"; }
+  std::size_t storage_bytes() const override {
+    return a_.size() * sizeof(Scalar);
+  }
+  std::size_t spmv_traffic_bytes() const override {
+    return a_.size() * sizeof(Scalar) +
+           8 * static_cast<std::size_t>(m_ + n_);
+  }
+
+  Scalar& at(Index i, Index j) {
+    return a_[static_cast<std::size_t>(i) * n_ + j];
+  }
+  Scalar at(Index i, Index j) const {
+    return a_[static_cast<std::size_t>(i) * n_ + j];
+  }
+
+  /// Factors in place (PA = LU, partial pivoting); then solve() is usable.
+  /// Throws on (numerically) singular input.
+  void lu_factor();
+  /// Solves A x = b using the factorization. x may alias b.
+  void lu_solve(const Scalar* b, Scalar* x) const;
+  bool factored() const { return !piv_.empty(); }
+
+ private:
+  static std::size_t size_of(Index m, Index n) {
+    return static_cast<std::size_t>(m) * static_cast<std::size_t>(n);
+  }
+  Index m_ = 0, n_ = 0;
+  AlignedBuffer<Scalar> a_;
+  std::vector<Index> piv_;
+};
+
+}  // namespace kestrel::mat

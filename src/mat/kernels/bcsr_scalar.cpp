@@ -1,0 +1,58 @@
+// Scalar BCSR (BAIJ) SpMV with an unrolled fast path for the 2x2 blocks
+// that PDE systems with two degrees of freedom produce (the Gray–Scott
+// Jacobian is exactly this shape).
+
+#include "mat/kernels/registration.hpp"
+#include "mat/kernels/views.hpp"
+#include "simd/dispatch.hpp"
+
+namespace kestrel::mat::kernels {
+
+namespace {
+
+void bcsr_spmv_bs2(const BcsrView& a, const Scalar* x, Scalar* y) {
+  for (Index ib = 0; ib < a.mb; ++ib) {
+    Scalar s0 = 0.0, s1 = 0.0;
+    for (Index k = a.rowptr[ib]; k < a.rowptr[ib + 1]; ++k) {
+      const Scalar* b = a.val + static_cast<std::size_t>(k) * 4;
+      const Scalar* xc = x + a.colidx[k] * 2;
+      s0 += b[0] * xc[0] + b[1] * xc[1];
+      s1 += b[2] * xc[0] + b[3] * xc[1];
+    }
+    y[ib * 2] = s0;
+    y[ib * 2 + 1] = s1;
+  }
+}
+
+void bcsr_spmv_scalar(const BcsrView& a, const Scalar* x, Scalar* y) {
+  if (a.bs == 2) {
+    bcsr_spmv_bs2(a, x, y);
+    return;
+  }
+  const Index bs = a.bs;
+  for (Index ib = 0; ib < a.mb; ++ib) {
+    Scalar* yr = y + ib * bs;
+    for (Index r = 0; r < bs; ++r) yr[r] = 0.0;
+    for (Index k = a.rowptr[ib]; k < a.rowptr[ib + 1]; ++k) {
+      const Scalar* b =
+          a.val + static_cast<std::size_t>(k) * bs * bs;
+      const Scalar* xc = x + a.colidx[k] * bs;
+      for (Index r = 0; r < bs; ++r) {
+        Scalar sum = 0.0;
+        for (Index cidx = 0; cidx < bs; ++cidx) {
+          sum += b[r * bs + cidx] * xc[cidx];
+        }
+        yr[r] += sum;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void register_bcsr_scalar() {
+  simd::register_kernel(simd::Op::kBcsrSpmv, simd::IsaTier::kScalar,
+                        reinterpret_cast<void*>(&bcsr_spmv_scalar));
+}
+
+}  // namespace kestrel::mat::kernels

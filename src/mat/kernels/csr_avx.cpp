@@ -1,0 +1,72 @@
+// AVX (pre-AVX2) CSR SpMV: no hardware gather and no FMA, so x elements are
+// assembled with two 128-bit loads + insert, and multiply/add are issued
+// separately (paper section 5.5 — the separate mul/add chains can actually
+// pipeline better than serialized FMAs on KNL).
+
+#include <immintrin.h>
+
+#include "mat/kernels/registration.hpp"
+#include "mat/kernels/views.hpp"
+#include "simd/dispatch.hpp"
+
+namespace kestrel::mat::kernels {
+
+namespace {
+
+inline __m256d gather4_avx(const Scalar* x, const Index* idx) {
+  const __m128d lo = _mm_set_pd(x[idx[1]], x[idx[0]]);
+  const __m128d hi = _mm_set_pd(x[idx[3]], x[idx[2]]);
+  return _mm256_insertf128_pd(_mm256_castpd128_pd256(lo), hi, 1);
+}
+
+inline Scalar hsum256(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d sum2 = _mm_add_pd(lo, hi);
+  const __m128d swapped = _mm_unpackhi_pd(sum2, sum2);
+  return _mm_cvtsd_f64(_mm_add_sd(sum2, swapped));
+}
+
+inline Scalar row_dot_avx(const Scalar* val, const Index* colidx, Index len,
+                          const Scalar* x) {
+  __m256d acc = _mm256_setzero_pd();
+  Index k = 0;
+  for (; k + 4 <= len; k += 4) {
+    const __m256d vals = _mm256_loadu_pd(val + k);
+    const __m256d vx = gather4_avx(x, colidx + k);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(vals, vx));
+  }
+  Scalar sum = hsum256(acc);
+  for (; k < len; ++k) sum += val[k] * x[colidx[k]];
+  return sum;
+}
+
+void csr_spmv_avx(const CsrView& a, const Scalar* x, Scalar* y) {
+  for (Index i = 0; i < a.m; ++i) {
+    const Index begin = a.rowptr[i];
+    y[i] = row_dot_avx(a.val + begin, a.colidx + begin,
+                       a.rowptr[i + 1] - begin, x);
+  }
+}
+
+void csr_spmv_add_rows_avx(const CsrView& a, const Index* rows,
+                           const Scalar* x, Scalar* y) {
+  for (Index i = 0; i < a.m; ++i) {
+    const Index begin = a.rowptr[i];
+    y[rows[i]] += row_dot_avx(a.val + begin, a.colidx + begin,
+                              a.rowptr[i + 1] - begin, x);
+  }
+}
+
+}  // namespace
+
+void register_csr_avx() {
+  using simd::IsaTier;
+  using simd::Op;
+  simd::register_kernel(Op::kCsrSpmv, IsaTier::kAvx,
+                        reinterpret_cast<void*>(&csr_spmv_avx));
+  simd::register_kernel(Op::kCsrSpmvAddRows, IsaTier::kAvx,
+                        reinterpret_cast<void*>(&csr_spmv_add_rows_avx));
+}
+
+}  // namespace kestrel::mat::kernels

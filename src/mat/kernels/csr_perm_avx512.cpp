@@ -1,0 +1,58 @@
+// AVX-512 CSRPerm (AIJPERM) SpMV: vectorized ACROSS rows within a group of
+// equal-length rows (paper section 2.4). Values and column indices are
+// gathered with computed offsets — the non-unit-stride access pattern that
+// was effective on Cray X1 vector machines but, as Figure 8 shows, buys
+// nothing over plain CSR on KNL.
+
+#include <immintrin.h>
+
+#include "mat/kernels/registration.hpp"
+#include "mat/kernels/views.hpp"
+#include "simd/dispatch.hpp"
+
+namespace kestrel::mat::kernels {
+
+namespace {
+
+void csr_perm_spmv_avx512(const CsrPermView& a, const Scalar* x, Scalar* y) {
+  const CsrView& csr = a.csr;
+  for (Index g = 0; g < a.ngroups; ++g) {
+    const Index gb = a.group_begin[g];
+    const Index ge = a.group_begin[g + 1];
+    const Index len = a.group_rlen[g];
+    Index p = gb;
+    for (; p + 8 <= ge; p += 8) {
+      const __m256i rows =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a.perm + p));
+      // base[r] = rowptr[rows[r]]
+      __m256i off = _mm256_i32gather_epi32(csr.rowptr, rows, 4);
+      __m512d acc = _mm512_setzero_pd();
+      for (Index j = 0; j < len; ++j) {
+        const __m256i cols = _mm256_i32gather_epi32(csr.colidx, off, 4);
+        const __m512d vals = _mm512_i32gather_pd(off, csr.val, 8);
+        const __m512d vx = _mm512_i32gather_pd(cols, x, 8);
+        acc = _mm512_fmadd_pd(vals, vx, acc);
+        off = _mm256_add_epi32(off, _mm256_set1_epi32(1));
+      }
+      _mm512_i32scatter_pd(y, rows, acc, 8);
+    }
+    for (; p < ge; ++p) {  // remainder rows of the group
+      const Index row = a.perm[p];
+      const Index base = csr.rowptr[row];
+      Scalar sum = 0.0;
+      for (Index j = 0; j < len; ++j) {
+        sum += csr.val[base + j] * x[csr.colidx[base + j]];
+      }
+      y[row] = sum;
+    }
+  }
+}
+
+}  // namespace
+
+void register_csr_perm_avx512() {
+  simd::register_kernel(simd::Op::kCsrPermSpmv, simd::IsaTier::kAvx512,
+                        reinterpret_cast<void*>(&csr_perm_spmv_avx512));
+}
+
+}  // namespace kestrel::mat::kernels

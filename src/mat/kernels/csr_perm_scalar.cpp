@@ -1,0 +1,38 @@
+// Scalar CSRPerm (AIJPERM) SpMV: iterate group by group, rows within a
+// group share a row length so the j-loop over positions is uniform —
+// vector tiers vectorize ACROSS rows (paper section 2.4).
+
+#include "mat/kernels/registration.hpp"
+#include "mat/kernels/views.hpp"
+#include "simd/dispatch.hpp"
+
+namespace kestrel::mat::kernels {
+
+namespace {
+
+void csr_perm_spmv_scalar(const CsrPermView& a, const Scalar* x, Scalar* y) {
+  const CsrView& csr = a.csr;
+  for (Index g = 0; g < a.ngroups; ++g) {
+    const Index gb = a.group_begin[g];
+    const Index ge = a.group_begin[g + 1];
+    const Index len = a.group_rlen[g];
+    for (Index p = gb; p < ge; ++p) {
+      const Index row = a.perm[p];
+      const Index base = csr.rowptr[row];
+      Scalar sum = 0.0;
+      for (Index j = 0; j < len; ++j) {
+        sum += csr.val[base + j] * x[csr.colidx[base + j]];
+      }
+      y[row] = sum;
+    }
+  }
+}
+
+}  // namespace
+
+void register_csr_perm_scalar() {
+  simd::register_kernel(simd::Op::kCsrPermSpmv, simd::IsaTier::kScalar,
+                        reinterpret_cast<void*>(&csr_perm_spmv_scalar));
+}
+
+}  // namespace kestrel::mat::kernels

@@ -1,0 +1,47 @@
+// Scalar (compiler-autovectorized) CSR SpMV — the paper's "CSR baseline".
+// Built without any -m<isa> flags so it reflects the compiler's default
+// code generation, exactly like PETSc's stock MatMult_SeqAIJ.
+
+#include "mat/kernels/registration.hpp"
+#include "mat/kernels/views.hpp"
+#include "simd/dispatch.hpp"
+
+namespace kestrel::mat::kernels {
+
+namespace {
+
+void csr_spmv_scalar(const CsrView& a, const Scalar* x, Scalar* y) {
+  for (Index i = 0; i < a.m; ++i) {
+    Scalar sum = 0.0;
+    const Index end = a.rowptr[i + 1];
+    for (Index k = a.rowptr[i]; k < end; ++k) {
+      sum += a.val[k] * x[a.colidx[k]];
+    }
+    y[i] = sum;
+  }
+}
+
+void csr_spmv_add_rows_scalar(const CsrView& a, const Index* rows,
+                              const Scalar* x, Scalar* y) {
+  for (Index i = 0; i < a.m; ++i) {
+    Scalar sum = 0.0;
+    const Index end = a.rowptr[i + 1];
+    for (Index k = a.rowptr[i]; k < end; ++k) {
+      sum += a.val[k] * x[a.colidx[k]];
+    }
+    y[rows[i]] += sum;
+  }
+}
+
+}  // namespace
+
+void register_csr_scalar() {
+  using simd::IsaTier;
+  using simd::Op;
+  simd::register_kernel(Op::kCsrSpmv, IsaTier::kScalar,
+                        reinterpret_cast<void*>(&csr_spmv_scalar));
+  simd::register_kernel(Op::kCsrSpmvAddRows, IsaTier::kScalar,
+                        reinterpret_cast<void*>(&csr_spmv_add_rows_scalar));
+}
+
+}  // namespace kestrel::mat::kernels

@@ -1,0 +1,21 @@
+#pragma once
+// Explicit kernel registration entry points, one per kernel translation
+// unit. Dispatch calls these lazily (once) instead of relying on static
+// initializers, which a static-library link could silently drop.
+
+namespace kestrel::mat::kernels {
+
+void register_csr_scalar();
+void register_csr_avx();
+void register_csr_avx2();
+void register_csr_avx512();
+void register_sell_scalar();
+void register_sell_avx();
+void register_sell_avx2();
+void register_sell_avx512();
+void register_csr_perm_scalar();
+void register_csr_perm_avx512();
+void register_bcsr_scalar();
+void register_bcsr_avx2();
+
+}  // namespace kestrel::mat::kernels

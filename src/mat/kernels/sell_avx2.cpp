@@ -1,0 +1,80 @@
+// AVX2 SELL SpMV: Algorithm 2 at 256-bit width. Each slice column of C
+// elements is processed as C/4 vectors of 4 doubles using hardware gather
+// and FMA.
+
+#include <immintrin.h>
+
+#include "mat/kernels/registration.hpp"
+#include "mat/kernels/views.hpp"
+#include "simd/dispatch.hpp"
+
+namespace kestrel::mat::kernels {
+
+namespace {
+
+template <bool Add>
+inline void store4(Scalar* y, Index valid, __m256d acc) {
+  alignas(32) Scalar tmp[4];
+  if (valid >= 4) {
+    if constexpr (Add) {
+      _mm256_storeu_pd(y, _mm256_add_pd(_mm256_loadu_pd(y), acc));
+    } else {
+      _mm256_storeu_pd(y, acc);
+    }
+  } else if (valid > 0) {
+    _mm256_store_pd(tmp, acc);
+    for (Index lane = 0; lane < valid; ++lane) {
+      if constexpr (Add) {
+        y[lane] += tmp[lane];
+      } else {
+        y[lane] = tmp[lane];
+      }
+    }
+  }
+}
+
+template <bool Add>
+void sell_spmv_avx2_impl(const SellView& a, const Scalar* x, Scalar* y) {
+  const Index c = a.c;  // multiple of 4, enforced by caller
+  const Index nv = c / 4;
+  __m256d acc[16];  // c <= 64
+  for (Index s = 0; s < a.nslices; ++s) {
+    for (Index v = 0; v < nv; ++v) acc[v] = _mm256_setzero_pd();
+    const Index begin = a.sliceptr[s];
+    const Index end = a.sliceptr[s + 1];
+    for (Index k = begin; k < end; k += c) {
+      for (Index v = 0; v < nv; ++v) {
+        const __m256d vals = _mm256_loadu_pd(a.val + k + v * 4);
+        const __m128i idx = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(a.colidx + k + v * 4));
+        const __m256d vx = _mm256_i32gather_pd(x, idx, 8);
+        acc[v] = _mm256_fmadd_pd(vals, vx, acc[v]);
+      }
+    }
+    const Index row0 = s * c;
+    const Index nrows = (row0 + c <= a.m) ? c : (a.m - row0);
+    for (Index v = 0; v < nv && v * 4 < nrows; ++v) {
+      store4<Add>(y + row0 + v * 4, nrows - v * 4, acc[v]);
+    }
+  }
+}
+
+void sell_spmv_avx2(const SellView& a, const Scalar* x, Scalar* y) {
+  sell_spmv_avx2_impl<false>(a, x, y);
+}
+void sell_spmv_add_avx2(const SellView& a, const Scalar* x, Scalar* y) {
+  sell_spmv_avx2_impl<true>(a, x, y);
+}
+
+}  // namespace
+
+void register_sell_avx2() {
+  using simd::IsaTier;
+  using simd::Op;
+  simd::register_kernel(Op::kSellSpmv, IsaTier::kAvx2,
+                        reinterpret_cast<void*>(&sell_spmv_avx2));
+  simd::register_kernel(Op::kSellSpmvAdd, IsaTier::kAvx2,
+                        reinterpret_cast<void*>(&sell_spmv_add_avx2));
+}
+
+}  // namespace kestrel::mat::kernels

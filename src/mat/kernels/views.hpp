@@ -1,0 +1,61 @@
+#pragma once
+// POD views of matrix storage handed to the ISA-specific kernel translation
+// units. Keeping these plain (no methods that touch other library headers)
+// lets every kernel TU compile with only its own -m flags.
+
+#include "base/types.hpp"
+
+namespace kestrel::mat {
+
+/// Compressed sparse row (PETSc AIJ). rowptr has m+1 entries.
+struct CsrView {
+  Index m = 0;  ///< number of rows
+  Index n = 0;  ///< number of columns
+  const Index* rowptr = nullptr;
+  const Index* colidx = nullptr;
+  const Scalar* val = nullptr;
+};
+
+/// Sliced ELLPACK (PETSc SELL), slice height `c`. For slice s the elements
+/// live in val[sliceptr[s] .. sliceptr[s+1]) stored column-major within the
+/// slice (c values per slice-column). rlen[i] is the true nonzero count of
+/// row i (paper section 5.2); padded entries carry value 0 and a column
+/// index copied from a real in-slice entry (section 5.5).
+struct SellView {
+  Index m = 0;          ///< logical number of rows (before slice padding)
+  Index n = 0;          ///< number of columns
+  Index c = 0;          ///< slice height
+  Index nslices = 0;    ///< number of slices = ceil(m / c)
+  const Index* sliceptr = nullptr;  ///< nslices+1 entries, offsets into val
+  const Index* colidx = nullptr;
+  const Scalar* val = nullptr;
+  const Index* rlen = nullptr;
+  /// Optional ESB-style bit mask (one bit per stored element, slice-column
+  /// granularity: bit k of mask[word] corresponds to lane k). Null unless
+  /// the bit-array variant was requested (ablation of paper section 5.3).
+  const std::uint64_t* bitmask = nullptr;
+};
+
+/// CSR grouped by equal row length (PETSc AIJPERM). Rows are NOT reordered
+/// in memory; `perm` lists row ids group by group and groups of equal-length
+/// rows are vectorized across rows (paper section 2.4).
+struct CsrPermView {
+  CsrView csr;
+  Index ngroups = 0;
+  const Index* group_begin = nullptr;  ///< ngroups+1 offsets into perm
+  const Index* perm = nullptr;         ///< row ids, grouped
+  const Index* group_rlen = nullptr;   ///< common row length per group
+};
+
+/// Block CSR (PETSc BAIJ) with square bs x bs blocks stored row-major per
+/// block; brow/bcol are in block units.
+struct BcsrView {
+  Index mb = 0;  ///< number of block rows
+  Index nb = 0;  ///< number of block cols
+  Index bs = 0;  ///< block size
+  const Index* rowptr = nullptr;  ///< mb+1, in blocks
+  const Index* colidx = nullptr;  ///< block column indices
+  const Scalar* val = nullptr;    ///< bs*bs scalars per block
+};
+
+}  // namespace kestrel::mat

@@ -1,0 +1,94 @@
+#include "mat/mm_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "base/error.hpp"
+#include "mat/coo.hpp"
+
+namespace kestrel::mat {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char ch) { return std::tolower(ch); });
+  return s;
+}
+
+}  // namespace
+
+Csr read_matrix_market(std::istream& in) {
+  std::string line;
+  KESTREL_CHECK(static_cast<bool>(std::getline(in, line)),
+                "empty MatrixMarket stream");
+  std::istringstream header(line);
+  std::string banner, object, fmt, field, symmetry;
+  header >> banner >> object >> fmt >> field >> symmetry;
+  KESTREL_CHECK(banner == "%%MatrixMarket", "missing MatrixMarket banner");
+  KESTREL_CHECK(lower(object) == "matrix" && lower(fmt) == "coordinate",
+                "only coordinate matrices are supported");
+  const std::string f = lower(field);
+  KESTREL_CHECK(f == "real" || f == "integer" || f == "pattern",
+                "unsupported MatrixMarket field: " + field);
+  const std::string sym = lower(symmetry);
+  KESTREL_CHECK(sym == "general" || sym == "symmetric",
+                "unsupported MatrixMarket symmetry: " + symmetry);
+
+  // skip comments
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream dims(line);
+  long m = 0, n = 0, nz = 0;
+  dims >> m >> n >> nz;
+  KESTREL_CHECK(m > 0 && n > 0 && nz >= 0, "bad MatrixMarket dimensions");
+
+  Coo coo(static_cast<Index>(m), static_cast<Index>(n));
+  coo.reserve(static_cast<std::size_t>(nz) * (sym == "symmetric" ? 2 : 1));
+  for (long k = 0; k < nz; ++k) {
+    KESTREL_CHECK(static_cast<bool>(std::getline(in, line)),
+                  "unexpected end of MatrixMarket data");
+    std::istringstream entry(line);
+    long i = 0, j = 0;
+    double v = 1.0;
+    entry >> i >> j;
+    if (f != "pattern") entry >> v;
+    KESTREL_CHECK(i >= 1 && i <= m && j >= 1 && j <= n,
+                  "MatrixMarket entry out of range");
+    coo.add(static_cast<Index>(i - 1), static_cast<Index>(j - 1), v);
+    if (sym == "symmetric" && i != j) {
+      coo.add(static_cast<Index>(j - 1), static_cast<Index>(i - 1), v);
+    }
+  }
+  return coo.to_csr();
+}
+
+Csr read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  KESTREL_CHECK(in.good(), "cannot open " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(const Csr& a, std::ostream& out) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << a.rows() << " " << a.cols() << " " << a.nnz() << "\n";
+  out.precision(17);
+  for (Index i = 0; i < a.rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      out << (i + 1) << " " << (cols[k] + 1) << " " << vals[k] << "\n";
+    }
+  }
+}
+
+void write_matrix_market_file(const Csr& a, const std::string& path) {
+  std::ofstream out(path);
+  KESTREL_CHECK(out.good(), "cannot open " + path);
+  write_matrix_market(a, out);
+}
+
+}  // namespace kestrel::mat

@@ -1,0 +1,20 @@
+#pragma once
+// Matrix Market (coordinate, real) reader/writer, so externally generated
+// matrices can be fed through the SpMV benchmarks and examples.
+
+#include <iosfwd>
+#include <string>
+
+#include "mat/csr.hpp"
+
+namespace kestrel::mat {
+
+/// Reads a "%%MatrixMarket matrix coordinate real general|symmetric" file;
+/// symmetric inputs are expanded to full storage.
+Csr read_matrix_market(std::istream& in);
+Csr read_matrix_market_file(const std::string& path);
+
+void write_matrix_market(const Csr& a, std::ostream& out);
+void write_matrix_market_file(const Csr& a, const std::string& path);
+
+}  // namespace kestrel::mat

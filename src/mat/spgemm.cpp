@@ -1,0 +1,106 @@
+#include "mat/spgemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace kestrel::mat {
+
+Csr spgemm(const Csr& a, const Csr& b) {
+  KESTREL_CHECK(a.cols() == b.rows(), "spgemm dimension mismatch");
+  const Index m = a.rows();
+  const Index n = b.cols();
+
+  std::vector<Index> rowptr(static_cast<std::size_t>(m) + 1, 0);
+  std::vector<Index> colidx;
+  std::vector<Scalar> val;
+
+  // Gustavson: dense accumulator over the output row.
+  std::vector<Scalar> acc(static_cast<std::size_t>(n), 0.0);
+  std::vector<Index> marker(static_cast<std::size_t>(n), -1);
+  std::vector<Index> row_cols;
+  for (Index i = 0; i < m; ++i) {
+    row_cols.clear();
+    const auto ac = a.row_cols(i);
+    const auto av = a.row_vals(i);
+    for (std::size_t ka = 0; ka < ac.size(); ++ka) {
+      const Index k = ac[ka];
+      const Scalar aval = av[ka];
+      const auto bc = b.row_cols(k);
+      const auto bv = b.row_vals(k);
+      for (std::size_t kb = 0; kb < bc.size(); ++kb) {
+        const Index j = bc[kb];
+        if (marker[static_cast<std::size_t>(j)] != i) {
+          marker[static_cast<std::size_t>(j)] = i;
+          acc[static_cast<std::size_t>(j)] = 0.0;
+          row_cols.push_back(j);
+        }
+        acc[static_cast<std::size_t>(j)] += aval * bv[kb];
+      }
+    }
+    std::sort(row_cols.begin(), row_cols.end());
+    for (Index j : row_cols) {
+      colidx.push_back(j);
+      val.push_back(acc[static_cast<std::size_t>(j)]);
+    }
+    rowptr[static_cast<std::size_t>(i) + 1] =
+        static_cast<Index>(colidx.size());
+  }
+  return Csr(m, n, std::move(rowptr), std::move(colidx), std::move(val));
+}
+
+Csr galerkin(const Csr& a, const Csr& p) {
+  const Csr pt = p.transpose();
+  return spgemm(spgemm(pt, a), p);
+}
+
+Csr add(Scalar alpha, const Csr& a, Scalar beta, const Csr& b) {
+  KESTREL_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+                "add dimension mismatch");
+  const Index m = a.rows();
+  std::vector<Index> rowptr(static_cast<std::size_t>(m) + 1, 0);
+  std::vector<Index> colidx;
+  std::vector<Scalar> val;
+  for (Index i = 0; i < m; ++i) {
+    const auto ac = a.row_cols(i);
+    const auto av = a.row_vals(i);
+    const auto bc = b.row_cols(i);
+    const auto bv = b.row_vals(i);
+    std::size_t ka = 0, kb = 0;
+    while (ka < ac.size() || kb < bc.size()) {
+      Index j;
+      Scalar v = 0.0;
+      if (ka < ac.size() && (kb >= bc.size() || ac[ka] <= bc[kb])) {
+        j = ac[ka];
+        v += alpha * av[ka];
+        ++ka;
+        if (kb < bc.size() && bc[kb] == j) {
+          v += beta * bv[kb];
+          ++kb;
+        }
+      } else {
+        j = bc[kb];
+        v += beta * bv[kb];
+        ++kb;
+      }
+      colidx.push_back(j);
+      val.push_back(v);
+    }
+    rowptr[static_cast<std::size_t>(i) + 1] =
+        static_cast<Index>(colidx.size());
+  }
+  return Csr(m, a.cols(), std::move(rowptr), std::move(colidx),
+             std::move(val));
+}
+
+Csr identity(Index n) {
+  std::vector<Index> rowptr(static_cast<std::size_t>(n) + 1);
+  std::vector<Index> colidx(static_cast<std::size_t>(n));
+  std::vector<Scalar> val(static_cast<std::size_t>(n), 1.0);
+  for (Index i = 0; i <= n; ++i) rowptr[static_cast<std::size_t>(i)] = i;
+  for (Index i = 0; i < n; ++i) colidx[static_cast<std::size_t>(i)] = i;
+  return Csr(n, n, std::move(rowptr), std::move(colidx), std::move(val));
+}
+
+}  // namespace kestrel::mat

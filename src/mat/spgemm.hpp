@@ -1,0 +1,22 @@
+#pragma once
+// Sparse matrix products (Gustavson's algorithm) — substrate for the
+// Galerkin coarse operators (R * A * P) used by the geometric multigrid
+// preconditioner.
+
+#include "mat/csr.hpp"
+
+namespace kestrel::mat {
+
+/// C = A * B.
+Csr spgemm(const Csr& a, const Csr& b);
+
+/// Galerkin triple product: P^T * A * P.
+Csr galerkin(const Csr& a, const Csr& p);
+
+/// C = alpha*A + beta*B (same dimensions; sparsity is the union).
+Csr add(Scalar alpha, const Csr& a, Scalar beta, const Csr& b);
+
+/// Identity matrix of order n.
+Csr identity(Index n);
+
+}  // namespace kestrel::mat

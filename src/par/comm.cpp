@@ -1,0 +1,195 @@
+#include "par/comm.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "base/error.hpp"
+
+namespace kestrel::par {
+
+namespace {
+// Internal tags for collectives; user tags must be non-negative. Collective
+// calls from the same source reuse these tags, and per-(source, tag) FIFO
+// ordering keeps successive collectives correctly matched.
+constexpr int kTagReduceUp = -1;
+constexpr int kTagReduceDown = -2;
+constexpr int kTagGatherUp = -3;
+constexpr int kTagGatherDown = -4;
+
+Scalar reduce2(Scalar a, Scalar b, Comm::ReduceOp op) {
+  switch (op) {
+    case Comm::ReduceOp::kSum:
+      return a + b;
+    case Comm::ReduceOp::kMax:
+      return std::max(a, b);
+    case Comm::ReduceOp::kMin:
+      return std::min(a, b);
+  }
+  return a;
+}
+
+}  // namespace
+
+// ---- Comm ------------------------------------------------------------
+
+void Comm::isend(int dest, int tag, const std::vector<Scalar>& data) {
+  isend(dest, tag, data.data(), data.size());
+}
+
+void Comm::isend(int dest, int tag, const Scalar* data, std::size_t count) {
+  KESTREL_CHECK(dest >= 0 && dest < size_, "isend: bad destination rank");
+  KESTREL_CHECK(tag >= 0, "isend: user tags must be non-negative");
+  fabric_->deliver(dest, rank_, tag,
+                   std::vector<Scalar>(data, data + count));
+}
+
+Request Comm::irecv(int source, int tag, std::vector<Scalar>* sink) {
+  KESTREL_CHECK(source >= 0 && source < size_, "irecv: bad source rank");
+  KESTREL_CHECK(tag >= 0, "irecv: user tags must be non-negative");
+  KESTREL_CHECK(sink != nullptr, "irecv: null sink");
+  return Request{source, tag, sink, false};
+}
+
+void Comm::wait(Request& req) {
+  KESTREL_CHECK(req.sink != nullptr && !req.done, "wait: invalid request");
+  *req.sink = fabric_->take(rank_, req.source, req.tag);
+  req.done = true;
+}
+
+std::vector<Scalar> Comm::recv(int source, int tag) {
+  KESTREL_CHECK(source >= 0 && source < size_, "recv: bad source rank");
+  return fabric_->take(rank_, source, tag);
+}
+
+Scalar Comm::allreduce(Scalar value, ReduceOp op) {
+  if (size_ == 1) return value;
+  if (rank_ == 0) {
+    Scalar acc = value;
+    for (int r = 1; r < size_; ++r) {
+      acc = reduce2(acc, fabric_->take(0, r, kTagReduceUp)[0], op);
+    }
+    for (int r = 1; r < size_; ++r) {
+      fabric_->deliver(r, 0, kTagReduceDown, {acc});
+    }
+    return acc;
+  }
+  fabric_->deliver(0, rank_, kTagReduceUp, {value});
+  return fabric_->take(rank_, 0, kTagReduceDown)[0];
+}
+
+std::int64_t Comm::allreduce(std::int64_t value, ReduceOp op) {
+  // int64 magnitudes used here (counts, sizes) are far below 2^53, so the
+  // double payload is exact.
+  return static_cast<std::int64_t>(
+      allreduce(static_cast<Scalar>(value), op));
+}
+
+std::vector<Scalar> Comm::allgatherv(const std::vector<Scalar>& local) {
+  if (size_ == 1) return local;
+  if (rank_ == 0) {
+    std::vector<Scalar> all = local;
+    std::vector<Scalar> sizes(static_cast<std::size_t>(size_), 0.0);
+    sizes[0] = static_cast<Scalar>(local.size());
+    for (int r = 1; r < size_; ++r) {
+      std::vector<Scalar> part = fabric_->take(0, r, kTagGatherUp);
+      sizes[static_cast<std::size_t>(r)] = static_cast<Scalar>(part.size());
+      all.insert(all.end(), part.begin(), part.end());
+    }
+    for (int r = 1; r < size_; ++r) {
+      fabric_->deliver(r, 0, kTagGatherDown, all);
+    }
+    return all;
+  }
+  fabric_->deliver(0, rank_, kTagGatherUp, local);
+  return fabric_->take(rank_, 0, kTagGatherDown);
+}
+
+std::vector<Index> Comm::allgatherv(const std::vector<Index>& local) {
+  std::vector<Scalar> as_scalar(local.begin(), local.end());
+  std::vector<Scalar> all = allgatherv(as_scalar);
+  std::vector<Index> out(all.size());
+  std::transform(all.begin(), all.end(), out.begin(),
+                 [](Scalar v) { return static_cast<Index>(v); });
+  return out;
+}
+
+void Comm::barrier() { (void)allreduce(Scalar{0}, ReduceOp::kSum); }
+
+// ---- Fabric ----------------------------------------------------------
+
+Fabric::Fabric(int nranks) : nranks_(nranks) {
+  mailboxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void Fabric::deliver(int dest, int source, int tag,
+                     std::vector<Scalar> payload) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queue[{source, tag}].push_back(std::move(payload));
+  }
+  box.cv.notify_all();
+}
+
+std::vector<Scalar> Fabric::take(int self, int source, int tag) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(self)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  const auto key = std::make_pair(source, tag);
+  box.cv.wait(lock, [&] {
+    if (aborted_.load(std::memory_order_relaxed)) return true;
+    auto it = box.queue.find(key);
+    return it != box.queue.end() && !it->second.empty();
+  });
+  auto it = box.queue.find(key);
+  if (it == box.queue.end() || it->second.empty()) {
+    KESTREL_FAIL("fabric aborted: a peer rank threw an exception");
+  }
+  std::vector<Scalar> payload = std::move(it->second.front());
+  it->second.pop_front();
+  return payload;
+}
+
+void Fabric::abort_all() {
+  aborted_.store(true, std::memory_order_relaxed);
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box->mu);
+    box->cv.notify_all();
+  }
+}
+
+void Fabric::run(int nranks, const std::function<void(Comm&)>& fn) {
+  KESTREL_CHECK(nranks >= 1, "need at least one rank");
+  Fabric fabric(nranks);
+  if (nranks == 1) {
+    Comm comm(&fabric, 0, 1);
+    fn(comm);
+    return;
+  }
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        Comm comm(&fabric, r, nranks);
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        int expected = -1;
+        fabric.first_failed_rank_.compare_exchange_strong(expected, r);
+        fabric.abort_all();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Rethrow the root-cause exception (the first rank that failed), not a
+  // secondary "fabric aborted" error from a rank that was merely unblocked.
+  const int first = fabric.first_failed_rank_.load();
+  if (first >= 0) std::rethrow_exception(errors[static_cast<std::size_t>(first)]);
+}
+
+}  // namespace kestrel::par

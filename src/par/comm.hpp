@@ -1,0 +1,106 @@
+#pragma once
+// In-process message-passing fabric.
+//
+// The paper's parallel SpMV runs on MPI; this machine has a single core and
+// no MPI, so Kestrel provides an MPI-shaped substrate whose ranks are
+// std::threads and whose messages travel through in-memory mailboxes. The
+// subset implemented (nonblocking send/recv + wait, allreduce, barrier,
+// gather) is exactly what the overlapped SpMV of paper section 2.2 and the
+// Krylov solvers need. Semantics follow MPI: sends are eager and
+// nonblocking, receives match on (source, tag) in posting order.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace kestrel::par {
+
+class Fabric;
+
+/// Handle for a pending nonblocking receive.
+struct Request {
+  int source = -1;
+  int tag = -1;
+  std::vector<Scalar>* sink = nullptr;
+  bool done = false;
+};
+
+/// Per-rank communicator; valid only inside Fabric::run.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+
+  /// Eager nonblocking send: data is copied into the destination mailbox
+  /// and the call returns immediately.
+  void isend(int dest, int tag, const std::vector<Scalar>& data);
+  void isend(int dest, int tag, const Scalar* data, std::size_t count);
+
+  /// Posts a receive; wait() blocks until a message from (source, tag)
+  /// arrives and fills *sink.
+  Request irecv(int source, int tag, std::vector<Scalar>* sink);
+  void wait(Request& req);
+
+  /// Blocking receive convenience.
+  std::vector<Scalar> recv(int source, int tag);
+
+  enum class ReduceOp { kSum, kMax, kMin };
+  Scalar allreduce(Scalar value, ReduceOp op = ReduceOp::kSum);
+  std::int64_t allreduce(std::int64_t value, ReduceOp op = ReduceOp::kSum);
+
+  /// Every rank contributes a vector; every rank receives the
+  /// rank-concatenated result.
+  std::vector<Scalar> allgatherv(const std::vector<Scalar>& local);
+  std::vector<Index> allgatherv(const std::vector<Index>& local);
+
+  void barrier();
+
+ private:
+  friend class Fabric;
+  Comm(Fabric* fabric, int rank, int size)
+      : fabric_(fabric), rank_(rank), size_(size) {}
+  Fabric* fabric_;
+  int rank_;
+  int size_;
+};
+
+/// Owns the mailboxes and threads. Usage:
+///   Fabric::run(4, [](Comm& comm) { ... });
+class Fabric {
+ public:
+  /// Spawns `nranks` threads executing fn(comm); rethrows the first rank
+  /// exception after all threads join.
+  static void run(int nranks, const std::function<void(Comm&)>& fn);
+
+ private:
+  friend class Comm;
+  explicit Fabric(int nranks);
+
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    // (source, tag) -> FIFO of message payloads
+    std::map<std::pair<int, int>, std::deque<std::vector<Scalar>>> queue;
+  };
+
+  void deliver(int dest, int source, int tag, std::vector<Scalar> payload);
+  std::vector<Scalar> take(int self, int source, int tag);
+  /// Wakes every blocked rank after a rank failed, so one rank's exception
+  /// cannot deadlock the rest of the fabric.
+  void abort_all();
+
+  int nranks_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::atomic<bool> aborted_{false};
+  std::atomic<int> first_failed_rank_{-1};
+};
+
+}  // namespace kestrel::par

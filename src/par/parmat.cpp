@@ -1,0 +1,260 @@
+#include "par/parmat.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+#include "simd/dispatch.hpp"
+
+namespace kestrel::par {
+
+namespace {
+constexpr int kTagGhost = 1;  ///< x-entry exchange during SpMV
+}
+
+DiagFormat parse_diag_format(const std::string& name) {
+  if (name == "csr" || name == "aij") return DiagFormat::kCsr;
+  if (name == "csrperm" || name == "aijperm") return DiagFormat::kCsrPerm;
+  if (name == "sell") return DiagFormat::kSell;
+  if (name == "bcsr" || name == "baij") return DiagFormat::kBcsr;
+  KESTREL_FAIL("unknown matrix format '" + name +
+               "' (expected csr|csrperm|sell|bcsr)");
+}
+
+const char* diag_format_name(DiagFormat fmt) {
+  switch (fmt) {
+    case DiagFormat::kCsr:
+      return "csr";
+    case DiagFormat::kCsrPerm:
+      return "csrperm";
+    case DiagFormat::kSell:
+      return "sell";
+    case DiagFormat::kBcsr:
+      return "bcsr";
+  }
+  return "?";
+}
+
+ParMatrix::ParMatrix(const mat::Csr& local_rows, LayoutPtr layout,
+                     Comm& comm, ParMatrixOptions opts)
+    : layout_(std::move(layout)), rank_(comm.rank()) {
+  KESTREL_CHECK(layout_->nranks() == comm.size(),
+                "layout rank count != communicator size");
+  const Index b = layout_->begin(rank_);
+  const Index e = layout_->end(rank_);
+  const Index m = e - b;
+  KESTREL_CHECK(local_rows.rows() == m, "local row block size mismatch");
+  KESTREL_CHECK(local_rows.cols() == layout_->global_size(),
+                "local rows must use global column indices");
+
+  // ---- Split rows into diagonal and off-diagonal parts ----------------
+  std::vector<Index> diag_rowptr{0}, diag_colidx;
+  std::vector<Scalar> diag_val;
+  std::vector<Index> off_rowptr{0}, off_gcolidx;
+  std::vector<Scalar> off_val;
+  offdiag_rows_.clear();
+  for (Index i = 0; i < m; ++i) {
+    const auto cols = local_rows.row_cols(i);
+    const auto vals = local_rows.row_vals(i);
+    bool row_has_off = false;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const Index g = cols[k];
+      if (g >= b && g < e) {
+        diag_colidx.push_back(g - b);
+        diag_val.push_back(vals[k]);
+      } else {
+        if (!row_has_off) {
+          row_has_off = true;
+          offdiag_rows_.push_back(i);
+        }
+        off_gcolidx.push_back(g);
+        off_val.push_back(vals[k]);
+      }
+    }
+    diag_rowptr.push_back(static_cast<Index>(diag_colidx.size()));
+    if (row_has_off) {
+      off_rowptr.push_back(static_cast<Index>(off_gcolidx.size()));
+    }
+  }
+
+  mat::Csr diag_csr(m, m, std::move(diag_rowptr), std::move(diag_colidx),
+                    std::move(diag_val));
+
+  // ---- Ghost column map (packed, sorted by global index) --------------
+  std::vector<Index> ghosts = off_gcolidx;
+  std::sort(ghosts.begin(), ghosts.end());
+  ghosts.erase(std::unique(ghosts.begin(), ghosts.end()), ghosts.end());
+  nghost_ = static_cast<Index>(ghosts.size());
+  std::vector<Index> off_colidx(off_gcolidx.size());
+  for (std::size_t k = 0; k < off_gcolidx.size(); ++k) {
+    const auto it =
+        std::lower_bound(ghosts.begin(), ghosts.end(), off_gcolidx[k]);
+    off_colidx[k] = static_cast<Index>(it - ghosts.begin());
+  }
+  offdiag_ =
+      mat::Csr(static_cast<Index>(offdiag_rows_.size()), nghost_,
+               std::move(off_rowptr), std::move(off_colidx),
+               std::move(off_val));
+  offdiag_.set_tier(opts.tier);
+  ghost_.resize(nghost_);
+
+  if (opts.offdiag_format == OffdiagFormat::kSell) {
+    // expand the compressed block to full local rows (empty rows are free
+    // in SELL: their slices get zero width) and store it as SELL
+    std::vector<Index> full_rowptr(static_cast<std::size_t>(m) + 1, 0);
+    for (std::size_t r = 0; r < offdiag_rows_.size(); ++r) {
+      full_rowptr[static_cast<std::size_t>(offdiag_rows_[r]) + 1] =
+          offdiag_.row_nnz(static_cast<Index>(r));
+    }
+    for (Index i = 0; i < m; ++i) {
+      full_rowptr[static_cast<std::size_t>(i) + 1] +=
+          full_rowptr[static_cast<std::size_t>(i)];
+    }
+    std::vector<Index> full_colidx(
+        static_cast<std::size_t>(offdiag_.nnz()));
+    std::vector<Scalar> full_val(static_cast<std::size_t>(offdiag_.nnz()));
+    for (std::size_t r = 0; r < offdiag_rows_.size(); ++r) {
+      const auto cols = offdiag_.row_cols(static_cast<Index>(r));
+      const auto vals = offdiag_.row_vals(static_cast<Index>(r));
+      Index dst = full_rowptr[static_cast<std::size_t>(offdiag_rows_[r])];
+      for (std::size_t k2 = 0; k2 < cols.size(); ++k2, ++dst) {
+        full_colidx[static_cast<std::size_t>(dst)] = cols[k2];
+        full_val[static_cast<std::size_t>(dst)] = vals[k2];
+      }
+    }
+    mat::Csr full(m, nghost_, std::move(full_rowptr),
+                  std::move(full_colidx), std::move(full_val));
+    offdiag_sell_ = std::make_shared<mat::Sell>(full, opts.sell);
+    offdiag_sell_->set_tier(opts.tier);
+  }
+
+  // ---- Compute format for the diagonal block --------------------------
+  switch (opts.diag_format) {
+    case DiagFormat::kCsr:
+      diag_ = std::make_shared<mat::Csr>(std::move(diag_csr));
+      break;
+    case DiagFormat::kCsrPerm:
+      diag_ = std::make_shared<mat::CsrPerm>(std::move(diag_csr));
+      break;
+    case DiagFormat::kSell:
+      diag_ = std::make_shared<mat::Sell>(diag_csr, opts.sell);
+      break;
+    case DiagFormat::kBcsr:
+      diag_ = std::make_shared<mat::Bcsr>(diag_csr, opts.block_size);
+      break;
+  }
+  diag_->set_tier(opts.tier);
+
+  // ---- Exchange communication plans (collective) ----------------------
+  // needed[r] = sorted global indices owned by rank r that I gather from.
+  std::vector<std::vector<Index>> needed(
+      static_cast<std::size_t>(comm.size()));
+  {
+    std::size_t g = 0;
+    for (int r = 0; r < comm.size(); ++r) {
+      auto& list = needed[static_cast<std::size_t>(r)];
+      while (g < ghosts.size() && ghosts[g] < layout_->end(r)) {
+        KESTREL_CHECK(r != rank_, "ghost column owned by this rank");
+        list.push_back(ghosts[g]);
+        ++g;
+      }
+    }
+    KESTREL_CHECK(g == ghosts.size(), "unassigned ghost columns");
+  }
+
+  recvs_.clear();
+  Index offset = 0;
+  for (int r = 0; r < comm.size(); ++r) {
+    const auto& list = needed[static_cast<std::size_t>(r)];
+    if (!list.empty()) {
+      recvs_.push_back(
+          {r, offset, static_cast<Index>(list.size())});
+      offset += static_cast<Index>(list.size());
+    }
+  }
+
+  // Every rank tells every other rank which entries it needs (possibly an
+  // empty list), so receives are fully deterministic.
+  for (int r = 0; r < comm.size(); ++r) {
+    if (r == rank_) continue;
+    const auto& list = needed[static_cast<std::size_t>(r)];
+    std::vector<Scalar> payload(list.begin(), list.end());
+    comm.isend(r, kTagGhost, payload);
+  }
+  sends_.clear();
+  for (int r = 0; r < comm.size(); ++r) {
+    if (r == rank_) continue;
+    const std::vector<Scalar> wanted = comm.recv(r, kTagGhost);
+    if (wanted.empty()) continue;
+    SendPlan plan;
+    plan.peer = r;
+    plan.local_indices.reserve(wanted.size());
+    for (Scalar gs : wanted) {
+      const Index g = static_cast<Index>(gs);
+      KESTREL_CHECK(g >= b && g < e, "peer requested a non-owned entry");
+      plan.local_indices.push_back(g - b);
+    }
+    sends_.push_back(std::move(plan));
+  }
+}
+
+ParMatrix ParMatrix::from_global(const mat::Csr& global, LayoutPtr layout,
+                                 Comm& comm, ParMatrixOptions opts) {
+  KESTREL_CHECK(global.rows() == global.cols(),
+                "from_global requires a square matrix");
+  KESTREL_CHECK(global.rows() == layout->global_size(),
+                "layout size mismatch");
+  const Index b = layout->begin(comm.rank());
+  const Index e = layout->end(comm.rank());
+  std::vector<Index> rows(static_cast<std::size_t>(e - b));
+  for (Index i = b; i < e; ++i) rows[static_cast<std::size_t>(i - b)] = i;
+  std::vector<Index> cols(static_cast<std::size_t>(global.cols()));
+  for (Index j = 0; j < global.cols(); ++j) {
+    cols[static_cast<std::size_t>(j)] = j;
+  }
+  return ParMatrix(global.extract(rows, cols), std::move(layout), comm,
+                   std::move(opts));
+}
+
+void ParMatrix::spmv(const ParVector& x, ParVector& y, Comm& comm) const {
+  KESTREL_CHECK(x.local_size() == local_rows(), "spmv: x layout mismatch");
+  spmv_local(x.local().data(), y.local(), comm);
+}
+
+void ParMatrix::spmv_local(const Scalar* x_local, Vector& y_local,
+                           Comm& comm) const {
+  // (1) send the locally owned entries that other ranks need (eager sends
+  // double as the posted receives on the peer side).
+  for (const SendPlan& plan : sends_) {
+    packbuf_.resize(plan.local_indices.size());
+    for (std::size_t k = 0; k < plan.local_indices.size(); ++k) {
+      packbuf_[k] = x_local[plan.local_indices[k]];
+    }
+    comm.isend(plan.peer, kTagGhost, packbuf_.data(), packbuf_.size());
+  }
+
+  // (2) diagonal block with the local x — overlaps with message delivery.
+  y_local.resize(local_rows());
+  diag_->spmv(x_local, y_local.data());
+
+  // (3) wait for ghost values.
+  for (const RecvPlan& plan : recvs_) {
+    const std::vector<Scalar> data = comm.recv(plan.peer, kTagGhost);
+    KESTREL_CHECK(static_cast<Index>(data.size()) == plan.count,
+                  "ghost message size mismatch");
+    std::copy(data.begin(), data.end(), ghost_.data() + plan.ghost_offset);
+  }
+
+  // (4) off-diagonal block accumulates into y.
+  if (offdiag_sell_) {
+    if (nghost_ > 0) {
+      offdiag_sell_->spmv_add(ghost_.data(), y_local.data());
+    }
+  } else if (!offdiag_rows_.empty()) {
+    auto fn = simd::lookup_as<simd::CsrSpmvAddRowsFn>(
+        simd::Op::kCsrSpmvAddRows, offdiag_.tier());
+    fn(offdiag_.view(), offdiag_rows_.data(), ghost_.data(),
+       y_local.data());
+  }
+}
+
+}  // namespace kestrel::par

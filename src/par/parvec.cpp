@@ -1,0 +1,77 @@
+#include "par/parvec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/error.hpp"
+
+namespace kestrel::par {
+
+Layout Layout::even(Index global_size, int nranks) {
+  KESTREL_CHECK(global_size >= 0 && nranks >= 1, "bad layout parameters");
+  std::vector<Index> offsets(static_cast<std::size_t>(nranks) + 1, 0);
+  const Index base = global_size / nranks;
+  const Index extra = global_size % nranks;
+  for (int r = 0; r < nranks; ++r) {
+    offsets[static_cast<std::size_t>(r) + 1] =
+        offsets[static_cast<std::size_t>(r)] + base + (r < extra ? 1 : 0);
+  }
+  return Layout(std::move(offsets));
+}
+
+Layout Layout::even_blocked(Index global_size, int nranks, Index bs) {
+  KESTREL_CHECK(bs >= 1, "block size must be positive");
+  KESTREL_CHECK(global_size % bs == 0,
+                "global size not divisible by block size");
+  const Layout blocks = even(global_size / bs, nranks);
+  std::vector<Index> sizes(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    sizes[static_cast<std::size_t>(r)] = blocks.local_size(r) * bs;
+  }
+  return from_sizes(sizes);
+}
+
+Layout Layout::from_sizes(const std::vector<Index>& sizes) {
+  KESTREL_CHECK(!sizes.empty(), "empty layout");
+  std::vector<Index> offsets(sizes.size() + 1, 0);
+  for (std::size_t r = 0; r < sizes.size(); ++r) {
+    KESTREL_CHECK(sizes[r] >= 0, "negative local size");
+    offsets[r + 1] = offsets[r] + sizes[r];
+  }
+  return Layout(std::move(offsets));
+}
+
+int Layout::owner(Index g) const {
+  KESTREL_CHECK(g >= 0 && g < global_size(), "owner: index out of range");
+  const auto it = std::upper_bound(offsets_.begin(), offsets_.end(), g);
+  return static_cast<int>(it - offsets_.begin()) - 1;
+}
+
+void ParVector::set_from_global(const Vector& global) {
+  KESTREL_CHECK(global.size() == global_size(),
+                "set_from_global size mismatch");
+  const Index b = own_begin();
+  for (Index i = 0; i < local_.size(); ++i) local_[i] = global[b + i];
+}
+
+Scalar ParVector::dot(const ParVector& other, Comm& comm) const {
+  KESTREL_CHECK(other.local_size() == local_size(), "dot size mismatch");
+  return comm.allreduce(local_.dot(other.local_), Comm::ReduceOp::kSum);
+}
+
+Scalar ParVector::norm2(Comm& comm) const {
+  return std::sqrt(
+      comm.allreduce(local_.dot(local_), Comm::ReduceOp::kSum));
+}
+
+Vector ParVector::gather_all(Comm& comm) const {
+  std::vector<Scalar> local(local_.begin(), local_.end());
+  std::vector<Scalar> all = comm.allgatherv(local);
+  KESTREL_CHECK(static_cast<Index>(all.size()) == global_size(),
+                "gather_all size mismatch");
+  Vector out(global_size());
+  std::copy(all.begin(), all.end(), out.begin());
+  return out;
+}
+
+}  // namespace kestrel::par

@@ -1,0 +1,101 @@
+#include "pc/bjacobi.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "base/error.hpp"
+#include "mat/csr.hpp"
+
+namespace kestrel::pc {
+
+namespace {
+
+/// In-place Gauss–Jordan inverse of a small dense row-major matrix.
+void invert_small(Scalar* a, Index n) {
+  std::vector<Scalar> aug(static_cast<std::size_t>(n) * 2 * n, 0.0);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      aug[static_cast<std::size_t>(i) * 2 * n + j] =
+          a[static_cast<std::size_t>(i) * n + j];
+    }
+    aug[static_cast<std::size_t>(i) * 2 * n + n + i] = 1.0;
+  }
+  for (Index k = 0; k < n; ++k) {
+    // partial pivot
+    Index p = k;
+    for (Index i = k + 1; i < n; ++i) {
+      if (std::abs(aug[static_cast<std::size_t>(i) * 2 * n + k]) >
+          std::abs(aug[static_cast<std::size_t>(p) * 2 * n + k])) {
+        p = i;
+      }
+    }
+    KESTREL_CHECK(aug[static_cast<std::size_t>(p) * 2 * n + k] != 0.0,
+                  "bjacobi: singular diagonal block");
+    if (p != k) {
+      for (Index j = 0; j < 2 * n; ++j) {
+        std::swap(aug[static_cast<std::size_t>(k) * 2 * n + j],
+                  aug[static_cast<std::size_t>(p) * 2 * n + j]);
+      }
+    }
+    const Scalar piv = aug[static_cast<std::size_t>(k) * 2 * n + k];
+    for (Index j = 0; j < 2 * n; ++j) {
+      aug[static_cast<std::size_t>(k) * 2 * n + j] /= piv;
+    }
+    for (Index i = 0; i < n; ++i) {
+      if (i == k) continue;
+      const Scalar f = aug[static_cast<std::size_t>(i) * 2 * n + k];
+      if (f == 0.0) continue;
+      for (Index j = 0; j < 2 * n; ++j) {
+        aug[static_cast<std::size_t>(i) * 2 * n + j] -=
+            f * aug[static_cast<std::size_t>(k) * 2 * n + j];
+      }
+    }
+  }
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      a[static_cast<std::size_t>(i) * n + j] =
+          aug[static_cast<std::size_t>(i) * 2 * n + n + j];
+    }
+  }
+}
+
+}  // namespace
+
+BlockJacobi::BlockJacobi(const mat::Csr& a, Index block_size)
+    : bs_(block_size) {
+  KESTREL_CHECK(bs_ >= 1, "bjacobi: block size must be positive");
+  KESTREL_CHECK(a.rows() == a.cols(), "bjacobi: matrix must be square");
+  KESTREL_CHECK(a.rows() % bs_ == 0,
+                "bjacobi: dimension not divisible by block size");
+  nblocks_ = a.rows() / bs_;
+  inv_blocks_.resize(static_cast<std::size_t>(nblocks_) * bs_ * bs_);
+  inv_blocks_.fill(0.0);
+  for (Index ib = 0; ib < nblocks_; ++ib) {
+    Scalar* blk =
+        inv_blocks_.data() + static_cast<std::size_t>(ib) * bs_ * bs_;
+    for (Index r = 0; r < bs_; ++r) {
+      for (Index c = 0; c < bs_; ++c) {
+        blk[r * bs_ + c] = a.at(ib * bs_ + r, ib * bs_ + c);
+      }
+    }
+    invert_small(blk, bs_);
+  }
+}
+
+void BlockJacobi::apply(const Vector& r, Vector& z) const {
+  KESTREL_CHECK(r.size() == nblocks_ * bs_, "bjacobi: size mismatch");
+  z.resize(r.size());
+  for (Index ib = 0; ib < nblocks_; ++ib) {
+    const Scalar* blk =
+        inv_blocks_.data() + static_cast<std::size_t>(ib) * bs_ * bs_;
+    for (Index i = 0; i < bs_; ++i) {
+      Scalar sum = 0.0;
+      for (Index j = 0; j < bs_; ++j) {
+        sum += blk[i * bs_ + j] * r[ib * bs_ + j];
+      }
+      z[ib * bs_ + i] = sum;
+    }
+  }
+}
+
+}  // namespace kestrel::pc

@@ -1,0 +1,86 @@
+#include "pc/ilu0.hpp"
+
+#include "base/error.hpp"
+
+namespace kestrel::pc {
+
+Ilu0::Ilu0(const mat::Csr& a) : lu_(a) {
+  KESTREL_CHECK(a.rows() == a.cols(), "ilu0: matrix must be square");
+  const Index n = lu_.rows();
+  const Index* rowptr = lu_.rowptr();
+  const Index* colidx = lu_.colidx();
+  Scalar* val = lu_.mutable_val();
+
+  diag_pos_.assign(static_cast<std::size_t>(n), -1);
+  for (Index i = 0; i < n; ++i) {
+    for (Index k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+      if (colidx[k] == i) {
+        diag_pos_[static_cast<std::size_t>(i)] = k;
+        break;
+      }
+    }
+    KESTREL_CHECK(diag_pos_[static_cast<std::size_t>(i)] >= 0,
+                  "ilu0: missing structural diagonal at row " +
+                      std::to_string(i));
+  }
+
+  // IKJ-variant incomplete Gaussian elimination restricted to the pattern.
+  // column -> position map for the current row
+  std::vector<Index> pos(static_cast<std::size_t>(n), -1);
+  for (Index i = 0; i < n; ++i) {
+    for (Index k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+      pos[static_cast<std::size_t>(colidx[k])] = k;
+    }
+    for (Index k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+      const Index j = colidx[k];
+      if (j >= i) break;  // only the strictly-lower part pivots
+      const Scalar piv = val[diag_pos_[static_cast<std::size_t>(j)]];
+      KESTREL_CHECK(piv != 0.0, "ilu0: zero pivot at row " +
+                                    std::to_string(j));
+      const Scalar lij = val[k] / piv;
+      val[k] = lij;
+      // row_i -= lij * row_j (upper part of row j, pattern-restricted)
+      for (Index kk = diag_pos_[static_cast<std::size_t>(j)] + 1;
+           kk < rowptr[j + 1]; ++kk) {
+        const Index p = pos[static_cast<std::size_t>(colidx[kk])];
+        if (p >= 0) val[p] -= lij * val[kk];
+      }
+    }
+    for (Index k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+      pos[static_cast<std::size_t>(colidx[k])] = -1;
+    }
+    KESTREL_CHECK(val[diag_pos_[static_cast<std::size_t>(i)]] != 0.0,
+                  "ilu0: zero pivot at row " + std::to_string(i));
+  }
+}
+
+void Ilu0::apply(const Vector& r, Vector& z) const {
+  const Index n = lu_.rows();
+  KESTREL_CHECK(r.size() == n, "ilu0: size mismatch");
+  z.resize(n);
+  const Index* rowptr = lu_.rowptr();
+  const Index* colidx = lu_.colidx();
+  const Scalar* val = lu_.val();
+
+  // forward solve L z = r (L unit-diagonal)
+  for (Index i = 0; i < n; ++i) {
+    Scalar sum = r[i];
+    for (Index k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+      const Index j = colidx[k];
+      if (j >= i) break;
+      sum -= val[k] * z[j];
+    }
+    z[i] = sum;
+  }
+  // backward solve U z = z
+  for (Index i = n - 1; i >= 0; --i) {
+    Scalar sum = z[i];
+    const Index dp = diag_pos_[static_cast<std::size_t>(i)];
+    for (Index k = dp + 1; k < rowptr[i + 1]; ++k) {
+      sum -= val[k] * z[colidx[k]];
+    }
+    z[i] = sum / val[dp];
+  }
+}
+
+}  // namespace kestrel::pc

@@ -1,0 +1,174 @@
+#include "pc/ilu0_level.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+
+namespace kestrel::pc {
+
+Ilu0Level::Ilu0Level(const mat::Csr& a) : lu_(a) {
+  KESTREL_CHECK(a.rows() == a.cols(), "ilu0-level: matrix must be square");
+  const Index n = lu_.rows();
+  const Index* rowptr = lu_.rowptr();
+  const Index* colidx = lu_.colidx();
+  Scalar* val = lu_.mutable_val();
+
+  diag_pos_.assign(static_cast<std::size_t>(n), -1);
+  for (Index i = 0; i < n; ++i) {
+    for (Index k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+      if (colidx[k] == i) {
+        diag_pos_[static_cast<std::size_t>(i)] = k;
+        break;
+      }
+    }
+    KESTREL_CHECK(diag_pos_[static_cast<std::size_t>(i)] >= 0,
+                  "ilu0-level: missing structural diagonal");
+  }
+
+  // same IKJ pattern-restricted elimination as pc::Ilu0
+  std::vector<Index> pos(static_cast<std::size_t>(n), -1);
+  for (Index i = 0; i < n; ++i) {
+    for (Index k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+      pos[static_cast<std::size_t>(colidx[k])] = k;
+    }
+    for (Index k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+      const Index j = colidx[k];
+      if (j >= i) break;
+      const Scalar piv = val[diag_pos_[static_cast<std::size_t>(j)]];
+      KESTREL_CHECK(piv != 0.0, "ilu0-level: zero pivot");
+      const Scalar lij = val[k] / piv;
+      val[k] = lij;
+      for (Index kk = diag_pos_[static_cast<std::size_t>(j)] + 1;
+           kk < rowptr[j + 1]; ++kk) {
+        const Index p = pos[static_cast<std::size_t>(colidx[kk])];
+        if (p >= 0) val[p] -= lij * val[kk];
+      }
+    }
+    for (Index k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+      pos[static_cast<std::size_t>(colidx[k])] = -1;
+    }
+    KESTREL_CHECK(val[diag_pos_[static_cast<std::size_t>(i)]] != 0.0,
+                  "ilu0-level: zero pivot");
+  }
+
+  build_schedules();
+}
+
+void Ilu0Level::build_schedules() {
+  const Index n = lu_.rows();
+  const Index* rowptr = lu_.rowptr();
+  const Index* colidx = lu_.colidx();
+
+  // Lower solve: level(i) = 1 + max level over strictly-lower neighbors.
+  std::vector<Index> level(static_cast<std::size_t>(n), 0);
+  Index max_level = 0;
+  for (Index i = 0; i < n; ++i) {
+    Index lvl = 0;
+    for (Index k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+      const Index j = colidx[k];
+      if (j >= i) break;
+      lvl = std::max(lvl, level[static_cast<std::size_t>(j)] + 1);
+    }
+    level[static_cast<std::size_t>(i)] = lvl;
+    max_level = std::max(max_level, lvl);
+  }
+  lower_level_ptr_.assign(static_cast<std::size_t>(max_level) + 2, 0);
+  for (Index i = 0; i < n; ++i) {
+    lower_level_ptr_[static_cast<std::size_t>(level[i]) + 1]++;
+  }
+  for (std::size_t l = 1; l < lower_level_ptr_.size(); ++l) {
+    lower_level_ptr_[l] += lower_level_ptr_[l - 1];
+  }
+  lower_rows_.resize(static_cast<std::size_t>(n));
+  {
+    std::vector<Index> next(lower_level_ptr_.begin(),
+                            lower_level_ptr_.end() - 1);
+    for (Index i = 0; i < n; ++i) {
+      lower_rows_[static_cast<std::size_t>(
+          next[static_cast<std::size_t>(level[i])]++)] = i;
+    }
+  }
+
+  // Upper solve: dependencies run the other way (row i needs j > i).
+  std::fill(level.begin(), level.end(), Index{0});
+  max_level = 0;
+  for (Index i = n - 1; i >= 0; --i) {
+    Index lvl = 0;
+    for (Index k = rowptr[i + 1] - 1; k >= rowptr[i]; --k) {
+      const Index j = colidx[k];
+      if (j <= i) break;
+      lvl = std::max(lvl, level[static_cast<std::size_t>(j)] + 1);
+    }
+    level[static_cast<std::size_t>(i)] = lvl;
+    max_level = std::max(max_level, lvl);
+  }
+  upper_level_ptr_.assign(static_cast<std::size_t>(max_level) + 2, 0);
+  for (Index i = 0; i < n; ++i) {
+    upper_level_ptr_[static_cast<std::size_t>(level[i]) + 1]++;
+  }
+  for (std::size_t l = 1; l < upper_level_ptr_.size(); ++l) {
+    upper_level_ptr_[l] += upper_level_ptr_[l - 1];
+  }
+  upper_rows_.resize(static_cast<std::size_t>(n));
+  {
+    std::vector<Index> next(upper_level_ptr_.begin(),
+                            upper_level_ptr_.end() - 1);
+    for (Index i = 0; i < n; ++i) {
+      upper_rows_[static_cast<std::size_t>(
+          next[static_cast<std::size_t>(level[i])]++)] = i;
+    }
+  }
+}
+
+std::vector<Index> Ilu0Level::lower_level(int l) const {
+  return {lower_rows_.begin() + lower_level_ptr_[static_cast<std::size_t>(l)],
+          lower_rows_.begin() +
+              lower_level_ptr_[static_cast<std::size_t>(l) + 1]};
+}
+
+std::vector<Index> Ilu0Level::upper_level(int l) const {
+  return {upper_rows_.begin() + upper_level_ptr_[static_cast<std::size_t>(l)],
+          upper_rows_.begin() +
+              upper_level_ptr_[static_cast<std::size_t>(l) + 1]};
+}
+
+void Ilu0Level::apply(const Vector& r, Vector& z) const {
+  const Index n = lu_.rows();
+  KESTREL_CHECK(r.size() == n, "ilu0-level: size mismatch");
+  z.resize(n);
+  const Index* rowptr = lu_.rowptr();
+  const Index* colidx = lu_.colidx();
+  const Scalar* val = lu_.val();
+
+  // forward: all rows of a level are independent of each other
+  for (std::size_t l = 0; l + 1 < lower_level_ptr_.size(); ++l) {
+    const Index lb = lower_level_ptr_[l];
+    const Index le = lower_level_ptr_[l + 1];
+    for (Index p = lb; p < le; ++p) {
+      const Index i = lower_rows_[static_cast<std::size_t>(p)];
+      Scalar sum = r[i];
+      for (Index k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+        const Index j = colidx[k];
+        if (j >= i) break;
+        sum -= val[k] * z[j];
+      }
+      z[i] = sum;
+    }
+  }
+  // backward
+  for (std::size_t l = 0; l + 1 < upper_level_ptr_.size(); ++l) {
+    const Index ub = upper_level_ptr_[l];
+    const Index ue = upper_level_ptr_[l + 1];
+    for (Index p = ub; p < ue; ++p) {
+      const Index i = upper_rows_[static_cast<std::size_t>(p)];
+      Scalar sum = z[i];
+      const Index dp = diag_pos_[static_cast<std::size_t>(i)];
+      for (Index k = dp + 1; k < rowptr[i + 1]; ++k) {
+        sum -= val[k] * z[colidx[k]];
+      }
+      z[i] = sum / val[dp];
+    }
+  }
+}
+
+}  // namespace kestrel::pc

@@ -1,0 +1,53 @@
+#pragma once
+// Level-scheduled ILU(0) — the paper's future-work item ("(possibly
+// incomplete) LU decomposition and triangular solves ... to make [SELL]
+// usable with more preconditioner choices", section 8).
+//
+// The factorization is the same pattern-restricted IKJ elimination as
+// pc::Ilu0; the triangular solves are reorganized by LEVEL SCHEDULING:
+// rows are grouped into levels such that every row in a level depends only
+// on rows of earlier levels, making all rows within a level independent —
+// the same across-rows parallelism that lets SELL vectorize SpMV. Rows
+// inside a level are processed in slices (height 8, the SELL slice height)
+// so a vector lane can own a row; the current implementation executes the
+// slices with scalar lanes and exposes the schedule for inspection.
+
+#include <vector>
+
+#include "mat/csr.hpp"
+#include "pc/pc.hpp"
+
+namespace kestrel::pc {
+
+class Ilu0Level final : public Pc {
+ public:
+  explicit Ilu0Level(const mat::Csr& a);
+
+  /// z = U^{-1} L^{-1} r via level-scheduled sweeps.
+  void apply(const Vector& r, Vector& z) const override;
+  std::string name() const override { return "ilu-level"; }
+
+  int num_lower_levels() const {
+    return static_cast<int>(lower_level_ptr_.size()) - 1;
+  }
+  int num_upper_levels() const {
+    return static_cast<int>(upper_level_ptr_.size()) - 1;
+  }
+  /// Rows of lower-triangular level l, in processing order.
+  std::vector<Index> lower_level(int l) const;
+  std::vector<Index> upper_level(int l) const;
+
+  const mat::Csr& factors() const { return lu_; }
+
+ private:
+  void build_schedules();
+
+  mat::Csr lu_;
+  std::vector<Index> diag_pos_;
+
+  // level schedules: rows concatenated level by level
+  std::vector<Index> lower_rows_, upper_rows_;
+  std::vector<Index> lower_level_ptr_, upper_level_ptr_;
+};
+
+}  // namespace kestrel::pc

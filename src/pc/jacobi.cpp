@@ -1,0 +1,27 @@
+#include "pc/jacobi.hpp"
+
+#include "base/error.hpp"
+#include "mat/matrix.hpp"
+
+namespace kestrel::pc {
+
+Jacobi::Jacobi(const mat::Matrix& a) : Jacobi(a, 1.0) {}
+
+Jacobi::Jacobi(const mat::Matrix& a, Scalar omega) : omega_(omega) {
+  a.get_diagonal(inv_diag_);
+  for (Index i = 0; i < inv_diag_.size(); ++i) {
+    KESTREL_CHECK(inv_diag_[i] != 0.0,
+                  "jacobi: zero diagonal entry at row " + std::to_string(i));
+    inv_diag_[i] = 1.0 / inv_diag_[i];
+  }
+}
+
+void Jacobi::apply(const Vector& r, Vector& z) const {
+  KESTREL_CHECK(r.size() == inv_diag_.size(), "jacobi: size mismatch");
+  z.resize(r.size());
+  for (Index i = 0; i < r.size(); ++i) {
+    z[i] = omega_ * inv_diag_[i] * r[i];
+  }
+}
+
+}  // namespace kestrel::pc

@@ -1,0 +1,29 @@
+#pragma once
+// Point-Jacobi preconditioner: z_i = r_i / A_ii. Works with any Matrix
+// (only needs the diagonal) and is embarrassingly parallel — the smoother
+// and coarse solver configuration used throughout the paper's experiments.
+
+#include "pc/pc.hpp"
+#include "vec/vector.hpp"
+
+namespace kestrel::mat {
+class Matrix;
+}
+
+namespace kestrel::pc {
+
+class Jacobi final : public Pc {
+ public:
+  explicit Jacobi(const mat::Matrix& a);
+  /// Damped variant: z = omega * D^{-1} r.
+  Jacobi(const mat::Matrix& a, Scalar omega);
+
+  void apply(const Vector& r, Vector& z) const override;
+  std::string name() const override { return "jacobi"; }
+
+ private:
+  Vector inv_diag_;
+  Scalar omega_ = 1.0;
+};
+
+}  // namespace kestrel::pc

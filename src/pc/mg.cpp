@@ -1,0 +1,178 @@
+#include "pc/mg.hpp"
+
+#include <cmath>
+
+#include "base/error.hpp"
+#include "base/log.hpp"
+#include "mat/spgemm.hpp"
+
+namespace kestrel::pc {
+
+Multigrid::Multigrid(const mat::Csr& fine, std::vector<mat::Csr> interps)
+    : Multigrid(fine, std::move(interps), Options()) {}
+
+Multigrid::Multigrid(const mat::Csr& fine, std::vector<mat::Csr> interps,
+                     Options opts, FormatFactory factory)
+    : opts_(opts) {
+  if (!factory) {
+    factory = [](const mat::Csr& a) {
+      return std::make_shared<const mat::Csr>(a);
+    };
+  }
+  levels_.resize(interps.size() + 1);
+
+  levels_[0].a = fine;
+  for (std::size_t l = 0; l < interps.size(); ++l) {
+    KESTREL_CHECK(interps[l].rows() == levels_[l].a.rows(),
+                  "interpolation row count must match the finer level");
+    levels_[l].interp = std::move(interps[l]);
+    levels_[l].restrict_ = levels_[l].interp.transpose();
+    levels_[l + 1].a =
+        mat::spgemm(levels_[l].restrict_,
+                    mat::spgemm(levels_[l].a, levels_[l].interp));
+  }
+
+  for (auto& level : levels_) {
+    level.op = factory(level.a);
+    level.a.get_diagonal(level.inv_diag);
+    for (Index i = 0; i < level.inv_diag.size(); ++i) {
+      KESTREL_CHECK(level.inv_diag[i] != 0.0, "mg: zero diagonal");
+      level.inv_diag[i] = 1.0 / level.inv_diag[i];
+    }
+    if (opts_.smoother == Smoother::kChebyshev) {
+      level.emax = estimate_level_emax(level);
+    }
+  }
+
+  const mat::Csr& coarse = levels_.back().a;
+  use_direct_coarse_ = coarse.rows() <= opts_.direct_coarse_limit;
+  if (use_direct_coarse_) {
+    coarse_lu_ = mat::Dense::from_csr(coarse);
+    coarse_lu_.lu_factor();
+  }
+}
+
+Scalar Multigrid::estimate_level_emax(const Level& level) const {
+  // power iteration on D^{-1} A with a fixed pseudo-random start
+  const Index n = level.a.rows();
+  Vector v(n), av(n);
+  for (Index i = 0; i < n; ++i) {
+    v[i] = 0.5 + 0.37 * ((i * 2654435761u) % 97) / 97.0;
+  }
+  Scalar lambda = 1.0;
+  for (int it = 0; it < opts_.cheby_power_iterations; ++it) {
+    const Scalar nv = v.norm2();
+    if (nv == 0.0) break;
+    v.scale(1.0 / nv);
+    level.op->spmv(v.data(), av.data());
+    for (Index i = 0; i < n; ++i) av[i] *= level.inv_diag[i];
+    lambda = v.dot(av);
+    v.copy_from(av);
+  }
+  return std::abs(lambda);
+}
+
+void Multigrid::smooth(const Level& level, const Vector& rhs, Vector& x,
+                       int sweeps) const {
+  if (opts_.smoother == Smoother::kChebyshev && level.emax > 0.0) {
+    smooth_chebyshev(level, rhs, x, sweeps);
+  } else {
+    smooth_jacobi(level, rhs, x, sweeps);
+  }
+}
+
+void Multigrid::smooth_jacobi(const Level& level, const Vector& rhs,
+                              Vector& x, int sweeps) const {
+  // damped Jacobi: x += omega * D^{-1} (rhs - A x)
+  for (int s = 0; s < sweeps; ++s) {
+    level.op->spmv(x.data(), level.tmp.data());
+    for (Index i = 0; i < x.size(); ++i) {
+      x[i] += opts_.jacobi_omega * level.inv_diag[i] *
+              (rhs[i] - level.tmp[i]);
+    }
+  }
+}
+
+void Multigrid::smooth_chebyshev(const Level& level, const Vector& rhs,
+                                 Vector& x, int sweeps) const {
+  // Chebyshev iteration on the Jacobi-preconditioned operator targeting
+  // the upper spectrum [low_fraction, safety] * emax; each "sweep" here is
+  // a fixed small number of Chebyshev steps (PETSc runs 2 by default).
+  const Scalar emin = opts_.cheby_low_fraction * level.emax;
+  const Scalar emax = opts_.cheby_safety * level.emax;
+  const Scalar theta = 0.5 * (emax + emin);
+  const Scalar delta = 0.5 * (emax - emin);
+  const int steps = 2 * sweeps;
+
+  const Index n = x.size();
+  level.p.resize(n);
+  Scalar alpha = 0.0;
+  for (int s = 0; s < steps; ++s) {
+    // z = D^{-1} (rhs - A x), reusing tmp as the residual buffer
+    level.op->spmv(x.data(), level.tmp.data());
+    for (Index i = 0; i < n; ++i) {
+      level.tmp[i] = level.inv_diag[i] * (rhs[i] - level.tmp[i]);
+    }
+    if (s == 0) {
+      level.p.copy_from(level.tmp);
+      alpha = 1.0 / theta;
+    } else {
+      Scalar beta;
+      if (s == 1) {
+        beta = 0.5 * (delta * alpha) * (delta * alpha);
+      } else {
+        beta = (delta * alpha / 2.0) * (delta * alpha / 2.0);
+      }
+      alpha = 1.0 / (theta - beta / alpha);
+      level.p.aypx(beta, level.tmp);
+    }
+    x.axpy(alpha, level.p);
+  }
+}
+
+void Multigrid::cycle(int l, const Vector& rhs, Vector& x) const {
+  const Level& level = levels_[static_cast<std::size_t>(l)];
+  const Index n = level.a.rows();
+  level.tmp.resize(n);
+
+  if (l == static_cast<int>(levels_.size()) - 1) {
+    if (use_direct_coarse_) {
+      coarse_lu_.lu_solve(rhs.data(), x.data());
+    } else {
+      x.set(0.0);
+      smooth(level, rhs, x, opts_.coarse_jacobi_sweeps);
+    }
+    return;
+  }
+
+  x.set(0.0);
+  smooth(level, rhs, x, opts_.pre_smooths);
+
+  // residual and restriction
+  level.r.resize(n);
+  level.op->spmv(x.data(), level.r.data());
+  for (Index i = 0; i < n; ++i) level.r[i] = rhs[i] - level.r[i];
+  const Index nc = level.interp.cols();
+  level.rc.resize(nc);
+  level.restrict_.spmv(level.r.data(), level.rc.data());
+
+  // coarse correction
+  level.xc.resize(nc);
+  cycle(l + 1, level.rc, level.xc);
+
+  // prolongate and correct: x += P xc
+  level.interp.spmv(level.xc.data(), level.r.data());
+  for (Index i = 0; i < n; ++i) x[i] += level.r[i];
+
+  smooth(level, rhs, x, opts_.post_smooths);
+}
+
+void Multigrid::apply(const Vector& r, Vector& z) const {
+  KESTREL_CHECK(r.size() == levels_[0].a.rows(), "mg: size mismatch");
+  static const int event = EventLog::global().event_id("PCApply(MG)");
+  ScopedEvent timer(event);
+  z.resize(r.size());
+  cycle(0, r, z);
+}
+
+}  // namespace kestrel::pc

@@ -1,0 +1,60 @@
+#include "pc/sor.hpp"
+
+#include "base/error.hpp"
+#include "mat/csr.hpp"
+
+namespace kestrel::pc {
+
+Sor::Sor(const mat::Csr& a, Scalar omega, Sweep sweep, int iterations)
+    : a_(a), omega_(omega), sweep_(sweep), iterations_(iterations) {
+  KESTREL_CHECK(a.rows() == a.cols(), "sor: matrix must be square");
+  KESTREL_CHECK(omega > 0.0 && omega < 2.0, "sor: omega must be in (0, 2)");
+  KESTREL_CHECK(iterations >= 1, "sor: iterations must be >= 1");
+  a.get_diagonal(diag_);
+  for (Index i = 0; i < diag_.size(); ++i) {
+    KESTREL_CHECK(diag_[i] != 0.0, "sor: zero diagonal");
+  }
+}
+
+// Gauss–Seidel style sweeps solving (D/omega + L) z = r (forward) or
+// (D/omega + U) z = r (backward), updating z in place.
+void Sor::forward_sweep(const Vector& r, Vector& z) const {
+  const Index n = a_.rows();
+  for (Index i = 0; i < n; ++i) {
+    Scalar sum = r[i];
+    const auto cols = a_.row_cols(i);
+    const auto vals = a_.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] != i) sum -= vals[k] * z[cols[k]];
+    }
+    z[i] = (1.0 - omega_) * z[i] + omega_ * sum / diag_[i];
+  }
+}
+
+void Sor::backward_sweep(const Vector& r, Vector& z) const {
+  for (Index i = a_.rows() - 1; i >= 0; --i) {
+    Scalar sum = r[i];
+    const auto cols = a_.row_cols(i);
+    const auto vals = a_.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] != i) sum -= vals[k] * z[cols[k]];
+    }
+    z[i] = (1.0 - omega_) * z[i] + omega_ * sum / diag_[i];
+  }
+}
+
+void Sor::apply(const Vector& r, Vector& z) const {
+  KESTREL_CHECK(r.size() == a_.rows(), "sor: size mismatch");
+  z.resize(r.size());
+  z.set(0.0);
+  for (int sweep = 0; sweep < iterations_; ++sweep) {
+    if (sweep_ == Sweep::kForward || sweep_ == Sweep::kSymmetric) {
+      forward_sweep(r, z);
+    }
+    if (sweep_ == Sweep::kBackward || sweep_ == Sweep::kSymmetric) {
+      backward_sweep(r, z);
+    }
+  }
+}
+
+}  // namespace kestrel::pc

@@ -1,0 +1,34 @@
+#pragma once
+// SOR / SSOR preconditioner over a CSR matrix. One symmetric sweep
+// (forward + backward) per apply, with relaxation factor omega.
+
+#include "pc/pc.hpp"
+
+namespace kestrel::mat {
+class Csr;
+}
+
+namespace kestrel::pc {
+
+class Sor final : public Pc {
+ public:
+  enum class Sweep { kForward, kBackward, kSymmetric };
+
+  explicit Sor(const mat::Csr& a, Scalar omega = 1.0,
+               Sweep sweep = Sweep::kSymmetric, int iterations = 1);
+
+  void apply(const Vector& r, Vector& z) const override;
+  std::string name() const override { return "sor"; }
+
+ private:
+  void forward_sweep(const Vector& r, Vector& z) const;
+  void backward_sweep(const Vector& r, Vector& z) const;
+
+  const mat::Csr& a_;
+  Scalar omega_;
+  Sweep sweep_;
+  int iterations_;
+  Vector diag_;
+};
+
+}  // namespace kestrel::pc

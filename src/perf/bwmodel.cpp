@@ -1,0 +1,58 @@
+#include "perf/bwmodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/error.hpp"
+
+namespace kestrel::perf {
+
+double modeled_bandwidth(const MachineProfile& machine, MemoryMode mode,
+                         int procs, bool vectorized) {
+  KESTREL_CHECK(procs >= 1, "bandwidth model needs at least one process");
+  double peak = 0.0;
+  double sat = machine.bw_saturation_procs;
+  double novec_fraction = 1.0;
+  switch (mode) {
+    case MemoryMode::kFlatMcdram:
+      peak = machine.has_mcdram() ? machine.hbm_peak_gbs
+                                  : machine.dram_peak_gbs;
+      novec_fraction = machine.novec_bw_fraction_flat;
+      break;
+    case MemoryMode::kCache:
+      // MCDRAM as a direct-mapped cache loses a little to conflict misses
+      // and saturates earlier (Figure 4: ~40 procs vs 58).
+      peak = machine.has_mcdram() ? 0.72 * machine.hbm_peak_gbs
+                                  : machine.dram_peak_gbs;
+      sat = machine.has_mcdram() ? 0.7 * sat : sat;
+      novec_fraction = machine.novec_bw_fraction_cache;
+      break;
+    case MemoryMode::kFlatDram:
+      peak = machine.dram_peak_gbs;
+      // DRAM saturates with far fewer processes than MCDRAM
+      sat = machine.has_mcdram() ? 0.25 * sat : sat;
+      novec_fraction =
+          std::max(machine.novec_bw_fraction_cache, 0.9);
+      break;
+  }
+  if (!vectorized) peak *= novec_fraction;
+  // saturating rise; "sat" procs reach ~95% of the plateau
+  const double k = 3.0 / sat;
+  return peak * (1.0 - std::exp(-k * procs));
+}
+
+std::vector<StreamPoint> modeled_stream_sweep(const MachineProfile& machine,
+                                              const std::vector<int>& procs) {
+  std::vector<StreamPoint> out;
+  out.reserve(procs.size());
+  for (int p : procs) {
+    out.push_back(
+        {p, modeled_bandwidth(machine, MemoryMode::kFlatMcdram, p, true),
+         modeled_bandwidth(machine, MemoryMode::kFlatMcdram, p, false),
+         modeled_bandwidth(machine, MemoryMode::kCache, p, true),
+         modeled_bandwidth(machine, MemoryMode::kCache, p, false)});
+  }
+  return out;
+}
+
+}  // namespace kestrel::perf

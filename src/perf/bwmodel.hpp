@@ -1,0 +1,29 @@
+#pragma once
+// Saturating memory-bandwidth model calibrated to the paper's Figure 4
+// (STREAM on a 68-core KNL 7250): bandwidth rises with process count and
+// saturates near `bw_saturation_procs`; without vector loads, flat-mode
+// MCDRAM bandwidth is drastically lower while cache mode barely cares.
+
+#include "perf/machine.hpp"
+
+namespace kestrel::perf {
+
+/// Achieved bandwidth (GB/s) for `procs` MPI ranks on `machine` under
+/// `mode`, with (`vectorized`) or without vector loads/stores.
+double modeled_bandwidth(const MachineProfile& machine, MemoryMode mode,
+                         int procs, bool vectorized);
+
+/// One row of a STREAM sweep (Figure 4 series).
+struct StreamPoint {
+  int procs;
+  double flat_avx512;
+  double flat_novec;
+  double cache_avx512;
+  double cache_novec;
+};
+
+/// Regenerates Figure 4's four series over the given process counts.
+std::vector<StreamPoint> modeled_stream_sweep(const MachineProfile& machine,
+                                              const std::vector<int>& procs);
+
+}  // namespace kestrel::perf

@@ -1,0 +1,56 @@
+#include "perf/roofline.hpp"
+
+#include <algorithm>
+
+namespace kestrel::perf {
+
+RooflineCeilings knl_ceilings_fig9() {
+  // Values printed on the paper's Figure 9 (Empirical Roofline Tool on
+  // Theta): 1018.4 Gflop/s max, L1 4593.3 GB/s, L2 1823.0 GB/s,
+  // MCDRAM 419.7 GB/s.
+  return {1018.4, 4593.3, 1823.0, 419.7};
+}
+
+double arithmetic_intensity(ModelFormat fmt, const SpmvWorkload& workload) {
+  return 2.0 * static_cast<double>(workload.nnz) /
+         static_cast<double>(workload.traffic_bytes(fmt));
+}
+
+double roofline_limit(const RooflineCeilings& c, double ai) {
+  return std::min(c.peak_gflops, c.mem_gbs * ai);
+}
+
+std::vector<RooflinePoint> modeled_roofline_points(Index grid_n) {
+  const SpmvWorkload w = SpmvWorkload::gray_scott(grid_n);
+  const MachineProfile knl = knl7230();
+  const MemoryMode mode = MemoryMode::kFlatMcdram;
+  const int procs = knl.cores;
+  using simd::IsaTier;
+
+  struct Variant {
+    const char* label;
+    ModelFormat fmt;
+    IsaTier tier;
+  };
+  const Variant variants[] = {
+      {"SELL using AVX512", ModelFormat::kSell, IsaTier::kAvx512},
+      {"SELL using AVX2", ModelFormat::kSell, IsaTier::kAvx2},
+      {"SELL using AVX", ModelFormat::kSell, IsaTier::kAvx},
+      {"CSR using AVX512", ModelFormat::kCsr, IsaTier::kAvx512},
+      {"CSR using AVX2", ModelFormat::kCsr, IsaTier::kAvx2},
+      {"CSR using AVX", ModelFormat::kCsr, IsaTier::kAvx},
+      {"CSRPerm", ModelFormat::kCsrPerm, IsaTier::kAvx512},
+      {"CSR baseline", ModelFormat::kCsrBaseline, IsaTier::kScalar},
+      {"MKL CSR", ModelFormat::kMklCsr, IsaTier::kScalar},
+  };
+  std::vector<RooflinePoint> points;
+  points.reserve(std::size(variants));
+  for (const Variant& v : variants) {
+    points.push_back({v.label, arithmetic_intensity(v.fmt, w),
+                      modeled_spmv_gflops(knl, mode, procs, v.fmt, v.tier,
+                                          w)});
+  }
+  return points;
+}
+
+}  // namespace kestrel::perf

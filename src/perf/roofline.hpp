@@ -1,0 +1,45 @@
+#pragma once
+// Roofline analysis (paper Figure 9): bandwidth ceilings, peak flop rate,
+// and the arithmetic intensity of the SpMV kernels under the section 6
+// traffic model (AI ~= 0.132 flop/byte for the Gray–Scott matrix).
+
+#include <string>
+#include <vector>
+
+#include "perf/spmv_model.hpp"
+
+namespace kestrel::perf {
+
+struct RooflineCeilings {
+  double peak_gflops;
+  double l1_gbs;
+  double l2_gbs;
+  double mem_gbs;  ///< MCDRAM (KNL) or DRAM
+};
+
+/// The ceilings LBNL's Empirical Roofline Tool measured on Theta, as
+/// printed in Figure 9.
+RooflineCeilings knl_ceilings_fig9();
+
+/// Flops per byte of one SpMV under the minimum-traffic model.
+double arithmetic_intensity(ModelFormat fmt, const SpmvWorkload& workload);
+
+/// Attainable Gflop/s at a given AI under a ceiling pair.
+double roofline_limit(const RooflineCeilings& c, double ai);
+
+/// Peak double-precision FMA throughput of the host, measured with an
+/// AVX-512 register-resident kernel (defined in a TU compiled with
+/// AVX-512 flags). Returns Gflop/s.
+double measured_peak_gflops(int milliseconds_budget = 200);
+
+struct RooflinePoint {
+  std::string label;
+  double ai;
+  double gflops;
+};
+
+/// Modeled Figure 9: all nine kernel variants of Figure 8 at 64 ranks on
+/// the KNL profile, flat MCDRAM mode.
+std::vector<RooflinePoint> modeled_roofline_points(Index grid_n = 2048);
+
+}  // namespace kestrel::perf

@@ -1,0 +1,81 @@
+#pragma once
+// Analytic SpMV performance model.
+//
+// Each kernel variant is characterized by two KNL-core constants — cycles
+// per stored element and cycles per row (loop/reduction/remainder
+// overhead) — calibrated against the paper's Figure 8 (kernel ranking and
+// speedups on KNL at 64 ranks). Execution time is the smooth maximum of
+//   t_mem = traffic_bytes / BW(procs, mode)   (section 6 traffic model)
+//   t_cpu = cycles / (procs * freq)
+// which reproduces the paper's qualitative findings: on KNL with MCDRAM the
+// kernels are on the cusp of compute-bound so vectorization pays 2x; on
+// DRAM or standard Xeons t_mem dominates and format barely matters
+// (Figures 10 and 11).
+
+#include <cstdint>
+
+#include "perf/bwmodel.hpp"
+
+namespace kestrel::perf {
+
+enum class ModelFormat {
+  kCsrBaseline,  ///< compiler-autovectorized CSR (PETSc default AIJ)
+  kMklCsr,       ///< Intel MKL's CSR SpMV (10-20% behind the baseline)
+  kCsrPerm,      ///< AIJPERM
+  kCsr,          ///< hand-vectorized CSR (Algorithm 1), tier applies
+  kSell,         ///< sliced ELLPACK (Algorithm 2), tier applies
+};
+
+const char* model_format_name(ModelFormat fmt);
+
+/// Per-process (or global — the model is linear) SpMV workload.
+struct SpmvWorkload {
+  std::int64_t rows = 0;
+  std::int64_t nnz = 0;
+  std::int64_t stored = 0;  ///< incl. SELL padding; == nnz for CSR
+
+  /// The paper's Gray–Scott matrix on an n x n grid: 2 dof per node,
+  /// exactly 10 stored elements per row, negligible SELL padding.
+  static SpmvWorkload gray_scott(Index n);
+  /// Workload divided over `parts` equal pieces.
+  SpmvWorkload split(int parts) const;
+
+  /// Section 6 minimum-traffic byte counts.
+  std::size_t traffic_bytes(ModelFormat fmt) const;
+};
+
+struct KernelCost {
+  double cycles_per_element;
+  double cycles_per_row;
+};
+
+/// Calibrated KNL-core costs (see implementation for the calibration
+/// table and its provenance). `tier` is ignored for the baseline/MKL/perm
+/// formats except that perm only has scalar and AVX-512 variants.
+KernelCost kernel_cost(ModelFormat fmt, simd::IsaTier tier);
+
+/// Modeled wall seconds of ONE SpMV over `workload` using `procs` ranks.
+double modeled_spmv_seconds(const MachineProfile& machine, MemoryMode mode,
+                            int procs, ModelFormat fmt, simd::IsaTier tier,
+                            const SpmvWorkload& workload);
+
+/// Convenience: flop rate 2*nnz / t in Gflop/s.
+double modeled_spmv_gflops(const MachineProfile& machine, MemoryMode mode,
+                           int procs, ModelFormat fmt, simd::IsaTier tier,
+                           const SpmvWorkload& workload);
+
+/// Figure 10 model: the full Gray–Scott run (5 time steps, 6-level
+/// multigrid-preconditioned GMRES, Jacobi smoothing) on `nodes` KNL nodes
+/// with 64 ranks per node over a 16384^2 grid.
+struct MultinodeEstimate {
+  double total_seconds;
+  double matmult_seconds;  ///< the hatched "MatMult kernel" share
+};
+
+MultinodeEstimate modeled_multinode(const MachineProfile& machine,
+                                    MemoryMode mode, int nodes,
+                                    ModelFormat fmt, simd::IsaTier tier,
+                                    Index grid_n = 16384, int time_steps = 5,
+                                    int mg_levels = 6);
+
+}  // namespace kestrel::perf

@@ -1,0 +1,57 @@
+#include "perf/stream.hpp"
+
+#include <algorithm>
+
+#include "base/aligned.hpp"
+#include "base/log.hpp"
+
+namespace kestrel::perf {
+
+namespace {
+
+// prevent the optimizer from discarding the kernels
+void clobber(const double* p) { asm volatile("" : : "g"(p) : "memory"); }
+
+}  // namespace
+
+StreamResult run_stream(std::size_t n, int repetitions) {
+  AlignedBuffer<double> a(n), b(n), c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = 1.0;
+    b[i] = 2.0;
+    c[i] = 0.0;
+  }
+  const double scalar = 3.0;
+  const double bytes2 = 2.0 * sizeof(double) * static_cast<double>(n);
+  const double bytes3 = 3.0 * sizeof(double) * static_cast<double>(n);
+
+  StreamResult best{0.0, 0.0, 0.0, 0.0};
+  for (int rep = 0; rep < repetitions; ++rep) {
+    double t0 = wall_time();
+    for (std::size_t i = 0; i < n; ++i) c[i] = a[i];
+    clobber(c.data());
+    double t1 = wall_time();
+    best.copy_gbs = std::max(best.copy_gbs, bytes2 / (t1 - t0) / 1e9);
+
+    t0 = wall_time();
+    for (std::size_t i = 0; i < n; ++i) b[i] = scalar * c[i];
+    clobber(b.data());
+    t1 = wall_time();
+    best.scale_gbs = std::max(best.scale_gbs, bytes2 / (t1 - t0) / 1e9);
+
+    t0 = wall_time();
+    for (std::size_t i = 0; i < n; ++i) c[i] = a[i] + b[i];
+    clobber(c.data());
+    t1 = wall_time();
+    best.add_gbs = std::max(best.add_gbs, bytes3 / (t1 - t0) / 1e9);
+
+    t0 = wall_time();
+    for (std::size_t i = 0; i < n; ++i) a[i] = b[i] + scalar * c[i];
+    clobber(a.data());
+    t1 = wall_time();
+    best.triad_gbs = std::max(best.triad_gbs, bytes3 / (t1 - t0) / 1e9);
+  }
+  return best;
+}
+
+}  // namespace kestrel::perf

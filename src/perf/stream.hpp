@@ -1,0 +1,22 @@
+#pragma once
+// Measured STREAM benchmark (McCalpin's four kernels) for the host machine
+// — the locally measured counterpart of the paper's Figure 4. On the
+// paper's KNL the interesting axis is MPI process count; on this host the
+// bench reports single-process sustained bandwidth, and the KNL curves are
+// produced by perf::modeled_stream_sweep.
+
+#include <cstddef>
+
+namespace kestrel::perf {
+
+struct StreamResult {
+  double copy_gbs;
+  double scale_gbs;
+  double add_gbs;
+  double triad_gbs;
+};
+
+/// Runs STREAM over three arrays of `n` doubles, best of `repetitions`.
+StreamResult run_stream(std::size_t n = 1 << 24, int repetitions = 5);
+
+}  // namespace kestrel::perf

@@ -1,0 +1,103 @@
+#include "simd/dispatch.hpp"
+
+#include <array>
+#include <mutex>
+#include <string>
+
+#include "base/error.hpp"
+#include "base/options.hpp"
+#include "mat/kernels/registration.hpp"
+
+namespace kestrel::simd {
+
+namespace {
+
+void ensure_registered() {
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    using namespace kestrel::mat::kernels;
+    register_csr_scalar();
+    register_csr_avx();
+    register_csr_avx2();
+    register_csr_avx512();
+    register_sell_scalar();
+    register_sell_avx();
+    register_sell_avx2();
+    register_sell_avx512();
+    register_csr_perm_scalar();
+    register_csr_perm_avx512();
+    register_bcsr_scalar();
+    register_bcsr_avx2();
+  });
+}
+
+using Table =
+    std::array<std::array<void*, kNumTiers>, static_cast<int>(Op::kOpCount)>;
+
+Table& table() {
+  static Table t{};  // zero-initialized
+  return t;
+}
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kCsrSpmv:
+      return "csr_spmv";
+    case Op::kCsrSpmvAddRows:
+      return "csr_spmv_add_rows";
+    case Op::kSellSpmv:
+      return "sell_spmv";
+    case Op::kSellSpmvAdd:
+      return "sell_spmv_add";
+    case Op::kSellSpmvBitmask:
+      return "sell_spmv_bitmask";
+    case Op::kSellSpmvPrefetch:
+      return "sell_spmv_prefetch";
+    case Op::kCsrPermSpmv:
+      return "csr_perm_spmv";
+    case Op::kBcsrSpmv:
+      return "bcsr_spmv";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace
+
+void register_kernel(Op op, IsaTier tier, void* fn) {
+  KESTREL_CHECK(fn != nullptr, "null kernel");
+  table()[static_cast<int>(op)][static_cast<int>(tier)] = fn;
+}
+
+IsaTier resolve_tier(Op op, IsaTier want) {
+  ensure_registered();
+  int t = static_cast<int>(want);
+  // never pick a tier the CPU cannot execute
+  const int best = static_cast<int>(detect_best_tier());
+  if (t > best) t = best;
+  for (; t >= 0; --t) {
+    if (table()[static_cast<int>(op)][t] != nullptr) {
+      return static_cast<IsaTier>(t);
+    }
+  }
+  KESTREL_FAIL(std::string("no kernel registered for ") + op_name(op));
+}
+
+void* lookup(Op op, IsaTier want) {
+  const IsaTier tier = resolve_tier(op, want);
+  return table()[static_cast<int>(op)][static_cast<int>(tier)];
+}
+
+bool has_exact(Op op, IsaTier tier) {
+  ensure_registered();
+  return table()[static_cast<int>(op)][static_cast<int>(tier)] != nullptr;
+}
+
+IsaTier default_tier() {
+  const std::string forced =
+      Options::global().get_string("spmv_isa", std::string());
+  if (!forced.empty()) return parse_tier(forced);
+  return detect_best_tier();
+}
+
+}  // namespace kestrel::simd

@@ -1,0 +1,68 @@
+#pragma once
+// Kernel registry and runtime dispatch.
+//
+// Each (operation, ISA tier) pair maps to a function pointer registered by
+// the kernel translation units at static-initialization time. Lookup
+// returns the requested tier if present and supported, otherwise falls back
+// to the next lower tier (so e.g. asking for AVX-512 on an AVX2-only CPU
+// degrades gracefully, and CSRPerm — which has no AVX/AVX2 variants —
+// resolves to scalar below AVX-512).
+
+#include <cstdint>
+
+#include "mat/kernels/views.hpp"
+#include "simd/isa.hpp"
+
+namespace kestrel::simd {
+
+/// y = A*x  (CSR). Alg. 1 of the paper for vector tiers.
+using CsrSpmvFn = void (*)(const mat::CsrView&, const Scalar* x, Scalar* y);
+/// y[rows[i]] += (A*x)[i] over the compressed rows of an off-diagonal
+/// block (paper section 2.2: only nonzero rows are stored).
+using CsrSpmvAddRowsFn = void (*)(const mat::CsrView&, const Index* rows,
+                                  const Scalar* x, Scalar* y);
+/// y = A*x  (SELL). Alg. 2 of the paper for vector tiers.
+using SellSpmvFn = void (*)(const mat::SellView&, const Scalar* x, Scalar* y);
+/// y += A*x (SELL), used when SELL stores the off-diagonal block.
+using SellSpmvAddFn = void (*)(const mat::SellView&, const Scalar* x,
+                               Scalar* y);
+using CsrPermSpmvFn = void (*)(const mat::CsrPermView&, const Scalar* x,
+                               Scalar* y);
+using BcsrSpmvFn = void (*)(const mat::BcsrView&, const Scalar* x, Scalar* y);
+
+enum class Op : int {
+  kCsrSpmv = 0,
+  kCsrSpmvAddRows,
+  kSellSpmv,
+  kSellSpmvAdd,
+  kSellSpmvBitmask,   ///< ESB-style masked variant (ablation)
+  kSellSpmvPrefetch,  ///< unrolled + software-prefetch variant (ablation,
+                      ///< paper section 5.5)
+  kCsrPermSpmv,
+  kBcsrSpmv,
+  kOpCount,
+};
+
+/// Registers `fn` for (op, tier); called from kernel TUs via Registrar.
+void register_kernel(Op op, IsaTier tier, void* fn);
+
+/// Highest registered+supported tier <= `want`; throws if none exists.
+IsaTier resolve_tier(Op op, IsaTier want);
+
+/// Raw pointer for (op, tier) with fallback as described above.
+void* lookup(Op op, IsaTier want);
+
+template <class Fn>
+Fn lookup_as(Op op, IsaTier want) {
+  return reinterpret_cast<Fn>(lookup(op, want));
+}
+
+/// True if an exact (no-fallback) kernel is registered for (op, tier).
+bool has_exact(Op op, IsaTier tier);
+
+/// Static-initialization helper used by kernel TUs.
+struct Registrar {
+  Registrar(Op op, IsaTier tier, void* fn) { register_kernel(op, tier, fn); }
+};
+
+}  // namespace kestrel::simd

@@ -1,0 +1,108 @@
+#include "simd/isa.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "base/error.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace kestrel::simd {
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+struct CpuidResult {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+};
+
+CpuidResult cpuid_count(unsigned leaf, unsigned subleaf) {
+  CpuidResult r;
+  __cpuid_count(leaf, subleaf, r.eax, r.ebx, r.ecx, r.edx);
+  return r;
+}
+
+bool os_saves_zmm() {
+  // XGETBV: check OS enabled XMM(1), YMM(2), and opmask/zmm-high (5..7)
+  const CpuidResult leaf1 = cpuid_count(1, 0);
+  const bool osxsave = (leaf1.ecx >> 27) & 1u;
+  if (!osxsave) return false;
+  unsigned lo, hi;
+  __asm__ volatile("xgetbv" : "=a"(lo), "=d"(hi) : "c"(0));
+  const unsigned need = 0xE6;  // bits 1,2,5,6,7
+  return (lo & need) == need;
+}
+
+bool os_saves_ymm() {
+  const CpuidResult leaf1 = cpuid_count(1, 0);
+  const bool osxsave = (leaf1.ecx >> 27) & 1u;
+  if (!osxsave) return false;
+  unsigned lo, hi;
+  __asm__ volatile("xgetbv" : "=a"(lo), "=d"(hi) : "c"(0));
+  const unsigned need = 0x6;  // bits 1,2
+  return (lo & need) == need;
+}
+
+IsaTier detect_impl() {
+  const CpuidResult leaf1 = cpuid_count(1, 0);
+  const bool avx = ((leaf1.ecx >> 28) & 1u) && os_saves_ymm();
+  if (!avx) return IsaTier::kScalar;
+
+  const CpuidResult leaf7 = cpuid_count(7, 0);
+  const bool avx2 = (leaf7.ebx >> 5) & 1u;
+  const bool fma = (leaf1.ecx >> 12) & 1u;
+  const bool avx512f = (leaf7.ebx >> 16) & 1u;
+  const bool avx512dq = (leaf7.ebx >> 17) & 1u;
+  const bool avx512vl = (leaf7.ebx >> 31) & 1u;
+  const bool avx512bw = (leaf7.ebx >> 30) & 1u;
+
+  if (avx512f && avx512dq && avx512vl && avx512bw && os_saves_zmm()) {
+    return IsaTier::kAvx512;
+  }
+  if (avx2 && fma) return IsaTier::kAvx2;
+  return IsaTier::kAvx;
+}
+#else
+IsaTier detect_impl() { return IsaTier::kScalar; }
+#endif
+
+}  // namespace
+
+IsaTier detect_best_tier() {
+  static const IsaTier tier = detect_impl();
+  return tier;
+}
+
+bool cpu_supports(IsaTier tier) {
+  return static_cast<int>(tier) <= static_cast<int>(detect_best_tier());
+}
+
+const char* tier_name(IsaTier tier) {
+  switch (tier) {
+    case IsaTier::kScalar:
+      return "scalar";
+    case IsaTier::kAvx:
+      return "avx";
+    case IsaTier::kAvx2:
+      return "avx2";
+    case IsaTier::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+IsaTier parse_tier(const std::string& name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "scalar" || lower == "novec") return IsaTier::kScalar;
+  if (lower == "avx") return IsaTier::kAvx;
+  if (lower == "avx2") return IsaTier::kAvx2;
+  if (lower == "avx512" || lower == "avx-512") return IsaTier::kAvx512;
+  KESTREL_FAIL("unknown ISA tier '" + name +
+               "' (expected scalar|avx|avx2|avx512)");
+}
+
+}  // namespace kestrel::simd

@@ -1,0 +1,39 @@
+#pragma once
+// Runtime ISA detection and the tier ladder the paper benchmarks:
+// scalar (compiler baseline), AVX, AVX2 (+FMA, gather), AVX-512.
+//
+// Every SpMV kernel exists once per tier, compiled in its own translation
+// unit with matching -m flags; at runtime the highest tier the CPU supports
+// is used unless the user forces one with -spmv_isa (this is how Figures 8
+// and 11 compare all tiers on a single machine).
+
+#include <string>
+
+namespace kestrel::simd {
+
+enum class IsaTier : int {
+  kScalar = 0,
+  kAvx = 1,
+  kAvx2 = 2,
+  kAvx512 = 3,
+};
+
+inline constexpr int kNumTiers = 4;
+
+/// Highest tier supported by the executing CPU (cached after first call).
+IsaTier detect_best_tier();
+
+/// True if the executing CPU can run kernels of the given tier.
+bool cpu_supports(IsaTier tier);
+
+const char* tier_name(IsaTier tier);
+
+/// Parses "scalar"/"avx"/"avx2"/"avx512" (case-insensitive); throws on
+/// unknown names.
+IsaTier parse_tier(const std::string& name);
+
+/// The tier SpMV should use by default: the -spmv_isa option if set,
+/// otherwise the best the CPU supports.
+IsaTier default_tier();
+
+}  // namespace kestrel::simd

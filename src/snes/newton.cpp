@@ -1,0 +1,135 @@
+#include "snes/newton.hpp"
+
+#include <cmath>
+
+#include "base/error.hpp"
+#include "base/log.hpp"
+#include "ksp/context.hpp"
+#include "mat/coo.hpp"
+#include "pc/jacobi.hpp"
+
+namespace kestrel::snes {
+
+NewtonResult newton_solve(const NonlinearFunction& f, Vector& u,
+                          const NewtonOptions& opts) {
+  const Index n = f.size();
+  KESTREL_CHECK(u.size() == n, "newton: initial guess size mismatch");
+
+  auto format_factory = opts.format_factory;
+  if (!format_factory) {
+    format_factory = [](const mat::Csr& a) {
+      return std::make_shared<const mat::Csr>(a);
+    };
+  }
+  auto pc_factory = opts.pc_factory;
+  if (!pc_factory) {
+    pc_factory = [](const mat::Csr& a) -> std::unique_ptr<pc::Pc> {
+      return std::make_unique<pc::Jacobi>(a);
+    };
+  }
+  auto solver = ksp::make_solver(opts.ksp_type, opts.ksp);
+
+  NewtonResult result;
+  Vector fvec(n), du(n), utrial(n), ftrial(n), rhs(n);
+
+  f.residual(u, fvec);
+  Scalar fnorm = fvec.norm2();
+  const Scalar fnorm0 = fnorm;
+  result.fnorm = fnorm;
+  if (opts.monitor) opts.monitor(0, fnorm);
+  if (fnorm <= opts.atol) {
+    result.converged = true;
+    return result;
+  }
+
+  static const int ev_jac = EventLog::global().event_id("SNESJacobianEval");
+  static const int ev_pc = EventLog::global().event_id("PCSetUp");
+  static const int ev_ksp = EventLog::global().event_id("KSPSolve");
+
+  KESTREL_CHECK(opts.pc_lag >= 1, "newton: pc_lag must be >= 1");
+  std::unique_ptr<pc::Pc> pc;
+  for (int it = 1; it <= opts.max_iterations; ++it) {
+    EventLog::global().begin(ev_jac);
+    const mat::Csr jac = f.jacobian(u);
+    const auto op = format_factory(jac);
+    EventLog::global().end(ev_jac);
+    if (!pc || (it - 1) % opts.pc_lag == 0) {
+      EventLog::global().begin(ev_pc);
+      pc = pc_factory(jac);
+      EventLog::global().end(ev_pc);
+    }
+
+    // solve J du = -F
+    rhs.copy_from(fvec);
+    rhs.scale(-1.0);
+    du.set(0.0);
+    ksp::SeqContext ctx(*op, pc.get());
+    EventLog::global().begin(ev_ksp);
+    const ksp::SolveResult lin = solver->solve(ctx, rhs, du);
+    EventLog::global().end(ev_ksp,
+                           static_cast<std::uint64_t>(lin.iterations) *
+                               2u * static_cast<std::uint64_t>(jac.nnz()));
+    result.total_linear_iterations += lin.iterations;
+    if (!lin.converged && lin.reason != ksp::Reason::kDivergedMaxIts) {
+      // hard linear failure (NaN/breakdown): stop
+      result.iterations = it;
+      return result;
+    }
+
+    // backtracking line search on ||F||
+    Scalar lambda = 1.0;
+    Scalar trial_norm = fnorm;
+    while (true) {
+      utrial.copy_from(u);
+      utrial.axpy(lambda, du);
+      f.residual(utrial, ftrial);
+      trial_norm = ftrial.norm2();
+      if (trial_norm <= (1.0 - opts.ls_alpha * lambda) * fnorm ||
+          lambda <= opts.ls_min_lambda) {
+        break;
+      }
+      lambda *= 0.5;
+    }
+
+    const Scalar dunorm = std::abs(lambda) * du.norm2();
+    u.copy_from(utrial);
+    fvec.copy_from(ftrial);
+    fnorm = trial_norm;
+    result.iterations = it;
+    result.fnorm = fnorm;
+    if (opts.monitor) opts.monitor(it, fnorm);
+
+    if (std::isnan(fnorm)) return result;
+    if (fnorm <= opts.atol || fnorm <= opts.rtol * fnorm0) {
+      result.converged = true;
+      return result;
+    }
+    const Scalar unorm = u.norm2();
+    if (dunorm <= opts.stol * std::max(unorm, Scalar{1})) {
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+mat::Csr fd_jacobian(const NonlinearFunction& f, const Vector& u,
+                     Scalar eps) {
+  const Index n = f.size();
+  Vector up(n), f0(n), f1(n);
+  f.residual(u, f0);
+  mat::Coo coo(n, n);
+  for (Index j = 0; j < n; ++j) {
+    up.copy_from(u);
+    const Scalar h = eps * std::max(std::abs(u[j]), Scalar{1});
+    up[j] += h;
+    f.residual(up, f1);
+    for (Index i = 0; i < n; ++i) {
+      const Scalar d = (f1[i] - f0[i]) / h;
+      if (d != 0.0) coo.add(i, j, d);
+    }
+  }
+  return coo.to_csr();
+}
+
+}  // namespace kestrel::snes

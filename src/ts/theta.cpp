@@ -1,0 +1,78 @@
+#include "ts/theta.hpp"
+
+#include "base/error.hpp"
+#include "mat/spgemm.hpp"
+
+namespace kestrel::ts {
+
+namespace {
+
+/// Nonlinear stage problem for one theta step.
+class ThetaStage final : public snes::NonlinearFunction {
+ public:
+  ThetaStage(const RhsFunction& f, const Vector& u_old, Scalar theta,
+             Scalar dt)
+      : f_(f), u_old_(u_old), theta_(theta), dt_(dt), fwork_(f.size()) {
+    // explicit part: u_old + dt*(1-theta)*f(u_old)
+    explicit_.resize(f.size());
+    f_.rhs(u_old_, explicit_);
+    explicit_.scale(dt_ * (1.0 - theta_));
+    explicit_.axpy(1.0, u_old_);
+  }
+
+  Index size() const override { return f_.size(); }
+
+  void residual(const Vector& u, Vector& g) const override {
+    f_.rhs(u, fwork_);
+    g.resize(size());
+    for (Index i = 0; i < size(); ++i) {
+      g[i] = u[i] - dt_ * theta_ * fwork_[i] - explicit_[i];
+    }
+  }
+
+  mat::Csr jacobian(const Vector& u) const override {
+    // G'(u) = I - dt*theta*J_f(u)
+    const mat::Csr jf = f_.rhs_jacobian(u);
+    return mat::add(1.0, mat::identity(size()), -dt_ * theta_, jf);
+  }
+
+ private:
+  const RhsFunction& f_;
+  const Vector& u_old_;
+  Scalar theta_, dt_;
+  Vector explicit_;
+  mutable Vector fwork_;
+};
+
+}  // namespace
+
+ThetaResult theta_integrate(const RhsFunction& f, Vector& u,
+                            const ThetaOptions& opts) {
+  KESTREL_CHECK(u.size() == f.size(), "theta: state size mismatch");
+  KESTREL_CHECK(opts.theta > 0.0 && opts.theta <= 1.0,
+                "theta: implicit weight must be in (0, 1]");
+  KESTREL_CHECK(opts.dt > 0.0 && opts.steps >= 0, "theta: bad step setup");
+
+  ThetaResult result;
+  Vector u_old(f.size());
+  for (int step = 1; step <= opts.steps; ++step) {
+    u_old.copy_from(u);
+    ThetaStage stage(f, u_old, opts.theta, opts.dt);
+    // warm start from the previous state
+    const snes::NewtonResult newton = snes::newton_solve(stage, u,
+                                                         opts.newton);
+    result.total_newton_iterations += newton.iterations;
+    result.total_linear_iterations += newton.total_linear_iterations;
+    if (!newton.converged) {
+      result.completed = false;
+      return result;
+    }
+    result.steps_taken = step;
+    result.final_time = step * opts.dt;
+    if (opts.monitor) opts.monitor(step, result.final_time, u);
+  }
+  result.completed = true;
+  return result;
+}
+
+}  // namespace kestrel::ts

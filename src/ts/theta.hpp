@@ -1,0 +1,48 @@
+#pragma once
+// Theta-method time integration (PETSc TS): theta = 0.5 is the
+// Crank–Nicolson scheme the paper uses with a fixed step size of 1
+// (section 7). Each step solves the nonlinear system
+//   G(u^{n+1}) = u^{n+1} - u^n - dt [ theta f(u^{n+1}) + (1-theta) f(u^n) ]
+// with Newton, whose Jacobian is I - dt*theta*J_f — rebuilt every Newton
+// iteration because the Gray–Scott reaction couples the fields
+// nonlinearly.
+
+#include <functional>
+
+#include "mat/csr.hpp"
+#include "snes/newton.hpp"
+#include "vec/vector.hpp"
+
+namespace kestrel::ts {
+
+/// Autonomous ODE system du/dt = f(u) with an analytic Jacobian J_f.
+class RhsFunction {
+ public:
+  virtual ~RhsFunction() = default;
+  virtual Index size() const = 0;
+  virtual void rhs(const Vector& u, Vector& f) const = 0;
+  virtual mat::Csr rhs_jacobian(const Vector& u) const = 0;
+};
+
+struct ThetaOptions {
+  Scalar theta = 0.5;  ///< 0.5 = Crank–Nicolson, 1.0 = backward Euler
+  Scalar dt = 1.0;
+  int steps = 20;      ///< the paper's single-node run: 20 steps
+  snes::NewtonOptions newton;
+  /// Called after each completed step with (step, t, u).
+  std::function<void(int, Scalar, const Vector&)> monitor;
+};
+
+struct ThetaResult {
+  bool completed = false;
+  int steps_taken = 0;
+  Scalar final_time = 0.0;
+  int total_newton_iterations = 0;
+  int total_linear_iterations = 0;
+};
+
+/// Integrates u from t = 0 over opts.steps steps of size opts.dt.
+ThetaResult theta_integrate(const RhsFunction& f, Vector& u,
+                            const ThetaOptions& opts);
+
+}  // namespace kestrel::ts

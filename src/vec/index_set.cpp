@@ -1,0 +1,36 @@
+#include "vec/index_set.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+
+namespace kestrel {
+
+IndexSet::IndexSet(std::vector<Index> indices) : idx_(std::move(indices)) {
+  for (Index v : idx_) KESTREL_CHECK(v >= 0, "negative index in IndexSet");
+}
+
+IndexSet IndexSet::stride(Index first, Index n) {
+  KESTREL_CHECK(first >= 0 && n >= 0, "invalid stride IndexSet");
+  std::vector<Index> v(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) v[static_cast<std::size_t>(i)] = first + i;
+  return IndexSet(std::move(v));
+}
+
+bool IndexSet::is_sorted() const {
+  return std::is_sorted(idx_.begin(), idx_.end());
+}
+
+bool IndexSet::contains(Index v) const {
+  KESTREL_ASSERT(is_sorted(), "contains() requires a sorted IndexSet");
+  return std::binary_search(idx_.begin(), idx_.end(), v);
+}
+
+IndexSet IndexSet::sorted_unique() const {
+  std::vector<Index> v = idx_;
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return IndexSet(std::move(v));
+}
+
+}  // namespace kestrel

@@ -1,0 +1,40 @@
+#pragma once
+// IndexSet: an ordered set of indices, the vocabulary type for scatters,
+// ghost maps and submatrix extraction (PETSc's IS).
+
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace kestrel {
+
+class IndexSet {
+ public:
+  IndexSet() = default;
+  explicit IndexSet(std::vector<Index> indices);
+
+  /// Contiguous range [first, first+n).
+  static IndexSet stride(Index first, Index n);
+
+  Index size() const { return static_cast<Index>(idx_.size()); }
+  bool empty() const { return idx_.empty(); }
+  Index operator[](Index i) const {
+    return idx_[static_cast<std::size_t>(i)];
+  }
+  const Index* data() const { return idx_.data(); }
+  const std::vector<Index>& indices() const { return idx_; }
+
+  bool is_sorted() const;
+  bool contains(Index v) const;  ///< binary search; requires sorted
+
+  /// Sorted copy with duplicates removed.
+  IndexSet sorted_unique() const;
+
+  auto begin() const { return idx_.begin(); }
+  auto end() const { return idx_.end(); }
+
+ private:
+  std::vector<Index> idx_;
+};
+
+}  // namespace kestrel

@@ -1,0 +1,37 @@
+#include "vec/scatter.hpp"
+
+#include "base/error.hpp"
+
+namespace kestrel {
+
+Scatter::Scatter(IndexSet from, IndexSet to)
+    : from_(std::move(from)), to_(std::move(to)) {
+  KESTREL_CHECK(from_.size() == to_.size(),
+                "scatter from/to must have equal length");
+}
+
+void Scatter::forward(const Vector& src, Vector& dst) const {
+  for (Index i = 0; i < from_.size(); ++i) {
+    KESTREL_ASSERT(from_[i] < src.size() && to_[i] < dst.size(),
+                   "scatter index out of range");
+    dst[to_[i]] = src[from_[i]];
+  }
+}
+
+void Scatter::reverse_add(const Vector& dst, Vector& src) const {
+  for (Index i = 0; i < from_.size(); ++i) {
+    KESTREL_ASSERT(from_[i] < src.size() && to_[i] < dst.size(),
+                   "scatter index out of range");
+    src[from_[i]] += dst[to_[i]];
+  }
+}
+
+void Scatter::gather(const Scalar* src, Scalar* out) const {
+  for (Index i = 0; i < from_.size(); ++i) out[i] = src[from_[i]];
+}
+
+void Scatter::scatter_to(const Scalar* in, Scalar* dst) const {
+  for (Index i = 0; i < to_.size(); ++i) dst[to_[i]] = in[i];
+}
+
+}  // namespace kestrel

@@ -1,0 +1,37 @@
+#pragma once
+// VecScatter: precomputed gather/scatter plan between index spaces.
+// The parallel matrix layer uses it to pack the local x entries other ranks
+// need and to place received ghost values into the compact ghost buffer
+// that the off-diagonal block's column space refers to (paper section 2.2).
+
+#include "vec/index_set.hpp"
+#include "vec/vector.hpp"
+
+namespace kestrel {
+
+class Scatter {
+ public:
+  Scatter() = default;
+  /// Plan copying src[from[i]] -> dst[to[i]] for all i.
+  Scatter(IndexSet from, IndexSet to);
+
+  /// dst[to[i]] = src[from[i]]
+  void forward(const Vector& src, Vector& dst) const;
+  /// src[from[i]] += dst[to[i]] (transpose action with accumulation)
+  void reverse_add(const Vector& dst, Vector& src) const;
+
+  /// Pack: out[i] = src[from[i]] (ignores `to`).
+  void gather(const Scalar* src, Scalar* out) const;
+  /// Unpack: dst[to[i]] = in[i] (ignores `from`).
+  void scatter_to(const Scalar* in, Scalar* dst) const;
+
+  Index size() const { return from_.size(); }
+  const IndexSet& from() const { return from_; }
+  const IndexSet& to() const { return to_; }
+
+ private:
+  IndexSet from_;
+  IndexSet to_;
+};
+
+}  // namespace kestrel

@@ -1,0 +1,72 @@
+#pragma once
+// Dense vector with cache-line-aligned storage and the BLAS-1 operations
+// the Krylov solvers need. Loops are written as simple range code so the
+// compiler autovectorizes them (the paper's optimization effort is aimed at
+// SpMV; vector ops were already bandwidth-limited and trivially vectorized).
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "base/aligned.hpp"
+#include "base/types.hpp"
+
+namespace kestrel {
+
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(Index n) : data_(static_cast<std::size_t>(n), 0.0) {}
+  Vector(Index n, Scalar fill) : data_(static_cast<std::size_t>(n), fill) {}
+  Vector(std::initializer_list<Scalar> init);
+
+  Index size() const { return static_cast<Index>(data_.size()); }
+  Scalar* data() { return data_.data(); }
+  const Scalar* data() const { return data_.data(); }
+
+  Scalar& operator[](Index i) { return data_[static_cast<std::size_t>(i)]; }
+  Scalar operator[](Index i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  Scalar* begin() { return data_.begin(); }
+  Scalar* end() { return data_.end(); }
+  const Scalar* begin() const { return data_.begin(); }
+  const Scalar* end() const { return data_.end(); }
+
+  /// Discards contents.
+  void resize(Index n) { data_.resize(static_cast<std::size_t>(n)); }
+
+  void set(Scalar v) { data_.fill(v); }
+  void copy_from(const Vector& src);
+
+  /// this += alpha * x
+  void axpy(Scalar alpha, const Vector& x);
+  /// this = alpha * this + x
+  void aypx(Scalar alpha, const Vector& x);
+  /// this = alpha * x + beta * y
+  void waxpby(Scalar alpha, const Vector& x, Scalar beta, const Vector& y);
+  /// this += sum_k alphas[k] * xs[k] — the fused multi-vector update that
+  /// dominates GMRES solution reconstruction (PETSc VecMAXPY); one pass
+  /// over `this` instead of k.
+  void maxpy(std::size_t count, const Scalar* alphas,
+             const Vector* const* xs);
+  void scale(Scalar alpha);
+  /// this[i] *= x[i]
+  void pointwise_mult(const Vector& x);
+
+  Scalar dot(const Vector& other) const;
+  Scalar norm2() const;
+  Scalar norm_inf() const;
+  Scalar sum() const;
+
+  /// Convenience conversion for tests.
+  std::vector<Scalar> to_std() const {
+    return std::vector<Scalar>(begin(), end());
+  }
+
+ private:
+  AlignedBuffer<Scalar> data_;
+};
+
+}  // namespace kestrel

@@ -1,0 +1,119 @@
+// MatSetValues-style Assembler tests: INSERT/ADD semantics, negative-index
+// skipping, block insertion, fold ordering.
+
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+#include "mat/assembler.hpp"
+#include "mat/coo.hpp"
+
+namespace kestrel::mat {
+namespace {
+
+TEST(Assembler, InsertLastWriteWins) {
+  Assembler a(2, 2);
+  a.set(0, 0, 1.0);
+  a.set(0, 0, 5.0);
+  const Csr m = a.assemble();
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 5.0);
+  EXPECT_EQ(m.nnz(), 1);
+}
+
+TEST(Assembler, AddAccumulates) {
+  Assembler a(2, 2);
+  a.add(1, 1, 1.5);
+  a.add(1, 1, 2.5);
+  const Csr m = a.assemble();
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 4.0);
+}
+
+TEST(Assembler, MixedModesFoldInInsertionOrder) {
+  // insert 10, add 2, insert 1, add 3 -> 4 (PETSc per-entry semantics)
+  Assembler a(1, 1);
+  a.set(0, 0, 10.0);
+  a.add(0, 0, 2.0);
+  a.set(0, 0, 1.0);
+  a.add(0, 0, 3.0);
+  EXPECT_DOUBLE_EQ(a.assemble().at(0, 0), 4.0);
+}
+
+TEST(Assembler, NegativeIndicesSilentlySkipped) {
+  // the PETSc convention for boundary-eliminated rows/columns
+  Assembler a(3, 3);
+  a.set(-1, 0, 99.0);
+  a.set(0, -5, 99.0);
+  a.set(1, 1, 2.0);
+  const Csr m = a.assemble();
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 2.0);
+}
+
+TEST(Assembler, OutOfRangePositiveIndicesThrow) {
+  Assembler a(2, 2);
+  EXPECT_THROW(a.set(2, 0, 1.0), Error);
+  EXPECT_THROW(a.set(0, 7, 1.0), Error);
+}
+
+TEST(Assembler, BlockInsertionSkipsNegativeOrigins) {
+  Assembler a(4, 4);
+  const Scalar block[] = {1.0, 2.0, 3.0, 4.0};
+  a.set_block(-1, 0, 2, 2, block);  // first row of the block is off-grid
+  const Csr m = a.assemble();
+  EXPECT_EQ(m.nnz(), 2);  // only the second block row landed
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 4.0);
+}
+
+TEST(Assembler, DropZerosOption) {
+  Assembler a(2, 2);
+  a.add(0, 0, 1.0);
+  a.add(0, 0, -1.0);
+  a.set(1, 1, 3.0);
+  EXPECT_EQ(a.assemble(false).nnz(), 2);
+  EXPECT_EQ(a.assemble(true).nnz(), 1);
+}
+
+TEST(Assembler, ClearAndReuse) {
+  Assembler a(2, 2);
+  a.set(0, 0, 1.0);
+  EXPECT_EQ(a.staged(), 1u);
+  a.clear();
+  EXPECT_EQ(a.staged(), 0u);
+  a.set(1, 0, 7.0);
+  const Csr m = a.assemble();
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 7.0);
+}
+
+TEST(Assembler, StencilAssemblyMatchesCoo) {
+  // assemble a small 5-point stencil both ways; results must agree
+  const Index n = 6;
+  Assembler a(n * n, n * n);
+  Coo coo(n * n, n * n);
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < n; ++i) {
+      const Index row = j * n + i;
+      a.add(row, row, 4.0);
+      coo.add(row, row, 4.0);
+      if (i > 0) {
+        a.add(row, row - 1, -1.0);
+        coo.add(row, row - 1, -1.0);
+      }
+      if (j > 0) {
+        a.add(row, row - n, -1.0);
+        coo.add(row, row - n, -1.0);
+      }
+    }
+  }
+  const Csr m1 = a.assemble();
+  const Csr m2 = coo.to_csr();
+  ASSERT_EQ(m1.nnz(), m2.nnz());
+  for (Index i = 0; i < n * n; ++i) {
+    for (Index j : m1.row_cols(i)) {
+      EXPECT_DOUBLE_EQ(m1.at(i, j), m2.at(i, j));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kestrel::mat

@@ -1,0 +1,184 @@
+// Unit tests for the base utilities: error macros, aligned storage,
+// options database, RNG, event log.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+
+#include "base/aligned.hpp"
+#include "base/error.hpp"
+#include "base/log.hpp"
+#include "base/options.hpp"
+#include "base/rng.hpp"
+
+namespace kestrel {
+namespace {
+
+TEST(Error, CheckThrowsWithContext) {
+  try {
+    KESTREL_CHECK(1 == 2, "one is not two");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+    EXPECT_NE(what.find("base_test.cpp"), std::string::npos);
+    EXPECT_GT(e.line(), 0);
+  }
+}
+
+TEST(Error, CheckPassesSilently) {
+  EXPECT_NO_THROW(KESTREL_CHECK(2 + 2 == 4, "math"));
+}
+
+TEST(Error, FailAlwaysThrows) {
+  EXPECT_THROW(KESTREL_FAIL("boom"), Error);
+}
+
+TEST(Aligned, MallocRespectsAlignment) {
+  for (std::size_t align : {16u, 32u, 64u, 128u}) {
+    void* p = aligned_malloc(100, align);
+    EXPECT_TRUE(is_aligned(p, align));
+    aligned_free(p);
+  }
+}
+
+TEST(Aligned, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(aligned_malloc(100, 48), Error);
+  EXPECT_THROW(aligned_malloc(100, 0), Error);
+}
+
+TEST(Aligned, BufferIsCacheLineAligned) {
+  AlignedBuffer<double> buf(1000);
+  EXPECT_TRUE(is_aligned(buf.data(), kCacheLine));
+  EXPECT_EQ(buf.size(), 1000u);
+}
+
+TEST(Aligned, BufferFillAndIndex) {
+  AlignedBuffer<int> buf(17, 42);
+  for (std::size_t i = 0; i < buf.size(); ++i) EXPECT_EQ(buf[i], 42);
+  buf.fill(-1);
+  EXPECT_EQ(buf[16], -1);
+}
+
+TEST(Aligned, BufferCopyAndMove) {
+  AlignedBuffer<double> a(8);
+  for (std::size_t i = 0; i < 8; ++i) a[i] = static_cast<double>(i);
+  AlignedBuffer<double> b = a;  // copy
+  EXPECT_EQ(b.size(), 8u);
+  EXPECT_DOUBLE_EQ(b[5], 5.0);
+  b[5] = 99.0;
+  EXPECT_DOUBLE_EQ(a[5], 5.0);  // deep copy
+
+  AlignedBuffer<double> c = std::move(a);
+  EXPECT_EQ(c.size(), 8u);
+  EXPECT_DOUBLE_EQ(c[5], 5.0);
+}
+
+TEST(Aligned, BufferResizeDiscards) {
+  AlignedBuffer<double> a(4, 1.0);
+  a.resize(16);
+  EXPECT_EQ(a.size(), 16u);
+  a.resize(0);
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.data(), nullptr);
+}
+
+TEST(Aligned, AllocatorWorksWithStdVector) {
+  std::vector<double, AlignedAllocator<double>> v(100, 3.0);
+  EXPECT_TRUE(is_aligned(v.data(), kCacheLine));
+  EXPECT_DOUBLE_EQ(v[99], 3.0);
+}
+
+TEST(Options, ParsesKeyValuePairs) {
+  const char* argv[] = {"prog", "-mat_type", "sell", "-n", "2048",
+                        "-rtol", "1e-6", "-flag"};
+  Options opts(8, argv);
+  EXPECT_EQ(opts.get_string("mat_type", ""), "sell");
+  EXPECT_EQ(opts.get_index("n", 0), 2048);
+  EXPECT_DOUBLE_EQ(opts.get_scalar("rtol", 0.0), 1e-6);
+  EXPECT_TRUE(opts.has("flag"));
+  EXPECT_TRUE(opts.get_bool("flag", false));
+}
+
+TEST(Options, NegativeNumbersAreValuesNotKeys) {
+  const char* argv[] = {"-shift", "-2.5", "-count", "-3"};
+  Options opts(4, argv);
+  EXPECT_DOUBLE_EQ(opts.get_scalar("shift", 0.0), -2.5);
+  EXPECT_EQ(opts.get_index("count", 0), -3);
+}
+
+TEST(Options, FallbacksWhenMissing) {
+  Options opts;
+  EXPECT_EQ(opts.get_string("absent", "dflt"), "dflt");
+  EXPECT_EQ(opts.get_index("absent", 7), 7);
+  EXPECT_DOUBLE_EQ(opts.get_scalar("absent", 2.5), 2.5);
+  EXPECT_FALSE(opts.get_bool("absent", false));
+}
+
+TEST(Options, TypeErrorsThrow) {
+  Options opts;
+  opts.set("n", "abc");
+  EXPECT_THROW(opts.get_index("n", 0), Error);
+  EXPECT_THROW(opts.get_scalar("n", 0.0), Error);
+  opts.set("b", "maybe");
+  EXPECT_THROW(opts.get_bool("b", false), Error);
+}
+
+TEST(Options, LaterSettingsOverride) {
+  Options opts;
+  opts.set("x", "1");
+  opts.set("x", "2");
+  EXPECT_EQ(opts.get_index("x", 0), 2);
+  EXPECT_EQ(opts.keys().size(), 1u);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+    const Index k = rng.next_index(13);
+    EXPECT_GE(k, 0);
+    EXPECT_LT(k, 13);
+  }
+}
+
+TEST(EventLog, AccumulatesTimeAndFlops) {
+  EventLog log;
+  const int id = log.event_id("spmv");
+  EXPECT_EQ(id, log.event_id("spmv"));  // stable
+  log.begin(id);
+  log.end(id, 1000);
+  log.begin(id);
+  log.end(id, 500);
+  EXPECT_EQ(log.calls(id), 2u);
+  EXPECT_EQ(log.flops(id), 1500u);
+  EXPECT_GE(log.seconds(id), 0.0);
+
+  std::ostringstream os;
+  log.report(os);
+  EXPECT_NE(os.str().find("spmv"), std::string::npos);
+
+  log.reset();
+  EXPECT_EQ(log.calls(id), 0u);
+}
+
+TEST(EventLog, UnbalancedBeginThrows) {
+  EventLog log;
+  const int id = log.event_id("x");
+  log.begin(id);
+  EXPECT_THROW(log.begin(id), Error);
+  log.end(id);
+  EXPECT_THROW(log.end(id), Error);
+}
+
+}  // namespace
+}  // namespace kestrel

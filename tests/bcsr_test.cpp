@@ -1,0 +1,95 @@
+// Block CSR structure tests.
+
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+#include "mat/bcsr.hpp"
+#include "test_matrices.hpp"
+
+namespace kestrel::mat {
+namespace {
+
+Csr two_by_two_blocks() {
+  // 4x4 matrix with blocks at (0,0), (0,1), (1,1); block (0,1) is only
+  // partially filled so Bcsr must zero-fill it.
+  Coo coo(4, 4);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 1, 2.0);
+  coo.add(1, 0, 3.0);
+  coo.add(1, 1, 4.0);
+  coo.add(0, 2, 5.0);  // partial block (0,1)
+  coo.add(2, 2, 6.0);
+  coo.add(3, 3, 7.0);
+  return coo.to_csr();
+}
+
+TEST(Bcsr, BlockStructure) {
+  const Bcsr b(two_by_two_blocks(), 2);
+  EXPECT_EQ(b.block_rows(), 2);
+  EXPECT_EQ(b.stored_blocks(), 3);
+  EXPECT_EQ(b.rows(), 4);
+  EXPECT_EQ(b.nnz(), 7);  // logical nonzeros, not padded slots
+}
+
+TEST(Bcsr, ZeroFillInsidePartialBlocks) {
+  const Bcsr b(two_by_two_blocks(), 2);
+  const BcsrView v = b.view();
+  // find block (0, 1)
+  bool found = false;
+  for (Index k = v.rowptr[0]; k < v.rowptr[1]; ++k) {
+    if (v.colidx[k] == 1) {
+      found = true;
+      const Scalar* blk = v.val + static_cast<std::size_t>(k) * 4;
+      EXPECT_DOUBLE_EQ(blk[0], 5.0);  // (0,2)
+      EXPECT_DOUBLE_EQ(blk[1], 0.0);
+      EXPECT_DOUBLE_EQ(blk[2], 0.0);
+      EXPECT_DOUBLE_EQ(blk[3], 0.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Bcsr, DiagonalExtraction) {
+  const Csr csr = two_by_two_blocks();
+  const Bcsr b(csr, 2);
+  Vector d;
+  b.get_diagonal(d);
+  for (Index i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(d[i], csr.at(i, i));
+}
+
+TEST(Bcsr, RejectsIndivisibleDimensions) {
+  const Csr csr = testing::banded(5, {-1, 1});
+  EXPECT_THROW(Bcsr(csr, 2), Error);
+}
+
+TEST(Bcsr, BlockSizeOneMatchesCsrSpmv) {
+  const Csr csr = testing::banded(12, {-1, 1});
+  const Bcsr b(csr, 1);
+  const auto x = testing::random_x(12);
+  Vector xv(12), y1, y2;
+  for (Index i = 0; i < 12; ++i) xv[i] = x[static_cast<std::size_t>(i)];
+  csr.spmv(xv, y1);
+  b.spmv(xv, y2);
+  for (Index i = 0; i < 12; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-13);
+}
+
+TEST(Bcsr, StorageSmallerThanCsrForFullBlocks) {
+  // With fully dense 2x2 blocks, BCSR stores one index per 4 values.
+  Coo coo(64, 64);
+  Rng rng(17);
+  for (Index ib = 0; ib < 32; ++ib) {
+    for (Index jb : {ib, (ib + 5) % 32}) {
+      for (Index r = 0; r < 2; ++r) {
+        for (Index c = 0; c < 2; ++c) {
+          coo.add(ib * 2 + r, jb * 2 + c, rng.uniform(0.5, 1.0));
+        }
+      }
+    }
+  }
+  const Csr csr = coo.to_csr();
+  const Bcsr b(csr, 2);
+  EXPECT_LT(b.storage_bytes(), csr.storage_bytes());
+}
+
+}  // namespace
+}  // namespace kestrel::mat

@@ -1,0 +1,176 @@
+// Message-passing fabric tests: point-to-point, collectives, failure
+// propagation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "base/error.hpp"
+#include "par/comm.hpp"
+
+namespace kestrel::par {
+namespace {
+
+TEST(Fabric, SingleRankRunsInline) {
+  int calls = 0;
+  Fabric::run(1, [&](Comm& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    EXPECT_EQ(comm.size(), 1);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Fabric, PointToPointRoundTrip) {
+  Fabric::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.isend(1, 7, {1.0, 2.0, 3.0});
+      const auto echoed = comm.recv(1, 8);
+      ASSERT_EQ(echoed.size(), 3u);
+      EXPECT_DOUBLE_EQ(echoed[2], 6.0);
+    } else {
+      auto data = comm.recv(0, 7);
+      for (auto& v : data) v *= 2.0;
+      comm.isend(0, 8, data);
+    }
+  });
+}
+
+TEST(Fabric, MessagesMatchOnSourceAndTag) {
+  Fabric::run(3, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      // receive in the opposite order of sending; matching must be by
+      // (source, tag), not arrival order
+      const auto from2 = comm.recv(2, 5);
+      const auto from1 = comm.recv(1, 5);
+      EXPECT_DOUBLE_EQ(from1[0], 1.0);
+      EXPECT_DOUBLE_EQ(from2[0], 2.0);
+    } else {
+      comm.isend(0, 5, {static_cast<Scalar>(comm.rank())});
+    }
+  });
+}
+
+TEST(Fabric, FifoOrderPerSourceTag) {
+  Fabric::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.isend(1, 3, {10.0});
+      comm.isend(1, 3, {20.0});
+      comm.isend(1, 3, {30.0});
+    } else {
+      EXPECT_DOUBLE_EQ(comm.recv(0, 3)[0], 10.0);
+      EXPECT_DOUBLE_EQ(comm.recv(0, 3)[0], 20.0);
+      EXPECT_DOUBLE_EQ(comm.recv(0, 3)[0], 30.0);
+    }
+  });
+}
+
+TEST(Fabric, IrecvWaitFillsSink) {
+  Fabric::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<Scalar> sink;
+      Request req = comm.irecv(1, 2, &sink);
+      comm.wait(req);
+      EXPECT_TRUE(req.done);
+      ASSERT_EQ(sink.size(), 2u);
+      EXPECT_DOUBLE_EQ(sink[1], -4.0);
+    } else {
+      comm.isend(0, 2, {3.0, -4.0});
+    }
+  });
+}
+
+TEST(Fabric, AllreduceSumMaxMin) {
+  for (int nranks : {1, 2, 5}) {
+    Fabric::run(nranks, [nranks](Comm& comm) {
+      const Scalar mine = comm.rank() + 1.0;
+      EXPECT_DOUBLE_EQ(comm.allreduce(mine, Comm::ReduceOp::kSum),
+                       nranks * (nranks + 1) / 2.0);
+      EXPECT_DOUBLE_EQ(comm.allreduce(mine, Comm::ReduceOp::kMax),
+                       static_cast<Scalar>(nranks));
+      EXPECT_DOUBLE_EQ(comm.allreduce(mine, Comm::ReduceOp::kMin), 1.0);
+    });
+  }
+}
+
+TEST(Fabric, AllreduceInt64) {
+  Fabric::run(4, [](Comm& comm) {
+    const std::int64_t total =
+        comm.allreduce(static_cast<std::int64_t>(1000000 + comm.rank()));
+    EXPECT_EQ(total, 4000006);
+  });
+}
+
+TEST(Fabric, SuccessiveAllreducesStayOrdered) {
+  Fabric::run(3, [](Comm& comm) {
+    for (int round = 0; round < 10; ++round) {
+      const Scalar sum =
+          comm.allreduce(static_cast<Scalar>(round), Comm::ReduceOp::kSum);
+      EXPECT_DOUBLE_EQ(sum, 3.0 * round);
+    }
+  });
+}
+
+TEST(Fabric, AllgathervConcatenatesInRankOrder) {
+  Fabric::run(3, [](Comm& comm) {
+    std::vector<Scalar> local(static_cast<std::size_t>(comm.rank()) + 1,
+                              static_cast<Scalar>(comm.rank()));
+    const auto all = comm.allgatherv(local);
+    ASSERT_EQ(all.size(), 6u);  // 1 + 2 + 3
+    EXPECT_DOUBLE_EQ(all[0], 0.0);
+    EXPECT_DOUBLE_EQ(all[1], 1.0);
+    EXPECT_DOUBLE_EQ(all[2], 1.0);
+    EXPECT_DOUBLE_EQ(all[5], 2.0);
+  });
+}
+
+TEST(Fabric, BarrierCompletes) {
+  std::atomic<int> counter{0};
+  Fabric::run(4, [&](Comm& comm) {
+    counter.fetch_add(1);
+    comm.barrier();
+    EXPECT_EQ(counter.load(), 4);
+  });
+}
+
+TEST(Fabric, RankExceptionPropagatesWithoutDeadlock) {
+  EXPECT_THROW(Fabric::run(3,
+                           [](Comm& comm) {
+                             if (comm.rank() == 1) {
+                               KESTREL_FAIL("rank 1 exploded");
+                             }
+                             // other ranks block on a message that will
+                             // never arrive; abort must wake them
+                             (void)comm.recv((comm.rank() + 1) % 3, 9);
+                           }),
+               Error);
+}
+
+TEST(Fabric, RootCauseExceptionIsRethrown) {
+  try {
+    Fabric::run(3, [](Comm& comm) {
+      if (comm.rank() == 2) KESTREL_FAIL("root cause");
+      (void)comm.recv(2, 1);
+    });
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("root cause"), std::string::npos);
+  }
+}
+
+TEST(Fabric, InvalidArgumentsRejected) {
+  Fabric::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      EXPECT_THROW(comm.isend(5, 0, {1.0}), Error);
+      EXPECT_THROW(comm.isend(1, -3, {1.0}), Error);
+      std::vector<Scalar> sink;
+      EXPECT_THROW(comm.irecv(-1, 0, &sink), Error);
+      comm.isend(1, 0, {0.0});  // unblock peer
+    } else {
+      (void)comm.recv(0, 0);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace kestrel::par

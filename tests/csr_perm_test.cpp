@@ -1,0 +1,58 @@
+// AIJPERM grouping invariants.
+
+#include <gtest/gtest.h>
+
+#include "mat/csr_perm.hpp"
+#include "test_matrices.hpp"
+
+namespace kestrel::mat {
+namespace {
+
+TEST(CsrPerm, GroupsCoverAllRowsOnce) {
+  const Csr csr = testing::power_law(77);
+  const CsrPerm perm{Csr(csr)};
+  const CsrPermView v = perm.view();
+  std::vector<bool> seen(77, false);
+  EXPECT_EQ(v.group_begin[0], 0);
+  EXPECT_EQ(v.group_begin[v.ngroups], 77);
+  for (Index g = 0; g < v.ngroups; ++g) {
+    EXPECT_LT(v.group_begin[g], v.group_begin[g + 1]);
+    for (Index p = v.group_begin[g]; p < v.group_begin[g + 1]; ++p) {
+      const Index row = v.perm[p];
+      EXPECT_FALSE(seen[static_cast<std::size_t>(row)]);
+      seen[static_cast<std::size_t>(row)] = true;
+      EXPECT_EQ(csr.row_nnz(row), v.group_rlen[g]);
+    }
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(CsrPerm, GroupLengthsStrictlyIncrease) {
+  const Csr csr = testing::power_law(50);
+  const CsrPerm perm{Csr(csr)};
+  const CsrPermView v = perm.view();
+  for (Index g = 0; g + 1 < v.ngroups; ++g) {
+    EXPECT_LT(v.group_rlen[g], v.group_rlen[g + 1]);
+  }
+}
+
+TEST(CsrPerm, UniformMatrixHasOneGroup) {
+  Coo coo(24, 24);
+  for (Index i = 0; i < 24; ++i) {
+    coo.add(i, i, 2.0);
+    coo.add(i, (i + 1) % 24, -1.0);
+  }
+  const CsrPerm perm{coo.to_csr()};
+  EXPECT_EQ(perm.num_groups(), 1);
+}
+
+TEST(CsrPerm, MetadataBytesCounted) {
+  const Csr csr = testing::power_law(30);
+  const std::size_t base = csr.storage_bytes();
+  const CsrPerm perm{Csr(csr)};
+  EXPECT_GT(perm.storage_bytes(), base);
+  EXPECT_GT(perm.spmv_traffic_bytes(), csr.spmv_traffic_bytes());
+}
+
+}  // namespace
+}  // namespace kestrel::mat

@@ -1,0 +1,97 @@
+// Dense matrix and LU factorization tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/error.hpp"
+#include "mat/dense.hpp"
+#include "test_matrices.hpp"
+
+namespace kestrel::mat {
+namespace {
+
+TEST(Dense, FromCsrPreservesEntries) {
+  const Csr csr = testing::banded(9, {-2, 2});
+  const Dense d = Dense::from_csr(csr);
+  for (Index i = 0; i < 9; ++i) {
+    for (Index j = 0; j < 9; ++j) {
+      EXPECT_DOUBLE_EQ(d.at(i, j), csr.at(i, j));
+    }
+  }
+  EXPECT_EQ(d.nnz(), csr.nnz());
+}
+
+TEST(Dense, SpmvMatchesReference) {
+  const Csr csr = testing::uniform_random(12, 9, 3);
+  const Dense d = Dense::from_csr(csr);
+  const auto x = testing::random_x(9);
+  const auto expect = testing::dense_spmv(csr, x);
+  Vector xv(9), yv;
+  for (Index i = 0; i < 9; ++i) xv[i] = x[static_cast<std::size_t>(i)];
+  d.spmv(xv, yv);
+  for (Index i = 0; i < 12; ++i) {
+    EXPECT_NEAR(yv[i], expect[static_cast<std::size_t>(i)], 1e-12);
+  }
+}
+
+TEST(Dense, LuSolveRecoversKnownSolution) {
+  const Index n = 25;
+  Dense a(n, n);
+  Rng rng(42);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) a.at(i, j) = rng.uniform(-1.0, 1.0);
+    a.at(i, i) += n;  // diagonally dominant -> well conditioned
+  }
+  Vector x_true(n);
+  for (Index i = 0; i < n; ++i) x_true[i] = std::sin(i + 1.0);
+  Vector b(n);
+  a.spmv(x_true, b);
+
+  a.lu_factor();
+  Vector x(n);
+  a.lu_solve(b.data(), x.data());
+  for (Index i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-10);
+}
+
+TEST(Dense, LuSolveInPlaceAliasing) {
+  Dense a(2, 2);
+  a.at(0, 0) = 2.0;
+  a.at(1, 1) = 4.0;
+  a.lu_factor();
+  Vector b{2.0, 8.0};
+  a.lu_solve(b.data(), b.data());
+  EXPECT_NEAR(b[0], 1.0, 1e-14);
+  EXPECT_NEAR(b[1], 2.0, 1e-14);
+}
+
+TEST(Dense, LuRequiresPivoting) {
+  // zero leading pivot: fails without partial pivoting
+  Dense a(2, 2);
+  a.at(0, 0) = 0.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 0.0;
+  EXPECT_NO_THROW(a.lu_factor());
+  Vector b{3.0, 5.0};
+  Vector x(2);
+  a.lu_solve(b.data(), x.data());
+  EXPECT_NEAR(x[0], 5.0, 1e-14);
+  EXPECT_NEAR(x[1], 3.0, 1e-14);
+}
+
+TEST(Dense, SingularMatrixThrows) {
+  Dense a(3, 3);
+  a.at(0, 0) = 1.0;
+  a.at(1, 0) = 2.0;  // rank deficient
+  EXPECT_THROW(a.lu_factor(), Error);
+}
+
+TEST(Dense, SolveBeforeFactorThrows) {
+  Dense a(2, 2);
+  Vector b{1.0, 1.0}, x(2);
+  EXPECT_THROW(a.lu_solve(b.data(), x.data()), Error);
+}
+
+}  // namespace
+}  // namespace kestrel::mat

@@ -1,0 +1,75 @@
+// IndexSet and Scatter plan tests.
+
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+#include "vec/index_set.hpp"
+#include "vec/scatter.hpp"
+
+namespace kestrel {
+namespace {
+
+TEST(IndexSet, StrideConstruction) {
+  IndexSet is = IndexSet::stride(5, 4);
+  ASSERT_EQ(is.size(), 4);
+  EXPECT_EQ(is[0], 5);
+  EXPECT_EQ(is[3], 8);
+  EXPECT_TRUE(is.is_sorted());
+  EXPECT_TRUE(is.contains(7));
+  EXPECT_FALSE(is.contains(9));
+}
+
+TEST(IndexSet, RejectsNegative) {
+  EXPECT_THROW(IndexSet({1, -2, 3}), Error);
+}
+
+TEST(IndexSet, SortedUnique) {
+  IndexSet is({5, 1, 3, 1, 5});
+  EXPECT_FALSE(is.is_sorted());
+  IndexSet su = is.sorted_unique();
+  ASSERT_EQ(su.size(), 3);
+  EXPECT_EQ(su[0], 1);
+  EXPECT_EQ(su[1], 3);
+  EXPECT_EQ(su[2], 5);
+}
+
+TEST(Scatter, ForwardMovesValues) {
+  Scatter sc(IndexSet({0, 2, 4}), IndexSet({1, 0, 2}));
+  Vector src{10.0, 11.0, 12.0, 13.0, 14.0};
+  Vector dst(3, -1.0);
+  sc.forward(src, dst);
+  EXPECT_DOUBLE_EQ(dst[1], 10.0);
+  EXPECT_DOUBLE_EQ(dst[0], 12.0);
+  EXPECT_DOUBLE_EQ(dst[2], 14.0);
+}
+
+TEST(Scatter, ReverseAddAccumulates) {
+  Scatter sc(IndexSet({0, 0}), IndexSet({1, 2}));
+  Vector src{100.0};
+  Vector dst{0.0, 5.0, 7.0};
+  sc.reverse_add(dst, src);
+  EXPECT_DOUBLE_EQ(src[0], 112.0);
+}
+
+TEST(Scatter, GatherPacks) {
+  Scatter sc(IndexSet({3, 1}), IndexSet({0, 1}));
+  const double src[] = {0.0, 10.0, 20.0, 30.0};
+  double out[2] = {};
+  sc.gather(src, out);
+  EXPECT_DOUBLE_EQ(out[0], 30.0);
+  EXPECT_DOUBLE_EQ(out[1], 10.0);
+}
+
+TEST(Scatter, LengthMismatchThrows) {
+  EXPECT_THROW(Scatter(IndexSet({1, 2}), IndexSet({0})), Error);
+}
+
+TEST(Scatter, EmptyScatterIsNoop) {
+  Scatter sc;
+  Vector src{1.0}, dst{2.0};
+  EXPECT_NO_THROW(sc.forward(src, dst));
+  EXPECT_DOUBLE_EQ(dst[0], 2.0);
+}
+
+}  // namespace
+}  // namespace kestrel

@@ -1,0 +1,220 @@
+// Cross-module integration tests: the full parallel solver composition
+// (GMRES + rank-local ILU = block-Jacobi/ILU, PETSc's default parallel
+// preconditioner), profiler accounting through the TS->SNES->KSP stack,
+// and solver edge cases.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "app/advection_diffusion.hpp"
+#include "app/gray_scott.hpp"
+#include "app/laplacian.hpp"
+#include "base/log.hpp"
+#include "ksp/context.hpp"
+#include "par/parmat.hpp"
+#include "pc/ilu0.hpp"
+#include "test_matrices.hpp"
+#include "ts/theta.hpp"
+
+namespace kestrel {
+namespace {
+
+TEST(ParallelComposition, GmresWithLocalIluBeatsUnpreconditioned) {
+  // block-Jacobi with ILU(0) sub-solves: each rank preconditions with the
+  // ILU factorization of ITS OWN diagonal block.
+  const mat::Csr global = app::advection_diffusion(20);
+  Vector x_true(global.rows());
+  for (Index i = 0; i < x_true.size(); ++i) x_true[i] = std::sin(0.05 * i);
+  Vector b;
+  global.spmv(x_true, b);
+
+  const int nranks = 4;
+  auto layout = std::make_shared<par::Layout>(
+      par::Layout::even(global.rows(), nranks));
+
+  std::vector<int> iters_plain(nranks, 0), iters_ilu(nranks, 0);
+  par::Fabric::run(nranks, [&](par::Comm& comm) {
+    const par::ParMatrix a =
+        par::ParMatrix::from_global(global, layout, comm, {});
+    // the diagonal block is CSR by default; factor it locally
+    const auto* diag_csr =
+        dynamic_cast<const mat::Csr*>(&a.diag_block());
+    ASSERT_NE(diag_csr, nullptr);
+    const pc::Ilu0 local_ilu(*diag_csr);
+
+    par::ParVector bp(layout, comm.rank());
+    bp.set_from_global(b);
+    ksp::Settings settings;
+    settings.rtol = 1e-10;
+    settings.max_iterations = 2000;
+    const ksp::Gmres gmres(settings);
+
+    Vector x0(a.local_rows());
+    ksp::ParContext plain(a, comm);
+    const auto r0 = gmres.solve(plain, bp.local(), x0);
+
+    Vector x1(a.local_rows());
+    ksp::ParContext pre(a, comm, &local_ilu);
+    const auto r1 = gmres.solve(pre, bp.local(), x1);
+
+    EXPECT_TRUE(r0.converged);
+    EXPECT_TRUE(r1.converged);
+    iters_plain[static_cast<std::size_t>(comm.rank())] = r0.iterations;
+    iters_ilu[static_cast<std::size_t>(comm.rank())] = r1.iterations;
+
+    // the preconditioned answer is still correct
+    const Index b0 = layout->begin(comm.rank());
+    for (Index i = 0; i < x1.size(); ++i) {
+      EXPECT_NEAR(x1[i], x_true[b0 + i], 1e-6);
+    }
+  });
+  EXPECT_LT(iters_ilu[0], iters_plain[0]);
+  // iteration counts are collective decisions: all ranks agree
+  for (int r = 1; r < nranks; ++r) {
+    EXPECT_EQ(iters_ilu[static_cast<std::size_t>(r)], iters_ilu[0]);
+  }
+}
+
+TEST(Profiling, EventLogCountsSolveStack) {
+  EventLog& log = EventLog::global();
+  log.reset();
+  const int ev_jac = log.event_id("SNESJacobianEval");
+  const int ev_ksp = log.event_id("KSPSolve");
+  const std::uint64_t jac_before = log.calls(ev_jac);
+
+  app::GrayScott gs(8);
+  Vector u;
+  gs.initial_condition(u);
+  ts::ThetaOptions opts;
+  opts.dt = 1.0;
+  opts.steps = 2;
+  const ts::ThetaResult res = theta_integrate(gs, u, opts);
+  ASSERT_TRUE(res.completed);
+
+  // one Jacobian assembly and one KSP solve per Newton iteration
+  EXPECT_EQ(log.calls(ev_jac) - jac_before,
+            static_cast<std::uint64_t>(res.total_newton_iterations));
+  EXPECT_EQ(log.calls(ev_ksp),
+            static_cast<std::uint64_t>(res.total_newton_iterations));
+  EXPECT_GT(log.seconds(ev_ksp), 0.0);
+  EXPECT_GT(log.flops(ev_ksp), 0u);
+  log.reset();
+}
+
+TEST(Profiling, PreconditionerLaggingSkipsSetups) {
+  EventLog& log = EventLog::global();
+  log.reset();
+  const int ev_pc = log.event_id("PCSetUp");
+
+  app::GrayScott gs(8);
+  Vector u;
+  gs.initial_condition(u);
+  ts::ThetaOptions opts;
+  opts.dt = 1.0;
+  opts.steps = 2;
+  opts.newton.pc_lag = 100;  // build once per Newton solve
+  const ts::ThetaResult res = theta_integrate(gs, u, opts);
+  ASSERT_TRUE(res.completed);
+  // one PCSetUp per time step (first Newton iteration of each solve),
+  // fewer than the total Newton iterations
+  EXPECT_EQ(log.calls(ev_pc), 2u);
+  EXPECT_LT(static_cast<int>(log.calls(ev_pc)),
+            res.total_newton_iterations);
+  log.reset();
+}
+
+TEST(SolverEdgeCases, ZeroRhsGivesZeroSolution) {
+  const mat::Csr a = app::laplacian_dirichlet(8, 8);
+  const Vector b(a.rows(), 0.0);
+  for (const char* type : {"cg", "gmres", "bicgstab"}) {
+    Vector x(a.rows());
+    const auto solver = ksp::make_solver(type);
+    ksp::SeqContext ctx(a);
+    const auto res = solver->solve(ctx, b, x);
+    EXPECT_TRUE(res.converged) << type;
+    EXPECT_NEAR(x.norm2(), 0.0, 1e-12) << type;
+  }
+}
+
+TEST(SolverEdgeCases, NonzeroInitialGuessIsUsed) {
+  const mat::Csr a = app::laplacian_dirichlet(10, 10);
+  Vector x_true(a.rows());
+  for (Index i = 0; i < x_true.size(); ++i) x_true[i] = std::cos(0.2 * i);
+  Vector b;
+  a.spmv(x_true, b);
+
+  // starting AT the solution must converge instantly
+  Vector x;
+  x.copy_from(x_true);
+  const ksp::Cg cg;
+  ksp::SeqContext ctx(a);
+  const auto res = cg.solve(ctx, b, x);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LE(res.iterations, 1);
+
+  // starting near it must converge faster than from zero
+  Vector near;
+  near.copy_from(x_true);
+  for (Index i = 0; i < near.size(); ++i) near[i] += 1e-6;
+  const auto res_near = cg.solve(ctx, b, near);
+  Vector zero(a.rows());
+  const auto res_zero = cg.solve(ctx, b, zero);
+  ASSERT_TRUE(res_near.converged);
+  ASSERT_TRUE(res_zero.converged);
+  EXPECT_LT(res_near.iterations, res_zero.iterations);
+}
+
+TEST(SolverEdgeCases, OneByOneSystem) {
+  mat::Coo coo(1, 1);
+  coo.add(0, 0, 4.0);
+  const mat::Csr a = coo.to_csr();
+  Vector b{8.0}, x(1);
+  for (const char* type : {"cg", "gmres", "fgmres", "bicgstab"}) {
+    x.set(0.0);
+    const auto solver = ksp::make_solver(type);
+    ksp::SeqContext ctx(a);
+    const auto res = solver->solve(ctx, b, x);
+    EXPECT_TRUE(res.converged) << type;
+    EXPECT_NEAR(x[0], 2.0, 1e-10) << type;
+  }
+}
+
+TEST(GrayScottIntegration, PatternBeginsToSpread) {
+  // after a handful of implicit steps the activator v must have diffused
+  // beyond the initial seed square while mass stays finite
+  app::GrayScott gs(24);
+  Vector u;
+  gs.initial_condition(u);
+  // v is zero well outside the seed before stepping
+  EXPECT_DOUBLE_EQ(gs.v_at(u, 2, 2), 0.0);
+
+  Scalar v_seed_before = 0.0;
+  for (Index j = 0; j < 24; ++j) {
+    for (Index i = 0; i < 24; ++i) v_seed_before += gs.v_at(u, i, j);
+  }
+
+  ts::ThetaOptions opts;
+  opts.dt = 2.0;
+  opts.steps = 8;
+  ASSERT_TRUE(theta_integrate(gs, u, opts).completed);
+
+  // diffusion reached at least the ring just outside the seed
+  Scalar outside = 0.0;
+  for (Index j = 0; j < 24; ++j) {
+    for (Index i = 0; i < 24; ++i) {
+      const Scalar x = gs.grid().x(i), y = gs.grid().y(j);
+      const Scalar l = gs.params().domain;
+      const bool in_seed =
+          x >= 0.375 * l && x <= 0.625 * l && y >= 0.375 * l && y <= 0.625 * l;
+      if (!in_seed) outside += std::abs(gs.v_at(u, i, j));
+    }
+  }
+  EXPECT_GT(outside, 1e-8);
+  for (Index i = 0; i < u.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(u[i]));
+  }
+}
+
+}  // namespace
+}  // namespace kestrel

@@ -1,0 +1,90 @@
+// Matrix Market I/O tests.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/error.hpp"
+#include "mat/mm_io.hpp"
+#include "test_matrices.hpp"
+
+namespace kestrel::mat {
+namespace {
+
+TEST(MatrixMarket, WriteReadRoundTrip) {
+  const Csr a = testing::uniform_random(9, 7, 3, 8);
+  std::stringstream ss;
+  write_matrix_market(a, ss);
+  const Csr b = read_matrix_market(ss);
+  ASSERT_EQ(b.rows(), a.rows());
+  ASSERT_EQ(b.cols(), a.cols());
+  ASSERT_EQ(b.nnz(), a.nnz());
+  for (Index i = 0; i < a.rows(); ++i) {
+    for (Index j = 0; j < a.cols(); ++j) {
+      EXPECT_NEAR(b.at(i, j), a.at(i, j), 1e-15);
+    }
+  }
+}
+
+TEST(MatrixMarket, SymmetricExpansion) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate real symmetric\n"
+     << "% a comment line\n"
+     << "3 3 3\n"
+     << "1 1 2.0\n"
+     << "2 1 -1.0\n"
+     << "3 3 5.0\n";
+  const Csr a = read_matrix_market(ss);
+  EXPECT_EQ(a.nnz(), 4);  // off-diagonal entry mirrored
+  EXPECT_DOUBLE_EQ(a.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 2), 5.0);
+}
+
+TEST(MatrixMarket, PatternFieldDefaultsToOne) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate pattern general\n"
+     << "2 2 2\n"
+     << "1 2\n"
+     << "2 1\n";
+  const Csr a = read_matrix_market(ss);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 1.0);
+}
+
+TEST(MatrixMarket, RejectsBadBanner) {
+  std::stringstream ss;
+  ss << "%%NotMatrixMarket matrix coordinate real general\n2 2 0\n";
+  EXPECT_THROW(read_matrix_market(ss), Error);
+}
+
+TEST(MatrixMarket, RejectsOutOfRangeEntries) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate real general\n"
+     << "2 2 1\n"
+     << "3 1 1.0\n";
+  EXPECT_THROW(read_matrix_market(ss), Error);
+}
+
+TEST(MatrixMarket, RejectsTruncatedData) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate real general\n"
+     << "2 2 2\n"
+     << "1 1 1.0\n";
+  EXPECT_THROW(read_matrix_market(ss), Error);
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  const Csr a = testing::banded(6, {-1, 1});
+  const std::string path = ::testing::TempDir() + "/kestrel_mm_test.mtx";
+  write_matrix_market_file(a, path);
+  const Csr b = read_matrix_market_file(path);
+  EXPECT_EQ(b.nnz(), a.nnz());
+}
+
+TEST(MatrixMarket, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/x.mtx"), Error);
+}
+
+}  // namespace
+}  // namespace kestrel::mat

@@ -1,0 +1,167 @@
+// Newton solver tests: convergence order, line search, Jacobian checking.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "app/gray_scott.hpp"
+#include "mat/coo.hpp"
+#include "snes/newton.hpp"
+
+namespace kestrel::snes {
+namespace {
+
+/// F_i(u) = u_i^2 - a_i, plus a weak coupling term; root u_i = sqrt(a_i)
+/// for the uncoupled part — smooth, well-conditioned Newton test.
+class Quadratic final : public NonlinearFunction {
+ public:
+  explicit Quadratic(Index n) : n_(n) {}
+  Index size() const override { return n_; }
+
+  void residual(const Vector& u, Vector& f) const override {
+    f.resize(n_);
+    for (Index i = 0; i < n_; ++i) {
+      const Scalar target = 1.0 + 0.1 * i;
+      const Scalar couple = (i > 0) ? 0.05 * u[i - 1] : 0.0;
+      f[i] = u[i] * u[i] - target + couple;
+    }
+  }
+
+  mat::Csr jacobian(const Vector& u) const override {
+    mat::Coo coo(n_, n_);
+    for (Index i = 0; i < n_; ++i) {
+      coo.add(i, i, 2.0 * u[i]);
+      if (i > 0) coo.add(i, i - 1, 0.05);
+    }
+    return coo.to_csr();
+  }
+
+ private:
+  Index n_;
+};
+
+TEST(Newton, ConvergesOnSmoothProblem) {
+  const Quadratic f(20);
+  Vector u(20, 2.0);  // positive initial guess
+  NewtonOptions opts;
+  opts.atol = 1e-12;
+  const NewtonResult res = newton_solve(f, u, opts);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LE(res.iterations, 10);
+  Vector check;
+  f.residual(u, check);
+  EXPECT_LT(check.norm2(), 1e-10);
+}
+
+TEST(Newton, QuadraticConvergenceRate) {
+  // Near the root, the residual should square each iteration.
+  const Quadratic f(5);
+  Vector u(5, 1.2);
+  std::vector<Scalar> history;
+  NewtonOptions opts;
+  opts.atol = 1e-14;
+  opts.monitor = [&](int, Scalar fnorm) { history.push_back(fnorm); };
+  const NewtonResult res = newton_solve(f, u, opts);
+  ASSERT_TRUE(res.converged);
+  ASSERT_GE(history.size(), 3u);
+  // find a pair of consecutive drops in the quadratic regime
+  bool saw_quadratic = false;
+  for (std::size_t k = 1; k + 1 < history.size(); ++k) {
+    if (history[k] < 1e-2 && history[k] > 1e-12) {
+      const Scalar ratio = history[k + 1] / (history[k] * history[k]);
+      if (ratio < 100.0) saw_quadratic = true;
+    }
+  }
+  EXPECT_TRUE(saw_quadratic);
+}
+
+TEST(Newton, LineSearchRescuesOvershoot) {
+  // Start far away where a full Newton step on u^2 - a overshoots badly
+  // for tiny u: line search must still converge.
+  const Quadratic f(4);
+  Vector u(4, 0.05);
+  NewtonOptions opts;
+  opts.atol = 1e-12;
+  opts.max_iterations = 100;
+  const NewtonResult res = newton_solve(f, u, opts);
+  EXPECT_TRUE(res.converged);
+}
+
+TEST(Newton, ReportsNonConvergenceAtMaxIterations) {
+  const Quadratic f(4);
+  Vector u(4, 100.0);
+  NewtonOptions opts;
+  opts.max_iterations = 1;
+  opts.atol = 1e-14;
+  opts.rtol = 1e-14;
+  const NewtonResult res = newton_solve(f, u, opts);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.iterations, 1);
+}
+
+TEST(Newton, CountsLinearIterations) {
+  const Quadratic f(10);
+  Vector u(10, 2.0);
+  NewtonOptions opts;
+  const NewtonResult res = newton_solve(f, u, opts);
+  ASSERT_TRUE(res.converged);
+  EXPECT_GT(res.total_linear_iterations, 0);
+}
+
+TEST(FdJacobian, MatchesAnalyticOnQuadratic) {
+  const Quadratic f(8);
+  Vector u(8);
+  for (Index i = 0; i < 8; ++i) u[i] = 1.0 + 0.03 * i;
+  const mat::Csr analytic = f.jacobian(u);
+  const mat::Csr fd = fd_jacobian(f, u);
+  for (Index i = 0; i < 8; ++i) {
+    for (Index j = 0; j < 8; ++j) {
+      EXPECT_NEAR(fd.at(i, j), analytic.at(i, j), 1e-5)
+          << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(FdJacobian, ValidatesGrayScottJacobian) {
+  // The key analytic-Jacobian check for the paper's application.
+  app::GrayScott gs(6);
+  Vector u;
+  gs.initial_condition(u);
+
+  // Adapt the RhsFunction to a NonlinearFunction for fd_jacobian.
+  class Adapter final : public NonlinearFunction {
+   public:
+    explicit Adapter(const app::GrayScott& g) : g_(g) {}
+    Index size() const override { return g_.size(); }
+    void residual(const Vector& x, Vector& f) const override {
+      g_.rhs(x, f);
+    }
+    mat::Csr jacobian(const Vector& x) const override {
+      return g_.rhs_jacobian(x);
+    }
+
+   private:
+    const app::GrayScott& g_;
+  } adapter(gs);
+
+  const mat::Csr analytic = adapter.jacobian(u);
+  const mat::Csr fd = fd_jacobian(adapter, u, 1e-6);
+  for (Index i = 0; i < adapter.size(); ++i) {
+    for (Index j : analytic.row_cols(i)) {
+      EXPECT_NEAR(fd.at(i, j), analytic.at(i, j), 2e-4)
+          << "(" << i << "," << j << ")";
+    }
+  }
+  // and the FD Jacobian must not contain entries outside the analytic
+  // pattern (structural completeness both ways)
+  for (Index i = 0; i < adapter.size(); ++i) {
+    for (Index j : fd.row_cols(i)) {
+      if (std::abs(fd.at(i, j)) > 1e-6) {
+        EXPECT_NE(analytic.at(i, j), 0.0) << "(" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kestrel::snes

@@ -1,0 +1,104 @@
+// Sparse matrix product / add / Galerkin tests.
+
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+#include "mat/dense.hpp"
+#include "mat/spgemm.hpp"
+#include "test_matrices.hpp"
+
+namespace kestrel::mat {
+namespace {
+
+Dense dense_product(const Csr& a, const Csr& b) {
+  Dense da = Dense::from_csr(a);
+  Dense db = Dense::from_csr(b);
+  Dense out(a.rows(), b.cols());
+  for (Index i = 0; i < a.rows(); ++i) {
+    for (Index j = 0; j < b.cols(); ++j) {
+      Scalar sum = 0.0;
+      for (Index k = 0; k < a.cols(); ++k) {
+        sum += da.at(i, k) * db.at(k, j);
+      }
+      out.at(i, j) = sum;
+    }
+  }
+  return out;
+}
+
+void expect_equals_dense(const Csr& c, const Dense& ref, Scalar tol) {
+  ASSERT_EQ(c.rows(), ref.rows());
+  ASSERT_EQ(c.cols(), ref.cols());
+  for (Index i = 0; i < c.rows(); ++i) {
+    for (Index j = 0; j < c.cols(); ++j) {
+      EXPECT_NEAR(c.at(i, j), ref.at(i, j), tol) << i << "," << j;
+    }
+  }
+}
+
+TEST(Spgemm, MatchesDenseProduct) {
+  const Csr a = testing::uniform_random(14, 10, 3, 1);
+  const Csr b = testing::uniform_random(10, 17, 4, 2);
+  expect_equals_dense(spgemm(a, b), dense_product(a, b), 1e-12);
+}
+
+TEST(Spgemm, IdentityIsNeutral) {
+  const Csr a = testing::banded(15, {-1, 1});
+  const Csr i15 = identity(15);
+  expect_equals_dense(spgemm(a, i15), Dense::from_csr(a), 0.0);
+  expect_equals_dense(spgemm(i15, a), Dense::from_csr(a), 0.0);
+}
+
+TEST(Spgemm, DimensionMismatchThrows) {
+  const Csr a = testing::banded(5, {-1, 1});
+  const Csr b = testing::banded(6, {-1, 1});
+  EXPECT_THROW(spgemm(a, b), Error);
+}
+
+TEST(Spgemm, AddMatchesDense) {
+  const Csr a = testing::uniform_random(12, 12, 3, 3);
+  const Csr b = testing::banded(12, {-2, 2});
+  const Csr c = add(2.0, a, -0.5, b);
+  const Dense da = Dense::from_csr(a);
+  const Dense db = Dense::from_csr(b);
+  for (Index i = 0; i < 12; ++i) {
+    for (Index j = 0; j < 12; ++j) {
+      EXPECT_NEAR(c.at(i, j), 2.0 * da.at(i, j) - 0.5 * db.at(i, j), 1e-13);
+    }
+  }
+}
+
+TEST(Spgemm, GalerkinPreservesSymmetry) {
+  // A symmetric => P^T A P symmetric.
+  Coo coo(8, 8);
+  Rng rng(5);
+  for (Index i = 0; i < 8; ++i) {
+    coo.add(i, i, 4.0);
+    if (i + 1 < 8) {
+      const Scalar v = rng.uniform(-1.0, 1.0);
+      coo.add(i, i + 1, v);
+      coo.add(i + 1, i, v);
+    }
+  }
+  const Csr a = coo.to_csr();
+  // simple aggregation interpolation: 2 fine rows -> 1 coarse
+  Coo pc(8, 4);
+  for (Index i = 0; i < 8; ++i) pc.add(i, i / 2, 1.0);
+  const Csr p = pc.to_csr();
+  const Csr ac = galerkin(a, p);
+  ASSERT_EQ(ac.rows(), 4);
+  for (Index i = 0; i < 4; ++i) {
+    for (Index j = 0; j < 4; ++j) {
+      EXPECT_NEAR(ac.at(i, j), ac.at(j, i), 1e-13);
+    }
+  }
+}
+
+TEST(Spgemm, IdentityMatrix) {
+  const Csr i5 = identity(5);
+  EXPECT_EQ(i5.nnz(), 5);
+  for (Index i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(i5.at(i, i), 1.0);
+}
+
+}  // namespace
+}  // namespace kestrel::mat

@@ -1,0 +1,106 @@
+#pragma once
+// Shared deterministic matrix generators for the test suite: the sparsity
+// shapes that stress SpMV kernels differently (banded PDE-like, uniform
+// random, power-law row lengths, empty rows, a dense row, tiny edge cases).
+
+#include <vector>
+
+#include "base/rng.hpp"
+#include "mat/coo.hpp"
+#include "mat/csr.hpp"
+
+namespace kestrel::testing {
+
+/// Banded matrix with the given symmetric band offsets (clipped at edges).
+inline mat::Csr banded(Index n, std::vector<Index> offsets,
+                       std::uint64_t seed = 1) {
+  Rng rng(seed);
+  mat::Coo coo(n, n);
+  for (Index i = 0; i < n; ++i) {
+    for (Index off : offsets) {
+      const Index j = i + off;
+      if (j >= 0 && j < n) coo.add(i, j, rng.uniform(-1.0, 1.0));
+    }
+    coo.add(i, i, 4.0 + rng.uniform(0.0, 1.0));  // strong diagonal
+  }
+  return coo.to_csr();
+}
+
+/// Every row gets `per_row` entries at uniformly random columns.
+inline mat::Csr uniform_random(Index m, Index n, Index per_row,
+                               std::uint64_t seed = 2) {
+  Rng rng(seed);
+  mat::Coo coo(m, n);
+  for (Index i = 0; i < m; ++i) {
+    for (Index k = 0; k < per_row; ++k) {
+      coo.add(i, rng.next_index(n), rng.uniform(-2.0, 2.0));
+    }
+  }
+  return coo.to_csr();
+}
+
+/// Row lengths follow a rough power law: a few long rows, many short —
+/// the SELL worst case that motivates slicing/sorting.
+inline mat::Csr power_law(Index n, std::uint64_t seed = 3) {
+  Rng rng(seed);
+  mat::Coo coo(n, n);
+  for (Index i = 0; i < n; ++i) {
+    const double u = rng.next_double();
+    Index len = static_cast<Index>(1.0 + 3.0 / (0.05 + u));
+    if (len > n) len = n;
+    for (Index k = 0; k < len; ++k) {
+      coo.add(i, rng.next_index(n), rng.uniform(-1.0, 1.0));
+    }
+  }
+  return coo.to_csr();
+}
+
+/// Matrix where a stretch of rows in the middle is completely empty.
+inline mat::Csr with_empty_rows(Index n, std::uint64_t seed = 4) {
+  Rng rng(seed);
+  mat::Coo coo(n, n);
+  for (Index i = 0; i < n; ++i) {
+    if (i >= n / 3 && i < n / 3 + n / 4) continue;  // empty band
+    for (Index k = 0; k < 3; ++k) {
+      coo.add(i, rng.next_index(n), rng.uniform(-1.0, 1.0));
+    }
+  }
+  return coo.to_csr();
+}
+
+/// Sparse matrix with one fully dense row (long inner loop, remainder 0).
+inline mat::Csr with_dense_row(Index n, std::uint64_t seed = 5) {
+  Rng rng(seed);
+  mat::Coo coo(n, n);
+  for (Index j = 0; j < n; ++j) coo.add(n / 2, j, rng.uniform(-1.0, 1.0));
+  for (Index i = 0; i < n; ++i) {
+    coo.add(i, i, 2.0);
+    coo.add(i, (i * 7 + 1) % n, -1.0);
+  }
+  return coo.to_csr();
+}
+
+/// Deterministic dense reference product y = A x.
+inline std::vector<Scalar> dense_spmv(const mat::Csr& a,
+                                      const std::vector<Scalar>& x) {
+  std::vector<Scalar> y(static_cast<std::size_t>(a.rows()), 0.0);
+  for (Index i = 0; i < a.rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    Scalar sum = 0.0;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      sum += vals[k] * x[static_cast<std::size_t>(cols[k])];
+    }
+    y[static_cast<std::size_t>(i)] = sum;
+  }
+  return y;
+}
+
+inline std::vector<Scalar> random_x(Index n, std::uint64_t seed = 9) {
+  Rng rng(seed);
+  std::vector<Scalar> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  return x;
+}
+
+}  // namespace kestrel::testing

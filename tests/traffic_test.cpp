@@ -1,0 +1,69 @@
+// Section 6 memory-traffic model tests: the closed forms the paper uses to
+// argue SELL moves less metadata than CSR.
+
+#include <gtest/gtest.h>
+
+#include "mat/csr.hpp"
+#include "mat/sell.hpp"
+#include "perf/roofline.hpp"
+#include "perf/spmv_model.hpp"
+#include "test_matrices.hpp"
+
+namespace kestrel {
+namespace {
+
+TEST(Traffic, CsrClosedForm) {
+  const mat::Csr a = testing::banded(100, {-1, 1});
+  const std::size_t nnz = static_cast<std::size_t>(a.nnz());
+  EXPECT_EQ(a.spmv_traffic_bytes(), 12 * nnz + 24 * 100 + 8 * 100);
+}
+
+TEST(Traffic, SellClosedForm) {
+  const mat::Csr a = testing::banded(100, {-1, 1});
+  const mat::Sell s(a);
+  const std::size_t nnz = static_cast<std::size_t>(a.nnz());
+  EXPECT_EQ(s.spmv_traffic_bytes(), 12 * nnz + 10 * 100 + 8 * 100);
+}
+
+TEST(Traffic, PaddingNotCounted) {
+  // Paper: "Extra memory overhead contributed by padded zeros are not
+  // counted" — a heavily padded SELL still reports the same traffic.
+  const mat::Csr a = testing::power_law(128);
+  const mat::Sell s(a);
+  EXPECT_GT(s.fill_ratio(), 1.0);
+  EXPECT_EQ(s.spmv_traffic_bytes(),
+            12 * static_cast<std::size_t>(a.nnz()) + 10 * 128 + 8 * 128);
+}
+
+TEST(Traffic, WorkloadModelMatchesFormatModel) {
+  // The perf-model workload byte counts must agree with the format classes
+  // for a square matrix.
+  const Index n = 64;
+  const auto w = perf::SpmvWorkload::gray_scott(n);
+  EXPECT_EQ(w.rows, 2 * static_cast<std::int64_t>(n) * n);
+  EXPECT_EQ(w.nnz, 10 * w.rows);
+  const std::size_t m = static_cast<std::size_t>(w.rows);
+  const std::size_t nnz = static_cast<std::size_t>(w.nnz);
+  EXPECT_EQ(w.traffic_bytes(perf::ModelFormat::kCsrBaseline),
+            12 * nnz + 24 * m + 8 * m);
+  EXPECT_EQ(w.traffic_bytes(perf::ModelFormat::kSell),
+            12 * nnz + 10 * m + 8 * m);
+}
+
+TEST(Traffic, ArithmeticIntensityNearPaperValue) {
+  // Section 7.2: "The arithmetic intensity of the SpMV kernel is around
+  // 0.132" for the Gray–Scott matrix in CSR.
+  const auto w = perf::SpmvWorkload::gray_scott(2048);
+  const double ai =
+      perf::arithmetic_intensity(perf::ModelFormat::kCsrBaseline, w);
+  EXPECT_NEAR(ai, 0.132, 0.005);
+}
+
+TEST(Traffic, SellIntensityHigherThanCsr) {
+  const auto w = perf::SpmvWorkload::gray_scott(256);
+  EXPECT_GT(perf::arithmetic_intensity(perf::ModelFormat::kSell, w),
+            perf::arithmetic_intensity(perf::ModelFormat::kCsrBaseline, w));
+}
+
+}  // namespace
+}  // namespace kestrel

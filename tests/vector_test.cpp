@@ -1,0 +1,137 @@
+// Vector (BLAS-1) operation tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/aligned.hpp"
+#include "base/error.hpp"
+#include "vec/vector.hpp"
+
+namespace kestrel {
+namespace {
+
+TEST(Vector, ConstructionAndFill) {
+  Vector a(5);
+  for (Index i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(a[i], 0.0);
+  Vector b(4, 2.5);
+  for (Index i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(b[i], 2.5);
+  Vector c{1.0, 2.0, 3.0};
+  EXPECT_EQ(c.size(), 3);
+  EXPECT_DOUBLE_EQ(c[2], 3.0);
+}
+
+TEST(Vector, StorageIsAligned) {
+  Vector v(100);
+  EXPECT_TRUE(is_aligned(v.data(), kCacheLine));
+}
+
+TEST(Vector, Axpy) {
+  Vector y{1.0, 2.0, 3.0};
+  Vector x{10.0, 20.0, 30.0};
+  y.axpy(0.5, x);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 12.0);
+  EXPECT_DOUBLE_EQ(y[2], 18.0);
+}
+
+TEST(Vector, Aypx) {
+  Vector y{1.0, 2.0};
+  Vector x{10.0, 10.0};
+  y.aypx(3.0, x);  // y = 3y + x
+  EXPECT_DOUBLE_EQ(y[0], 13.0);
+  EXPECT_DOUBLE_EQ(y[1], 16.0);
+}
+
+TEST(Vector, Waxpby) {
+  Vector w;
+  Vector x{1.0, 2.0};
+  Vector y{10.0, 20.0};
+  w.waxpby(2.0, x, -1.0, y);
+  EXPECT_DOUBLE_EQ(w[0], -8.0);
+  EXPECT_DOUBLE_EQ(w[1], -16.0);
+}
+
+TEST(Vector, DotAndNorms) {
+  Vector a{3.0, 4.0};
+  Vector b{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(a.dot(b), 7.0);
+  EXPECT_DOUBLE_EQ(a.norm2(), 5.0);
+  EXPECT_DOUBLE_EQ(a.norm_inf(), 4.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 7.0);
+}
+
+TEST(Vector, NormInfUsesAbsoluteValue) {
+  Vector a{-9.0, 1.0};
+  EXPECT_DOUBLE_EQ(a.norm_inf(), 9.0);
+}
+
+TEST(Vector, ScaleAndPointwise) {
+  Vector a{2.0, 4.0};
+  a.scale(0.5);
+  EXPECT_DOUBLE_EQ(a[0], 1.0);
+  Vector b{3.0, 5.0};
+  a.pointwise_mult(b);
+  EXPECT_DOUBLE_EQ(a[0], 3.0);
+  EXPECT_DOUBLE_EQ(a[1], 10.0);
+}
+
+TEST(Vector, CopyFromResizes) {
+  Vector a{1.0, 2.0, 3.0};
+  Vector b;
+  b.copy_from(a);
+  EXPECT_EQ(b.size(), 3);
+  EXPECT_DOUBLE_EQ(b[1], 2.0);
+  b[1] = 99.0;
+  EXPECT_DOUBLE_EQ(a[1], 2.0);
+}
+
+TEST(Vector, MaxpyMatchesRepeatedAxpy) {
+  const Index n = 33;
+  Vector base(n);
+  for (Index i = 0; i < n; ++i) base[i] = 0.1 * i;
+  Vector xs[5];
+  const Vector* ptrs[5];
+  Scalar alphas[5];
+  for (int k = 0; k < 5; ++k) {
+    xs[k].resize(n);
+    for (Index i = 0; i < n; ++i) xs[k][i] = std::sin(0.3 * i + k);
+    ptrs[k] = &xs[k];
+    alphas[k] = 0.5 * (k + 1);
+  }
+  Vector a, b;
+  a.copy_from(base);
+  b.copy_from(base);
+  a.maxpy(5, alphas, ptrs);
+  for (int k = 0; k < 5; ++k) b.axpy(alphas[k], xs[k]);
+  for (Index i = 0; i < n; ++i) EXPECT_NEAR(a[i], b[i], 1e-13);
+}
+
+TEST(Vector, MaxpyEdgeCounts) {
+  Vector a{1.0, 2.0};
+  const Vector x{10.0, 20.0};
+  const Vector* ptrs[1] = {&x};
+  const Scalar alpha[1] = {2.0};
+  a.maxpy(0, nullptr, nullptr);  // no-op
+  EXPECT_DOUBLE_EQ(a[0], 1.0);
+  a.maxpy(1, alpha, ptrs);  // odd count path
+  EXPECT_DOUBLE_EQ(a[0], 21.0);
+  EXPECT_DOUBLE_EQ(a[1], 42.0);
+}
+
+TEST(Vector, SizeMismatchThrows) {
+  Vector a(3), b(4);
+  EXPECT_THROW(a.axpy(1.0, b), Error);
+  EXPECT_THROW(a.dot(b), Error);
+  EXPECT_THROW(a.pointwise_mult(b), Error);
+}
+
+TEST(Vector, EmptyVectorOpsAreSafe) {
+  Vector a, b;
+  EXPECT_DOUBLE_EQ(a.dot(b), 0.0);
+  EXPECT_DOUBLE_EQ(a.norm2(), 0.0);
+  EXPECT_DOUBLE_EQ(a.norm_inf(), 0.0);
+}
+
+}  // namespace
+}  // namespace kestrel
