@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Kestrel Sentry: the full local gate. Mirrors what CI runs — a normal
+# build + test pass, the kernel-contract lint (with its self-test), and the
+# ASan/UBSan sanitizer suites. The TSan suite is optional (slow) and runs
+# with --tsan.
+#
+# Usage:  scripts/check.sh [--tsan] [-j N]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=2
+run_tsan=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --tsan) run_tsan=1 ;;
+    -j) jobs="$2"; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+banner() { printf '\n=== %s ===\n' "$*"; }
+
+banner "lint (kernel contracts)"
+python3 tools/kestrel_lint.py --self-test
+python3 tools/kestrel_lint.py --repo .
+
+banner "build + full test suite"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure
+
+sanitizer_suite() {
+  local name="$1" label="$2"
+  banner "sanitizer: $name (ctest -L $label)"
+  cmake -B "build-$label" -S . -DKESTREL_SANITIZE="$name" \
+    -DKESTREL_BUILD_BENCH=OFF -DKESTREL_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build "build-$label" -j "$jobs"
+  ctest --test-dir "build-$label" -L "$label" --output-on-failure
+}
+
+sanitizer_suite address asan
+sanitizer_suite undefined ubsan
+if [[ "$run_tsan" == 1 ]]; then
+  sanitizer_suite thread tsan
+fi
+
+banner "all checks passed"

@@ -13,6 +13,8 @@
 #include <cstdlib>
 #include <limits>
 #include <new>
+#include <type_traits>
+#include <utility>
 
 #include "base/error.hpp"
 #include "base/types.hpp"

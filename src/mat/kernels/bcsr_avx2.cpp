@@ -63,8 +63,7 @@ void bcsr_spmv_generic_avx2(const BcsrView& a, const Scalar* x, Scalar* y) {
 }  // namespace
 
 void register_bcsr_avx2() {
-  simd::register_kernel(simd::Op::kBcsrSpmv, simd::IsaTier::kAvx2,
-                        reinterpret_cast<void*>(&bcsr_spmv_generic_avx2));
+  KESTREL_REGISTER_KERNEL(kBcsrSpmv, kAvx2, bcsr_spmv_generic_avx2);
 }
 
 }  // namespace kestrel::mat::kernels

@@ -51,8 +51,7 @@ void bcsr_spmv_scalar(const BcsrView& a, const Scalar* x, Scalar* y) {
 }  // namespace
 
 void register_bcsr_scalar() {
-  simd::register_kernel(simd::Op::kBcsrSpmv, simd::IsaTier::kScalar,
-                        reinterpret_cast<void*>(&bcsr_spmv_scalar));
+  KESTREL_REGISTER_KERNEL(kBcsrSpmv, kScalar, bcsr_spmv_scalar);
 }
 
 }  // namespace kestrel::mat::kernels

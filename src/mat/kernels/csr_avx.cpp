@@ -61,12 +61,8 @@ void csr_spmv_add_rows_avx(const CsrView& a, const Index* rows,
 }  // namespace
 
 void register_csr_avx() {
-  using simd::IsaTier;
-  using simd::Op;
-  simd::register_kernel(Op::kCsrSpmv, IsaTier::kAvx,
-                        reinterpret_cast<void*>(&csr_spmv_avx));
-  simd::register_kernel(Op::kCsrSpmvAddRows, IsaTier::kAvx,
-                        reinterpret_cast<void*>(&csr_spmv_add_rows_avx));
+  KESTREL_REGISTER_KERNEL(kCsrSpmv, kAvx, csr_spmv_avx);
+  KESTREL_REGISTER_KERNEL(kCsrSpmvAddRows, kAvx, csr_spmv_add_rows_avx);
 }
 
 }  // namespace kestrel::mat::kernels

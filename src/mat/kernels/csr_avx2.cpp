@@ -56,12 +56,8 @@ void csr_spmv_add_rows_avx2(const CsrView& a, const Index* rows,
 }  // namespace
 
 void register_csr_avx2() {
-  using simd::IsaTier;
-  using simd::Op;
-  simd::register_kernel(Op::kCsrSpmv, IsaTier::kAvx2,
-                        reinterpret_cast<void*>(&csr_spmv_avx2));
-  simd::register_kernel(Op::kCsrSpmvAddRows, IsaTier::kAvx2,
-                        reinterpret_cast<void*>(&csr_spmv_add_rows_avx2));
+  KESTREL_REGISTER_KERNEL(kCsrSpmv, kAvx2, csr_spmv_avx2);
+  KESTREL_REGISTER_KERNEL(kCsrSpmvAddRows, kAvx2, csr_spmv_add_rows_avx2);
 }
 
 }  // namespace kestrel::mat::kernels

@@ -62,12 +62,8 @@ void csr_spmv_add_rows_avx512(const CsrView& a, const Index* rows,
 }  // namespace
 
 void register_csr_avx512() {
-  using simd::IsaTier;
-  using simd::Op;
-  simd::register_kernel(Op::kCsrSpmv, IsaTier::kAvx512,
-                        reinterpret_cast<void*>(&csr_spmv_avx512));
-  simd::register_kernel(Op::kCsrSpmvAddRows, IsaTier::kAvx512,
-                        reinterpret_cast<void*>(&csr_spmv_add_rows_avx512));
+  KESTREL_REGISTER_KERNEL(kCsrSpmv, kAvx512, csr_spmv_avx512);
+  KESTREL_REGISTER_KERNEL(kCsrSpmvAddRows, kAvx512, csr_spmv_add_rows_avx512);
 }
 
 }  // namespace kestrel::mat::kernels

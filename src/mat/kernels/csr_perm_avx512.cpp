@@ -51,8 +51,7 @@ void csr_perm_spmv_avx512(const CsrPermView& a, const Scalar* x, Scalar* y) {
 }  // namespace
 
 void register_csr_perm_avx512() {
-  simd::register_kernel(simd::Op::kCsrPermSpmv, simd::IsaTier::kAvx512,
-                        reinterpret_cast<void*>(&csr_perm_spmv_avx512));
+  KESTREL_REGISTER_KERNEL(kCsrPermSpmv, kAvx512, csr_perm_spmv_avx512);
 }
 
 }  // namespace kestrel::mat::kernels

@@ -31,8 +31,7 @@ void csr_perm_spmv_scalar(const CsrPermView& a, const Scalar* x, Scalar* y) {
 }  // namespace
 
 void register_csr_perm_scalar() {
-  simd::register_kernel(simd::Op::kCsrPermSpmv, simd::IsaTier::kScalar,
-                        reinterpret_cast<void*>(&csr_perm_spmv_scalar));
+  KESTREL_REGISTER_KERNEL(kCsrPermSpmv, kScalar, csr_perm_spmv_scalar);
 }
 
 }  // namespace kestrel::mat::kernels

@@ -36,12 +36,8 @@ void csr_spmv_add_rows_scalar(const CsrView& a, const Index* rows,
 }  // namespace
 
 void register_csr_scalar() {
-  using simd::IsaTier;
-  using simd::Op;
-  simd::register_kernel(Op::kCsrSpmv, IsaTier::kScalar,
-                        reinterpret_cast<void*>(&csr_spmv_scalar));
-  simd::register_kernel(Op::kCsrSpmvAddRows, IsaTier::kScalar,
-                        reinterpret_cast<void*>(&csr_spmv_add_rows_scalar));
+  KESTREL_REGISTER_KERNEL(kCsrSpmv, kScalar, csr_spmv_scalar);
+  KESTREL_REGISTER_KERNEL(kCsrSpmvAddRows, kScalar, csr_spmv_add_rows_scalar);
 }
 
 }  // namespace kestrel::mat::kernels

@@ -29,6 +29,7 @@ inline void store4(Scalar* y, Index valid, __m256d acc) {
       _mm256_storeu_pd(y, acc);
     }
   } else if (valid > 0) {
+    // kestrel-aligned: tmp is alignas(32) stack storage declared above
     _mm256_store_pd(tmp, acc);
     for (Index lane = 0; lane < valid; ++lane) {
       if constexpr (Add) {
@@ -74,12 +75,8 @@ void sell_spmv_add_avx(const SellView& a, const Scalar* x, Scalar* y) {
 }  // namespace
 
 void register_sell_avx() {
-  using simd::IsaTier;
-  using simd::Op;
-  simd::register_kernel(Op::kSellSpmv, IsaTier::kAvx,
-                        reinterpret_cast<void*>(&sell_spmv_avx));
-  simd::register_kernel(Op::kSellSpmvAdd, IsaTier::kAvx,
-                        reinterpret_cast<void*>(&sell_spmv_add_avx));
+  KESTREL_REGISTER_KERNEL(kSellSpmv, kAvx, sell_spmv_avx);
+  KESTREL_REGISTER_KERNEL(kSellSpmvAdd, kAvx, sell_spmv_add_avx);
 }
 
 }  // namespace kestrel::mat::kernels

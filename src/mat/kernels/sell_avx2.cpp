@@ -22,6 +22,7 @@ inline void store4(Scalar* y, Index valid, __m256d acc) {
       _mm256_storeu_pd(y, acc);
     }
   } else if (valid > 0) {
+    // kestrel-aligned: tmp is alignas(32) stack storage declared above
     _mm256_store_pd(tmp, acc);
     for (Index lane = 0; lane < valid; ++lane) {
       if constexpr (Add) {
@@ -69,12 +70,8 @@ void sell_spmv_add_avx2(const SellView& a, const Scalar* x, Scalar* y) {
 }  // namespace
 
 void register_sell_avx2() {
-  using simd::IsaTier;
-  using simd::Op;
-  simd::register_kernel(Op::kSellSpmv, IsaTier::kAvx2,
-                        reinterpret_cast<void*>(&sell_spmv_avx2));
-  simd::register_kernel(Op::kSellSpmvAdd, IsaTier::kAvx2,
-                        reinterpret_cast<void*>(&sell_spmv_add_avx2));
+  KESTREL_REGISTER_KERNEL(kSellSpmv, kAvx2, sell_spmv_avx2);
+  KESTREL_REGISTER_KERNEL(kSellSpmvAdd, kAvx2, sell_spmv_add_avx2);
 }
 
 }  // namespace kestrel::mat::kernels

@@ -99,24 +99,32 @@ void sell_spmv_add_avx512(const SellView& a, const Scalar* x, Scalar* y) {
 /// ablation bench; the paper measured it ~10% SLOWER than the unmasked
 /// kernel because of mask-handling overhead and lost load alignment.
 void sell_spmv_bitmask_avx512(const SellView& a, const Scalar* x, Scalar* y) {
-  const Index c = a.c;  // requires c == 8, enforced by caller
-  (void)c;
+  const Index c = a.c;  // multiple of 8, enforced by caller
+  const Index nv = c / 8;
+  __m512d acc[8];  // c <= 64
   for (Index s = 0; s < a.nslices; ++s) {
-    __m512d acc = _mm512_setzero_pd();
+    for (Index v = 0; v < nv; ++v) acc[v] = _mm512_setzero_pd();
     const Index begin = a.sliceptr[s];
     const Index end = a.sliceptr[s + 1];
-    for (Index k = begin; k < end; k += 8) {
-      const __mmask8 mask = static_cast<__mmask8>(a.bitmask[k / 8]);
-      const __m512d vals = _mm512_maskz_loadu_pd(mask, a.val + k);
-      const __m256i idx =
-          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a.colidx + k));
-      const __m512d vx =
-          _mm512_mask_i32gather_pd(_mm512_setzero_pd(), mask, idx, x, 8);
-      acc = _mm512_mask3_fmadd_pd(vals, vx, acc, mask);
+    for (Index k = begin; k < end; k += c) {
+      // One bitmask word per slice column: bit `lane` of word k/c covers
+      // element k+lane, so vector v takes bits [8v, 8v+8).
+      const std::uint64_t word = a.bitmask[k / c];
+      for (Index v = 0; v < nv; ++v) {
+        const __mmask8 mask = static_cast<__mmask8>(word >> (v * 8));
+        const __m512d vals = _mm512_maskz_loadu_pd(mask, a.val + k + v * 8);
+        const __m256i idx = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(a.colidx + k + v * 8));
+        const __m512d vx =
+            _mm512_mask_i32gather_pd(_mm512_setzero_pd(), mask, idx, x, 8);
+        acc[v] = _mm512_mask3_fmadd_pd(vals, vx, acc[v], mask);
+      }
     }
-    const Index row0 = s * 8;
-    const Index nrows = (row0 + 8 <= a.m) ? 8 : (a.m - row0);
-    store_lanes<false>(y + row0, nrows, 0, acc);
+    const Index row0 = s * c;
+    const Index nrows = (row0 + c <= a.m) ? c : (a.m - row0);
+    for (Index v = 0; v < nv && v * 8 < nrows; ++v) {
+      store_lanes<false>(y + row0 + v * 8, nrows, v * 8, acc[v]);
+    }
   }
 }
 
@@ -175,16 +183,11 @@ void sell_spmv_avx512_prefetch(const SellView& a, const Scalar* x,
 }  // namespace
 
 void register_sell_avx512() {
-  using simd::IsaTier;
-  using simd::Op;
-  simd::register_kernel(Op::kSellSpmv, IsaTier::kAvx512,
-                        reinterpret_cast<void*>(&sell_spmv_avx512));
-  simd::register_kernel(Op::kSellSpmvAdd, IsaTier::kAvx512,
-                        reinterpret_cast<void*>(&sell_spmv_add_avx512));
-  simd::register_kernel(Op::kSellSpmvBitmask, IsaTier::kAvx512,
-                        reinterpret_cast<void*>(&sell_spmv_bitmask_avx512));
-  simd::register_kernel(Op::kSellSpmvPrefetch, IsaTier::kAvx512,
-                        reinterpret_cast<void*>(&sell_spmv_avx512_prefetch));
+  KESTREL_REGISTER_KERNEL(kSellSpmv, kAvx512, sell_spmv_avx512);
+  KESTREL_REGISTER_KERNEL(kSellSpmvAdd, kAvx512, sell_spmv_add_avx512);
+  KESTREL_REGISTER_KERNEL(kSellSpmvBitmask, kAvx512, sell_spmv_bitmask_avx512);
+  KESTREL_REGISTER_KERNEL(kSellSpmvPrefetch, kAvx512,
+                          sell_spmv_avx512_prefetch);
 }
 
 }  // namespace kestrel::mat::kernels

@@ -64,17 +64,11 @@ void sell_spmv_bitmask_scalar(const SellView& a, const Scalar* x, Scalar* y) {
 }  // namespace
 
 void register_sell_scalar() {
-  using simd::IsaTier;
-  using simd::Op;
-  simd::register_kernel(Op::kSellSpmv, IsaTier::kScalar,
-                        reinterpret_cast<void*>(&sell_spmv_scalar));
-  simd::register_kernel(Op::kSellSpmvAdd, IsaTier::kScalar,
-                        reinterpret_cast<void*>(&sell_spmv_add_scalar));
-  simd::register_kernel(Op::kSellSpmvBitmask, IsaTier::kScalar,
-                        reinterpret_cast<void*>(&sell_spmv_bitmask_scalar));
+  KESTREL_REGISTER_KERNEL(kSellSpmv, kScalar, sell_spmv_scalar);
+  KESTREL_REGISTER_KERNEL(kSellSpmvAdd, kScalar, sell_spmv_add_scalar);
+  KESTREL_REGISTER_KERNEL(kSellSpmvBitmask, kScalar, sell_spmv_bitmask_scalar);
   // scalar fallback for the prefetch variant is the plain kernel
-  simd::register_kernel(Op::kSellSpmvPrefetch, IsaTier::kScalar,
-                        reinterpret_cast<void*>(&sell_spmv_scalar));
+  KESTREL_REGISTER_KERNEL(kSellSpmvPrefetch, kScalar, sell_spmv_scalar);
 }
 
 }  // namespace kestrel::mat::kernels

@@ -1,0 +1,151 @@
+#include "par/checker.hpp"
+
+#include <sstream>
+
+#include "base/error.hpp"
+
+namespace kestrel::par {
+
+namespace {
+constexpr std::size_t kMaxTraceEvents = 512;
+}  // namespace
+
+const char* fabric_event_name(FabricEventKind kind) {
+  switch (kind) {
+    case FabricEventKind::kIsend:
+      return "isend";
+    case FabricEventKind::kIrecvPost:
+      return "irecv";
+    case FabricEventKind::kWait:
+      return "wait";
+    case FabricEventKind::kRecv:
+      return "recv";
+    case FabricEventKind::kBarrier:
+      return "barrier";
+    case FabricEventKind::kAllreduce:
+      return "allreduce";
+    case FabricEventKind::kAllgatherv:
+      return "allgatherv";
+    case FabricEventKind::kRankExit:
+      return "rank-exit";
+  }
+  return "?";
+}
+
+FabricChecker::FabricChecker(int nranks)
+    : ranks_(static_cast<std::size_t>(nranks)) {}
+
+void FabricChecker::record(FabricEventKind kind, int rank, int peer,
+                           int tag) {
+  RankState& rs = ranks_[static_cast<std::size_t>(rank)];
+  events_.push_back(FabricEvent{kind, rank, peer, tag, rs.next_seq++});
+  if (events_.size() > kMaxTraceEvents) events_.pop_front();
+}
+
+std::string FabricChecker::trace_locked(std::size_t max_events) const {
+  std::ostringstream os;
+  const std::size_t n = events_.size();
+  const std::size_t begin = n > max_events ? n - max_events : 0;
+  os << "recent fabric events (oldest first";
+  if (begin > 0) os << ", " << begin << " earlier omitted";
+  os << "):";
+  for (std::size_t i = begin; i < n; ++i) {
+    const FabricEvent& e = events_[i];
+    os << "\n  rank " << e.rank << " #" << e.seq << " "
+       << fabric_event_name(e.kind);
+    if (e.peer >= 0) {
+      os << (e.kind == FabricEventKind::kIsend ? " dest=" : " source=")
+         << e.peer;
+    }
+    if (e.tag >= 0) os << " tag=" << e.tag;
+  }
+  return os.str();
+}
+
+std::string FabricChecker::trace(std::size_t max_events) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_locked(max_events);
+}
+
+void FabricChecker::fail(const std::string& msg) const {
+  // mu_ is held by the caller; the throw unwinds through the lock_guard.
+  KESTREL_FAIL("fabric checker: " + msg + "\n" + trace_locked(16));
+}
+
+void FabricChecker::on_isend(int rank, int dest, int tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record(FabricEventKind::kIsend, rank, dest, tag);
+}
+
+std::uint64_t FabricChecker::on_irecv_post(int rank, int source, int tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record(FabricEventKind::kIrecvPost, rank, source, tag);
+  const std::uint64_t id = next_request_id_++;
+  ranks_[static_cast<std::size_t>(rank)].pending.push_back(
+      PendingRecv{id, source, tag});
+  return id;
+}
+
+void FabricChecker::on_wait(int rank, std::uint64_t request_id, int source,
+                            int tag, bool request_done) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record(FabricEventKind::kWait, rank, source, tag);
+  std::ostringstream ctx;
+  ctx << "(rank " << rank << ", source=" << source << ", tag=" << tag << ")";
+  if (request_done) {
+    fail("double wait on request " + ctx.str());
+  }
+  auto& pending = ranks_[static_cast<std::size_t>(rank)].pending;
+  for (auto it = pending.begin(); it != pending.end(); ++it) {
+    if (it->id == request_id) {
+      pending.erase(it);
+      return;
+    }
+  }
+  fail("wait on a request that was never posted by this rank, already "
+       "waited on, or waited on via a copy " +
+       ctx.str());
+}
+
+void FabricChecker::on_recv(int rank, int source, int tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record(FabricEventKind::kRecv, rank, source, tag);
+}
+
+void FabricChecker::on_collective(int rank, FabricEventKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record(kind, rank, -1, -1);
+  RankState& rs = ranks_[static_cast<std::size_t>(rank)];
+  const std::uint64_t round = rs.collective_round++;
+  if (round >= collective_kind_.size()) {
+    collective_kind_.push_back(kind);
+    collective_first_rank_.push_back(rank);
+    return;
+  }
+  const FabricEventKind expected =
+      collective_kind_[static_cast<std::size_t>(round)];
+  if (expected != kind) {
+    std::ostringstream os;
+    os << "mismatched collectives at round " << round << ": rank "
+       << collective_first_rank_[static_cast<std::size_t>(round)]
+       << " entered " << fabric_event_name(expected) << " while rank "
+       << rank << " entered " << fabric_event_name(kind);
+    fail(os.str());
+  }
+}
+
+void FabricChecker::on_rank_exit(int rank) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record(FabricEventKind::kRankExit, rank, -1, -1);
+  const auto& pending = ranks_[static_cast<std::size_t>(rank)].pending;
+  if (pending.empty()) return;
+  std::ostringstream os;
+  os << "rank " << rank << " exited Fabric::run with " << pending.size()
+     << " un-waited request(s):";
+  for (const PendingRecv& p : pending) {
+    os << " (source=" << p.source << ", tag=" << p.tag << ")";
+  }
+  fail(os.str());
+}
+
+}  // namespace kestrel::par

@@ -1,0 +1,113 @@
+#pragma once
+// Fabric checker: a happens-before event recorder for the threads-as-ranks
+// fabric (Kestrel Sentry, part 2).
+//
+// Every public Comm operation (isend / irecv / wait / recv / barrier /
+// allreduce / allgatherv) reports an event here when checking is enabled
+// (debug builds, sanitizer presets, or KESTREL_FABRIC_CHECK=1). The checker
+// maintains per-rank program-order state and a bounded global event trace,
+// and fails loudly — with rank / op / source / tag context plus the recent
+// trace — on the contract violations that the mutex/condvar choreography in
+// comm.cpp cannot detect on its own:
+//
+//   * mismatched collectives: rank A enters barrier while rank B enters
+//     allreduce at the same collective round (MPI would deadlock or corrupt;
+//     our tag-multiplexed implementation would silently mis-pair payloads);
+//   * double-wait: the same Request (or a copy of it) waited on twice;
+//   * un-waited requests: a rank returns from Fabric::run with posted
+//     receives it never waited on — a silently dropped message;
+//   * lost wakeups / deadlock: a rank blocked in a matching-receive past the
+//     hang timeout (see FabricOptions::hang_timeout_s in comm.hpp).
+//
+// The checker is deliberately synchronous and mutex-protected: it is a
+// debugging instrument, not a hot path. Release builds without a sanitizer
+// preset never construct one.
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace kestrel::par {
+
+enum class FabricEventKind : int {
+  kIsend = 0,
+  kIrecvPost,
+  kWait,
+  kRecv,
+  kBarrier,
+  kAllreduce,
+  kAllgatherv,
+  kRankExit,
+};
+
+const char* fabric_event_name(FabricEventKind kind);
+
+/// One recorded fabric event. `peer` is the destination (isend) or source
+/// (irecv/wait/recv); -1 for collectives. `seq` is the per-rank program
+/// order, which is exactly the happens-before order within a rank.
+struct FabricEvent {
+  FabricEventKind kind = FabricEventKind::kIsend;
+  int rank = -1;
+  int peer = -1;
+  int tag = -1;
+  std::uint64_t seq = 0;
+};
+
+class FabricChecker {
+ public:
+  explicit FabricChecker(int nranks);
+
+  FabricChecker(const FabricChecker&) = delete;
+  FabricChecker& operator=(const FabricChecker&) = delete;
+
+  // ---- point-to-point --------------------------------------------------
+  void on_isend(int rank, int dest, int tag);
+  /// Returns the id stamped into the Request so wait() can be validated.
+  std::uint64_t on_irecv_post(int rank, int source, int tag);
+  /// `request_done` is the Request::done flag *before* this wait runs.
+  void on_wait(int rank, std::uint64_t request_id, int source, int tag,
+               bool request_done);
+  void on_recv(int rank, int source, int tag);
+
+  // ---- collectives -----------------------------------------------------
+  /// `kind` must be kBarrier, kAllreduce or kAllgatherv. Verifies that all
+  /// ranks run the same collective at the same per-rank collective round.
+  void on_collective(int rank, FabricEventKind kind);
+
+  // ---- lifecycle -------------------------------------------------------
+  /// Called when a rank's function returns normally; fails if the rank
+  /// still has posted receives it never waited on.
+  void on_rank_exit(int rank);
+
+  /// Human-readable tail of the event trace (most recent last).
+  std::string trace(std::size_t max_events = 16) const;
+
+ private:
+  struct PendingRecv {
+    std::uint64_t id = 0;
+    int source = -1;
+    int tag = -1;
+  };
+  struct RankState {
+    std::uint64_t next_seq = 0;
+    std::uint64_t collective_round = 0;
+    std::vector<PendingRecv> pending;
+  };
+
+  // Callers must hold mu_.
+  void record(FabricEventKind kind, int rank, int peer, int tag);
+  std::string trace_locked(std::size_t max_events) const;
+  [[noreturn]] void fail(const std::string& msg) const;
+
+  mutable std::mutex mu_;
+  std::vector<RankState> ranks_;
+  /// Kind of collective round i, established by the first rank to reach it.
+  std::vector<FabricEventKind> collective_kind_;
+  std::vector<int> collective_first_rank_;
+  std::deque<FabricEvent> events_;  ///< bounded global trace
+  std::uint64_t next_request_id_ = 1;
+};
+
+}  // namespace kestrel::par

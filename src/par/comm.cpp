@@ -1,10 +1,14 @@
 #include "par/comm.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <exception>
+#include <sstream>
 #include <thread>
 
 #include "base/error.hpp"
+#include "par/checker.hpp"
 
 namespace kestrel::par {
 
@@ -29,9 +33,52 @@ Scalar reduce2(Scalar a, Scalar b, Comm::ReduceOp op) {
   return a;
 }
 
+/// Describes a blocked matching-receive for hang reports, translating the
+/// internal collective tags back into user-facing operation names.
+std::string take_context(int source, int tag) {
+  std::ostringstream os;
+  switch (tag) {
+    case kTagReduceUp:
+    case kTagReduceDown:
+      os << "allreduce/barrier (source=" << source << ")";
+      break;
+    case kTagGatherUp:
+    case kTagGatherDown:
+      os << "allgatherv (source=" << source << ")";
+      break;
+    default:
+      os << "recv(source=" << source << ", tag=" << tag << ")";
+      break;
+  }
+  return os.str();
+}
+
+bool env_flag(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return !(v[0] == '0' && v[1] == '\0');
+}
+
 }  // namespace
 
+FabricOptions::FabricOptions() {
+#if defined(KESTREL_FABRIC_CHECK_DEFAULT)
+  constexpr bool kBuildDefault = KESTREL_FABRIC_CHECK_DEFAULT != 0;
+#elif defined(NDEBUG)
+  constexpr bool kBuildDefault = false;
+#else
+  constexpr bool kBuildDefault = true;
+#endif
+  check = env_flag("KESTREL_FABRIC_CHECK", kBuildDefault);
+  hang_timeout_s = 30.0;
+  if (const char* v = std::getenv("KESTREL_FABRIC_HANG_TIMEOUT")) {
+    hang_timeout_s = std::strtod(v, nullptr);
+  }
+}
+
 // ---- Comm ------------------------------------------------------------
+
+FabricChecker* Comm::checker() const { return fabric_->checker_.get(); }
 
 void Comm::isend(int dest, int tag, const std::vector<Scalar>& data) {
   isend(dest, tag, data.data(), data.size());
@@ -40,6 +87,7 @@ void Comm::isend(int dest, int tag, const std::vector<Scalar>& data) {
 void Comm::isend(int dest, int tag, const Scalar* data, std::size_t count) {
   KESTREL_CHECK(dest >= 0 && dest < size_, "isend: bad destination rank");
   KESTREL_CHECK(tag >= 0, "isend: user tags must be non-negative");
+  if (FabricChecker* chk = checker()) chk->on_isend(rank_, dest, tag);
   fabric_->deliver(dest, rank_, tag,
                    std::vector<Scalar>(data, data + count));
 }
@@ -48,21 +96,41 @@ Request Comm::irecv(int source, int tag, std::vector<Scalar>* sink) {
   KESTREL_CHECK(source >= 0 && source < size_, "irecv: bad source rank");
   KESTREL_CHECK(tag >= 0, "irecv: user tags must be non-negative");
   KESTREL_CHECK(sink != nullptr, "irecv: null sink");
-  return Request{source, tag, sink, false};
+  Request req{source, tag, sink, false, 0};
+  if (FabricChecker* chk = checker()) {
+    req.id = chk->on_irecv_post(rank_, source, tag);
+  }
+  return req;
 }
 
 void Comm::wait(Request& req) {
-  KESTREL_CHECK(req.sink != nullptr && !req.done, "wait: invalid request");
+  // The checker (when attached) reports double-wait and foreign requests
+  // with rank/source/tag context and a trace; the plain check below is the
+  // always-on release-mode backstop.
+  if (FabricChecker* chk = checker()) {
+    chk->on_wait(rank_, req.id, req.source, req.tag, req.done);
+  }
+  KESTREL_CHECK(req.sink != nullptr && !req.done,
+                "wait: invalid request (already waited on, or "
+                "default-constructed)");
   *req.sink = fabric_->take(rank_, req.source, req.tag);
   req.done = true;
 }
 
 std::vector<Scalar> Comm::recv(int source, int tag) {
   KESTREL_CHECK(source >= 0 && source < size_, "recv: bad source rank");
+  if (FabricChecker* chk = checker()) chk->on_recv(rank_, source, tag);
   return fabric_->take(rank_, source, tag);
 }
 
 Scalar Comm::allreduce(Scalar value, ReduceOp op) {
+  if (FabricChecker* chk = checker()) {
+    chk->on_collective(rank_, FabricEventKind::kAllreduce);
+  }
+  return allreduce_impl(value, op);
+}
+
+Scalar Comm::allreduce_impl(Scalar value, ReduceOp op) {
   if (size_ == 1) return value;
   if (rank_ == 0) {
     Scalar acc = value;
@@ -86,6 +154,13 @@ std::int64_t Comm::allreduce(std::int64_t value, ReduceOp op) {
 }
 
 std::vector<Scalar> Comm::allgatherv(const std::vector<Scalar>& local) {
+  if (FabricChecker* chk = checker()) {
+    chk->on_collective(rank_, FabricEventKind::kAllgatherv);
+  }
+  return allgatherv_impl(local);
+}
+
+std::vector<Scalar> Comm::allgatherv_impl(const std::vector<Scalar>& local) {
   if (size_ == 1) return local;
   if (rank_ == 0) {
     std::vector<Scalar> all = local;
@@ -106,24 +181,36 @@ std::vector<Scalar> Comm::allgatherv(const std::vector<Scalar>& local) {
 }
 
 std::vector<Index> Comm::allgatherv(const std::vector<Index>& local) {
+  if (FabricChecker* chk = checker()) {
+    chk->on_collective(rank_, FabricEventKind::kAllgatherv);
+  }
   std::vector<Scalar> as_scalar(local.begin(), local.end());
-  std::vector<Scalar> all = allgatherv(as_scalar);
+  std::vector<Scalar> all = allgatherv_impl(as_scalar);
   std::vector<Index> out(all.size());
   std::transform(all.begin(), all.end(), out.begin(),
                  [](Scalar v) { return static_cast<Index>(v); });
   return out;
 }
 
-void Comm::barrier() { (void)allreduce(Scalar{0}, ReduceOp::kSum); }
+void Comm::barrier() {
+  if (FabricChecker* chk = checker()) {
+    chk->on_collective(rank_, FabricEventKind::kBarrier);
+  }
+  (void)allreduce_impl(Scalar{0}, ReduceOp::kSum);
+}
 
 // ---- Fabric ----------------------------------------------------------
 
-Fabric::Fabric(int nranks) : nranks_(nranks) {
+Fabric::Fabric(int nranks, const FabricOptions& opts)
+    : nranks_(nranks), opts_(opts) {
+  if (opts_.check) checker_ = std::make_unique<FabricChecker>(nranks);
   mailboxes_.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
   }
 }
+
+Fabric::~Fabric() = default;
 
 void Fabric::deliver(int dest, int source, int tag,
                      std::vector<Scalar> payload) {
@@ -139,11 +226,32 @@ std::vector<Scalar> Fabric::take(int self, int source, int tag) {
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(self)];
   std::unique_lock<std::mutex> lock(box.mu);
   const auto key = std::make_pair(source, tag);
-  box.cv.wait(lock, [&] {
+  const auto ready = [&] {
     if (aborted_.load(std::memory_order_relaxed)) return true;
     auto it = box.queue.find(key);
     return it != box.queue.end() && !it->second.empty();
-  });
+  };
+  if (checker_ != nullptr && opts_.hang_timeout_s > 0) {
+    // Bounded wait: a lost wakeup or a deadlocked peer would otherwise hang
+    // this rank forever. On timeout, abort the fabric (so peers unblock)
+    // and report who was stuck on what.
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(opts_.hang_timeout_s));
+    if (!box.cv.wait_until(lock, deadline, ready)) {
+      lock.unlock();
+      abort_all();
+      std::ostringstream os;
+      os << "fabric checker: possible lost wakeup or deadlock: rank " << self
+         << " blocked in " << take_context(source, tag) << " for more than "
+         << opts_.hang_timeout_s << "s\n"
+         << checker_->trace(16);
+      KESTREL_FAIL(os.str());
+    }
+  } else {
+    box.cv.wait(lock, ready);
+  }
   auto it = box.queue.find(key);
   if (it == box.queue.end() || it->second.empty()) {
     KESTREL_FAIL("fabric aborted: a peer rank threw an exception");
@@ -162,11 +270,19 @@ void Fabric::abort_all() {
 }
 
 void Fabric::run(int nranks, const std::function<void(Comm&)>& fn) {
+  run(nranks, FabricOptions{}, fn);
+}
+
+void Fabric::run(int nranks, const FabricOptions& opts,
+                 const std::function<void(Comm&)>& fn) {
   KESTREL_CHECK(nranks >= 1, "need at least one rank");
-  Fabric fabric(nranks);
+  Fabric fabric(nranks, opts);
   if (nranks == 1) {
     Comm comm(&fabric, 0, 1);
     fn(comm);
+    // Un-waited requests are a bug even on one rank: the message (from a
+    // self-send) would be silently dropped.
+    if (fabric.checker_) fabric.checker_->on_rank_exit(0);
     return;
   }
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
@@ -177,6 +293,11 @@ void Fabric::run(int nranks, const std::function<void(Comm&)>& fn) {
       try {
         Comm comm(&fabric, r, nranks);
         fn(comm);
+        // Only on a normal return: after an abort, dangling requests on
+        // surviving ranks are expected, not a bug.
+        if (fabric.checker_ && !fabric.aborted_.load()) {
+          fabric.checker_->on_rank_exit(r);
+        }
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         int expected = -1;

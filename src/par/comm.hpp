@@ -8,6 +8,11 @@
 // gather) is exactly what the overlapped SpMV of paper section 2.2 and the
 // Krylov solvers need. Semantics follow MPI: sends are eager and
 // nonblocking, receives match on (source, tag) in posting order.
+//
+// Correctness instrumentation (Kestrel Sentry): debug builds, sanitizer
+// presets and KESTREL_FABRIC_CHECK=1 attach a FabricChecker (par/checker.hpp)
+// that records a happens-before event trace and fails loudly on mismatched
+// collectives, double-wait, un-waited requests and fabric hangs.
 
 #include <atomic>
 #include <condition_variable>
@@ -24,13 +29,20 @@
 namespace kestrel::par {
 
 class Fabric;
+class FabricChecker;
 
-/// Handle for a pending nonblocking receive.
+/// Handle for a pending nonblocking receive. Waiting on the same request
+/// twice (directly or via a copy) is a contract violation: it throws
+/// unconditionally, and with the fabric checker enabled it is reported with
+/// rank/source/tag context and the recent event trace.
 struct Request {
   int source = -1;
   int tag = -1;
   std::vector<Scalar>* sink = nullptr;
   bool done = false;
+  /// Checker-issued id (0 when checking is disabled). Used to detect
+  /// double-wait through copies and requests dropped without a wait.
+  std::uint64_t id = 0;
 };
 
 /// Per-rank communicator; valid only inside Fabric::run.
@@ -45,7 +57,8 @@ class Comm {
   void isend(int dest, int tag, const Scalar* data, std::size_t count);
 
   /// Posts a receive; wait() blocks until a message from (source, tag)
-  /// arrives and fills *sink.
+  /// arrives and fills *sink. Every posted request must be waited on
+  /// exactly once before the rank function returns.
   Request irecv(int source, int tag, std::vector<Scalar>* sink);
   void wait(Request& req);
 
@@ -67,9 +80,29 @@ class Comm {
   friend class Fabric;
   Comm(Fabric* fabric, int rank, int size)
       : fabric_(fabric), rank_(rank), size_(size) {}
+  /// Collective bodies without checker events; the public entry points
+  /// record exactly one event each so the checker sees the user's program
+  /// order, not the implementation's message pattern.
+  Scalar allreduce_impl(Scalar value, ReduceOp op);
+  std::vector<Scalar> allgatherv_impl(const std::vector<Scalar>& local);
+  FabricChecker* checker() const;
+
   Fabric* fabric_;
   int rank_;
   int size_;
+};
+
+/// Configuration for one Fabric::run. Defaults come from the build and the
+/// environment so test suites can flip checking on globally:
+///   * check: KESTREL_FABRIC_CHECK=0/1 if set; else KESTREL_FABRIC_CHECK_DEFAULT
+///     if compiled in (the sanitizer presets define it to 1); else on in
+///     debug (!NDEBUG) builds and off in release builds.
+///   * hang_timeout_s: KESTREL_FABRIC_HANG_TIMEOUT seconds if set, else 30.
+///     Only active while checking; <= 0 disables hang detection.
+struct FabricOptions {
+  FabricOptions();  // resolves the defaults described above
+  bool check;
+  double hang_timeout_s;
 };
 
 /// Owns the mailboxes and threads. Usage:
@@ -79,10 +112,13 @@ class Fabric {
   /// Spawns `nranks` threads executing fn(comm); rethrows the first rank
   /// exception after all threads join.
   static void run(int nranks, const std::function<void(Comm&)>& fn);
+  static void run(int nranks, const FabricOptions& opts,
+                  const std::function<void(Comm&)>& fn);
 
  private:
   friend class Comm;
-  explicit Fabric(int nranks);
+  Fabric(int nranks, const FabricOptions& opts);
+  ~Fabric();
 
   struct Mailbox {
     std::mutex mu;
@@ -98,6 +134,8 @@ class Fabric {
   void abort_all();
 
   int nranks_;
+  FabricOptions opts_;
+  std::unique_ptr<FabricChecker> checker_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::atomic<bool> aborted_{false};
   std::atomic<int> first_failed_rank_{-1};

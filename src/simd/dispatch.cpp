@@ -15,28 +15,25 @@ namespace {
 void ensure_registered() {
   static std::once_flag flag;
   std::call_once(flag, [] {
-    using namespace kestrel::mat::kernels;
-    register_csr_scalar();
-    register_csr_avx();
-    register_csr_avx2();
-    register_csr_avx512();
-    register_sell_scalar();
-    register_sell_avx();
-    register_sell_avx2();
-    register_sell_avx512();
-    register_csr_perm_scalar();
-    register_csr_perm_avx512();
-    register_bcsr_scalar();
-    register_bcsr_avx2();
+    // One call per KESTREL_KERNEL_TABLE cell; adding a kernel TU to the
+    // table in registration.hpp is all it takes to get it dispatched.
+#define KESTREL_CALL_KERNEL_REGISTRATION(fmt, isa) \
+  ::kestrel::mat::kernels::register_##fmt##_##isa();
+    KESTREL_KERNEL_TABLE(KESTREL_CALL_KERNEL_REGISTRATION)
+#undef KESTREL_CALL_KERNEL_REGISTRATION
   });
 }
 
-using Table =
-    std::array<std::array<void*, kNumTiers>, static_cast<int>(Op::kOpCount)>;
+using Table = std::array<std::array<void*, kNumTiers>,
+                         static_cast<std::size_t>(Op::kOpCount)>;
 
 Table& table() {
   static Table t{};  // zero-initialized
   return t;
+}
+
+std::array<void*, kNumTiers>& row(Op op) {
+  return table()[static_cast<std::size_t>(op)];
 }
 
 const char* op_name(Op op) {
@@ -66,7 +63,7 @@ const char* op_name(Op op) {
 
 void register_kernel(Op op, IsaTier tier, void* fn) {
   KESTREL_CHECK(fn != nullptr, "null kernel");
-  table()[static_cast<int>(op)][static_cast<int>(tier)] = fn;
+  row(op)[static_cast<std::size_t>(tier)] = fn;
 }
 
 IsaTier resolve_tier(Op op, IsaTier want) {
@@ -76,7 +73,7 @@ IsaTier resolve_tier(Op op, IsaTier want) {
   const int best = static_cast<int>(detect_best_tier());
   if (t > best) t = best;
   for (; t >= 0; --t) {
-    if (table()[static_cast<int>(op)][t] != nullptr) {
+    if (row(op)[static_cast<std::size_t>(t)] != nullptr) {
       return static_cast<IsaTier>(t);
     }
   }
@@ -85,12 +82,12 @@ IsaTier resolve_tier(Op op, IsaTier want) {
 
 void* lookup(Op op, IsaTier want) {
   const IsaTier tier = resolve_tier(op, want);
-  return table()[static_cast<int>(op)][static_cast<int>(tier)];
+  return row(op)[static_cast<std::size_t>(tier)];
 }
 
 bool has_exact(Op op, IsaTier tier) {
   ensure_registered();
-  return table()[static_cast<int>(op)][static_cast<int>(tier)] != nullptr;
+  return row(op)[static_cast<std::size_t>(tier)] != nullptr;
 }
 
 IsaTier default_tier() {

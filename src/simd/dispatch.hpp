@@ -66,3 +66,13 @@ struct Registrar {
 };
 
 }  // namespace kestrel::simd
+
+/// Registers a kernel function for an (op, tier) cell from inside a kernel
+/// TU's register_<format>_<isa>() entry point. Kernel TUs must use this
+/// macro (not register_kernel directly): tools/kestrel_lint.py keys on it
+/// to cross-check each TU's declared tier against the -m flags the build
+/// gives that TU in src/CMakeLists.txt.
+#define KESTREL_REGISTER_KERNEL(op, tier, fn)                    \
+  ::kestrel::simd::register_kernel(                              \
+      ::kestrel::simd::Op::op, ::kestrel::simd::IsaTier::tier,   \
+      reinterpret_cast<void*>(&(fn)))

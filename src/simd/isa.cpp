@@ -27,7 +27,7 @@ CpuidResult cpuid_count(unsigned leaf, unsigned subleaf) {
 bool os_saves_zmm() {
   // XGETBV: check OS enabled XMM(1), YMM(2), and opmask/zmm-high (5..7)
   const CpuidResult leaf1 = cpuid_count(1, 0);
-  const bool osxsave = (leaf1.ecx >> 27) & 1u;
+  const bool osxsave = ((leaf1.ecx >> 27) & 1u) != 0;
   if (!osxsave) return false;
   unsigned lo, hi;
   __asm__ volatile("xgetbv" : "=a"(lo), "=d"(hi) : "c"(0));
@@ -37,7 +37,7 @@ bool os_saves_zmm() {
 
 bool os_saves_ymm() {
   const CpuidResult leaf1 = cpuid_count(1, 0);
-  const bool osxsave = (leaf1.ecx >> 27) & 1u;
+  const bool osxsave = ((leaf1.ecx >> 27) & 1u) != 0;
   if (!osxsave) return false;
   unsigned lo, hi;
   __asm__ volatile("xgetbv" : "=a"(lo), "=d"(hi) : "c"(0));
@@ -47,16 +47,16 @@ bool os_saves_ymm() {
 
 IsaTier detect_impl() {
   const CpuidResult leaf1 = cpuid_count(1, 0);
-  const bool avx = ((leaf1.ecx >> 28) & 1u) && os_saves_ymm();
+  const bool avx = ((leaf1.ecx >> 28) & 1u) != 0 && os_saves_ymm();
   if (!avx) return IsaTier::kScalar;
 
   const CpuidResult leaf7 = cpuid_count(7, 0);
-  const bool avx2 = (leaf7.ebx >> 5) & 1u;
-  const bool fma = (leaf1.ecx >> 12) & 1u;
-  const bool avx512f = (leaf7.ebx >> 16) & 1u;
-  const bool avx512dq = (leaf7.ebx >> 17) & 1u;
-  const bool avx512vl = (leaf7.ebx >> 31) & 1u;
-  const bool avx512bw = (leaf7.ebx >> 30) & 1u;
+  const bool avx2 = ((leaf7.ebx >> 5) & 1u) != 0;
+  const bool fma = ((leaf1.ecx >> 12) & 1u) != 0;
+  const bool avx512f = ((leaf7.ebx >> 16) & 1u) != 0;
+  const bool avx512dq = ((leaf7.ebx >> 17) & 1u) != 0;
+  const bool avx512vl = ((leaf7.ebx >> 31) & 1u) != 0;
+  const bool avx512bw = ((leaf7.ebx >> 30) & 1u) != 0;
 
   if (avx512f && avx512dq && avx512vl && avx512bw && os_saves_zmm()) {
     return IsaTier::kAvx512;
@@ -95,8 +95,9 @@ const char* tier_name(IsaTier tier) {
 
 IsaTier parse_tier(const std::string& name) {
   std::string lower(name);
-  std::transform(lower.begin(), lower.end(), lower.begin(),
-                 [](unsigned char c) { return std::tolower(c); });
+  std::transform(lower.begin(), lower.end(), lower.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
   if (lower == "scalar" || lower == "novec") return IsaTier::kScalar;
   if (lower == "avx") return IsaTier::kAvx;
   if (lower == "avx2") return IsaTier::kAvx2;

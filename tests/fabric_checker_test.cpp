@@ -1,0 +1,197 @@
+// Fabric checker tests (Kestrel Sentry): the happens-before recorder must
+// catch mismatched collectives, double-wait, un-waited requests and hangs —
+// each with rank/op/source/tag context — while staying silent on correct
+// programs.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "base/error.hpp"
+#include "par/checker.hpp"
+#include "par/comm.hpp"
+
+namespace kestrel::par {
+namespace {
+
+/// Checker always on, regardless of build type; short hang timeout only
+/// where a test intends to hang.
+FabricOptions checked(double hang_timeout_s = 30.0) {
+  FabricOptions opts;
+  opts.check = true;
+  opts.hang_timeout_s = hang_timeout_s;
+  return opts;
+}
+
+std::string run_and_capture_error(int nranks,
+                                  const std::function<void(Comm&)>& fn,
+                                  double hang_timeout_s = 30.0) {
+  try {
+    Fabric::run(nranks, checked(hang_timeout_s), fn);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(FabricChecker, CleanProgramStaysSilent) {
+  Fabric::run(3, checked(), [](Comm& comm) {
+    const int me = comm.rank();
+    comm.isend((me + 1) % 3, 4, {static_cast<Scalar>(me)});
+    std::vector<Scalar> sink;
+    Request req = comm.irecv((me + 2) % 3, 4, &sink);
+    comm.wait(req);
+    EXPECT_EQ(sink.size(), 1u);
+    comm.barrier();
+    EXPECT_DOUBLE_EQ(comm.allreduce(1.0), 3.0);
+    const auto all = comm.allgatherv(std::vector<Scalar>{Scalar(me)});
+    EXPECT_EQ(all.size(), 3u);
+  });
+}
+
+TEST(FabricChecker, MismatchedCollectiveReportsRankAndOp) {
+  const std::string what = run_and_capture_error(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.barrier();
+    } else {
+      (void)comm.allreduce(1.0);
+    }
+  });
+  EXPECT_NE(what.find("mismatched collectives"), std::string::npos) << what;
+  EXPECT_NE(what.find("barrier"), std::string::npos) << what;
+  EXPECT_NE(what.find("allreduce"), std::string::npos) << what;
+  EXPECT_NE(what.find("rank"), std::string::npos) << what;
+}
+
+TEST(FabricChecker, MismatchedCollectiveLaterRound) {
+  // Rounds 0 and 1 agree; round 2 diverges between allgatherv and barrier.
+  const std::string what = run_and_capture_error(3, [](Comm& comm) {
+    (void)comm.allreduce(1.0);
+    comm.barrier();
+    if (comm.rank() == 2) {
+      (void)comm.allgatherv(std::vector<Scalar>{1.0});
+    } else {
+      comm.barrier();
+    }
+  });
+  EXPECT_NE(what.find("mismatched collectives at round 2"),
+            std::string::npos)
+      << what;
+}
+
+TEST(FabricChecker, DoubleWaitReported) {
+  const std::string what = run_and_capture_error(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<Scalar> sink;
+      Request req = comm.irecv(1, 9, &sink);
+      comm.wait(req);
+      comm.wait(req);  // contract violation
+    } else {
+      comm.isend(0, 9, {2.5});
+    }
+  });
+  EXPECT_NE(what.find("double wait"), std::string::npos) << what;
+  EXPECT_NE(what.find("source=1"), std::string::npos) << what;
+  EXPECT_NE(what.find("tag=9"), std::string::npos) << what;
+}
+
+TEST(FabricChecker, WaitThroughCopyReported) {
+  const std::string what = run_and_capture_error(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<Scalar> sink;
+      Request req = comm.irecv(1, 3, &sink);
+      Request copy = req;  // copies share the posted receive
+      comm.wait(req);
+      comm.wait(copy);  // double wait in disguise
+    } else {
+      comm.isend(0, 3, {1.0});
+    }
+  });
+  EXPECT_NE(what.find("waited on via a copy"), std::string::npos) << what;
+}
+
+TEST(FabricChecker, UnwaitedRequestAtExitReported) {
+  const std::string what = run_and_capture_error(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.isend(1, 6, {1.0, 2.0});
+    } else {
+      std::vector<Scalar> sink;
+      (void)comm.irecv(0, 6, &sink);
+      // returns without wait: the message is silently dropped
+    }
+  });
+  EXPECT_NE(what.find("un-waited request"), std::string::npos) << what;
+  EXPECT_NE(what.find("rank 1"), std::string::npos) << what;
+  EXPECT_NE(what.find("source=0"), std::string::npos) << what;
+  EXPECT_NE(what.find("tag=6"), std::string::npos) << what;
+}
+
+TEST(FabricChecker, UnwaitedRequestSingleRank) {
+  EXPECT_THROW(Fabric::run(1, checked(),
+                           [](Comm& comm) {
+                             comm.isend(0, 1, {1.0});
+                             std::vector<Scalar> sink;
+                             (void)comm.irecv(0, 1, &sink);
+                           }),
+               Error);
+}
+
+TEST(FabricChecker, HangReportedAsLostWakeup) {
+  const std::string what = run_and_capture_error(
+      2,
+      [](Comm& comm) {
+        if (comm.rank() == 0) {
+          (void)comm.recv(1, 5);  // rank 1 never sends
+        }
+      },
+      /*hang_timeout_s=*/0.2);
+  EXPECT_NE(what.find("lost wakeup or deadlock"), std::string::npos) << what;
+  EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
+  EXPECT_NE(what.find("recv(source=1, tag=5)"), std::string::npos) << what;
+}
+
+TEST(FabricChecker, ReportsIncludeEventTrace) {
+  const std::string what = run_and_capture_error(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.barrier();
+    } else {
+      (void)comm.allreduce(1.0);
+    }
+  });
+  EXPECT_NE(what.find("recent fabric events"), std::string::npos) << what;
+}
+
+TEST(FabricChecker, DoubleWaitThrowsEvenWithCheckerOff) {
+  // Release-mode backstop: Request lifetime is enforced unconditionally.
+  FabricOptions opts;
+  opts.check = false;
+  EXPECT_THROW(Fabric::run(2, opts,
+                           [](Comm& comm) {
+                             if (comm.rank() == 0) {
+                               std::vector<Scalar> sink;
+                               Request req = comm.irecv(1, 2, &sink);
+                               comm.wait(req);
+                               comm.wait(req);
+                             } else {
+                               comm.isend(0, 2, {1.0});
+                             }
+                           }),
+               Error);
+}
+
+TEST(FabricChecker, EventNamesAreStable) {
+  // The lint/docs reference these names; keep them fixed.
+  EXPECT_STREQ(fabric_event_name(FabricEventKind::kIsend), "isend");
+  EXPECT_STREQ(fabric_event_name(FabricEventKind::kIrecvPost), "irecv");
+  EXPECT_STREQ(fabric_event_name(FabricEventKind::kWait), "wait");
+  EXPECT_STREQ(fabric_event_name(FabricEventKind::kRecv), "recv");
+  EXPECT_STREQ(fabric_event_name(FabricEventKind::kBarrier), "barrier");
+  EXPECT_STREQ(fabric_event_name(FabricEventKind::kAllreduce), "allreduce");
+  EXPECT_STREQ(fabric_event_name(FabricEventKind::kAllgatherv),
+               "allgatherv");
+  EXPECT_STREQ(fabric_event_name(FabricEventKind::kRankExit), "rank-exit");
+}
+
+}  // namespace
+}  // namespace kestrel::par

@@ -13,6 +13,7 @@
 #include "mat/csr.hpp"
 #include "mat/csr_perm.hpp"
 #include "mat/sell.hpp"
+#include "simd/dispatch.hpp"
 #include "simd/isa.hpp"
 #include "test_matrices.hpp"
 
@@ -213,6 +214,228 @@ TEST(SpmvBcsr, MatchesDenseOnBlockMatrices) {
     const Bcsr bcsr(csr, 2);
     EXPECT_EQ(bcsr.block_size(), 2);
     expect_matches_reference(bcsr, csr, "bcsr2");
+  }
+}
+
+// ===== Differential oracle sweep over the kernel registration table =====
+//
+// The parameterized sweep above certifies the formats against a dense
+// reference through the Matrix::spmv dispatch path. This battery goes one
+// level lower: it iterates the registration table itself (every
+// KESTREL_KERNEL_TABLE cell) and calls each registered ISA kernel through
+// its raw function pointer, comparing against the scalar kernel of the
+// same op — the differential oracle. Matrices are randomized and include
+// empty rows, an all-empty matrix, a single row, and every tail-remainder
+// width 1..8 so each kernel's masked/remainder path is exercised.
+
+using simd::IsaTier;
+using simd::Op;
+
+constexpr double kOracleTol = 1e-11;
+
+struct NamedCsr {
+  std::string name;
+  Csr csr;
+};
+
+std::vector<NamedCsr> oracle_csrs() {
+  std::vector<NamedCsr> out;
+  // Every row exactly w entries: the vector kernels' remainder handling
+  // for widths below / straddling one ZMM register (Algorithm 1 masks).
+  for (Index w = 1; w <= 8; ++w) {
+    Coo coo(13, 32);
+    Rng rng(static_cast<std::uint64_t>(100 + w));
+    for (Index i = 0; i < 13; ++i) {
+      for (Index k = 0; k < w; ++k) {
+        coo.add(i, rng.next_index(32), rng.uniform(-2.0, 2.0));
+      }
+    }
+    out.push_back({"tail_w" + std::to_string(w), coo.to_csr()});
+  }
+  out.push_back({"empty_rows", testing::with_empty_rows(48)});
+  out.push_back({"uniform", testing::uniform_random(40, 40, 5)});
+  out.push_back({"power_law", testing::power_law(64)});
+  {
+    Coo coo(1, 13);
+    for (Index j = 0; j < 13; j += 2) coo.add(0, j, j + 1.0);
+    out.push_back({"single_row", coo.to_csr()});
+  }
+  {
+    Coo coo(7, 7);  // no entries at all
+    out.push_back({"all_empty", coo.to_csr()});
+  }
+  return out;
+}
+
+/// ISA tiers above scalar that this CPU can actually execute.
+std::vector<IsaTier> oracle_tiers() {
+  std::vector<IsaTier> tiers;
+  for (int t = static_cast<int>(IsaTier::kScalar) + 1;
+       t <= static_cast<int>(simd::detect_best_tier()); ++t) {
+    tiers.push_back(static_cast<IsaTier>(t));
+  }
+  return tiers;
+}
+
+void expect_same(const std::vector<Scalar>& ref, const std::vector<Scalar>& got,
+                 const std::string& context) {
+  ASSERT_EQ(ref.size(), got.size()) << context;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(got[i], ref[i], kOracleTol) << context << " index " << i;
+  }
+}
+
+TEST(KernelOracle, EveryOpHasAScalarCounterpart) {
+  // The lint enforces this statically per table cell; this is the runtime
+  // proof that registration actually happened for each op.
+  for (int op = 0; op < static_cast<int>(Op::kOpCount); ++op) {
+    EXPECT_TRUE(simd::has_exact(static_cast<Op>(op), IsaTier::kScalar))
+        << "op " << op << " has no scalar kernel registered";
+  }
+}
+
+TEST(KernelOracle, CsrSpmvMatchesScalar) {
+  const auto scalar =
+      simd::lookup_as<simd::CsrSpmvFn>(Op::kCsrSpmv, IsaTier::kScalar);
+  for (IsaTier tier : oracle_tiers()) {
+    if (!simd::has_exact(Op::kCsrSpmv, tier)) continue;
+    const auto fn = simd::lookup_as<simd::CsrSpmvFn>(Op::kCsrSpmv, tier);
+    for (const auto& [name, csr] : oracle_csrs()) {
+      const auto x = random_x(csr.cols(), 42);
+      std::vector<Scalar> ref(static_cast<std::size_t>(csr.rows()), -7.0);
+      std::vector<Scalar> got(ref);
+      scalar(csr.view(), x.data(), ref.data());
+      fn(csr.view(), x.data(), got.data());
+      expect_same(ref, got,
+                  "csr_spmv/" + std::string(simd::tier_name(tier)) + "/" +
+                      name);
+    }
+  }
+}
+
+TEST(KernelOracle, CsrSpmvAddRowsMatchesScalar) {
+  // The compressed off-diagonal path: the kernel scatters row i of the
+  // compressed block into y[rows[i]]. Use a stride-2 scatter so a bad
+  // kernel writing contiguously fails immediately.
+  const auto scalar = simd::lookup_as<simd::CsrSpmvAddRowsFn>(
+      Op::kCsrSpmvAddRows, IsaTier::kScalar);
+  for (IsaTier tier : oracle_tiers()) {
+    if (!simd::has_exact(Op::kCsrSpmvAddRows, tier)) continue;
+    const auto fn =
+        simd::lookup_as<simd::CsrSpmvAddRowsFn>(Op::kCsrSpmvAddRows, tier);
+    for (const auto& [name, csr] : oracle_csrs()) {
+      const auto x = random_x(csr.cols(), 43);
+      std::vector<Index> rows(static_cast<std::size_t>(csr.rows()));
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        rows[i] = static_cast<Index>(2 * i);
+      }
+      std::vector<Scalar> ref(2 * rows.size() + 1, 0.25);
+      std::vector<Scalar> got(ref);
+      scalar(csr.view(), rows.data(), x.data(), ref.data());
+      fn(csr.view(), rows.data(), x.data(), got.data());
+      expect_same(ref, got,
+                  "csr_spmv_add_rows/" +
+                      std::string(simd::tier_name(tier)) + "/" + name);
+    }
+  }
+}
+
+TEST(KernelOracle, SellOpsMatchScalar) {
+  // All four SELL table ops, at both slice heights the vector kernels
+  // accept (c = 8 fills one ZMM; c = 16 exercises the multi-vector loop).
+  // The bitmask variant gets a matrix built with the ESB bit array; the
+  // prefetch variant is specified for c = 8 only.
+  struct SellOp {
+    Op op;
+    bool needs_bitmask;
+    bool c8_only;
+    bool add;  ///< kernel accumulates into y
+    const char* label;
+  };
+  const SellOp ops[] = {
+      {Op::kSellSpmv, false, false, false, "sell_spmv"},
+      {Op::kSellSpmvAdd, false, false, true, "sell_spmv_add"},
+      {Op::kSellSpmvBitmask, true, false, false, "sell_spmv_bitmask"},
+      {Op::kSellSpmvPrefetch, false, true, false, "sell_spmv_prefetch"},
+  };
+  for (const SellOp& sop : ops) {
+    const auto scalar =
+        simd::lookup_as<simd::SellSpmvFn>(sop.op, IsaTier::kScalar);
+    for (IsaTier tier : oracle_tiers()) {
+      if (!simd::has_exact(sop.op, tier)) continue;
+      const auto fn = simd::lookup_as<simd::SellSpmvFn>(sop.op, tier);
+      for (Index c : {Index(8), Index(16)}) {
+        if (sop.c8_only && c != 8) continue;
+        for (const auto& [name, csr] : oracle_csrs()) {
+          SellOptions opts;
+          opts.slice_height = c;
+          opts.build_bitmask = sop.needs_bitmask;
+          const Sell sell(csr, opts);
+          const auto x = random_x(csr.cols(), 44);
+          const Scalar fill = sop.add ? 0.75 : -7.0;
+          std::vector<Scalar> ref(static_cast<std::size_t>(csr.rows()),
+                                  fill);
+          std::vector<Scalar> got(ref);
+          scalar(sell.view(), x.data(), ref.data());
+          fn(sell.view(), x.data(), got.data());
+          expect_same(ref, got,
+                      std::string(sop.label) + "/c" + std::to_string(c) +
+                          "/" + simd::tier_name(tier) + "/" + name);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelOracle, CsrPermSpmvMatchesScalar) {
+  const auto scalar =
+      simd::lookup_as<simd::CsrPermSpmvFn>(Op::kCsrPermSpmv, IsaTier::kScalar);
+  for (IsaTier tier : oracle_tiers()) {
+    if (!simd::has_exact(Op::kCsrPermSpmv, tier)) continue;
+    const auto fn =
+        simd::lookup_as<simd::CsrPermSpmvFn>(Op::kCsrPermSpmv, tier);
+    for (const auto& [name, csr] : oracle_csrs()) {
+      const CsrPerm perm{Csr(csr)};
+      const auto x = random_x(csr.cols(), 45);
+      std::vector<Scalar> ref(static_cast<std::size_t>(csr.rows()), -7.0);
+      std::vector<Scalar> got(ref);
+      scalar(perm.view(), x.data(), ref.data());
+      fn(perm.view(), x.data(), got.data());
+      expect_same(ref, got,
+                  "csr_perm_spmv/" + std::string(simd::tier_name(tier)) +
+                      "/" + name);
+    }
+  }
+}
+
+TEST(KernelOracle, BcsrSpmvMatchesScalar) {
+  // Dimensions divisible by every block size tested; includes a band of
+  // empty block rows.
+  const auto scalar =
+      simd::lookup_as<simd::BcsrSpmvFn>(Op::kBcsrSpmv, IsaTier::kScalar);
+  for (IsaTier tier : oracle_tiers()) {
+    if (!simd::has_exact(Op::kBcsrSpmv, tier)) continue;
+    const auto fn = simd::lookup_as<simd::BcsrSpmvFn>(Op::kBcsrSpmv, tier);
+    for (Index bs : {1, 2, 3, 4}) {
+      const Index n = 24;
+      Coo coo(n, n);
+      Rng rng(static_cast<std::uint64_t>(55 + bs));
+      for (Index i = 0; i < n; ++i) {
+        if (i >= 8 && i < 12) continue;  // empty rows 8..11
+        coo.add(i, i, 3.0 + rng.next_double());
+        coo.add(i, (i + bs) % n, rng.uniform(-1.0, 1.0));
+        coo.add(i, rng.next_index(n), rng.uniform(-1.0, 1.0));
+      }
+      const Bcsr bcsr(coo.to_csr(), bs);
+      const auto x = random_x(n, 46);
+      std::vector<Scalar> ref(static_cast<std::size_t>(n), -7.0);
+      std::vector<Scalar> got(ref);
+      scalar(bcsr.view(), x.data(), ref.data());
+      fn(bcsr.view(), x.data(), got.data());
+      expect_same(ref, got,
+                  "bcsr_spmv/" + std::string(simd::tier_name(tier)) +
+                      "/bs" + std::to_string(bs));
+    }
   }
 }
 

@@ -1,0 +1,539 @@
+#!/usr/bin/env python3
+"""kestrel_lint: kernel-TU contract checks for the Kestrel tree.
+
+Part 3 of Kestrel Sentry. Run from ctest / CI / scripts/check.sh:
+
+    python3 tools/kestrel_lint.py --repo .        # lint the tree
+    python3 tools/kestrel_lint.py --self-test     # prove the rules fire
+
+Rules enforced
+--------------
+kernel-table-scalar
+    Every format that registers a vector (avx/avx2/avx512) cell in
+    KESTREL_KERNEL_TABLE (src/mat/kernels/registration.hpp) must also
+    register a scalar cell: the scalar kernel is the differential oracle
+    every vector kernel is tested against (tests/spmv_kernels_test.cpp).
+
+kernel-table-tu
+    Every table cell (fmt, isa) has a translation unit
+    src/mat/kernels/<fmt>_<isa>.cpp that defines register_<fmt>_<isa>()
+    and registers its kernels via KESTREL_REGISTER_KERNEL with the IsaTier
+    token matching <isa> — and nothing else. Conversely, every
+    <fmt>_<isa>.cpp on disk must be a table cell, so no kernel TU can be
+    silently dropped from dispatch.
+
+kernel-isa-flags
+    Each table cell's TU is listed in the matching
+    KESTREL_KERNEL_SOURCES_<ISA> list in src/CMakeLists.txt, whose
+    COMPILE_OPTIONS carry the -m flags that ISA requires (avx: -mavx;
+    avx2: -mavx2 -mfma; avx512: -mavx512f -mfma). Scalar TUs must not
+    appear in any ISA list: the scalar baseline is compiled with default
+    target flags by design (paper section 4).
+
+aligned-load-provenance
+    Aligned load/store intrinsics (_mm*_load_pd, _mm*_store_pd, ... —
+    anything that faults on a misaligned pointer) may only be used on a
+    line annotated `// kestrel-aligned: <why>` (same line or the line
+    above), where <why> states the alignment provenance (an AlignedBuffer
+    from base/aligned.hpp, alignas storage, ...). Unaligned *u variants
+    need no annotation.
+
+banned-construct
+    Kernel TUs (src/mat/kernels/) must not use raw `new`: kernels operate
+    on caller-owned views and must not allocate. `std::thread` is banned
+    everywhere in src/ outside src/par/ — threading is the fabric's job
+    (the hardware-query std::thread::hardware_concurrency is allowed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+from dataclasses import dataclass
+
+KERNELS_DIR = os.path.join("src", "mat", "kernels")
+REGISTRATION_HPP = os.path.join(KERNELS_DIR, "registration.hpp")
+SRC_CMAKE = os.path.join("src", "CMakeLists.txt")
+
+ISA_TIER_TOKEN = {
+    "scalar": "kScalar",
+    "avx": "kAvx",
+    "avx2": "kAvx2",
+    "avx512": "kAvx512",
+}
+ISA_REQUIRED_FLAGS = {
+    "scalar": [],
+    "avx": ["-mavx"],
+    "avx2": ["-mavx2", "-mfma"],
+    "avx512": ["-mavx512f", "-mfma"],
+}
+
+ALIGNED_INTRIN_RE = re.compile(
+    r"_mm\d*_(?:mask_|maskz_)?(?:load|store)_(?:pd|ps|sd|ss|si\d+|epi\d+|epu\d+)\b"
+)
+ALIGNED_ANNOTATION = "kestrel-aligned:"
+TABLE_CELL_RE = re.compile(r"^\s*X\((\w+),\s*(\w+)\)", re.MULTILINE)
+REGISTER_MACRO_RE = re.compile(r"KESTREL_REGISTER_KERNEL\(\s*(\w+)\s*,\s*(\w+)")
+KERNEL_TU_RE = re.compile(r"^(\w+?)_(scalar|avx|avx2|avx512)\.cpp$")
+
+
+@dataclass
+class Violation:
+    rule: str
+    path: str
+    line: int  # 1-based; 0 when the finding is file- or tree-level
+    message: str
+
+    def __str__(self) -> str:
+        loc = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{loc}: [{self.rule}] {self.message}"
+
+
+def read_text(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as f:
+        return f.read()
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out //, /* */ comments and string literals, preserving line
+    structure so reported line numbers stay valid."""
+
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if ch == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if ch == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if ch == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if ch == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(ch)
+        elif state == "line_comment":
+            if ch == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if ch == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if ch == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if ch == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if ch == quote:
+                state = "code"
+            out.append("\n" if ch == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def parse_kernel_table(repo: str):
+    """Returns ([(fmt, isa)], violations) from registration.hpp."""
+    path = os.path.join(repo, REGISTRATION_HPP)
+    if not os.path.isfile(path):
+        return [], [Violation("kernel-table-tu", REGISTRATION_HPP, 0,
+                              "registration header not found")]
+    cells = [(m.group(1), m.group(2))
+             for m in TABLE_CELL_RE.finditer(read_text(path))]
+    if not cells:
+        return [], [Violation("kernel-table-tu", REGISTRATION_HPP, 0,
+                              "no X(format, isa) cells found in "
+                              "KESTREL_KERNEL_TABLE")]
+    return cells, []
+
+
+def parse_cmake_kernel_lists(repo: str):
+    """Returns ({ISA: [tu basename]}, {ISA: [flags]}) from src/CMakeLists.txt."""
+    path = os.path.join(repo, SRC_CMAKE)
+    sources: dict[str, list[str]] = {}
+    flags: dict[str, list[str]] = {}
+    if not os.path.isfile(path):
+        return sources, flags
+    text = read_text(path)
+    for m in re.finditer(r"set\(KESTREL_KERNEL_SOURCES_(\w+)([^)]*)\)", text):
+        isa = m.group(1).lower()
+        sources[isa] = re.findall(r"mat/kernels/(\w+\.cpp)", m.group(2))
+    for m in re.finditer(
+            r"set_source_files_properties\(\$\{KESTREL_KERNEL_SOURCES_(\w+)\}"
+            r".*?COMPILE_OPTIONS\s*\n?\s*\"([^\"]*)\"", text, re.DOTALL):
+        isa = m.group(1).lower()
+        flags[isa] = [f for f in re.split(r"[;\s]+", m.group(2)) if f]
+    return sources, flags
+
+
+def check_kernel_table(repo: str) -> list[Violation]:
+    cells, violations = parse_kernel_table(repo)
+    if not cells:
+        return violations
+    formats: dict[str, set[str]] = {}
+    for fmt, isa in cells:
+        if isa not in ISA_TIER_TOKEN:
+            violations.append(Violation(
+                "kernel-table-tu", REGISTRATION_HPP, 0,
+                f"cell ({fmt}, {isa}): unknown ISA "
+                f"(expected {'|'.join(ISA_TIER_TOKEN)})"))
+            continue
+        formats.setdefault(fmt, set()).add(isa)
+
+    # Rule: every vector cell has a scalar counterpart.
+    for fmt, isas in sorted(formats.items()):
+        if "scalar" not in isas:
+            violations.append(Violation(
+                "kernel-table-scalar", REGISTRATION_HPP, 0,
+                f"format '{fmt}' registers {sorted(isas)} but no scalar "
+                f"cell — every vector kernel needs its scalar oracle"))
+
+    # Rule: every cell has a conforming TU.
+    for fmt, isa in cells:
+        if isa not in ISA_TIER_TOKEN:
+            continue
+        tu_rel = os.path.join(KERNELS_DIR, f"{fmt}_{isa}.cpp")
+        tu_path = os.path.join(repo, tu_rel)
+        if not os.path.isfile(tu_path):
+            violations.append(Violation(
+                "kernel-table-tu", tu_rel, 0,
+                f"table cell ({fmt}, {isa}) has no translation unit"))
+            continue
+        text = read_text(tu_path)
+        entry = f"register_{fmt}_{isa}"
+        if not re.search(rf"void\s+{entry}\s*\(", text):
+            violations.append(Violation(
+                "kernel-table-tu", tu_rel, 0,
+                f"missing registration entry point {entry}()"))
+        registered = REGISTER_MACRO_RE.findall(text)
+        if not registered:
+            violations.append(Violation(
+                "kernel-table-tu", tu_rel, 0,
+                "registers no kernels via KESTREL_REGISTER_KERNEL"))
+        want_token = ISA_TIER_TOKEN[isa]
+        for op, tier in registered:
+            if tier != want_token:
+                violations.append(Violation(
+                    "kernel-table-tu", tu_rel, 0,
+                    f"registers {op} with IsaTier::{tier}, but this TU's "
+                    f"table cell declares ISA '{isa}' "
+                    f"(IsaTier::{want_token})"))
+
+    # Rule: every kernel TU on disk is a table cell.
+    kernels_dir = os.path.join(repo, KERNELS_DIR)
+    if os.path.isdir(kernels_dir):
+        for name in sorted(os.listdir(kernels_dir)):
+            m = KERNEL_TU_RE.match(name)
+            if not m:
+                continue
+            fmt, isa = None, None
+            # "csr_perm_avx512.cpp" must split as (csr_perm, avx512): take
+            # the last _<isa> suffix.
+            stem = name[:-len(".cpp")]
+            for cand in ISA_TIER_TOKEN:
+                if stem.endswith("_" + cand):
+                    fmt, isa = stem[:-(len(cand) + 1)], cand
+            if fmt is None or (fmt, isa) in cells:
+                continue
+            violations.append(Violation(
+                "kernel-table-tu", os.path.join(KERNELS_DIR, name), 0,
+                f"kernel TU exists on disk but ({fmt}, {isa}) is not a "
+                f"KESTREL_KERNEL_TABLE cell — it would never be dispatched"))
+    return violations
+
+
+def check_isa_flags(repo: str) -> list[Violation]:
+    cells, _ = parse_kernel_table(repo)
+    if not cells or not os.path.isfile(os.path.join(repo, SRC_CMAKE)):
+        return []
+    sources, flags = parse_cmake_kernel_lists(repo)
+    violations = []
+    for fmt, isa in cells:
+        if isa not in ISA_TIER_TOKEN:
+            continue
+        tu = f"{fmt}_{isa}.cpp"
+        listed_in = [l for l, names in sources.items() if tu in names]
+        if isa not in listed_in:
+            violations.append(Violation(
+                "kernel-isa-flags", SRC_CMAKE, 0,
+                f"{tu} is not in KESTREL_KERNEL_SOURCES_{isa.upper()} — it "
+                f"would build without its ISA flags"))
+            continue
+        if isa == "scalar":
+            others = [l for l in listed_in if l != "scalar"]
+            if others:
+                violations.append(Violation(
+                    "kernel-isa-flags", SRC_CMAKE, 0,
+                    f"{tu} is a scalar TU but also appears in "
+                    f"{[f'KESTREL_KERNEL_SOURCES_{o.upper()}' for o in others]}"
+                    f" — the scalar baseline must not get -m flags"))
+            continue
+        have = flags.get(isa, [])
+        missing = [f for f in ISA_REQUIRED_FLAGS[isa] if f not in have]
+        if missing:
+            violations.append(Violation(
+                "kernel-isa-flags", SRC_CMAKE, 0,
+                f"KESTREL_KERNEL_SOURCES_{isa.upper()} COMPILE_OPTIONS "
+                f"{have} lack required {missing} for {tu}"))
+    return violations
+
+
+def iter_source_files(root: str, exts=(".cpp", ".hpp")):
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for name in sorted(filenames):
+            if name.endswith(exts):
+                yield os.path.join(dirpath, name)
+
+
+def check_aligned_loads(repo: str) -> list[Violation]:
+    violations = []
+    src = os.path.join(repo, "src")
+    for path in iter_source_files(src):
+        rel = os.path.relpath(path, repo)
+        lines = read_text(path).splitlines()
+        for lineno, line in enumerate(lines, start=1):
+            m = ALIGNED_INTRIN_RE.search(line)
+            if not m:
+                continue
+            prev = lines[lineno - 2] if lineno >= 2 else ""
+            if ALIGNED_ANNOTATION in line or ALIGNED_ANNOTATION in prev:
+                continue
+            violations.append(Violation(
+                "aligned-load-provenance", rel, lineno,
+                f"{m.group(0)} requires an alignment-provenance annotation "
+                f"('// {ALIGNED_ANNOTATION} <why>' on this or the previous "
+                f"line), or use the unaligned *u variant"))
+    return violations
+
+
+def check_banned_constructs(repo: str) -> list[Violation]:
+    violations = []
+    src = os.path.join(repo, "src")
+    kernels_prefix = KERNELS_DIR + os.sep
+    par_prefix = os.path.join("src", "par") + os.sep
+    for path in iter_source_files(src):
+        rel = os.path.relpath(path, repo)
+        code = strip_comments_and_strings(read_text(path))
+        lines = code.splitlines()
+        in_kernels = rel.startswith(kernels_prefix)
+        in_par = rel.startswith(par_prefix)
+        for lineno, line in enumerate(lines, start=1):
+            if in_kernels and re.search(r"\bnew\b", line):
+                violations.append(Violation(
+                    "banned-construct", rel, lineno,
+                    "raw `new` in kernel code — kernels operate on "
+                    "caller-owned views and must not allocate"))
+            if not in_par and "std::thread" in line:
+                if "hardware_concurrency" in line:
+                    continue  # hardware query, spawns nothing
+                violations.append(Violation(
+                    "banned-construct", rel, lineno,
+                    "std::thread outside src/par/ — threading is the "
+                    "fabric's job (kestrel::par)"))
+    return violations
+
+
+def lint(repo: str) -> list[Violation]:
+    violations = []
+    violations += check_kernel_table(repo)
+    violations += check_isa_flags(repo)
+    violations += check_aligned_loads(repo)
+    violations += check_banned_constructs(repo)
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Self-test: seed violations into fixture trees and assert each rule fires.
+# ---------------------------------------------------------------------------
+
+def _write(root: str, rel: str, content: str) -> None:
+    path = os.path.join(root, rel)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(content)
+
+
+CLEAN_REGISTRATION = """#pragma once
+#define KESTREL_KERNEL_TABLE(X) \\
+  X(foo, scalar)                \\
+  X(foo, avx512)
+"""
+
+CLEAN_SCALAR_TU = """
+namespace k {
+void foo_spmv_scalar() {}
+void register_foo_scalar() {
+  KESTREL_REGISTER_KERNEL(kFooSpmv, kScalar, foo_spmv_scalar);
+}
+}
+"""
+
+CLEAN_AVX512_TU = """
+namespace k {
+void foo_spmv_avx512(double* p) {
+  // kestrel-aligned: p comes from AlignedBuffer<double, 64> (aligned.hpp)
+  _mm512_load_pd(p);
+}
+void register_foo_avx512() {
+  KESTREL_REGISTER_KERNEL(kFooSpmv, kAvx512, foo_spmv_avx512);
+}
+}
+"""
+
+CLEAN_CMAKE = """
+set(KESTREL_KERNEL_SOURCES_SCALAR
+  mat/kernels/foo_scalar.cpp)
+set(KESTREL_KERNEL_SOURCES_AVX512
+  mat/kernels/foo_avx512.cpp)
+set_source_files_properties(${KESTREL_KERNEL_SOURCES_AVX512}
+  PROPERTIES COMPILE_OPTIONS
+  "-mavx512f;-mavx512dq;-mavx512vl;-mavx512bw;-mfma")
+"""
+
+
+def _make_clean_fixture(root: str) -> None:
+    _write(root, REGISTRATION_HPP, CLEAN_REGISTRATION)
+    _write(root, os.path.join(KERNELS_DIR, "foo_scalar.cpp"), CLEAN_SCALAR_TU)
+    _write(root, os.path.join(KERNELS_DIR, "foo_avx512.cpp"), CLEAN_AVX512_TU)
+    _write(root, SRC_CMAKE, CLEAN_CMAKE)
+
+
+def self_test() -> int:
+    failures = []
+
+    def expect(name: str, rules_found: set, rule: str, present: bool) -> None:
+        ok = (rule in rules_found) == present
+        verb = "fired" if present else "stayed quiet"
+        if not ok:
+            failures.append(
+                f"{name}: expected rule '{rule}' to have {verb}; "
+                f"rules found: {sorted(rules_found)}")
+
+    with tempfile.TemporaryDirectory(prefix="kestrel_lint_selftest_") as tmp:
+        # 0. A clean, consistent fixture produces no violations at all.
+        clean = os.path.join(tmp, "clean")
+        _make_clean_fixture(clean)
+        got = lint(clean)
+        if got:
+            failures.append("clean fixture should pass, got:\n  " +
+                            "\n  ".join(str(v) for v in got))
+
+        # 1. Vector cell without a scalar counterpart.
+        fx = os.path.join(tmp, "no_scalar")
+        _make_clean_fixture(fx)
+        _write(fx, REGISTRATION_HPP,
+               "#define KESTREL_KERNEL_TABLE(X) \\\n  X(foo, avx512)\n")
+        expect("no_scalar", {v.rule for v in lint(fx)},
+               "kernel-table-scalar", True)
+
+        # 2. Kernel TU on disk that is not a table cell.
+        fx = os.path.join(tmp, "unregistered_tu")
+        _make_clean_fixture(fx)
+        _write(fx, os.path.join(KERNELS_DIR, "bar_avx2.cpp"),
+               "void register_bar_avx2() {}\n")
+        expect("unregistered_tu", {v.rule for v in lint(fx)},
+               "kernel-table-tu", True)
+
+        # 3. TU registering a tier that contradicts its filename/flags.
+        fx = os.path.join(tmp, "tier_mismatch")
+        _make_clean_fixture(fx)
+        _write(fx, os.path.join(KERNELS_DIR, "foo_avx512.cpp"),
+               CLEAN_AVX512_TU.replace("kAvx512,", "kAvx2,"))
+        expect("tier_mismatch", {v.rule for v in lint(fx)},
+               "kernel-table-tu", True)
+
+        # 4. ISA source list missing the required -m flags.
+        fx = os.path.join(tmp, "missing_flags")
+        _make_clean_fixture(fx)
+        _write(fx, SRC_CMAKE, CLEAN_CMAKE.replace("-mavx512f;", ""))
+        expect("missing_flags", {v.rule for v in lint(fx)},
+               "kernel-isa-flags", True)
+
+        # 5. Aligned load without a provenance annotation.
+        fx = os.path.join(tmp, "unannotated_load")
+        _make_clean_fixture(fx)
+        _write(fx, os.path.join(KERNELS_DIR, "foo_avx512.cpp"),
+               CLEAN_AVX512_TU.replace(
+                   "  // kestrel-aligned: p comes from AlignedBuffer"
+                   "<double, 64> (aligned.hpp)\n", ""))
+        expect("unannotated_load", {v.rule for v in lint(fx)},
+               "aligned-load-provenance", True)
+
+        # 6. Raw new in kernel code; std::thread outside par/.
+        fx = os.path.join(tmp, "banned")
+        _make_clean_fixture(fx)
+        _write(fx, os.path.join(KERNELS_DIR, "foo_scalar.cpp"),
+               CLEAN_SCALAR_TU + "\nvoid leak() { double* p = new double[8];"
+                                 " (void)p; }\n")
+        _write(fx, os.path.join("src", "mat", "rogue.cpp"),
+               "#include <thread>\nvoid t() { std::thread x([]{}); "
+               "x.join(); }\n")
+        rules = {v.rule for v in lint(fx)}
+        expect("banned", rules, "banned-construct", True)
+
+        # 7. std::thread inside src/par/ and the hardware query are allowed.
+        fx = os.path.join(tmp, "allowed_thread")
+        _make_clean_fixture(fx)
+        _write(fx, os.path.join("src", "par", "comm.cpp"),
+               "#include <thread>\nvoid t() { std::thread x([]{}); "
+               "x.join(); }\n")
+        _write(fx, os.path.join("src", "perf", "machine.cpp"),
+               "#include <thread>\nunsigned n() "
+               "{ return std::thread::hardware_concurrency(); }\n")
+        expect("allowed_thread", {v.rule for v in lint(fx)},
+               "banned-construct", False)
+
+    if failures:
+        print("kestrel_lint self-test FAILED:", file=sys.stderr)
+        for f in failures:
+            print("  " + f, file=sys.stderr)
+        return 1
+    print("kestrel_lint self-test passed (8 fixtures).")
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--repo", default=".", help="repository root to lint")
+    ap.add_argument("--self-test", action="store_true",
+                    help="seed violations into fixtures and assert the "
+                         "rules catch them")
+    args = ap.parse_args(argv)
+    if args.self_test:
+        return self_test()
+    violations = lint(args.repo)
+    if violations:
+        print(f"kestrel_lint: {len(violations)} violation(s):",
+              file=sys.stderr)
+        for v in violations:
+            print("  " + str(v), file=sys.stderr)
+        return 1
+    print("kestrel_lint: clean.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
