@@ -1,0 +1,77 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/advection_diffusion.cpp" "src/CMakeFiles/kestrel.dir/app/advection_diffusion.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/app/advection_diffusion.cpp.o.d"
+  "/root/repo/src/app/gray_scott.cpp" "src/CMakeFiles/kestrel.dir/app/gray_scott.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/app/gray_scott.cpp.o.d"
+  "/root/repo/src/app/grid2d.cpp" "src/CMakeFiles/kestrel.dir/app/grid2d.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/app/grid2d.cpp.o.d"
+  "/root/repo/src/app/laplacian.cpp" "src/CMakeFiles/kestrel.dir/app/laplacian.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/app/laplacian.cpp.o.d"
+  "/root/repo/src/base/error.cpp" "src/CMakeFiles/kestrel.dir/base/error.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/base/error.cpp.o.d"
+  "/root/repo/src/base/log.cpp" "src/CMakeFiles/kestrel.dir/base/log.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/base/log.cpp.o.d"
+  "/root/repo/src/base/options.cpp" "src/CMakeFiles/kestrel.dir/base/options.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/base/options.cpp.o.d"
+  "/root/repo/src/ksp/bicgstab.cpp" "src/CMakeFiles/kestrel.dir/ksp/bicgstab.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/ksp/bicgstab.cpp.o.d"
+  "/root/repo/src/ksp/cg.cpp" "src/CMakeFiles/kestrel.dir/ksp/cg.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/ksp/cg.cpp.o.d"
+  "/root/repo/src/ksp/chebyshev.cpp" "src/CMakeFiles/kestrel.dir/ksp/chebyshev.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/ksp/chebyshev.cpp.o.d"
+  "/root/repo/src/ksp/fgmres.cpp" "src/CMakeFiles/kestrel.dir/ksp/fgmres.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/ksp/fgmres.cpp.o.d"
+  "/root/repo/src/ksp/gmres.cpp" "src/CMakeFiles/kestrel.dir/ksp/gmres.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/ksp/gmres.cpp.o.d"
+  "/root/repo/src/ksp/ksp.cpp" "src/CMakeFiles/kestrel.dir/ksp/ksp.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/ksp/ksp.cpp.o.d"
+  "/root/repo/src/ksp/richardson.cpp" "src/CMakeFiles/kestrel.dir/ksp/richardson.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/ksp/richardson.cpp.o.d"
+  "/root/repo/src/mat/assembler.cpp" "src/CMakeFiles/kestrel.dir/mat/assembler.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/mat/assembler.cpp.o.d"
+  "/root/repo/src/mat/bcsr.cpp" "src/CMakeFiles/kestrel.dir/mat/bcsr.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/mat/bcsr.cpp.o.d"
+  "/root/repo/src/mat/coo.cpp" "src/CMakeFiles/kestrel.dir/mat/coo.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/mat/coo.cpp.o.d"
+  "/root/repo/src/mat/csr.cpp" "src/CMakeFiles/kestrel.dir/mat/csr.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/mat/csr.cpp.o.d"
+  "/root/repo/src/mat/csr_perm.cpp" "src/CMakeFiles/kestrel.dir/mat/csr_perm.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/mat/csr_perm.cpp.o.d"
+  "/root/repo/src/mat/dense.cpp" "src/CMakeFiles/kestrel.dir/mat/dense.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/mat/dense.cpp.o.d"
+  "/root/repo/src/mat/kernels/bcsr_avx2.cpp" "src/CMakeFiles/kestrel.dir/mat/kernels/bcsr_avx2.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/mat/kernels/bcsr_avx2.cpp.o.d"
+  "/root/repo/src/mat/kernels/bcsr_scalar.cpp" "src/CMakeFiles/kestrel.dir/mat/kernels/bcsr_scalar.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/mat/kernels/bcsr_scalar.cpp.o.d"
+  "/root/repo/src/mat/kernels/csr_avx.cpp" "src/CMakeFiles/kestrel.dir/mat/kernels/csr_avx.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/mat/kernels/csr_avx.cpp.o.d"
+  "/root/repo/src/mat/kernels/csr_avx2.cpp" "src/CMakeFiles/kestrel.dir/mat/kernels/csr_avx2.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/mat/kernels/csr_avx2.cpp.o.d"
+  "/root/repo/src/mat/kernels/csr_avx512.cpp" "src/CMakeFiles/kestrel.dir/mat/kernels/csr_avx512.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/mat/kernels/csr_avx512.cpp.o.d"
+  "/root/repo/src/mat/kernels/csr_perm_avx512.cpp" "src/CMakeFiles/kestrel.dir/mat/kernels/csr_perm_avx512.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/mat/kernels/csr_perm_avx512.cpp.o.d"
+  "/root/repo/src/mat/kernels/csr_perm_scalar.cpp" "src/CMakeFiles/kestrel.dir/mat/kernels/csr_perm_scalar.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/mat/kernels/csr_perm_scalar.cpp.o.d"
+  "/root/repo/src/mat/kernels/csr_scalar.cpp" "src/CMakeFiles/kestrel.dir/mat/kernels/csr_scalar.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/mat/kernels/csr_scalar.cpp.o.d"
+  "/root/repo/src/mat/kernels/sell_avx.cpp" "src/CMakeFiles/kestrel.dir/mat/kernels/sell_avx.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/mat/kernels/sell_avx.cpp.o.d"
+  "/root/repo/src/mat/kernels/sell_avx2.cpp" "src/CMakeFiles/kestrel.dir/mat/kernels/sell_avx2.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/mat/kernels/sell_avx2.cpp.o.d"
+  "/root/repo/src/mat/kernels/sell_avx512.cpp" "src/CMakeFiles/kestrel.dir/mat/kernels/sell_avx512.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/mat/kernels/sell_avx512.cpp.o.d"
+  "/root/repo/src/mat/kernels/sell_scalar.cpp" "src/CMakeFiles/kestrel.dir/mat/kernels/sell_scalar.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/mat/kernels/sell_scalar.cpp.o.d"
+  "/root/repo/src/mat/mm_io.cpp" "src/CMakeFiles/kestrel.dir/mat/mm_io.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/mat/mm_io.cpp.o.d"
+  "/root/repo/src/mat/sell.cpp" "src/CMakeFiles/kestrel.dir/mat/sell.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/mat/sell.cpp.o.d"
+  "/root/repo/src/mat/spgemm.cpp" "src/CMakeFiles/kestrel.dir/mat/spgemm.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/mat/spgemm.cpp.o.d"
+  "/root/repo/src/par/checker.cpp" "src/CMakeFiles/kestrel.dir/par/checker.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/par/checker.cpp.o.d"
+  "/root/repo/src/par/comm.cpp" "src/CMakeFiles/kestrel.dir/par/comm.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/par/comm.cpp.o.d"
+  "/root/repo/src/par/parmat.cpp" "src/CMakeFiles/kestrel.dir/par/parmat.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/par/parmat.cpp.o.d"
+  "/root/repo/src/par/parvec.cpp" "src/CMakeFiles/kestrel.dir/par/parvec.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/par/parvec.cpp.o.d"
+  "/root/repo/src/pc/bjacobi.cpp" "src/CMakeFiles/kestrel.dir/pc/bjacobi.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/pc/bjacobi.cpp.o.d"
+  "/root/repo/src/pc/ilu0.cpp" "src/CMakeFiles/kestrel.dir/pc/ilu0.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/pc/ilu0.cpp.o.d"
+  "/root/repo/src/pc/ilu0_level.cpp" "src/CMakeFiles/kestrel.dir/pc/ilu0_level.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/pc/ilu0_level.cpp.o.d"
+  "/root/repo/src/pc/jacobi.cpp" "src/CMakeFiles/kestrel.dir/pc/jacobi.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/pc/jacobi.cpp.o.d"
+  "/root/repo/src/pc/mg.cpp" "src/CMakeFiles/kestrel.dir/pc/mg.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/pc/mg.cpp.o.d"
+  "/root/repo/src/pc/pc.cpp" "src/CMakeFiles/kestrel.dir/pc/pc.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/pc/pc.cpp.o.d"
+  "/root/repo/src/pc/sor.cpp" "src/CMakeFiles/kestrel.dir/pc/sor.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/pc/sor.cpp.o.d"
+  "/root/repo/src/perf/bwmodel.cpp" "src/CMakeFiles/kestrel.dir/perf/bwmodel.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/perf/bwmodel.cpp.o.d"
+  "/root/repo/src/perf/machine.cpp" "src/CMakeFiles/kestrel.dir/perf/machine.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/perf/machine.cpp.o.d"
+  "/root/repo/src/perf/peakflops_avx512.cpp" "src/CMakeFiles/kestrel.dir/perf/peakflops_avx512.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/perf/peakflops_avx512.cpp.o.d"
+  "/root/repo/src/perf/roofline.cpp" "src/CMakeFiles/kestrel.dir/perf/roofline.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/perf/roofline.cpp.o.d"
+  "/root/repo/src/perf/spmv_model.cpp" "src/CMakeFiles/kestrel.dir/perf/spmv_model.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/perf/spmv_model.cpp.o.d"
+  "/root/repo/src/perf/stream.cpp" "src/CMakeFiles/kestrel.dir/perf/stream.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/perf/stream.cpp.o.d"
+  "/root/repo/src/simd/dispatch.cpp" "src/CMakeFiles/kestrel.dir/simd/dispatch.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/simd/dispatch.cpp.o.d"
+  "/root/repo/src/simd/isa.cpp" "src/CMakeFiles/kestrel.dir/simd/isa.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/simd/isa.cpp.o.d"
+  "/root/repo/src/snes/newton.cpp" "src/CMakeFiles/kestrel.dir/snes/newton.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/snes/newton.cpp.o.d"
+  "/root/repo/src/ts/theta.cpp" "src/CMakeFiles/kestrel.dir/ts/theta.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/ts/theta.cpp.o.d"
+  "/root/repo/src/vec/index_set.cpp" "src/CMakeFiles/kestrel.dir/vec/index_set.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/vec/index_set.cpp.o.d"
+  "/root/repo/src/vec/scatter.cpp" "src/CMakeFiles/kestrel.dir/vec/scatter.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/vec/scatter.cpp.o.d"
+  "/root/repo/src/vec/vector.cpp" "src/CMakeFiles/kestrel.dir/vec/vector.cpp.o" "gcc" "src/CMakeFiles/kestrel.dir/vec/vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

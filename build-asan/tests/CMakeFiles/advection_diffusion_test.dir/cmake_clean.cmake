@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advection_diffusion_test.dir/advection_diffusion_test.cpp.o"
+  "CMakeFiles/advection_diffusion_test.dir/advection_diffusion_test.cpp.o.d"
+  "advection_diffusion_test"
+  "advection_diffusion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advection_diffusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

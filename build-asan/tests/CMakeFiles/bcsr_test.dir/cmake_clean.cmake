@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcsr_test.dir/bcsr_test.cpp.o"
+  "CMakeFiles/bcsr_test.dir/bcsr_test.cpp.o.d"
+  "bcsr_test"
+  "bcsr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcsr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coo_csr_test.dir/coo_csr_test.cpp.o"
+  "CMakeFiles/coo_csr_test.dir/coo_csr_test.cpp.o.d"
+  "coo_csr_test"
+  "coo_csr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coo_csr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_perm_test.dir/csr_perm_test.cpp.o"
+  "CMakeFiles/csr_perm_test.dir/csr_perm_test.cpp.o.d"
+  "csr_perm_test"
+  "csr_perm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_perm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

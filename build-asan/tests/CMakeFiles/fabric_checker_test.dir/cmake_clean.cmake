@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_checker_test.dir/fabric_checker_test.cpp.o"
+  "CMakeFiles/fabric_checker_test.dir/fabric_checker_test.cpp.o.d"
+  "fabric_checker_test"
+  "fabric_checker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

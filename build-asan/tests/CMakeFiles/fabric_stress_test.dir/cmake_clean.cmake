@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_stress_test.dir/fabric_stress_test.cpp.o"
+  "CMakeFiles/fabric_stress_test.dir/fabric_stress_test.cpp.o.d"
+  "fabric_stress_test"
+  "fabric_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

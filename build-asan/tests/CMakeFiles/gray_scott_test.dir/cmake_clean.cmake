@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gray_scott_test.dir/gray_scott_test.cpp.o"
+  "CMakeFiles/gray_scott_test.dir/gray_scott_test.cpp.o.d"
+  "gray_scott_test"
+  "gray_scott_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gray_scott_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_set_scatter_test.dir/index_set_scatter_test.cpp.o"
+  "CMakeFiles/index_set_scatter_test.dir/index_set_scatter_test.cpp.o.d"
+  "index_set_scatter_test"
+  "index_set_scatter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_set_scatter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for index_set_scatter_test.
+# This may be replaced when dependencies are built.

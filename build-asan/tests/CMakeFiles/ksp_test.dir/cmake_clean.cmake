@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksp_test.dir/ksp_test.cpp.o"
+  "CMakeFiles/ksp_test.dir/ksp_test.cpp.o.d"
+  "ksp_test"
+  "ksp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

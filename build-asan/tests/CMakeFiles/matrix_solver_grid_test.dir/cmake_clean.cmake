@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_solver_grid_test.dir/matrix_solver_grid_test.cpp.o"
+  "CMakeFiles/matrix_solver_grid_test.dir/matrix_solver_grid_test.cpp.o.d"
+  "matrix_solver_grid_test"
+  "matrix_solver_grid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_solver_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

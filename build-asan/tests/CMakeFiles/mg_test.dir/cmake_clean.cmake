@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_test.dir/mg_test.cpp.o"
+  "CMakeFiles/mg_test.dir/mg_test.cpp.o.d"
+  "mg_test"
+  "mg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

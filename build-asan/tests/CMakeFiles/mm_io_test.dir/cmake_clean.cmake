@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_io_test.dir/mm_io_test.cpp.o"
+  "CMakeFiles/mm_io_test.dir/mm_io_test.cpp.o.d"
+  "mm_io_test"
+  "mm_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parmat_test.dir/parmat_test.cpp.o"
+  "CMakeFiles/parmat_test.dir/parmat_test.cpp.o.d"
+  "parmat_test"
+  "parmat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parmat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

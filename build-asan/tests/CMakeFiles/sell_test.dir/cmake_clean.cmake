@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sell_test.dir/sell_test.cpp.o"
+  "CMakeFiles/sell_test.dir/sell_test.cpp.o.d"
+  "sell_test"
+  "sell_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sell_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snes_test.dir/snes_test.cpp.o"
+  "CMakeFiles/snes_test.dir/snes_test.cpp.o.d"
+  "snes_test"
+  "snes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spgemm_test.dir/spgemm_test.cpp.o"
+  "CMakeFiles/spgemm_test.dir/spgemm_test.cpp.o.d"
+  "spgemm_test"
+  "spgemm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spgemm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmv_kernels_test.dir/spmv_kernels_test.cpp.o"
+  "CMakeFiles/spmv_kernels_test.dir/spmv_kernels_test.cpp.o.d"
+  "spmv_kernels_test"
+  "spmv_kernels_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmv_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

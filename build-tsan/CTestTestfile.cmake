@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-tsan
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[kestrel_lint]=] "/root/.pyenv/shims/python3" "/root/repo/tools/kestrel_lint.py" "--repo" "/root/repo")
+set_tests_properties([=[kestrel_lint]=] PROPERTIES  LABELS "lint" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;76;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[kestrel_lint_selftest]=] "/root/.pyenv/shims/python3" "/root/repo/tools/kestrel_lint.py" "--self-test")
+set_tests_properties([=[kestrel_lint_selftest]=] PROPERTIES  LABELS "lint" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;80;add_test;/root/repo/CMakeLists.txt;0;")
+subdirs("src")
+subdirs("tests")
