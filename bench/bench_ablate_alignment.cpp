@@ -8,7 +8,7 @@
 #include <cstring>
 
 #include "base/aligned.hpp"
-#include "base/log.hpp"
+#include "prof/profiler.hpp"
 #include "bench_common.hpp"
 #include "mat/sell.hpp"
 #include "simd/dispatch.hpp"

@@ -5,7 +5,7 @@
 
 #include <cstdio>
 
-#include "base/log.hpp"
+#include "prof/profiler.hpp"
 #include "bench_common.hpp"
 #include "mat/sell.hpp"
 

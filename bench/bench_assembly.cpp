@@ -12,7 +12,7 @@
 
 #include <cstdio>
 
-#include "base/log.hpp"
+#include "prof/profiler.hpp"
 #include "bench_common.hpp"
 #include "mat/bcsr.hpp"
 #include "mat/csr_perm.hpp"

@@ -6,7 +6,7 @@
 #include <string>
 
 #include "app/gray_scott.hpp"
-#include "base/log.hpp"
+#include "prof/profiler.hpp"
 #include "mat/csr.hpp"
 #include "mat/matrix.hpp"
 #include "vec/vector.hpp"

@@ -10,11 +10,13 @@
 
 #include <cstdio>
 
+#include "base/options.hpp"
 #include "bench_common.hpp"
-#include "base/log.hpp"
 #include "mat/sell.hpp"
 #include "pc/mg.hpp"
 #include "perf/spmv_model.hpp"
+#include "prof/profiler.hpp"
+#include "prof/report.hpp"
 #include "ts/theta.hpp"
 
 namespace {
@@ -53,7 +55,6 @@ double run_gray_scott(Index n, int steps, int levels, bool use_sell,
     return std::make_unique<pc::Multigrid>(a, chain, mg_opts, factory);
   };
 
-  EventLog::global().reset();
   const double t0 = wall_time();
   const ts::ThetaResult res = theta_integrate(gs, u, opts);
   const double total = wall_time() - t0;
@@ -77,10 +78,14 @@ double run_gray_scott(Index n, int steps, int levels, bool use_sell,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kestrel;
   using namespace kestrel::perf;
   using simd::IsaTier;
+
+  Options& opts = Options::global();
+  opts.parse(argc, argv);
+  const prof::LogConfig logcfg = prof::configure(opts);
 
   bench::header(
       "Figure 10 (modeled): Gray-Scott 16384^2 on Theta, walltime [s]");
@@ -127,5 +132,17 @@ int main() {
   std::printf("%-14s %10.3f %18.3f\n", "SELL", t_sell, mm_sell);
   std::printf("MatMult speedup (SELL vs CSR): %.2fx\n",
               mm_csr / mm_sell);
+
+  if (logcfg.any()) {
+    // Machine-readable results for the figure scripts: measured walltimes
+    // as named metrics alongside the full event table in one JSON dump.
+    prof::Profiler& p = prof::current();
+    p.set_metric("fig10_measured_total_csr_s", t_csr);
+    p.set_metric("fig10_measured_total_sell_s", t_sell);
+    p.set_metric("fig10_measured_matmult_csr_s", mm_csr);
+    p.set_metric("fig10_measured_matmult_sell_s", mm_sell);
+    p.set_metric("fig10_measured_matmult_speedup", mm_csr / mm_sell);
+    prof::export_all(logcfg, p);
+  }
   return 0;
 }

@@ -6,15 +6,18 @@
 //
 //   ./gray_scott [-n 128] [-steps 5] [-mat_type sell|csr]
 //                [-pc_mg_levels 3] [-ksp_type gmres] [-spmv_isa avx512]
+//                [-log_view] [-log_trace trace.json] [-log_json metrics.json]
 
 #include <cstdio>
 #include <sstream>
 
 #include "app/gray_scott.hpp"
-#include "base/log.hpp"
 #include "base/options.hpp"
 #include "mat/sell.hpp"
 #include "pc/mg.hpp"
+#include "perf/spmv_model.hpp"
+#include "prof/profiler.hpp"
+#include "prof/report.hpp"
 #include "ts/theta.hpp"
 
 using namespace kestrel;
@@ -22,6 +25,7 @@ using namespace kestrel;
 int main(int argc, char** argv) {
   Options& opts = Options::global();
   opts.parse(argc, argv);
+  const prof::LogConfig logcfg = prof::configure(opts);
   const Index n = opts.get_index("n", 128);
   const int steps = opts.get_index("steps", 5);
   const int levels = opts.get_index("pc_mg_levels", 3);
@@ -84,11 +88,26 @@ int main(int argc, char** argv) {
               res.total_newton_iterations, res.total_linear_iterations);
   std::printf("wall time: %.3f s\n", elapsed);
 
-  if (opts.has("log_view")) {
-    std::printf("\n-- event log (-log_view) --\n");
-    std::ostringstream report;
-    EventLog::global().report(report);
-    std::fputs(report.str().c_str(), stdout);
+  if (logcfg.any()) {
+    // Carry the section 6 model's per-SpMV traffic prediction into the
+    // metrics dump so figure scripts plot measured vs model side by side.
+    prof::Profiler& p = prof::current();
+    const perf::SpmvWorkload wl = perf::SpmvWorkload::gray_scott(n);
+    p.set_metric("model_spmv_traffic_bytes",
+                 static_cast<double>(wl.traffic_bytes(
+                     use_sell ? perf::ModelFormat::kSell
+                              : perf::ModelFormat::kCsrBaseline)));
+    // The measured average spans every SpMV of that format, including the
+    // smaller MG coarse-level operators, so it sits below the fine-level
+    // model; the strict fine-grid-only comparison is tests/prof_test.cpp.
+    const int ev = prof::registered_event(use_sell ? "MatMult(sell)"
+                                                   : "MatMult(csr)");
+    if (p.calls(ev) > 0) {
+      p.set_metric("measured_spmv_bytes_per_call_all_levels",
+                   static_cast<double>(p.bytes(ev)) /
+                       static_cast<double>(p.calls(ev)));
+    }
+    prof::export_all(logcfg, p);
   }
   return res.completed ? 0 : 1;
 }

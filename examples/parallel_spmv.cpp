@@ -4,6 +4,7 @@
 // rank-distributed system with allreduced dot products.
 //
 //   ./parallel_spmv [-ranks 4] [-n 64] [-mat_type sell|csr]
+//                   [-log_view] [-log_trace trace.json] [-log_json m.json]
 
 #include <cstdio>
 
@@ -11,11 +12,14 @@
 #include "base/options.hpp"
 #include "ksp/context.hpp"
 #include "par/parmat.hpp"
+#include "prof/profiler.hpp"
+#include "prof/report.hpp"
 
 using namespace kestrel;
 
 int main(int argc, char** argv) {
   Options::global().parse(argc, argv);
+  const prof::LogConfig logcfg = prof::configure(Options::global());
   const int nranks = Options::global().get_index("ranks", 4);
   const Index n = Options::global().get_index("n", 64);
   const std::string mat_type =
@@ -65,6 +69,10 @@ int main(int argc, char** argv) {
                   res.converged ? "converged" : "FAILED", res.iterations,
                   res.residual_norm);
     }
+
+    // Collective: reduces per-rank profilers (min/max/ratio) and, on rank
+    // 0, prints the table / writes the trace and metrics files.
+    prof::export_all(logcfg, prof::current(), &comm);
   });
   return 0;
 }

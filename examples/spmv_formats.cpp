@@ -8,7 +8,7 @@
 #include <cstdio>
 
 #include "app/gray_scott.hpp"
-#include "base/log.hpp"
+#include "prof/profiler.hpp"
 #include "base/options.hpp"
 #include "mat/bcsr.hpp"
 #include "mat/csr_perm.hpp"

@@ -31,6 +31,23 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure
 
+banner "profiler suite (ctest -L prof) + sample trace"
+ctest --test-dir build -L prof --output-on-failure
+./build/examples/parallel_spmv -ranks 4 -n 64 \
+  -log_view -log_trace build/kestrel_trace.json \
+  -log_json build/kestrel_metrics.json
+python3 - <<'EOF'
+import json
+with open("build/kestrel_trace.json") as f:
+    trace = json.load(f)
+assert any(e.get("ph") == "X" for e in trace["traceEvents"]), "no spans"
+with open("build/kestrel_metrics.json") as f:
+    metrics = json.load(f)
+assert metrics["schema"] == "kestrel-scope-metrics-v1", metrics.get("schema")
+print(f"sample trace ok: {len(trace['traceEvents'])} trace events, "
+      f"{len(metrics['events'])} metric rows")
+EOF
+
 sanitizer_suite() {
   local name="$1" label="$2"
   banner "sanitizer: $name (ctest -L $label)"

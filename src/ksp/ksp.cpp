@@ -6,6 +6,7 @@
 #include "base/rng.hpp"
 #include "ksp/context.hpp"
 #include "pc/pc.hpp"
+#include "prof/profiler.hpp"
 
 namespace kestrel::ksp {
 
@@ -42,6 +43,10 @@ bool Solver::check(Scalar rnorm, Scalar rnorm0, int it,
   out->iterations = it;
   out->residual_norm = rnorm;
   if (settings_.monitor) settings_.monitor(it, rnorm);
+  if (prof::enabled()) {
+    prof::current().record_history("KSP(" + name() + ")",
+                                   static_cast<double>(it), rnorm);
+  }
   if (std::isnan(rnorm) || std::isinf(rnorm)) {
     out->converged = false;
     out->reason = Reason::kDivergedNan;

@@ -4,6 +4,7 @@
 
 #include "base/error.hpp"
 #include "mat/csr.hpp"
+#include "prof/profiler.hpp"
 #include "simd/dispatch.hpp"
 
 namespace kestrel::mat {
@@ -64,6 +65,7 @@ Bcsr::Bcsr(const Csr& csr, Index bs) : bs_(bs), nnz_(csr.nnz()) {
 }
 
 void Bcsr::spmv(const Scalar* x, Scalar* y) const {
+  KESTREL_PROF_SPMV("MatMult(bcsr)", 2 * nnz(), spmv_traffic_bytes());
   auto fn = simd::lookup_as<simd::BcsrSpmvFn>(simd::Op::kBcsrSpmv, tier_);
   fn(view(), x, y);
 }

@@ -4,6 +4,7 @@
 
 #include "base/error.hpp"
 #include "mat/coo.hpp"
+#include "prof/profiler.hpp"
 #include "simd/dispatch.hpp"
 
 namespace kestrel::mat {
@@ -57,6 +58,7 @@ Csr Csr::from_coo(const Coo& coo, bool drop_zeros) {
 }
 
 void Csr::spmv(const Scalar* x, Scalar* y) const {
+  KESTREL_PROF_SPMV("MatMult(csr)", 2 * nnz(), spmv_traffic_bytes());
   auto fn = simd::lookup_as<simd::CsrSpmvFn>(simd::Op::kCsrSpmv, tier_);
   fn(view(), x, y);
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "prof/profiler.hpp"
 #include "simd/dispatch.hpp"
 
 namespace kestrel::mat {
@@ -40,6 +41,7 @@ CsrPerm::CsrPerm(Csr csr) : csr_(std::move(csr)) {
 }
 
 void CsrPerm::spmv(const Scalar* x, Scalar* y) const {
+  KESTREL_PROF_SPMV("MatMult(csr_perm)", 2 * nnz(), spmv_traffic_bytes());
   auto fn =
       simd::lookup_as<simd::CsrPermSpmvFn>(simd::Op::kCsrPermSpmv, tier_);
   fn(view(), x, y);

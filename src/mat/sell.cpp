@@ -6,6 +6,7 @@
 
 #include "base/error.hpp"
 #include "mat/csr.hpp"
+#include "prof/profiler.hpp"
 #include "simd/dispatch.hpp"
 
 namespace kestrel::mat {
@@ -121,6 +122,7 @@ void Sell::build(const Csr& csr, const SellOptions& opts) {
 }
 
 void Sell::spmv(const Scalar* x, Scalar* y) const {
+  KESTREL_PROF_SPMV("MatMult(sell)", 2 * nnz(), spmv_traffic_bytes());
   // Kernel tier constraints: the AVX-512 kernel needs c % 8 == 0, the
   // AVX/AVX2 kernels need c % 4 == 0; anything else runs scalar.
   simd::IsaTier want = tier_;
@@ -142,6 +144,7 @@ void Sell::spmv(const Scalar* x, Scalar* y) const {
 }
 
 void Sell::spmv_add(const Scalar* x, Scalar* y) const {
+  KESTREL_PROF_SPMV("MatMultAdd(sell)", 2 * nnz(), spmv_traffic_bytes());
   simd::IsaTier want = tier_;
   if (want == simd::IsaTier::kAvx512 && c_ % 8 != 0) {
     want = simd::IsaTier::kAvx2;

@@ -9,6 +9,7 @@
 
 #include "base/error.hpp"
 #include "par/checker.hpp"
+#include "prof/profiler.hpp"
 
 namespace kestrel::par {
 
@@ -88,6 +89,10 @@ void Comm::isend(int dest, int tag, const Scalar* data, std::size_t count) {
   KESTREL_CHECK(dest >= 0 && dest < size_, "isend: bad destination rank");
   KESTREL_CHECK(tag >= 0, "isend: user tags must be non-negative");
   if (FabricChecker* chk = checker()) chk->on_isend(rank_, dest, tag);
+  // Send-side accounting only, so a message is never counted twice.
+  if (prof::enabled()) {
+    prof::current().message(1, count * sizeof(Scalar));
+  }
   fabric_->deliver(dest, rank_, tag,
                    std::vector<Scalar>(data, data + count));
 }
@@ -127,6 +132,9 @@ Scalar Comm::allreduce(Scalar value, ReduceOp op) {
   if (FabricChecker* chk = checker()) {
     chk->on_collective(rank_, FabricEventKind::kAllreduce);
   }
+  // Counted at the public entry points only: the _impl bodies move their
+  // payloads through fabric_->deliver directly, so nothing double-counts.
+  if (prof::enabled()) prof::current().reduction();
   return allreduce_impl(value, op);
 }
 
@@ -157,6 +165,7 @@ std::vector<Scalar> Comm::allgatherv(const std::vector<Scalar>& local) {
   if (FabricChecker* chk = checker()) {
     chk->on_collective(rank_, FabricEventKind::kAllgatherv);
   }
+  if (prof::enabled()) prof::current().reduction();
   return allgatherv_impl(local);
 }
 
@@ -184,6 +193,7 @@ std::vector<Index> Comm::allgatherv(const std::vector<Index>& local) {
   if (FabricChecker* chk = checker()) {
     chk->on_collective(rank_, FabricEventKind::kAllgatherv);
   }
+  if (prof::enabled()) prof::current().reduction();
   std::vector<Scalar> as_scalar(local.begin(), local.end());
   std::vector<Scalar> all = allgatherv_impl(as_scalar);
   std::vector<Index> out(all.size());
@@ -196,6 +206,7 @@ void Comm::barrier() {
   if (FabricChecker* chk = checker()) {
     chk->on_collective(rank_, FabricEventKind::kBarrier);
   }
+  if (prof::enabled()) prof::current().reduction();
   (void)allreduce_impl(Scalar{0}, ReduceOp::kSum);
 }
 
@@ -278,6 +289,13 @@ void Fabric::run(int nranks, const FabricOptions& opts,
   KESTREL_CHECK(nranks >= 1, "need at least one rank");
   Fabric fabric(nranks, opts);
   if (nranks == 1) {
+    // Every rank — including the calling thread here — profiles into its
+    // own stack-local instance, never the shared global: library code
+    // instrumented with prof::current() is race-free on the fabric by
+    // construction. Rank profilers die with the rank, so reduction and
+    // export (prof::export_all) must happen inside fn.
+    prof::Profiler rank_prof;
+    prof::AttachGuard guard(&rank_prof);
     Comm comm(&fabric, 0, 1);
     fn(comm);
     // Un-waited requests are a bug even on one rank: the message (from a
@@ -291,6 +309,8 @@ void Fabric::run(int nranks, const FabricOptions& opts,
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
       try {
+        prof::Profiler rank_prof;
+        prof::AttachGuard guard(&rank_prof);
         Comm comm(&fabric, r, nranks);
         fn(comm);
         // Only on a normal return: after an abort, dangling requests on

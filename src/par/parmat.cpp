@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/error.hpp"
+#include "prof/profiler.hpp"
 #include "simd/dispatch.hpp"
 
 namespace kestrel::par {
@@ -222,29 +223,57 @@ void ParMatrix::spmv(const ParVector& x, ParVector& y, Comm& comm) const {
 
 void ParMatrix::spmv_local(const Scalar* x_local, Vector& y_local,
                            Comm& comm) const {
+  // Profiling: one outer MatMult event (inclusive, PETSc-style) plus one
+  // nested event per phase, so -log_trace shows the ghost exchange
+  // overlapping the local multiply on each rank's track.
+  static const int ev_mult = prof::registered_event("MatMult");
+  static const int ev_pack = prof::registered_event("MatMultPack");
+  static const int ev_send = prof::registered_event("MatMultSend");
+  static const int ev_local = prof::registered_event("MatMultLocal");
+  static const int ev_wait = prof::registered_event("MatMultWait");
+  static const int ev_off = prof::registered_event("MatMultOffdiag");
+  const std::size_t offdiag_traffic = offdiag_sell_
+                                          ? offdiag_sell_->spmv_traffic_bytes()
+                                          : offdiag_.spmv_traffic_bytes();
+  prof::ScopedEvent mult(
+      ev_mult,
+      2u * static_cast<std::uint64_t>(diag_->nnz() + offdiag_.nnz()),
+      diag_->spmv_traffic_bytes() + offdiag_traffic);
+
   // (1) send the locally owned entries that other ranks need (eager sends
   // double as the posted receives on the peer side).
   for (const SendPlan& plan : sends_) {
-    packbuf_.resize(plan.local_indices.size());
-    for (std::size_t k = 0; k < plan.local_indices.size(); ++k) {
-      packbuf_[k] = x_local[plan.local_indices[k]];
+    {
+      prof::ScopedEvent pack(ev_pack);
+      packbuf_.resize(plan.local_indices.size());
+      for (std::size_t k = 0; k < plan.local_indices.size(); ++k) {
+        packbuf_[k] = x_local[plan.local_indices[k]];
+      }
     }
+    prof::ScopedEvent send(ev_send);
     comm.isend(plan.peer, kTagGhost, packbuf_.data(), packbuf_.size());
   }
 
   // (2) diagonal block with the local x — overlaps with message delivery.
-  y_local.resize(local_rows());
-  diag_->spmv(x_local, y_local.data());
+  {
+    prof::ScopedEvent local(ev_local);
+    y_local.resize(local_rows());
+    diag_->spmv(x_local, y_local.data());
+  }
 
   // (3) wait for ghost values.
-  for (const RecvPlan& plan : recvs_) {
-    const std::vector<Scalar> data = comm.recv(plan.peer, kTagGhost);
-    KESTREL_CHECK(static_cast<Index>(data.size()) == plan.count,
-                  "ghost message size mismatch");
-    std::copy(data.begin(), data.end(), ghost_.data() + plan.ghost_offset);
+  {
+    prof::ScopedEvent wait(ev_wait);
+    for (const RecvPlan& plan : recvs_) {
+      const std::vector<Scalar> data = comm.recv(plan.peer, kTagGhost);
+      KESTREL_CHECK(static_cast<Index>(data.size()) == plan.count,
+                    "ghost message size mismatch");
+      std::copy(data.begin(), data.end(), ghost_.data() + plan.ghost_offset);
+    }
   }
 
   // (4) off-diagonal block accumulates into y.
+  prof::ScopedEvent off(ev_off);
   if (offdiag_sell_) {
     if (nghost_ > 0) {
       offdiag_sell_->spmv_add(ghost_.data(), y_local.data());

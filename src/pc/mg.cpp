@@ -3,8 +3,8 @@
 #include <cmath>
 
 #include "base/error.hpp"
-#include "base/log.hpp"
 #include "mat/spgemm.hpp"
+#include "prof/profiler.hpp"
 
 namespace kestrel::pc {
 
@@ -169,8 +169,8 @@ void Multigrid::cycle(int l, const Vector& rhs, Vector& x) const {
 
 void Multigrid::apply(const Vector& r, Vector& z) const {
   KESTREL_CHECK(r.size() == levels_[0].a.rows(), "mg: size mismatch");
-  static const int event = EventLog::global().event_id("PCApply(MG)");
-  ScopedEvent timer(event);
+  static const int event = prof::registered_event("PCApply(MG)");
+  prof::ScopedEvent timer(event);
   z.resize(r.size());
   cycle(0, r, z);
 }

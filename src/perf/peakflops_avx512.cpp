@@ -4,7 +4,7 @@
 
 #include <immintrin.h>
 
-#include "base/log.hpp"
+#include "prof/profiler.hpp"
 #include "perf/roofline.hpp"
 #include "simd/isa.hpp"
 

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "base/aligned.hpp"
-#include "base/log.hpp"
+#include "prof/profiler.hpp"
 
 namespace kestrel::perf {
 

@@ -1,0 +1,45 @@
+#pragma once
+// Minimal JSON support for Kestrel Scope: string escaping for the writers
+// in prof/report.cpp, and a small recursive-descent parser used by tests to
+// validate the schema of emitted trace/metrics files. Deliberately tiny —
+// no external dependency, no streaming, documents must fit in memory.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace kestrel::prof::json {
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
+std::string escape(const std::string& s);
+
+/// Parsed JSON value. Objects keep insertion-order-independent (sorted)
+/// member access via std::map; numbers are always double.
+class Value {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  bool is_null() const { return kind == Kind::Null; }
+  bool is_bool() const { return kind == Kind::Bool; }
+  bool is_number() const { return kind == Kind::Number; }
+  bool is_string() const { return kind == Kind::String; }
+  bool is_array() const { return kind == Kind::Array; }
+  bool is_object() const { return kind == Kind::Object; }
+
+  /// Member lookup on an object; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const;
+};
+
+/// Parses a full JSON document; throws kestrel::Error on malformed input
+/// or trailing garbage.
+Value parse(const std::string& text);
+
+}  // namespace kestrel::prof::json

@@ -1,0 +1,285 @@
+#pragma once
+// Kestrel Scope: a thread-safe, per-rank, hierarchical event profiler
+// modeled on PETSc's -log_view (replaces the old base/log.hpp EventLog).
+//
+// Concepts, mirroring PETSc:
+//   * Events are registered by name in a PROCESS-WIDE registry, so the same
+//     name resolves to the same id in every Profiler instance — ids are
+//     stable and cross-rank reduction can match on ids alone.
+//   * A Profiler accumulates, per (stage, event): wall seconds, call count,
+//     flops, bytes moved, messages/bytes sent and reductions. Events nest
+//     (begin/end must pair LIFO); times are inclusive, as in PETSc.
+//   * Stages ("Main Stage" by default) partition a run into named phases;
+//     stage_push/stage_pop select where subsequent events accumulate.
+//   * Each fabric rank gets its OWN Profiler, attached to the rank thread
+//     by par::Fabric::run, so instrumented library code profiles race-free
+//     by default. Profiler::global() remains for single-rank use; every
+//     Profiler is internally locked, so even a mis-shared global is
+//     thread-safe (though concurrent ranks then interleave attribution).
+//
+// Collection is off unless -log_view/-log_trace/-log_json (or the
+// KESTREL_LOG_* environment variables) turn it on: the instrumentation
+// macros and ScopedEvent check one relaxed atomic and do nothing else when
+// disabled. Reduction and the report/trace/JSON exporters live in
+// prof/report.hpp; this header has no par dependency so the fabric itself
+// can be instrumented.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace kestrel {
+class Options;
+
+/// Monotonic wall clock in seconds, for ad-hoc timing in benches.
+double wall_time();
+}  // namespace kestrel
+
+namespace kestrel::prof {
+
+// ---- process-wide name registries (hash-map backed, ids stable) ---------
+
+/// Registers (or finds) an event by name. O(1) expected; ids are dense,
+/// stable for the process lifetime, and shared by all Profiler instances.
+int registered_event(const std::string& name);
+/// Same for stages. "Main Stage" is pre-registered as id 0.
+int registered_stage(const std::string& name);
+const std::string& event_name(int id);
+const std::string& stage_name(int id);
+int num_registered_events();
+int num_registered_stages();
+
+inline constexpr int kMainStage = 0;
+
+// ---- global collection switches -----------------------------------------
+
+/// True when profiling data is being collected (set by -log_view and
+/// friends). Instrumentation sites check this before doing any work.
+bool enabled();
+void set_enabled(bool on);
+/// True when begin/end additionally record trace spans for -log_trace.
+bool tracing();
+void set_tracing(bool on);
+
+/// RAII enable/disable for tests and benches.
+class EnableGuard {
+ public:
+  explicit EnableGuard(bool on, bool trace = false)
+      : prev_enabled_(enabled()), prev_tracing_(tracing()) {
+    set_enabled(on);
+    set_tracing(trace);
+  }
+  ~EnableGuard() {
+    set_enabled(prev_enabled_);
+    set_tracing(prev_tracing_);
+  }
+  EnableGuard(const EnableGuard&) = delete;
+  EnableGuard& operator=(const EnableGuard&) = delete;
+
+ private:
+  bool prev_enabled_;
+  bool prev_tracing_;
+};
+
+/// What the -log_* options asked for; produced by configure().
+struct LogConfig {
+  bool view = false;         ///< -log_view: print the event table
+  std::string trace_path;    ///< -log_trace <file>: Chrome trace JSON
+  std::string json_path;     ///< -log_json <file>: metrics JSON
+  bool any() const { return view || !trace_path.empty() || !json_path.empty(); }
+};
+
+/// Reads -log_view / -log_trace <file> / -log_json <file> from `opts`,
+/// with KESTREL_LOG_VIEW / KESTREL_LOG_TRACE / KESTREL_LOG_JSON environment
+/// fallbacks, and flips the global collection switches accordingly.
+LogConfig configure(const Options& opts);
+
+// ---- accumulators --------------------------------------------------------
+
+struct EventPerf {
+  double seconds = 0.0;
+  std::uint64_t calls = 0;
+  std::uint64_t flops = 0;
+  std::uint64_t bytes = 0;          ///< bytes moved by the kernel (model)
+  std::uint64_t messages = 0;       ///< fabric messages sent
+  std::uint64_t message_bytes = 0;  ///< payload bytes sent
+  std::uint64_t reductions = 0;     ///< collective operations
+};
+
+/// One flattened (stage, event) cell with nonzero activity.
+struct PerfRow {
+  int stage = kMainStage;
+  int event = -1;
+  EventPerf perf;
+};
+
+/// One completed event instance, recorded only while tracing() is on.
+/// Times are wall_time() seconds (a common clock for all ranks in the
+/// process, so per-rank tracks line up in the exported trace).
+struct TraceSpan {
+  int event = -1;
+  int stage = kMainStage;
+  double t0 = 0.0;
+  double t1 = 0.0;
+  int depth = 0;  ///< nesting depth at begin (0 = outermost)
+};
+
+class Profiler {
+ public:
+  Profiler();
+
+  // -- recording (thread-safe; begin/end must pair LIFO per profiler) ----
+  void begin(int event);
+  void end(int event, std::uint64_t flops = 0, std::uint64_t bytes = 0);
+  /// Accounts fabric traffic to the innermost running event (or to the
+  /// implicit "Comm" event when none is running).
+  void message(std::uint64_t count, std::uint64_t payload_bytes);
+  /// Accounts one collective (allreduce/allgatherv/barrier).
+  void reduction();
+
+  void stage_push(int stage);
+  void stage_pop();
+  int current_stage() const;
+
+  /// Appends (x, y) to a named series, e.g. residual norm per iteration.
+  void record_history(const std::string& series, double x, double y);
+  /// Sets a scalar metric carried into the JSON dump (measured-vs-model
+  /// figures, machine info, ...).
+  void set_metric(const std::string& name, double value);
+
+  // -- queries (aggregated over all stages unless stated) ----------------
+  double seconds(int event) const;
+  std::uint64_t calls(int event) const;
+  std::uint64_t flops(int event) const;
+  std::uint64_t bytes(int event) const;
+  EventPerf perf_in(int stage, int event) const;
+  double total_seconds() const;  ///< sum of event seconds (old EventLog)
+  /// Wall seconds since construction/reset; the -log_view %T denominator.
+  double elapsed_seconds() const;
+
+  std::uint64_t total_messages() const;
+  std::uint64_t total_message_bytes() const;
+  std::uint64_t total_reductions() const;
+
+  /// All (stage, event) cells with at least one call (plus cells carrying
+  /// only message/reduction counts).
+  std::vector<PerfRow> rows() const;
+  std::vector<TraceSpan> trace() const;
+  /// Spans dropped after the recording cap was hit (reported, not silent).
+  std::uint64_t dropped_spans() const;
+  std::map<std::string, std::vector<std::pair<double, double>>> histories()
+      const;
+  std::map<std::string, double> metrics() const;
+
+  void reset();
+
+  /// Process-wide instance for single-rank use; internally locked like any
+  /// Profiler. Fabric ranks get their own instances (see prof::current).
+  static Profiler& global();
+
+ private:
+  struct Running {
+    int event;
+    double t0;
+  };
+
+  EventPerf& cell(int stage, int event);  // mu_ must be held
+
+  mutable std::mutex mu_;
+  std::vector<std::vector<EventPerf>> perf_;  ///< [stage][event]
+  std::vector<Running> running_;
+  std::vector<int> stage_stack_;
+  std::vector<TraceSpan> spans_;
+  std::uint64_t dropped_spans_ = 0;
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t total_message_bytes_ = 0;
+  std::uint64_t total_reductions_ = 0;
+  std::map<std::string, std::vector<std::pair<double, double>>> histories_;
+  std::map<std::string, double> metrics_;
+  double created_ = 0.0;
+};
+
+// ---- thread attachment ---------------------------------------------------
+
+/// Attaches `p` as this thread's profiler (nullptr to detach); returns the
+/// previous attachment. par::Fabric::run attaches one per rank thread.
+Profiler* attach(Profiler* p);
+/// This thread's attached profiler, or nullptr.
+Profiler* attached();
+/// The profiler instrumentation on this thread records into: the attached
+/// per-rank instance if any, else the locked global().
+Profiler& current();
+
+class AttachGuard {
+ public:
+  explicit AttachGuard(Profiler* p) : prev_(attach(p)) {}
+  ~AttachGuard() { attach(prev_); }
+  AttachGuard(const AttachGuard&) = delete;
+  AttachGuard& operator=(const AttachGuard&) = delete;
+
+ private:
+  Profiler* prev_;
+};
+
+/// RAII event scope against the current() profiler; a no-op (one relaxed
+/// atomic load) while collection is disabled.
+class ScopedEvent {
+ public:
+  explicit ScopedEvent(int event, std::uint64_t flops = 0,
+                       std::uint64_t bytes = 0)
+      : event_(event), flops_(flops), bytes_(bytes) {
+    if (enabled()) {
+      profiler_ = &current();
+      profiler_->begin(event_);
+    }
+  }
+  ~ScopedEvent() {
+    if (profiler_ != nullptr) profiler_->end(event_, flops_, bytes_);
+  }
+  ScopedEvent(const ScopedEvent&) = delete;
+  ScopedEvent& operator=(const ScopedEvent&) = delete;
+
+ private:
+  Profiler* profiler_ = nullptr;
+  int event_;
+  std::uint64_t flops_;
+  std::uint64_t bytes_;
+};
+
+/// RAII stage scope against the current() profiler.
+class ScopedStage {
+ public:
+  explicit ScopedStage(const std::string& name) {
+    if (enabled()) {
+      profiler_ = &current();
+      profiler_->stage_push(registered_stage(name));
+    }
+  }
+  ~ScopedStage() {
+    if (profiler_ != nullptr) profiler_->stage_pop();
+  }
+  ScopedStage(const ScopedStage&) = delete;
+  ScopedStage& operator=(const ScopedStage&) = delete;
+
+ private:
+  Profiler* profiler_ = nullptr;
+};
+
+}  // namespace kestrel::prof
+
+/// Hot-path hook for a format's SpMV entry point: registers the event once,
+/// then times the call and accrues flops / modeled bytes-moved.
+/// tools/kestrel_lint.py requires one per KESTREL_KERNEL_TABLE format
+/// (rule kernel-perf-reporting), so no registered kernel can silently stop
+/// reporting the numbers the -log_view table and the traffic cross-check
+/// depend on.
+#define KESTREL_PROF_SPMV(name, flops, bytes)                         \
+  static const int kestrel_prof_spmv_event_ =                         \
+      ::kestrel::prof::registered_event(name);                        \
+  ::kestrel::prof::ScopedEvent kestrel_prof_spmv_scope_(              \
+      kestrel_prof_spmv_event_, static_cast<std::uint64_t>(flops),    \
+      static_cast<std::uint64_t>(bytes))

@@ -1,0 +1,348 @@
+#include "prof/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <ostream>
+#include <tuple>
+
+#include "base/error.hpp"
+#include "par/comm.hpp"
+#include "prof/json.hpp"
+
+namespace kestrel::prof {
+
+namespace {
+
+// Flat encodings for the collective exchange. Counts are exact as doubles
+// up to 2^53, far beyond anything these counters reach in-process.
+constexpr std::size_t kRowWidth = 9;   // stage,event,sec,calls,flops,bytes,msgs,msgbytes,red
+constexpr std::size_t kSpanWidth = 6;  // rank,event,stage,t0,t1,depth
+
+std::vector<Scalar> encode_rows(const Profiler& p) {
+  std::vector<Scalar> flat;
+  const auto rows = p.rows();
+  flat.reserve(rows.size() * kRowWidth);
+  for (const PerfRow& r : rows) {
+    flat.push_back(static_cast<Scalar>(r.stage));
+    flat.push_back(static_cast<Scalar>(r.event));
+    flat.push_back(r.perf.seconds);
+    flat.push_back(static_cast<Scalar>(r.perf.calls));
+    flat.push_back(static_cast<Scalar>(r.perf.flops));
+    flat.push_back(static_cast<Scalar>(r.perf.bytes));
+    flat.push_back(static_cast<Scalar>(r.perf.messages));
+    flat.push_back(static_cast<Scalar>(r.perf.message_bytes));
+    flat.push_back(static_cast<Scalar>(r.perf.reductions));
+  }
+  return flat;
+}
+
+std::vector<Scalar> encode_spans(const Profiler& p, int rank) {
+  std::vector<Scalar> flat;
+  const auto spans = p.trace();
+  flat.reserve(spans.size() * kSpanWidth);
+  for (const TraceSpan& s : spans) {
+    flat.push_back(static_cast<Scalar>(rank));
+    flat.push_back(static_cast<Scalar>(s.event));
+    flat.push_back(static_cast<Scalar>(s.stage));
+    flat.push_back(s.t0);
+    flat.push_back(s.t1);
+    flat.push_back(static_cast<Scalar>(s.depth));
+  }
+  return flat;
+}
+
+/// Accumulates one rank's row tuples into the per-(stage,event) reduction.
+struct Accum {
+  std::uint64_t calls_max = 0;
+  double t_min = 0.0;
+  double t_max = 0.0;
+  double t_sum = 0.0;
+  int ranks_seen = 0;
+  double flops = 0.0, bytes = 0.0;
+  double messages = 0.0, message_bytes = 0.0, reductions = 0.0;
+};
+
+Reduced finish(std::map<std::pair<int, int>, Accum> cells, int nranks,
+               double elapsed_max, std::vector<RankedSpan> spans,
+               std::uint64_t dropped, const Profiler& rank0_like) {
+  Reduced out;
+  out.nranks = nranks;
+  out.elapsed_max = elapsed_max;
+  out.spans = std::move(spans);
+  out.dropped_spans = dropped;
+  for (auto& [key, a] : cells) {
+    ReducedRow r;
+    r.stage = key.first;
+    r.event = key.second;
+    r.calls_max = a.calls_max;
+    // Ranks that never touched this cell count as zero time, matching
+    // PETSc: the ratio exposes imbalance including idle ranks.
+    r.t_min = a.ranks_seen < nranks ? 0.0 : a.t_min;
+    r.t_max = a.t_max;
+    r.t_avg = a.t_sum / nranks;
+    r.ratio = r.t_min > 0.0 ? r.t_max / r.t_min : 0.0;
+    r.flops_total = a.flops;
+    r.bytes_total = a.bytes;
+    r.messages_total = a.messages;
+    r.message_bytes_total = a.message_bytes;
+    r.reductions_total = a.reductions;
+    out.messages_total += a.messages;
+    out.message_bytes_total += a.message_bytes;
+    out.reductions_total += a.reductions;
+    out.rows.push_back(r);
+  }
+  std::sort(out.rows.begin(), out.rows.end(),
+            [](const ReducedRow& a, const ReducedRow& b) {
+              return std::tie(a.stage, a.event) < std::tie(b.stage, b.event);
+            });
+  std::sort(out.spans.begin(), out.spans.end(),
+            [](const RankedSpan& a, const RankedSpan& b) {
+              return std::tie(a.rank, a.span.t0) <
+                     std::tie(b.rank, b.span.t0);
+            });
+  out.histories = rank0_like.histories();
+  out.metrics = rank0_like.metrics();
+  return out;
+}
+
+void accumulate(std::map<std::pair<int, int>, Accum>& cells,
+                const Scalar* tuple) {
+  const auto key = std::make_pair(static_cast<int>(tuple[0]),
+                                  static_cast<int>(tuple[1]));
+  Accum& a = cells[key];
+  const double sec = tuple[2];
+  if (a.ranks_seen == 0 || sec < a.t_min) a.t_min = sec;
+  a.t_max = std::max(a.t_max, sec);
+  a.t_sum += sec;
+  a.ranks_seen += 1;
+  a.calls_max = std::max(a.calls_max, static_cast<std::uint64_t>(tuple[3]));
+  a.flops += tuple[4];
+  a.bytes += tuple[5];
+  a.messages += tuple[6];
+  a.message_bytes += tuple[7];
+  a.reductions += tuple[8];
+}
+
+}  // namespace
+
+Reduced reduce(const Profiler& p) {
+  std::map<std::pair<int, int>, Accum> cells;
+  const auto flat = encode_rows(p);
+  for (std::size_t i = 0; i + kRowWidth <= flat.size(); i += kRowWidth) {
+    accumulate(cells, flat.data() + i);
+  }
+  std::vector<RankedSpan> spans;
+  for (const TraceSpan& s : p.trace()) spans.push_back({0, s});
+  return finish(std::move(cells), 1, p.elapsed_seconds(), std::move(spans),
+                p.dropped_spans(), p);
+}
+
+Reduced reduce(const Profiler& p, par::Comm& comm) {
+  const std::vector<Scalar> all_rows = comm.allgatherv(encode_rows(p));
+  const std::vector<Scalar> all_spans =
+      comm.allgatherv(encode_spans(p, comm.rank()));
+  const double elapsed_max =
+      comm.allreduce(p.elapsed_seconds(), par::Comm::ReduceOp::kMax);
+  const std::int64_t dropped = comm.allreduce(
+      static_cast<std::int64_t>(p.dropped_spans()), par::Comm::ReduceOp::kSum);
+
+  std::map<std::pair<int, int>, Accum> cells;
+  for (std::size_t i = 0; i + kRowWidth <= all_rows.size(); i += kRowWidth) {
+    accumulate(cells, all_rows.data() + i);
+  }
+  std::vector<RankedSpan> spans;
+  spans.reserve(all_spans.size() / kSpanWidth);
+  for (std::size_t i = 0; i + kSpanWidth <= all_spans.size();
+       i += kSpanWidth) {
+    const Scalar* t = all_spans.data() + i;
+    TraceSpan s;
+    s.event = static_cast<int>(t[1]);
+    s.stage = static_cast<int>(t[2]);
+    s.t0 = t[3];
+    s.t1 = t[4];
+    s.depth = static_cast<int>(t[5]);
+    spans.push_back({static_cast<int>(t[0]), s});
+  }
+  return finish(std::move(cells), comm.size(), elapsed_max, std::move(spans),
+                static_cast<std::uint64_t>(dropped), p);
+}
+
+namespace {
+
+std::string fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+
+}  // namespace
+
+void report(std::ostream& os, const Reduced& r) {
+  os << "----------------------------------------------------------------"
+        "--------------------------------------------------------\n";
+  os << "Kestrel Scope: performance summary (" << r.nranks
+     << (r.nranks == 1 ? " rank)\n" : " ranks)\n");
+  os << "Elapsed time (max over ranks): " << fmt("%.6e", r.elapsed_max)
+     << " s   Messages: " << fmt("%.0f", r.messages_total)
+     << "   Message bytes: " << fmt("%.0f", r.message_bytes_total)
+     << "   Reductions: " << fmt("%.0f", r.reductions_total) << "\n";
+  os << "Times are per-rank inclusive wall seconds; Ratio = max/min over "
+        "ranks (imbalance), %T = max time / elapsed.\n\n";
+
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "%-28s %7s %12s %12s %6s %12s %4s %10s %8s %10s %7s\n",
+                "Event", "Calls", "Time min", "Time max", "Ratio", "Time avg",
+                "%T", "MFlop/s", "Msgs", "AvgLen", "Reduct");
+  const char* rule =
+      "--------------------------------------------------------------------"
+      "----------------------------------------------------\n";
+
+  int last_stage = -1;
+  for (const ReducedRow& row : r.rows) {
+    if (row.stage != last_stage) {
+      os << "--- Stage " << row.stage << ": " << stage_name(row.stage)
+         << " ---\n";
+      os << head << rule;
+      last_stage = row.stage;
+    }
+    const double pct =
+        r.elapsed_max > 0.0 ? 100.0 * row.t_max / r.elapsed_max : 0.0;
+    const double mflops =
+        row.t_max > 0.0 ? row.flops_total / row.t_max / 1.0e6 : 0.0;
+    const double avg_len =
+        row.messages_total > 0.0 ? row.message_bytes_total / row.messages_total
+                                 : 0.0;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "%-28s %7llu %12.4e %12.4e %6.2f %12.4e %4.0f %10.1f "
+                  "%8.0f %10.1f %7.0f\n",
+                  event_name(row.event).c_str(),
+                  static_cast<unsigned long long>(row.calls_max), row.t_min,
+                  row.t_max, row.ratio, row.t_avg, pct, mflops,
+                  row.messages_total, avg_len, row.reductions_total);
+    os << line;
+  }
+  if (r.dropped_spans > 0) {
+    os << "\nWARNING: " << r.dropped_spans
+       << " trace spans dropped (recording cap); the trace is truncated.\n";
+  }
+  os << rule;
+}
+
+void write_chrome_trace(std::ostream& os, const Reduced& r) {
+  // Timestamps are microseconds relative to the earliest span so Perfetto
+  // opens at t=0 with every rank's track aligned on the common clock.
+  double t0 = 0.0;
+  bool first = true;
+  for (const RankedSpan& rs : r.spans) {
+    if (first || rs.span.t0 < t0) t0 = rs.span.t0;
+    first = false;
+  }
+
+  os << "{\"traceEvents\":[";
+  bool need_comma = false;
+  for (int rank = 0; rank < r.nranks; ++rank) {
+    if (need_comma) os << ",";
+    need_comma = true;
+    os << "\n{\"ph\":\"M\",\"pid\":0,\"tid\":" << rank
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"rank " << rank
+       << "\"}}";
+  }
+  for (const RankedSpan& rs : r.spans) {
+    const double ts = (rs.span.t0 - t0) * 1.0e6;
+    const double dur = (rs.span.t1 - rs.span.t0) * 1.0e6;
+    if (need_comma) os << ",";
+    need_comma = true;
+    os << "\n{\"ph\":\"X\",\"pid\":0,\"tid\":" << rs.rank << ",\"name\":\""
+       << json::escape(event_name(rs.span.event)) << "\",\"cat\":\""
+       << json::escape(stage_name(rs.span.stage)) << "\",\"ts\":"
+       << fmt("%.3f", ts) << ",\"dur\":" << fmt("%.3f", dur)
+       << ",\"args\":{\"depth\":" << rs.span.depth << "}}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+        "\"producer\":\"kestrel-scope\",\"dropped_spans\":"
+     << r.dropped_spans << "}}\n";
+}
+
+void write_json_metrics(std::ostream& os, const Reduced& r) {
+  os << "{\n\"schema\":\"kestrel-scope-metrics-v1\",\n";
+  os << "\"nranks\":" << r.nranks << ",\n";
+  os << "\"elapsed_seconds\":" << fmt("%.9e", r.elapsed_max) << ",\n";
+  os << "\"totals\":{\"messages\":" << fmt("%.0f", r.messages_total)
+     << ",\"message_bytes\":" << fmt("%.0f", r.message_bytes_total)
+     << ",\"reductions\":" << fmt("%.0f", r.reductions_total)
+     << ",\"dropped_spans\":" << r.dropped_spans << "},\n";
+
+  os << "\"events\":[";
+  bool comma = false;
+  for (const ReducedRow& row : r.rows) {
+    if (comma) os << ",";
+    comma = true;
+    const double mflops =
+        row.t_max > 0.0 ? row.flops_total / row.t_max / 1.0e6 : 0.0;
+    os << "\n{\"stage\":\"" << json::escape(stage_name(row.stage))
+       << "\",\"event\":\"" << json::escape(event_name(row.event))
+       << "\",\"calls_max\":" << row.calls_max
+       << ",\"time_min\":" << fmt("%.9e", row.t_min)
+       << ",\"time_max\":" << fmt("%.9e", row.t_max)
+       << ",\"time_avg\":" << fmt("%.9e", row.t_avg)
+       << ",\"ratio\":" << fmt("%.4f", row.ratio)
+       << ",\"flops_total\":" << fmt("%.0f", row.flops_total)
+       << ",\"bytes_total\":" << fmt("%.0f", row.bytes_total)
+       << ",\"mflops_per_s\":" << fmt("%.3f", mflops)
+       << ",\"messages\":" << fmt("%.0f", row.messages_total)
+       << ",\"message_bytes\":" << fmt("%.0f", row.message_bytes_total)
+       << ",\"reductions\":" << fmt("%.0f", row.reductions_total) << "}";
+  }
+  os << "\n],\n";
+
+  os << "\"histories\":{";
+  comma = false;
+  for (const auto& [name, series] : r.histories) {
+    if (comma) os << ",";
+    comma = true;
+    os << "\n\"" << json::escape(name) << "\":[";
+    bool inner = false;
+    for (const auto& [x, y] : series) {
+      if (inner) os << ",";
+      inner = true;
+      os << "[" << fmt("%.9e", x) << "," << fmt("%.9e", y) << "]";
+    }
+    os << "]";
+  }
+  os << "\n},\n";
+
+  os << "\"metrics\":{";
+  comma = false;
+  for (const auto& [name, value] : r.metrics) {
+    if (comma) os << ",";
+    comma = true;
+    os << "\n\"" << json::escape(name) << "\":" << fmt("%.9e", value);
+  }
+  os << "\n}\n}\n";
+}
+
+void export_all(const LogConfig& cfg, const Profiler& p, par::Comm* comm) {
+  if (!cfg.any()) return;
+  const Reduced r = comm != nullptr ? reduce(p, *comm) : reduce(p);
+  if (comm != nullptr && comm->rank() != 0) return;
+  if (cfg.view) report(std::cout, r);
+  if (!cfg.trace_path.empty()) {
+    std::ofstream os(cfg.trace_path);
+    KESTREL_CHECK(os.good(),
+                  "prof: cannot open trace file '" + cfg.trace_path + "'");
+    write_chrome_trace(os, r);
+  }
+  if (!cfg.json_path.empty()) {
+    std::ofstream os(cfg.json_path);
+    KESTREL_CHECK(os.good(),
+                  "prof: cannot open metrics file '" + cfg.json_path + "'");
+    write_json_metrics(os, r);
+  }
+}
+
+}  // namespace kestrel::prof

@@ -3,10 +3,10 @@
 #include <cmath>
 
 #include "base/error.hpp"
-#include "base/log.hpp"
 #include "ksp/context.hpp"
 #include "mat/coo.hpp"
 #include "pc/jacobi.hpp"
+#include "prof/profiler.hpp"
 
 namespace kestrel::snes {
 
@@ -42,21 +42,27 @@ NewtonResult newton_solve(const NonlinearFunction& f, Vector& u,
     return result;
   }
 
-  static const int ev_jac = EventLog::global().event_id("SNESJacobianEval");
-  static const int ev_pc = EventLog::global().event_id("PCSetUp");
-  static const int ev_ksp = EventLog::global().event_id("KSPSolve");
+  static const int ev_jac = prof::registered_event("SNESJacobianEval");
+  static const int ev_pc = prof::registered_event("PCSetUp");
+  static const int ev_ksp = prof::registered_event("KSPSolve");
+  // Snapshot the profiler once: instrumentation stays consistent even if a
+  // -log_* switch flips mid-solve.
+  prof::Profiler* plog = prof::enabled() ? &prof::current() : nullptr;
+  if (plog != nullptr) {
+    plog->record_history("SNES(newtonls)", 0.0, fnorm);
+  }
 
   KESTREL_CHECK(opts.pc_lag >= 1, "newton: pc_lag must be >= 1");
   std::unique_ptr<pc::Pc> pc;
   for (int it = 1; it <= opts.max_iterations; ++it) {
-    EventLog::global().begin(ev_jac);
+    if (plog != nullptr) plog->begin(ev_jac);
     const mat::Csr jac = f.jacobian(u);
     const auto op = format_factory(jac);
-    EventLog::global().end(ev_jac);
+    if (plog != nullptr) plog->end(ev_jac);
     if (!pc || (it - 1) % opts.pc_lag == 0) {
-      EventLog::global().begin(ev_pc);
+      if (plog != nullptr) plog->begin(ev_pc);
       pc = pc_factory(jac);
-      EventLog::global().end(ev_pc);
+      if (plog != nullptr) plog->end(ev_pc);
     }
 
     // solve J du = -F
@@ -64,11 +70,12 @@ NewtonResult newton_solve(const NonlinearFunction& f, Vector& u,
     rhs.scale(-1.0);
     du.set(0.0);
     ksp::SeqContext ctx(*op, pc.get());
-    EventLog::global().begin(ev_ksp);
+    if (plog != nullptr) plog->begin(ev_ksp);
     const ksp::SolveResult lin = solver->solve(ctx, rhs, du);
-    EventLog::global().end(ev_ksp,
-                           static_cast<std::uint64_t>(lin.iterations) *
-                               2u * static_cast<std::uint64_t>(jac.nnz()));
+    if (plog != nullptr) {
+      plog->end(ev_ksp, static_cast<std::uint64_t>(lin.iterations) * 2u *
+                            static_cast<std::uint64_t>(jac.nnz()));
+    }
     result.total_linear_iterations += lin.iterations;
     if (!lin.converged && lin.reason != ksp::Reason::kDivergedMaxIts) {
       // hard linear failure (NaN/breakdown): stop
@@ -98,6 +105,9 @@ NewtonResult newton_solve(const NonlinearFunction& f, Vector& u,
     result.iterations = it;
     result.fnorm = fnorm;
     if (opts.monitor) opts.monitor(it, fnorm);
+    if (plog != nullptr) {
+      plog->record_history("SNES(newtonls)", static_cast<double>(it), fnorm);
+    }
 
     if (std::isnan(fnorm)) return result;
     if (fnorm <= opts.atol || fnorm <= opts.rtol * fnorm0) {

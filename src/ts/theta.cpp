@@ -2,6 +2,7 @@
 
 #include "base/error.hpp"
 #include "mat/spgemm.hpp"
+#include "prof/profiler.hpp"
 
 namespace kestrel::ts {
 
@@ -70,6 +71,11 @@ ThetaResult theta_integrate(const RhsFunction& f, Vector& u,
     result.steps_taken = step;
     result.final_time = step * opts.dt;
     if (opts.monitor) opts.monitor(step, result.final_time, u);
+    if (prof::enabled()) {
+      prof::current().record_history("TS(theta) newton_its",
+                                     result.final_time,
+                                     static_cast<double>(newton.iterations));
+    }
   }
   result.completed = true;
   return result;

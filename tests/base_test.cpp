@@ -1,5 +1,5 @@
 // Unit tests for the base utilities: error macros, aligned storage,
-// options database, RNG, event log.
+// options database, RNG. (Profiler tests live in prof_test.cpp.)
 
 #include <gtest/gtest.h>
 
@@ -8,7 +8,6 @@
 
 #include "base/aligned.hpp"
 #include "base/error.hpp"
-#include "base/log.hpp"
 #include "base/options.hpp"
 #include "base/rng.hpp"
 
@@ -149,35 +148,6 @@ TEST(Rng, UniformRangeRespected) {
     EXPECT_GE(k, 0);
     EXPECT_LT(k, 13);
   }
-}
-
-TEST(EventLog, AccumulatesTimeAndFlops) {
-  EventLog log;
-  const int id = log.event_id("spmv");
-  EXPECT_EQ(id, log.event_id("spmv"));  // stable
-  log.begin(id);
-  log.end(id, 1000);
-  log.begin(id);
-  log.end(id, 500);
-  EXPECT_EQ(log.calls(id), 2u);
-  EXPECT_EQ(log.flops(id), 1500u);
-  EXPECT_GE(log.seconds(id), 0.0);
-
-  std::ostringstream os;
-  log.report(os);
-  EXPECT_NE(os.str().find("spmv"), std::string::npos);
-
-  log.reset();
-  EXPECT_EQ(log.calls(id), 0u);
-}
-
-TEST(EventLog, UnbalancedBeginThrows) {
-  EventLog log;
-  const int id = log.event_id("x");
-  log.begin(id);
-  EXPECT_THROW(log.begin(id), Error);
-  log.end(id);
-  EXPECT_THROW(log.end(id), Error);
 }
 
 }  // namespace

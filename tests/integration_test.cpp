@@ -10,10 +10,10 @@
 #include "app/advection_diffusion.hpp"
 #include "app/gray_scott.hpp"
 #include "app/laplacian.hpp"
-#include "base/log.hpp"
 #include "ksp/context.hpp"
 #include "par/parmat.hpp"
 #include "pc/ilu0.hpp"
+#include "prof/profiler.hpp"
 #include "test_matrices.hpp"
 #include "ts/theta.hpp"
 
@@ -76,12 +76,14 @@ TEST(ParallelComposition, GmresWithLocalIluBeatsUnpreconditioned) {
   }
 }
 
-TEST(Profiling, EventLogCountsSolveStack) {
-  EventLog& log = EventLog::global();
-  log.reset();
-  const int ev_jac = log.event_id("SNESJacobianEval");
-  const int ev_ksp = log.event_id("KSPSolve");
-  const std::uint64_t jac_before = log.calls(ev_jac);
+TEST(Profiling, ProfilerCountsSolveStack) {
+  // A local profiler attached to this thread captures the instrumented
+  // TS->SNES->KSP stack without touching the process-global instance.
+  prof::Profiler log;
+  prof::AttachGuard attach(&log);
+  prof::EnableGuard enable(true);
+  const int ev_jac = prof::registered_event("SNESJacobianEval");
+  const int ev_ksp = prof::registered_event("KSPSolve");
 
   app::GrayScott gs(8);
   Vector u;
@@ -93,19 +95,24 @@ TEST(Profiling, EventLogCountsSolveStack) {
   ASSERT_TRUE(res.completed);
 
   // one Jacobian assembly and one KSP solve per Newton iteration
-  EXPECT_EQ(log.calls(ev_jac) - jac_before,
+  EXPECT_EQ(log.calls(ev_jac),
             static_cast<std::uint64_t>(res.total_newton_iterations));
   EXPECT_EQ(log.calls(ev_ksp),
             static_cast<std::uint64_t>(res.total_newton_iterations));
   EXPECT_GT(log.seconds(ev_ksp), 0.0);
   EXPECT_GT(log.flops(ev_ksp), 0u);
-  log.reset();
+
+  // the solvers recorded their residual histories
+  const auto histories = log.histories();
+  EXPECT_EQ(histories.count("SNES(newtonls)"), 1u);
+  EXPECT_EQ(histories.count("KSP(gmres)"), 1u);
 }
 
 TEST(Profiling, PreconditionerLaggingSkipsSetups) {
-  EventLog& log = EventLog::global();
-  log.reset();
-  const int ev_pc = log.event_id("PCSetUp");
+  prof::Profiler log;
+  prof::AttachGuard attach(&log);
+  prof::EnableGuard enable(true);
+  const int ev_pc = prof::registered_event("PCSetUp");
 
   app::GrayScott gs(8);
   Vector u;
@@ -121,7 +128,6 @@ TEST(Profiling, PreconditionerLaggingSkipsSetups) {
   EXPECT_EQ(log.calls(ev_pc), 2u);
   EXPECT_LT(static_cast<int>(log.calls(ev_pc)),
             res.total_newton_iterations);
-  log.reset();
 }
 
 TEST(SolverEdgeCases, ZeroRhsGivesZeroSolution) {

@@ -1,0 +1,332 @@
+// Unit tests for Kestrel Scope (kestrel::prof): the name registries,
+// accumulation and LIFO pairing, stages, options-driven configuration, the
+// JSON helpers, exporter schemas, and the kernel-bytes-vs-traffic-model
+// cross-check the acceptance criteria require.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+
+#include "app/gray_scott.hpp"
+#include "base/error.hpp"
+#include "base/options.hpp"
+#include "mat/sell.hpp"
+#include "perf/spmv_model.hpp"
+#include "prof/json.hpp"
+#include "prof/profiler.hpp"
+#include "prof/report.hpp"
+
+namespace kestrel {
+namespace {
+
+TEST(ProfRegistry, IdsAreStableAndShared) {
+  const int a = prof::registered_event("prof_test_event_a");
+  const int b = prof::registered_event("prof_test_event_b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, prof::registered_event("prof_test_event_a"));
+  EXPECT_EQ(b, prof::registered_event("prof_test_event_b"));
+  EXPECT_EQ(prof::event_name(a), "prof_test_event_a");
+  EXPECT_GE(prof::num_registered_events(), 2);
+
+  // "Main Stage" is pre-registered as stage 0.
+  EXPECT_EQ(prof::registered_stage("Main Stage"), prof::kMainStage);
+  EXPECT_EQ(prof::stage_name(prof::kMainStage), "Main Stage");
+}
+
+TEST(ProfProfiler, AccumulatesTimeFlopsAndBytes) {
+  prof::Profiler log;
+  const int id = prof::registered_event("prof_test_spmv");
+  log.begin(id);
+  log.end(id, 1000, 4096);
+  log.begin(id);
+  log.end(id, 500, 1024);
+  EXPECT_EQ(log.calls(id), 2u);
+  EXPECT_EQ(log.flops(id), 1500u);
+  EXPECT_EQ(log.bytes(id), 5120u);
+  EXPECT_GE(log.seconds(id), 0.0);
+  EXPECT_GT(log.elapsed_seconds(), 0.0);
+
+  log.reset();
+  EXPECT_EQ(log.calls(id), 0u);
+}
+
+TEST(ProfProfiler, PairingErrorsThrow) {
+  prof::Profiler log;
+  const int a = prof::registered_event("prof_test_pair_a");
+  const int b = prof::registered_event("prof_test_pair_b");
+  // end with nothing running
+  EXPECT_THROW(log.end(a), Error);
+  // mismatched end: inner event must close first (LIFO)
+  log.begin(a);
+  log.begin(b);
+  EXPECT_THROW(log.end(a), Error);
+  log.end(b);
+  log.end(a);
+  EXPECT_EQ(log.calls(a), 1u);
+  EXPECT_EQ(log.calls(b), 1u);
+}
+
+TEST(ProfProfiler, StagesPartitionAccounting) {
+  prof::Profiler log;
+  const int ev = prof::registered_event("prof_test_staged");
+  const int setup = prof::registered_stage("prof_test Setup");
+  ASSERT_NE(setup, prof::kMainStage);
+
+  log.begin(ev);
+  log.end(ev, 10);
+  log.stage_push(setup);
+  EXPECT_EQ(log.current_stage(), setup);
+  log.begin(ev);
+  log.end(ev, 1);
+  log.stage_pop();
+  EXPECT_EQ(log.current_stage(), prof::kMainStage);
+
+  EXPECT_EQ(log.perf_in(prof::kMainStage, ev).calls, 1u);
+  EXPECT_EQ(log.perf_in(prof::kMainStage, ev).flops, 10u);
+  EXPECT_EQ(log.perf_in(setup, ev).calls, 1u);
+  EXPECT_EQ(log.perf_in(setup, ev).flops, 1u);
+  EXPECT_EQ(log.calls(ev), 2u);  // query sums over stages
+
+  // the main stage cannot be popped
+  EXPECT_THROW(log.stage_pop(), Error);
+}
+
+TEST(ProfProfiler, MessagesAttributeToInnermostEvent) {
+  prof::Profiler log;
+  const int ev = prof::registered_event("prof_test_comm_owner");
+  log.begin(ev);
+  log.message(2, 160);
+  log.end(ev);
+  log.message(1, 80);  // no running event: implicit "Comm"
+  log.reduction();
+
+  EXPECT_EQ(log.perf_in(prof::kMainStage, ev).messages, 2u);
+  EXPECT_EQ(log.perf_in(prof::kMainStage, ev).message_bytes, 160u);
+  const int comm = prof::registered_event("Comm");
+  EXPECT_EQ(log.perf_in(prof::kMainStage, comm).messages, 1u);
+  EXPECT_EQ(log.perf_in(prof::kMainStage, comm).reductions, 1u);
+  EXPECT_EQ(log.total_messages(), 3u);
+  EXPECT_EQ(log.total_message_bytes(), 240u);
+  EXPECT_EQ(log.total_reductions(), 1u);
+}
+
+TEST(ProfProfiler, ScopedEventIsNoOpWhenDisabled) {
+  prof::Profiler log;
+  prof::AttachGuard attach(&log);
+  const int ev = prof::registered_event("prof_test_disabled");
+  {
+    prof::EnableGuard enable(false);
+    prof::ScopedEvent scope(ev, 100, 100);
+  }
+  EXPECT_EQ(log.calls(ev), 0u);
+  {
+    prof::EnableGuard enable(true);
+    prof::ScopedEvent scope(ev, 100, 100);
+  }
+  EXPECT_EQ(log.calls(ev), 1u);
+}
+
+TEST(ProfProfiler, TracingRecordsSpansWithDepth) {
+  prof::Profiler log;
+  prof::AttachGuard attach(&log);
+  prof::EnableGuard enable(true, /*trace=*/true);
+  const int outer = prof::registered_event("prof_test_outer");
+  const int inner = prof::registered_event("prof_test_inner");
+  {
+    prof::ScopedEvent o(outer);
+    prof::ScopedEvent i(inner);
+  }
+  const auto spans = log.trace();
+  ASSERT_EQ(spans.size(), 2u);
+  // inner closes first
+  EXPECT_EQ(spans[0].event, inner);
+  EXPECT_EQ(spans[0].depth, 1);
+  EXPECT_EQ(spans[1].event, outer);
+  EXPECT_EQ(spans[1].depth, 0);
+  EXPECT_LE(spans[1].t0, spans[0].t0);
+  EXPECT_EQ(log.dropped_spans(), 0u);
+}
+
+TEST(ProfConfigure, ReadsLogOptions) {
+  const bool was_enabled = prof::enabled();
+  const bool was_tracing = prof::tracing();
+  {
+    Options opts;
+    opts.set_flag("log_view");
+    opts.set("log_trace", "t.json");
+    opts.set("log_json", "m.json");
+    const prof::LogConfig cfg = prof::configure(opts);
+    EXPECT_TRUE(cfg.view);
+    EXPECT_EQ(cfg.trace_path, "t.json");
+    EXPECT_EQ(cfg.json_path, "m.json");
+    EXPECT_TRUE(cfg.any());
+    EXPECT_TRUE(prof::enabled());
+    EXPECT_TRUE(prof::tracing());
+  }
+  {
+    Options opts;
+    const prof::LogConfig cfg = prof::configure(opts);
+    EXPECT_FALSE(cfg.any());
+  }
+  prof::set_enabled(was_enabled);
+  prof::set_tracing(was_tracing);
+}
+
+TEST(ProfJson, ParsesDocumentsAndRejectsGarbage) {
+  const prof::json::Value v = prof::json::parse(
+      R"({"a": [1, 2.5, -3e2], "s": "x\"\n", "t": true, "n": null})");
+  ASSERT_TRUE(v.is_object());
+  const auto* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array[1].number, 2.5);
+  EXPECT_DOUBLE_EQ(a->array[2].number, -300.0);
+  EXPECT_EQ(v.find("s")->string, "x\"\n");
+  EXPECT_TRUE(v.find("t")->boolean);
+  EXPECT_TRUE(v.find("n")->is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+
+  EXPECT_THROW(prof::json::parse("{"), Error);
+  EXPECT_THROW(prof::json::parse("[1,]"), Error);
+  EXPECT_THROW(prof::json::parse("{} trailing"), Error);
+  EXPECT_EQ(prof::json::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(ProfExport, ViewTableListsEventsWithRatioColumns) {
+  prof::Profiler log;
+  const int ev = prof::registered_event("prof_test_view_event");
+  log.begin(ev);
+  log.end(ev, 1000, 100);
+  const prof::Reduced r = prof::reduce(log);
+  ASSERT_EQ(r.nranks, 1);
+
+  std::ostringstream os;
+  prof::report(os, r);
+  const std::string table = os.str();
+  EXPECT_NE(table.find("prof_test_view_event"), std::string::npos);
+  EXPECT_NE(table.find("Ratio"), std::string::npos);
+  EXPECT_NE(table.find("Time min"), std::string::npos);
+  EXPECT_NE(table.find("Time max"), std::string::npos);
+  EXPECT_NE(table.find("Main Stage"), std::string::npos);
+}
+
+TEST(ProfExport, ChromeTraceIsValidJsonWithCompleteEvents) {
+  prof::Profiler log;
+  prof::AttachGuard attach(&log);
+  prof::EnableGuard enable(true, /*trace=*/true);
+  const int ev = prof::registered_event("prof_test_trace_event");
+  {
+    prof::ScopedEvent scope(ev);
+  }
+  std::ostringstream os;
+  prof::write_chrome_trace(os, prof::reduce(log));
+
+  const prof::json::Value doc = prof::json::parse(os.str());
+  const auto* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  bool saw_meta = false, saw_span = false;
+  for (const auto& e : events->array) {
+    const auto* ph = e.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string == "M") {
+      saw_meta = true;
+      EXPECT_EQ(e.find("name")->string, "thread_name");
+    } else if (ph->string == "X") {
+      saw_span = true;
+      EXPECT_EQ(e.find("name")->string, "prof_test_trace_event");
+      ASSERT_NE(e.find("ts"), nullptr);
+      ASSERT_NE(e.find("dur"), nullptr);
+      EXPECT_GE(e.find("dur")->number, 0.0);
+      ASSERT_NE(e.find("tid"), nullptr);
+    }
+  }
+  EXPECT_TRUE(saw_meta);
+  EXPECT_TRUE(saw_span);
+}
+
+TEST(ProfExport, MetricsJsonMatchesSchema) {
+  prof::Profiler log;
+  const int ev = prof::registered_event("prof_test_metrics_event");
+  log.begin(ev);
+  log.end(ev, 2000, 512);
+  log.record_history("residual", 0.0, 1.0);
+  log.record_history("residual", 1.0, 0.25);
+  log.set_metric("model_bytes", 512.0);
+
+  std::ostringstream os;
+  prof::write_json_metrics(os, prof::reduce(log));
+  const prof::json::Value doc = prof::json::parse(os.str());
+
+  ASSERT_NE(doc.find("schema"), nullptr);
+  EXPECT_EQ(doc.find("schema")->string, "kestrel-scope-metrics-v1");
+  EXPECT_EQ(doc.find("nranks")->number, 1.0);
+  const auto* events = doc.find("events");
+  ASSERT_NE(events, nullptr);
+  bool found = false;
+  for (const auto& e : events->array) {
+    if (e.find("event")->string != "prof_test_metrics_event") continue;
+    found = true;
+    EXPECT_EQ(e.find("stage")->string, "Main Stage");
+    EXPECT_EQ(e.find("calls_max")->number, 1.0);
+    EXPECT_EQ(e.find("flops_total")->number, 2000.0);
+    EXPECT_EQ(e.find("bytes_total")->number, 512.0);
+    ASSERT_NE(e.find("time_min"), nullptr);
+    ASSERT_NE(e.find("time_max"), nullptr);
+    ASSERT_NE(e.find("ratio"), nullptr);
+  }
+  EXPECT_TRUE(found);
+
+  const auto* hist = doc.find("histories");
+  ASSERT_NE(hist, nullptr);
+  const auto* residual = hist->find("residual");
+  ASSERT_NE(residual, nullptr);
+  ASSERT_EQ(residual->array.size(), 2u);
+  EXPECT_DOUBLE_EQ(residual->array[1].array[1].number, 0.25);
+
+  const auto* metrics = doc.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_DOUBLE_EQ(metrics->find("model_bytes")->number, 512.0);
+}
+
+TEST(ProfKernels, ReportedBytesMatchTrafficModelWithin10Percent) {
+  // Acceptance criterion: the bytes the instrumented kernels report must
+  // agree with the section 6 traffic model (perf::spmv_model) within 10%
+  // on the paper's Gray-Scott matrix.
+  const Index n = 16;
+  app::GrayScott gs(n);
+  Vector u;
+  gs.initial_condition(u);
+  const mat::Csr jac = gs.rhs_jacobian(u);
+  const perf::SpmvWorkload wl = perf::SpmvWorkload::gray_scott(n);
+
+  prof::Profiler log;
+  prof::AttachGuard attach(&log);
+  prof::EnableGuard enable(true);
+  Vector x(jac.cols(), 1.0), y(jac.rows());
+
+  jac.spmv(x.data(), y.data());
+  const int ev_csr = prof::registered_event("MatMult(csr)");
+  ASSERT_EQ(log.calls(ev_csr), 1u);
+  const double csr_model =
+      static_cast<double>(wl.traffic_bytes(perf::ModelFormat::kCsrBaseline));
+  EXPECT_NEAR(static_cast<double>(log.bytes(ev_csr)), csr_model,
+              0.10 * csr_model);
+
+  const mat::Sell sell(jac);
+  sell.spmv(x.data(), y.data());
+  const int ev_sell = prof::registered_event("MatMult(sell)");
+  ASSERT_EQ(log.calls(ev_sell), 1u);
+  const double sell_model =
+      static_cast<double>(wl.traffic_bytes(perf::ModelFormat::kSell));
+  EXPECT_NEAR(static_cast<double>(log.bytes(ev_sell)), sell_model,
+              0.10 * sell_model);
+
+  // flops are exact: 2 per stored nonzero
+  EXPECT_EQ(log.flops(ev_csr), 2u * static_cast<std::uint64_t>(jac.nnz()));
+}
+
+}  // namespace
+}  // namespace kestrel

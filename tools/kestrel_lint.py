@@ -43,6 +43,13 @@ banned-construct
     on caller-owned views and must not allocate. `std::thread` is banned
     everywhere in src/ outside src/par/ — threading is the fabric's job
     (the hardware-query std::thread::hardware_concurrency is allowed).
+
+kernel-perf-reporting
+    Every format in KESTREL_KERNEL_TABLE must report spmv flops and
+    traffic bytes to Kestrel Scope: its format TU src/mat/<fmt>.cpp must
+    invoke KESTREL_PROF_SPMV at the spmv entry point. Without it, the
+    format's work is invisible to -log_view and the bytes-vs-model
+    cross-check (tests/prof_test.cpp) cannot cover it.
 """
 
 from __future__ import annotations
@@ -75,6 +82,7 @@ ALIGNED_INTRIN_RE = re.compile(
     r"_mm\d*_(?:mask_|maskz_)?(?:load|store)_(?:pd|ps|sd|ss|si\d+|epi\d+|epu\d+)\b"
 )
 ALIGNED_ANNOTATION = "kestrel-aligned:"
+PROF_SPMV_MACRO = "KESTREL_PROF_SPMV"
 TABLE_CELL_RE = re.compile(r"^\s*X\((\w+),\s*(\w+)\)", re.MULTILINE)
 REGISTER_MACRO_RE = re.compile(r"KESTREL_REGISTER_KERNEL\(\s*(\w+)\s*,\s*(\w+)")
 KERNEL_TU_RE = re.compile(r"^(\w+?)_(scalar|avx|avx2|avx512)\.cpp$")
@@ -356,12 +364,36 @@ def check_banned_constructs(repo: str) -> list[Violation]:
     return violations
 
 
+def check_kernel_perf_reporting(repo: str) -> list[Violation]:
+    cells, _ = parse_kernel_table(repo)
+    if not cells:
+        return []
+    violations = []
+    for fmt in sorted({fmt for fmt, isa in cells if isa in ISA_TIER_TOKEN}):
+        rel = os.path.join("src", "mat", f"{fmt}.cpp")
+        path = os.path.join(repo, rel)
+        if not os.path.isfile(path):
+            violations.append(Violation(
+                "kernel-perf-reporting", rel, 0,
+                f"format '{fmt}' is a KESTREL_KERNEL_TABLE cell but has no "
+                f"format TU src/mat/{fmt}.cpp to report spmv perf from"))
+            continue
+        if PROF_SPMV_MACRO not in read_text(path):
+            violations.append(Violation(
+                "kernel-perf-reporting", rel, 0,
+                f"format '{fmt}' never calls {PROF_SPMV_MACRO} — its spmv "
+                f"flops/bytes are invisible to -log_view and the "
+                f"traffic-model cross-check"))
+    return violations
+
+
 def lint(repo: str) -> list[Violation]:
     violations = []
     violations += check_kernel_table(repo)
     violations += check_isa_flags(repo)
     violations += check_aligned_loads(repo)
     violations += check_banned_constructs(repo)
+    violations += check_kernel_perf_reporting(repo)
     return violations
 
 
@@ -403,6 +435,15 @@ void register_foo_avx512() {
 }
 """
 
+CLEAN_FORMAT_TU = """
+namespace k {
+void Foo_spmv(const double* x, double* y) {
+  KESTREL_PROF_SPMV("MatMult(foo)", 2 * nnz(), spmv_traffic_bytes());
+  (void)x; (void)y;
+}
+}
+"""
+
 CLEAN_CMAKE = """
 set(KESTREL_KERNEL_SOURCES_SCALAR
   mat/kernels/foo_scalar.cpp)
@@ -418,6 +459,7 @@ def _make_clean_fixture(root: str) -> None:
     _write(root, REGISTRATION_HPP, CLEAN_REGISTRATION)
     _write(root, os.path.join(KERNELS_DIR, "foo_scalar.cpp"), CLEAN_SCALAR_TU)
     _write(root, os.path.join(KERNELS_DIR, "foo_avx512.cpp"), CLEAN_AVX512_TU)
+    _write(root, os.path.join("src", "mat", "foo.cpp"), CLEAN_FORMAT_TU)
     _write(root, SRC_CMAKE, CLEAN_CMAKE)
 
 
@@ -506,12 +548,29 @@ def self_test() -> int:
         expect("allowed_thread", {v.rule for v in lint(fx)},
                "banned-construct", False)
 
+        # 8. A table format whose TU never reports spmv flops/bytes.
+        fx = os.path.join(tmp, "silent_format")
+        _make_clean_fixture(fx)
+        _write(fx, os.path.join("src", "mat", "foo.cpp"),
+               CLEAN_FORMAT_TU.replace(
+                   '  KESTREL_PROF_SPMV("MatMult(foo)", 2 * nnz(), '
+                   'spmv_traffic_bytes());\n', ''))
+        expect("silent_format", {v.rule for v in lint(fx)},
+               "kernel-perf-reporting", True)
+
+        # 9. A table format with no format TU at all.
+        fx = os.path.join(tmp, "missing_format_tu")
+        _make_clean_fixture(fx)
+        os.remove(os.path.join(fx, "src", "mat", "foo.cpp"))
+        expect("missing_format_tu", {v.rule for v in lint(fx)},
+               "kernel-perf-reporting", True)
+
     if failures:
         print("kestrel_lint self-test FAILED:", file=sys.stderr)
         for f in failures:
             print("  " + f, file=sys.stderr)
         return 1
-    print("kestrel_lint self-test passed (8 fixtures).")
+    print("kestrel_lint self-test passed (10 fixtures).")
     return 0
 
 
