@@ -41,13 +41,13 @@ double time_with_offset(const mat::Sell& sell, std::size_t offset) {
   fn(view, x.data(), y.data());
   double best = 1e300;
   double spent = 0.0;
-  while (spent < 0.2) {
+  do {
     const double t0 = wall_time();
     fn(view, x.data(), y.data());
     const double dt = wall_time() - t0;
     best = dt < best ? dt : best;
     spent += dt;
-  }
+  } while (spent < bench::scaled_seconds(0.2));
   volatile double sink = y[0];
   (void)sink;
   return best;
@@ -55,10 +55,11 @@ double time_with_offset(const mat::Sell& sell, std::size_t offset) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kestrel;
+  bench::parse_args(argc, argv);
   bench::header("Ablation 3.1: 64-byte vs 16-byte alignment of SELL data");
-  const mat::Sell sell(bench::gray_scott_matrix(384));
+  const mat::Sell sell(bench::gray_scott_matrix(bench::scaled(384)));
   const double t64 = time_with_offset(sell, 0);
   const double t16 = time_with_offset(sell, 16);
   std::printf("%-28s %10.2f Gflop/s\n", "64-byte (cache line) aligned",

@@ -28,7 +28,8 @@ mat::Csr power_law_matrix(Index n) {
   return coo.to_csr();
 }
 
-double time_bitmask_spmv(const mat::Sell& sell, int reps = 40) {
+double time_bitmask_spmv(const mat::Sell& sell,
+                         int reps = bench::scaled_reps(40)) {
   Vector x(sell.cols(), 1.0), y(sell.rows());
   sell.spmv_bitmask(x.data(), y.data());
   double best = 1e300;
@@ -60,12 +61,14 @@ void compare(const char* label, const mat::Csr& csr) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kestrel;
+  bench::parse_args(argc, argv);
   bench::header(
       "Ablation 5.3: SELL bit-array (ESB-style masks) vs plain padding");
-  compare("gray-scott 384^2", bench::gray_scott_matrix(384));
-  compare("power-law 100k", power_law_matrix(100000));
+  compare("gray-scott 384^2", bench::gray_scott_matrix(bench::scaled(384)));
+  compare("power-law 100k",
+          power_law_matrix(bench::scaled(100000, 1000)));
   std::printf(
       "\nExpected (paper): not using the bit array is ~10%% faster — the\n"
       "masked gathers/FMAs and the extra mask stream cost more than\n"

@@ -1,0 +1,71 @@
+// Ablation (SPC5 / Talon): beta(r,c) block-shape sweep. The inspector
+// normally picks the panel height r per row panel by scoring the block
+// count each candidate produces; this bench pins r to 1, 2, and 4 and
+// compares geometry (panels, blocks, fill) and throughput against the
+// auto choice, on the paper's regular Gray-Scott operator and on an
+// irregular matrix where tall panels shatter into many sparse blocks.
+//
+// Expected: on block-structured matrices (Gray-Scott's 2x2 dof coupling)
+// r = 2/4 cuts the block count and metadata stream; on scattered patterns
+// tall panels produce near-empty blocks and r = 1 wins. "auto" should
+// track the better of the two everywhere — that is the inspector's job.
+
+#include <cstdio>
+
+#include "base/rng.hpp"
+#include "bench_common.hpp"
+#include "mat/coo.hpp"
+#include "mat/talon.hpp"
+
+namespace {
+
+using namespace kestrel;
+
+mat::Csr scattered_matrix(Index n) {
+  Rng rng(17);
+  mat::Coo coo(n, n);
+  for (Index i = 0; i < n; ++i) {
+    for (Index k = 0; k < 6; ++k) {
+      coo.add(i, rng.next_index(n), rng.uniform(-1.0, 1.0));
+    }
+  }
+  return coo.to_csr();
+}
+
+void sweep(const char* label, const mat::Csr& csr) {
+  std::printf("\n-- %s (%d rows, %lld nnz) --\n", label, csr.rows(),
+              static_cast<long long>(csr.nnz()));
+  std::printf("%8s %10s %10s %10s %10s %12s\n", "r", "panels", "blocks",
+              "fill", "Gflop/s", "bytes/nnz");
+  for (Index force_r : {Index(0), Index(1), Index(2), Index(4)}) {
+    mat::TalonOptions opts;
+    opts.force_r = force_r;
+    const mat::Talon talon(csr, opts);
+    const double t = bench::time_spmv(talon);
+    char rlabel[8];
+    if (force_r == 0) {
+      std::snprintf(rlabel, sizeof(rlabel), "auto");
+    } else {
+      std::snprintf(rlabel, sizeof(rlabel), "%d", force_r);
+    }
+    std::printf("%8s %10d %10lld %10.4f %10.2f %12.2f\n", rlabel,
+                talon.num_panels(),
+                static_cast<long long>(talon.num_blocks()),
+                talon.block_fill(), bench::gflops(talon, t),
+                static_cast<double>(talon.spmv_traffic_bytes()) /
+                    static_cast<double>(talon.nnz()));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace kestrel;
+  bench::parse_args(argc, argv);
+  bench::header("Ablation: Talon beta(r,c) block-shape sweep");
+  sweep("gray-scott 384^2 (2x2 dof blocks)",
+        bench::gray_scott_matrix(bench::scaled(384)));
+  sweep("scattered 60k (6 random nnz/row)",
+        scattered_matrix(bench::scaled(60000, 1000)));
+  return 0;
+}

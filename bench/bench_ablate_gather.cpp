@@ -11,10 +11,11 @@
 #include "mat/sell.hpp"
 #include "simd/isa.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kestrel;
   using simd::IsaTier;
 
+  bench::parse_args(argc, argv);
   bench::header(
       "Ablation 5.5/7.2: hardware gather+FMA (AVX2) vs emulated gather with "
       "separate mul/add (AVX)");
@@ -23,7 +24,7 @@ int main() {
     return 0;
   }
 
-  const mat::Csr csr = bench::gray_scott_matrix(384);
+  const mat::Csr csr = bench::gray_scott_matrix(bench::scaled(384));
   std::printf("%-10s %16s %16s %10s\n", "format", "AVX (emul) GF",
               "AVX2 (hw) GF", "AVX/AVX2");
 

@@ -33,16 +33,19 @@ mat::Csr irregular_matrix(Index n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kestrel;
+  bench::parse_args(argc, argv);
   bench::header("Ablation 5.4: SELL-C-sigma sorting window sweep");
 
   const struct {
     const char* label;
     mat::Csr matrix;
   } cases[] = {
-      {"gray-scott 256^2 (uniform rows)", bench::gray_scott_matrix(256)},
-      {"irregular 60k (power-law rows)", irregular_matrix(60000)},
+      {"gray-scott 256^2 (uniform rows)",
+       bench::gray_scott_matrix(bench::scaled(256))},
+      {"irregular 60k (power-law rows)",
+       irregular_matrix(bench::scaled(60000, 1000))},
   };
 
   for (const auto& c : cases) {

@@ -45,11 +45,13 @@ void sweep(const char* label, const mat::Csr& csr) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kestrel;
+  bench::parse_args(argc, argv);
   bench::header("Ablation 5.1: SELL slice height sweep");
-  sweep("gray-scott 320^2 (uniform 10/row)", bench::gray_scott_matrix(320));
-  sweep("mildly irregular 80k", mildly_irregular(80000));
+  sweep("gray-scott 320^2 (uniform 10/row)",
+        bench::gray_scott_matrix(bench::scaled(320)));
+  sweep("mildly irregular 80k", mildly_irregular(bench::scaled(80000, 1000)));
   std::printf(
       "\nExpected (paper): C = 8 — the 512-bit register height — is the\n"
       "sweet spot: full-width unmasked vectors with minimal padding.\n"

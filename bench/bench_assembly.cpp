@@ -23,7 +23,7 @@ namespace {
 using namespace kestrel;
 
 template <class Fn>
-double time_best(Fn&& fn, int reps = 5) {
+double time_best(Fn&& fn, int reps = bench::scaled_reps(5)) {
   double best = 1e300;
   for (int r = 0; r < reps; ++r) {
     const double t0 = wall_time();
@@ -36,12 +36,13 @@ double time_best(Fn&& fn, int reps = 5) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kestrel;
+  bench::parse_args(argc, argv);
   bench::header(
       "Assembly & conversion overhead per Jacobian update (Gray-Scott "
       "256^2)");
-  const Index n = 256;
+  const Index n = bench::scaled(256);
   app::GrayScott gs(n);
   Vector u;
   gs.initial_condition(u);

@@ -13,6 +13,50 @@
 
 namespace kestrel::bench {
 
+/// Smoke mode (--smoke): run one tiny iteration of everything so CI can
+/// verify the bench binaries execute end to end. The numbers it prints are
+/// wiring checks, not measurements.
+inline bool& smoke_mode() {
+  static bool on = false;
+  return on;
+}
+
+/// Output path for the machine-readable metrics file (--json PATH);
+/// empty when not requested. Only some benches emit one.
+inline std::string& json_path() {
+  static std::string path;
+  return path;
+}
+
+/// Parses the flags shared by every figure bench: --smoke, --json PATH.
+/// Unknown arguments are ignored so wrappers can pass extras through.
+inline void parse_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke_mode() = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path() = argv[++i];
+    }
+  }
+}
+
+/// Problem-size helper: the real size normally, a tiny one under --smoke.
+inline Index scaled(Index full, Index tiny = 32) {
+  return smoke_mode() ? tiny : full;
+}
+
+/// Repetition-count helper for benches with their own timing loops.
+inline int scaled_reps(int full, int tiny = 1) {
+  return smoke_mode() ? tiny : full;
+}
+
+/// Time-budget helper: 0 under --smoke (pair with a do-while so exactly
+/// one iteration still runs).
+inline double scaled_seconds(double full) {
+  return smoke_mode() ? 0.0 : full;
+}
+
 /// The paper's test matrix at a laptop-scale resolution: the Gray–Scott
 /// Jacobian at the initial condition (10 nonzeros in every row).
 inline mat::Csr gray_scott_matrix(Index n) {
@@ -25,6 +69,10 @@ inline mat::Csr gray_scott_matrix(Index n) {
 /// Best-of-k timing of y = A x. Returns seconds per multiply.
 inline double time_spmv(const mat::Matrix& a, int min_reps = 20,
                         double min_seconds = 0.15) {
+  if (smoke_mode()) {
+    min_reps = 1;
+    min_seconds = 0.0;
+  }
   Vector x(a.cols()), y(a.rows());
   for (Index i = 0; i < x.size(); ++i) {
     x[i] = 0.5 + 0.25 * ((i * 2654435761u) % 1024) / 1024.0;

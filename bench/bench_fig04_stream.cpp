@@ -11,10 +11,11 @@
 #include "perf/bwmodel.hpp"
 #include "perf/stream.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kestrel;
   using namespace kestrel::perf;
 
+  bench::parse_args(argc, argv);
   bench::header(
       "Figure 4 (modeled): STREAM bandwidth on KNL vs MPI processes [GB/s]");
   std::printf("%6s %14s %14s %14s %14s\n", "procs", "Flat:AVX512",
@@ -32,7 +33,8 @@ int main() {
       "bandwidth but barely affects cache mode.\n");
 
   bench::header("Figure 4 (measured): STREAM on this host, 1 process");
-  const StreamResult r = run_stream();
+  const StreamResult r = bench::smoke_mode() ? run_stream(1 << 16, 1)
+                                             : run_stream();
   std::printf("%-8s %10.2f GB/s\n", "copy", r.copy_gbs);
   std::printf("%-8s %10.2f GB/s\n", "scale", r.scale_gbs);
   std::printf("%-8s %10.2f GB/s\n", "add", r.add_gbs);

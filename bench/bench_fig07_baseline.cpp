@@ -11,11 +11,12 @@
 #include "bench_common.hpp"
 #include "perf/spmv_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kestrel;
   using namespace kestrel::perf;
   using simd::IsaTier;
 
+  bench::parse_args(argc, argv);
   const MachineProfile knl = knl7230();
   const Index grids[] = {1024, 2048, 4096};
   const int procs[] = {16, 32, 64};
@@ -53,7 +54,7 @@ int main() {
       "Figure 7 (measured): CSR baseline on this host across grid sizes");
   std::printf("%12s %12s %12s %12s\n", "grid", "rows", "Gflop/s", "GB/s");
   for (Index n : {192, 256, 384}) {
-    mat::Csr a = bench::gray_scott_matrix(n);
+    mat::Csr a = bench::gray_scott_matrix(bench::scaled(n, n / 8));
     a.set_tier(simd::IsaTier::kScalar);
     const double t = bench::time_spmv(a);
     std::printf("%7dx%-4d %12d %12.2f %12.2f\n", n, n, a.rows(),

@@ -8,12 +8,17 @@
 // paper's core claim that SELL + AVX-512 beats CSR.
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
 
 #include "bench_common.hpp"
+#include "mat/bcsr.hpp"
 #include "mat/csr_perm.hpp"
 #include "mat/sell.hpp"
+#include "mat/talon.hpp"
 #include "perf/spmv_model.hpp"
+#include "prof/profiler.hpp"
+#include "prof/report.hpp"
 
 namespace {
 
@@ -40,9 +45,10 @@ constexpr ModelVariant kVariants[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kestrel;
 
+  bench::parse_args(argc, argv);
   bench::header(
       "Figure 8 (modeled): SpMV on one KNL node, Gray-Scott 2048^2 "
       "(~8M dof) [Gflop/s]");
@@ -68,7 +74,7 @@ int main() {
 
   bench::header(
       "Figure 8 (measured): all kernel variants on this host (1 process)");
-  mat::Csr csr = bench::gray_scott_matrix(512);
+  mat::Csr csr = bench::gray_scott_matrix(bench::scaled(512));
   std::printf("matrix: %d rows, %lld nnz (10 per row)\n\n", csr.rows(),
               static_cast<long long>(csr.nnz()));
   std::printf("%-20s %10s %10s %10s\n", "variant", "Gflop/s", "GB/s",
@@ -81,18 +87,21 @@ int main() {
     const double t = bench::time_spmv(a);
     std::printf("%-20s %10.2f %10.2f %9.2fx\n", label, bench::gflops(a, t),
                 bench::achieved_gbs(a, t), t_base / t);
+    return bench::gflops(a, t);
   };
 
   const IsaTier best = simd::detect_best_tier();
   const mat::Sell sell(csr);
   const mat::CsrPerm perm{mat::Csr(csr)};
+  double gf_sell = 0.0, gf_csr = 0.0;
   for (int ti = static_cast<int>(best); ti >= 0; --ti) {
     const IsaTier tier = static_cast<IsaTier>(ti);
     mat::Sell s2(csr);
     s2.set_tier(tier);
     const std::string label =
         std::string("SELL using ") + simd::tier_name(tier);
-    report(label.c_str(), s2);
+    const double gf = report(label.c_str(), s2);
+    if (tier == best) gf_sell = gf;
   }
   for (int ti = static_cast<int>(best); ti >= 1; --ti) {
     const IsaTier tier = static_cast<IsaTier>(ti);
@@ -100,13 +109,50 @@ int main() {
     c2.set_tier(tier);
     const std::string label =
         std::string("CSR using ") + simd::tier_name(tier);
-    report(label.c_str(), c2);
+    const double gf = report(label.c_str(), c2);
+    if (tier == best) gf_csr = gf;
+  }
+  double gf_talon = 0.0;
+  for (int ti = static_cast<int>(best); ti >= 0; --ti) {
+    const IsaTier tier = static_cast<IsaTier>(ti);
+    mat::Talon t2(csr);
+    t2.set_tier(tier);
+    const std::string label =
+        std::string("Talon using ") + simd::tier_name(tier);
+    const double gf = report(label.c_str(), t2);
+    if (tier == best) gf_talon = gf;
+  }
+  double gf_bcsr = 0.0;
+  {
+    mat::Bcsr b2(csr, 2);  // natural 2x2 dof blocks of Gray-Scott
+    b2.set_tier(best);
+    gf_bcsr = report("BCSR bs=2", b2);
   }
   {
     mat::CsrPerm p2{mat::Csr(csr)};
     p2.set_tier(best);
     report("CSRPerm", p2);
   }
-  report("CSR baseline", csr);
+  const double gf_base = report("CSR baseline", csr);
+
+  if (!bench::json_path().empty()) {
+    // kestrel-scope-metrics-v1 artifact with the per-format Gflop/s at the
+    // host's best ISA tier, for the bench-smoke CI job and figure scripts.
+    prof::Profiler log;
+    log.set_metric("spmv_gflops/csr", gf_csr > 0.0 ? gf_csr : gf_base);
+    log.set_metric("spmv_gflops/csr_baseline", gf_base);
+    log.set_metric("spmv_gflops/sell", gf_sell);
+    log.set_metric("spmv_gflops/bcsr", gf_bcsr);
+    log.set_metric("spmv_gflops/talon", gf_talon);
+    log.set_metric("matrix_rows", static_cast<double>(csr.rows()));
+    log.set_metric("matrix_nnz", static_cast<double>(csr.nnz()));
+    std::ofstream out(bench::json_path());
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot open %s\n", bench::json_path().c_str());
+      return 1;
+    }
+    prof::write_json_metrics(out, prof::reduce(log));
+    std::printf("\nwrote %s\n", bench::json_path().c_str());
+  }
   return 0;
 }

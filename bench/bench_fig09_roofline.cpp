@@ -13,10 +13,11 @@
 #include "perf/roofline.hpp"
 #include "perf/stream.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kestrel;
   using namespace kestrel::perf;
 
+  bench::parse_args(argc, argv);
   bench::header("Figure 9 (modeled): roofline on KNL (Theta ceilings)");
   const RooflineCeilings c = knl_ceilings_fig9();
   std::printf("ceilings: peak %.1f Gflop/s | L1 %.1f GB/s | L2 %.1f GB/s | "
@@ -35,12 +36,14 @@ int main() {
       "sits close to the MCDRAM roofline, the baseline far below it.\n");
 
   bench::header("Figure 9 (measured): this host's roofline");
-  const double peak = measured_peak_gflops();
-  const StreamResult stream = run_stream(1 << 23, 3);
+  const double peak =
+      measured_peak_gflops(bench::smoke_mode() ? 5 : 200);
+  const StreamResult stream = bench::smoke_mode() ? run_stream(1 << 16, 1)
+                                                  : run_stream(1 << 23, 3);
   std::printf("measured peak (FMA): %8.2f Gflop/s\n", peak);
   std::printf("measured triad BW:   %8.2f GB/s\n\n", stream.triad_gbs);
 
-  mat::Csr csr = bench::gray_scott_matrix(384);
+  mat::Csr csr = bench::gray_scott_matrix(bench::scaled(384));
   const mat::Sell sell(csr);
   const double ai_csr =
       2.0 * csr.nnz() / static_cast<double>(csr.spmv_traffic_bytes());

@@ -83,6 +83,7 @@ int main(int argc, char** argv) {
   using namespace kestrel::perf;
   using simd::IsaTier;
 
+  bench::parse_args(argc, argv);
   Options& opts = Options::global();
   opts.parse(argc, argv);
   const prof::LogConfig logcfg = prof::configure(opts);
@@ -123,9 +124,11 @@ int main(int argc, char** argv) {
   bench::header(
       "Figure 10 (measured): full solver stack on this host (miniature)");
   std::printf("Gray-Scott 64x64, 2 steps, 3-level MG-GMRES, CN dt=1\n\n");
+  const Index mini_n = bench::scaled(64, 16);
+  const int mini_steps = bench::scaled_reps(2, 1);
   double mm_csr = 0.0, mm_sell = 0.0;
-  const double t_csr = run_gray_scott(64, 2, 3, false, &mm_csr);
-  const double t_sell = run_gray_scott(64, 2, 3, true, &mm_sell);
+  const double t_csr = run_gray_scott(mini_n, mini_steps, 3, false, &mm_csr);
+  const double t_sell = run_gray_scott(mini_n, mini_steps, 3, true, &mm_sell);
   std::printf("%-14s %10s %18s\n", "format", "total [s]",
               "est. MatMult [s]");
   std::printf("%-14s %10.3f %18.3f\n", "CSR baseline", t_csr, mm_csr);

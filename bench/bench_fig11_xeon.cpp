@@ -12,11 +12,12 @@
 #include "mat/sell.hpp"
 #include "perf/spmv_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kestrel;
   using namespace kestrel::perf;
   using simd::IsaTier;
 
+  bench::parse_args(argc, argv);
   bench::header("Table 1: Intel processors used for evaluating SpMV");
   std::printf("%-22s %6s %10s %9s %12s %10s\n", "processor", "cores",
               "freq[GHz]", "L3[MB]", "DDR4[GB/s]", "HBM[GB/s]");
@@ -69,7 +70,7 @@ int main() {
       "while CSR AVX/AVX2 peak on Skylake.\n");
 
   bench::header("Figure 11 (measured): this host, 1 core");
-  mat::Csr csr = bench::gray_scott_matrix(384);
+  mat::Csr csr = bench::gray_scott_matrix(bench::scaled(384));
   const simd::IsaTier best = simd::detect_best_tier();
   std::printf("host best ISA tier: %s\n\n", simd::tier_name(best));
   std::printf("%-20s %10s\n", "variant", "Gflop/s");

@@ -9,14 +9,15 @@
 #include "mat/csr_perm.hpp"
 #include "mat/sell.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kestrel;
+  bench::parse_args(argc, argv);
   bench::header("Section 6: SpMV minimum memory traffic, CSR vs SELL");
 
   std::printf("%10s %14s %14s %14s %9s\n", "grid", "nnz", "CSR bytes",
               "SELL bytes", "saved");
   for (Index n : {128, 256, 512, 1024}) {
-    const mat::Csr csr = bench::gray_scott_matrix(n);
+    const mat::Csr csr = bench::gray_scott_matrix(bench::scaled(n, n / 16));
     const mat::Sell sell(csr);
     const double saved =
         100.0 * (1.0 - static_cast<double>(sell.spmv_traffic_bytes()) /
@@ -28,7 +29,7 @@ int main() {
   std::printf("\nclosed forms: CSR 12*nnz + 24m + 8n | SELL 12*nnz + 10m + 8n\n");
 
   bench::header("Storage footprint (actual arrays incl. padding)");
-  const mat::Csr csr = bench::gray_scott_matrix(384);
+  const mat::Csr csr = bench::gray_scott_matrix(bench::scaled(384));
   const mat::Sell sell(csr);
   const mat::CsrPerm perm{mat::Csr(csr)};
   std::printf("%-10s %14zu bytes\n", "CSR", csr.storage_bytes());

@@ -14,6 +14,7 @@
 #include "mat/csr_perm.hpp"
 #include "mat/mm_io.hpp"
 #include "mat/sell.hpp"
+#include "mat/talon.hpp"
 
 using namespace kestrel;
 
@@ -80,6 +81,9 @@ int main(int argc, char** argv) {
       bcsr.set_tier(tier);
       report("BCSR bs=2 (BAIJ)", bcsr);
     }
+    mat::Talon talon(csr);
+    talon.set_tier(tier);
+    report("Talon (SPC5 blocks)", talon);
     std::printf("\n");
   }
 
@@ -88,5 +92,12 @@ int main(int argc, char** argv) {
               "traffic %zu bytes vs CSR %zu\n",
               sell.num_slices(), sell.slice_height(), sell.fill_ratio(),
               sell.spmv_traffic_bytes(), csr.spmv_traffic_bytes());
+  const mat::Talon talon(csr);
+  std::printf("Talon details: %d panels (r=4: %d, r=2: %d, r=1: %d), "
+              "%lld blocks, block fill %.4f, traffic %zu bytes\n",
+              talon.num_panels(), talon.panels_with_r(4),
+              talon.panels_with_r(2), talon.panels_with_r(1),
+              static_cast<long long>(talon.num_blocks()), talon.block_fill(),
+              talon.spmv_traffic_bytes());
   return 0;
 }

@@ -48,6 +48,21 @@ print(f"sample trace ok: {len(trace['traceEvents'])} trace events, "
       f"{len(metrics['events'])} metric rows")
 EOF
 
+banner "bench smoke (ctest -L bench-smoke) + BENCH_spmv.json"
+ctest --test-dir build -L bench-smoke --output-on-failure
+./build/bench/bench_fig08_formats --smoke --json build/BENCH_spmv.json
+python3 - <<'EOF'
+import json
+with open("build/BENCH_spmv.json") as f:
+    doc = json.load(f)
+assert doc["schema"] == "kestrel-scope-metrics-v1", doc.get("schema")
+for fmt in ("csr", "sell", "bcsr", "talon"):
+    key = f"spmv_gflops/{fmt}"
+    assert doc["metrics"].get(key, 0.0) > 0.0, key
+print("bench metrics ok:", {k: round(v, 2)
+                            for k, v in doc["metrics"].items()})
+EOF
+
 sanitizer_suite() {
   local name="$1" label="$2"
   banner "sanitizer: $name (ctest -L $label)"

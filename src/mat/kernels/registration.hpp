@@ -24,7 +24,10 @@
   X(csr_perm, scalar)           \
   X(csr_perm, avx512)           \
   X(bcsr, scalar)               \
-  X(bcsr, avx2)
+  X(bcsr, avx2)                 \
+  X(talon, scalar)              \
+  X(talon, avx2)                \
+  X(talon, avx512)
 // clang-format on
 
 namespace kestrel::mat::kernels {

@@ -1,0 +1,57 @@
+// Scalar Talon SpMV reference. Walks panels, blocks and mask bits in the
+// same (block, row, ascending-column) order as the packed value stream, so
+// it doubles as the differential oracle for the vector tiers.
+
+#include <bit>
+
+#include "mat/kernels/registration.hpp"
+#include "mat/kernels/views.hpp"
+#include "simd/dispatch.hpp"
+
+namespace kestrel::mat::kernels {
+
+namespace {
+
+template <bool Add>
+void talon_spmv_scalar_impl(const TalonView& a, const Scalar* x, Scalar* y) {
+  for (Index p = 0; p < a.npanels; ++p) {
+    const Index row0 = a.panel_row[p];
+    const Index r = a.panel_row[p + 1] - row0;
+    const Scalar* v = a.val + a.panel_valptr[p];
+    Scalar acc[4] = {};  // r <= 4 by construction
+    for (Index b = a.panel_blockptr[p]; b < a.panel_blockptr[p + 1]; ++b) {
+      const Index c0 = a.block_col[b];
+      const std::uint32_t mask = a.block_mask[b];
+      for (Index j = 0; j < r; ++j) {
+        std::uint32_t bits = (mask >> (8u * static_cast<unsigned>(j))) & 0xFFu;
+        while (bits != 0) {
+          acc[j] += *v++ * x[c0 + std::countr_zero(bits)];
+          bits &= bits - 1;
+        }
+      }
+    }
+    for (Index j = 0; j < r; ++j) {
+      if constexpr (Add) {
+        y[row0 + j] += acc[j];
+      } else {
+        y[row0 + j] = acc[j];
+      }
+    }
+  }
+}
+
+void talon_spmv_scalar(const TalonView& a, const Scalar* x, Scalar* y) {
+  talon_spmv_scalar_impl<false>(a, x, y);
+}
+void talon_spmv_add_scalar(const TalonView& a, const Scalar* x, Scalar* y) {
+  talon_spmv_scalar_impl<true>(a, x, y);
+}
+
+}  // namespace
+
+void register_talon_scalar() {
+  KESTREL_REGISTER_KERNEL(kTalonSpmv, kScalar, talon_spmv_scalar);
+  KESTREL_REGISTER_KERNEL(kTalonSpmvAdd, kScalar, talon_spmv_add_scalar);
+}
+
+}  // namespace kestrel::mat::kernels

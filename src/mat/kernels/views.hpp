@@ -47,6 +47,29 @@ struct CsrPermView {
   const Index* group_rlen = nullptr;   ///< common row length per group
 };
 
+/// SPC5-style beta(r,c) block format (Talon): rows are grouped into panels
+/// of r in {1, 2, 4} adjacent rows; each panel owns a run of blocks, each
+/// covering up to kZmmDoubles consecutive columns starting at block_col[b].
+/// Byte j of block_mask[b] is the 8-bit column-presence mask of panel row j,
+/// and the nonzero values are packed densely in (block, row, mask-bit)
+/// order with NO zero padding — kernels expand them into vector lanes with
+/// vpexpandpd / mask loads and advance the value pointer by popcount.
+struct TalonView {
+  Index m = 0;        ///< number of rows
+  Index n = 0;        ///< number of columns
+  Index npanels = 0;  ///< number of row panels
+  /// npanels+1; panel p covers rows [panel_row[p], panel_row[p+1]), so its
+  /// height r = panel_row[p+1] - panel_row[p] is 1, 2 or 4.
+  const Index* panel_row = nullptr;
+  const Index* panel_blockptr = nullptr;  ///< npanels+1 offsets into block_*
+  const Index* panel_valptr = nullptr;    ///< npanels+1 offsets into val
+  const Index* block_col = nullptr;       ///< first column of each block
+  /// One 8-bit mask per panel row, packed little-endian: bit k of byte j set
+  /// means A(panel_row[p] + j, block_col[b] + k) is stored.
+  const std::uint32_t* block_mask = nullptr;
+  const Scalar* val = nullptr;  ///< packed nonzeros, no padding
+};
+
 /// Block CSR (PETSc BAIJ) with square bs x bs blocks stored row-major per
 /// block; brow/bcol are in block units.
 struct BcsrView {

@@ -18,12 +18,31 @@ std::string lower(std::string s) {
   return s;
 }
 
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+/// Advances to the next line that carries content: strips a trailing CR
+/// (CRLF files), skips blank/whitespace-only lines and '%' comment lines.
+/// Returns false at end of stream.
+bool next_content_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    strip_cr(line);
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;  // blank
+    if (line[first] == '%') continue;          // comment
+    return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 Csr read_matrix_market(std::istream& in) {
   std::string line;
   KESTREL_CHECK(static_cast<bool>(std::getline(in, line)),
                 "empty MatrixMarket stream");
+  strip_cr(line);
   std::istringstream header(line);
   std::string banner, object, fmt, field, symmetry;
   header >> banner >> object >> fmt >> field >> symmetry;
@@ -37,25 +56,24 @@ Csr read_matrix_market(std::istream& in) {
   KESTREL_CHECK(sym == "general" || sym == "symmetric",
                 "unsupported MatrixMarket symmetry: " + symmetry);
 
-  // skip comments
-  while (std::getline(in, line)) {
-    if (!line.empty() && line[0] != '%') break;
-  }
+  KESTREL_CHECK(next_content_line(in, line), "missing MatrixMarket size line");
   std::istringstream dims(line);
   long m = 0, n = 0, nz = 0;
   dims >> m >> n >> nz;
+  KESTREL_CHECK(!dims.fail(), "malformed MatrixMarket size line: " + line);
   KESTREL_CHECK(m > 0 && n > 0 && nz >= 0, "bad MatrixMarket dimensions");
 
   Coo coo(static_cast<Index>(m), static_cast<Index>(n));
   coo.reserve(static_cast<std::size_t>(nz) * (sym == "symmetric" ? 2 : 1));
   for (long k = 0; k < nz; ++k) {
-    KESTREL_CHECK(static_cast<bool>(std::getline(in, line)),
+    KESTREL_CHECK(next_content_line(in, line),
                   "unexpected end of MatrixMarket data");
     std::istringstream entry(line);
     long i = 0, j = 0;
     double v = 1.0;
     entry >> i >> j;
     if (f != "pattern") entry >> v;
+    KESTREL_CHECK(!entry.fail(), "malformed MatrixMarket entry: " + line);
     KESTREL_CHECK(i >= 1 && i <= m && j >= 1 && j <= n,
                   "MatrixMarket entry out of range");
     coo.add(static_cast<Index>(i - 1), static_cast<Index>(j - 1), v);

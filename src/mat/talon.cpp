@@ -1,0 +1,320 @@
+#include "mat/talon.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "base/error.hpp"
+#include "mat/csr.hpp"
+#include "prof/profiler.hpp"
+#include "simd/dispatch.hpp"
+
+namespace kestrel::mat {
+
+namespace {
+
+/// Output sink for walk_panel; null pointers mean count-only.
+struct PanelSink {
+  std::vector<Index>* block_col = nullptr;
+  std::vector<std::uint32_t>* block_mask = nullptr;
+  std::vector<Scalar>* val = nullptr;
+};
+
+/// Covers rows [row0, row0+r) with beta blocks: each block starts at the
+/// smallest not-yet-covered column over all r rows and spans kZmmDoubles
+/// consecutive columns. Returns the block count; when `out` has sinks,
+/// appends the block metadata and the packed values in (block, row,
+/// ascending-column) order — exactly the order the kernels consume.
+Index walk_panel(const Csr& csr, Index row0, Index r, const PanelSink& out) {
+  std::span<const Index> cols[4];
+  std::span<const Scalar> vals[4];
+  Index cur[4] = {0, 0, 0, 0};
+  for (Index j = 0; j < r; ++j) {
+    cols[j] = csr.row_cols(row0 + j);
+    vals[j] = csr.row_vals(row0 + j);
+  }
+  Index nblocks = 0;
+  for (;;) {
+    Index c0 = std::numeric_limits<Index>::max();
+    for (Index j = 0; j < r; ++j) {
+      if (cur[j] < static_cast<Index>(cols[j].size())) {
+        c0 = std::min(c0, cols[j][static_cast<std::size_t>(cur[j])]);
+      }
+    }
+    if (c0 == std::numeric_limits<Index>::max()) break;
+    ++nblocks;
+    std::uint32_t mask = 0;
+    for (Index j = 0; j < r; ++j) {
+      std::uint32_t row_bits = 0;
+      const auto len = static_cast<Index>(cols[j].size());
+      while (cur[j] < len &&
+             cols[j][static_cast<std::size_t>(cur[j])] < c0 + kZmmDoubles) {
+        const Index col = cols[j][static_cast<std::size_t>(cur[j])];
+        row_bits |= 1u << static_cast<unsigned>(col - c0);
+        if (out.val != nullptr) {
+          out.val->push_back(vals[j][static_cast<std::size_t>(cur[j])]);
+        }
+        ++cur[j];
+      }
+      mask |= row_bits << (8u * static_cast<unsigned>(j));
+    }
+    if (out.block_col != nullptr) {
+      out.block_col->push_back(c0);
+      out.block_mask->push_back(mask);
+    }
+  }
+  return nblocks;
+}
+
+}  // namespace
+
+Talon::Talon(const Csr& csr, TalonOptions opts) { build(csr, opts); }
+
+void Talon::build(const Csr& csr, const TalonOptions& opts) {
+  KESTREL_CHECK(opts.force_r == 0 || opts.force_r == 1 || opts.force_r == 2 ||
+                    opts.force_r == 4,
+                "Talon panel height must be 1, 2 or 4 (0 = auto)");
+  m_ = csr.rows();
+  n_ = csr.cols();
+  nnz_ = csr.nnz();
+  // Blocks cover consecutive columns, so the inspector needs column-sorted
+  // rows (Coo::to_csr produces them; assert rather than silently miscount).
+  for (Index i = 0; i < m_; ++i) {
+    const auto cols = csr.row_cols(i);
+    KESTREL_CHECK(std::is_sorted(cols.begin(), cols.end()),
+                  "Talon requires column-sorted CSR rows");
+  }
+
+  std::vector<Index> panel_row{0};
+  std::vector<Index> panel_blockptr{0};
+  std::vector<Index> panel_valptr{0};
+  std::vector<Index> block_col;
+  std::vector<std::uint32_t> block_mask;
+  std::vector<Scalar> val;
+  block_col.reserve(static_cast<std::size_t>(nnz_ / 4 + 1));
+  val.reserve(static_cast<std::size_t>(nnz_));
+
+  Index pos = 0;
+  while (pos < m_) {
+    const Index remaining = m_ - pos;
+    Index r = 1;
+    if (opts.force_r != 0) {
+      // Uniform height; the tail decomposes into the largest legal heights.
+      r = opts.force_r;
+      while (r > remaining) r /= 2;
+    } else {
+      // Inspector: per-row cost of covering rows [pos, pos+r) as one panel
+      // is nblocks * (r value streams + 1 block of x/metadata) / r. Ties go
+      // to the taller panel (fewer panels, wider accumulator reuse).
+      double best = std::numeric_limits<double>::max();
+      for (const Index cand : {Index{4}, Index{2}, Index{1}}) {
+        if (cand > remaining) continue;
+        const Index nb = walk_panel(csr, pos, cand, PanelSink{});
+        const double score = static_cast<double>(nb) *
+                             static_cast<double>(cand + 1) /
+                             static_cast<double>(cand);
+        if (score < best) {
+          best = score;
+          r = cand;
+        }
+      }
+    }
+    const PanelSink sink{&block_col, &block_mask, &val};
+    walk_panel(csr, pos, r, sink);
+    pos += r;
+    panel_row.push_back(pos);
+    panel_blockptr.push_back(static_cast<Index>(block_col.size()));
+    panel_valptr.push_back(static_cast<Index>(val.size()));
+  }
+  npanels_ = static_cast<Index>(panel_row.size()) - 1;
+  KESTREL_CHECK(static_cast<std::int64_t>(val.size()) == nnz_,
+                "Talon inspector lost nonzeros");
+
+  const auto copy_to = [](auto& dst, const auto& src) {
+    dst.resize(src.size());
+    std::copy(src.begin(), src.end(), dst.data());
+  };
+  copy_to(panel_row_, panel_row);
+  copy_to(panel_blockptr_, panel_blockptr);
+  copy_to(panel_valptr_, panel_valptr);
+  copy_to(block_col_, block_col);
+  copy_to(block_mask_, block_mask);
+  copy_to(val_, val);
+}
+
+void Talon::spmv(const Scalar* x, Scalar* y) const {
+  KESTREL_PROF_SPMV("MatMult(talon)", 2 * nnz(), spmv_traffic_bytes());
+  // No tier constraints: every kernel handles all panel heights, and the
+  // missing AVX tier falls back to scalar through dispatch.
+  auto fn = simd::lookup_as<simd::TalonSpmvFn>(simd::Op::kTalonSpmv, tier_);
+  fn(view(), x, y);
+}
+
+void Talon::spmv_add(const Scalar* x, Scalar* y) const {
+  KESTREL_PROF_SPMV("MatMultAdd(talon)", 2 * nnz(), spmv_traffic_bytes());
+  auto fn =
+      simd::lookup_as<simd::TalonSpmvFn>(simd::Op::kTalonSpmvAdd, tier_);
+  fn(view(), x, y);
+}
+
+double Talon::block_fill() const {
+  std::int64_t capacity = 0;
+  for (Index p = 0; p < npanels_; ++p) {
+    const Index r = panel_row_[static_cast<std::size_t>(p) + 1] -
+                    panel_row_[static_cast<std::size_t>(p)];
+    const Index nb = panel_blockptr_[static_cast<std::size_t>(p) + 1] -
+                     panel_blockptr_[static_cast<std::size_t>(p)];
+    capacity += static_cast<std::int64_t>(r) * kZmmDoubles * nb;
+  }
+  return capacity == 0
+             ? 1.0
+             : static_cast<double>(nnz_) / static_cast<double>(capacity);
+}
+
+Index Talon::panels_with_r(Index r) const {
+  Index count = 0;
+  for (Index p = 0; p < npanels_; ++p) {
+    if (panel_row_[static_cast<std::size_t>(p) + 1] -
+            panel_row_[static_cast<std::size_t>(p)] ==
+        r) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void Talon::get_diagonal(Vector& d) const {
+  KESTREL_CHECK(m_ == n_, "get_diagonal requires a square matrix");
+  d.resize(m_);
+  d.set(0.0);
+  for (Index p = 0; p < npanels_; ++p) {
+    const Index row0 = panel_row_[static_cast<std::size_t>(p)];
+    const Index r = panel_row_[static_cast<std::size_t>(p) + 1] - row0;
+    Index v = panel_valptr_[static_cast<std::size_t>(p)];
+    for (Index b = panel_blockptr_[static_cast<std::size_t>(p)];
+         b < panel_blockptr_[static_cast<std::size_t>(p) + 1]; ++b) {
+      const Index c0 = block_col_[static_cast<std::size_t>(b)];
+      const std::uint32_t mask = block_mask_[static_cast<std::size_t>(b)];
+      for (Index j = 0; j < r; ++j) {
+        std::uint32_t bits = (mask >> (8u * static_cast<unsigned>(j))) & 0xFFu;
+        while (bits != 0) {
+          const int k = std::countr_zero(bits);
+          if (c0 + k == row0 + j) d[row0 + j] = val_[static_cast<std::size_t>(v)];
+          ++v;
+          bits &= bits - 1;
+        }
+      }
+    }
+  }
+}
+
+std::size_t Talon::storage_bytes() const {
+  return (panel_row_.size() + panel_blockptr_.size() + panel_valptr_.size() +
+          block_col_.size()) *
+             sizeof(Index) +
+         block_mask_.size() * sizeof(std::uint32_t) +
+         val_.size() * sizeof(Scalar);
+}
+
+std::size_t Talon::spmv_traffic_bytes() const {
+  // Section 6-style model: 8 bytes per stored value (no per-entry column
+  // index — that is the point of the format), 8 bytes per block (4 start
+  // column + 4 mask), 12 bytes per panel (row/blockptr/valptr entries),
+  // plus the x and y vectors.
+  return 8 * static_cast<std::size_t>(nnz_) +
+         8 * static_cast<std::size_t>(num_blocks()) +
+         12 * static_cast<std::size_t>(npanels_) +
+         8 * static_cast<std::size_t>(n_) + 8 * static_cast<std::size_t>(m_);
+}
+
+void Talon::copy_values_from(const Csr& csr) {
+  KESTREL_CHECK(csr.rows() == m_ && csr.cols() == n_ && csr.nnz() == nnz_,
+                "copy_values_from: shape mismatch");
+  std::vector<Index> cursor(static_cast<std::size_t>(m_), 0);
+  Index v = 0;
+  for (Index p = 0; p < npanels_; ++p) {
+    const Index row0 = panel_row_[static_cast<std::size_t>(p)];
+    const Index r = panel_row_[static_cast<std::size_t>(p) + 1] - row0;
+    for (Index b = panel_blockptr_[static_cast<std::size_t>(p)];
+         b < panel_blockptr_[static_cast<std::size_t>(p) + 1]; ++b) {
+      const Index c0 = block_col_[static_cast<std::size_t>(b)];
+      const std::uint32_t mask = block_mask_[static_cast<std::size_t>(b)];
+      for (Index j = 0; j < r; ++j) {
+        std::uint32_t bits = (mask >> (8u * static_cast<unsigned>(j))) & 0xFFu;
+        const Index row = row0 + j;
+        const auto cols = csr.row_cols(row);
+        const auto vals = csr.row_vals(row);
+        while (bits != 0) {
+          const int k = std::countr_zero(bits);
+          auto& cur = cursor[static_cast<std::size_t>(row)];
+          KESTREL_CHECK(cur < static_cast<Index>(cols.size()) &&
+                            cols[static_cast<std::size_t>(cur)] == c0 + k,
+                        "copy_values_from: sparsity pattern changed");
+          val_[static_cast<std::size_t>(v)] =
+              vals[static_cast<std::size_t>(cur)];
+          ++cur;
+          ++v;
+          bits &= bits - 1;
+        }
+      }
+    }
+  }
+  for (Index i = 0; i < m_; ++i) {
+    KESTREL_CHECK(cursor[static_cast<std::size_t>(i)] == csr.row_nnz(i),
+                  "copy_values_from: sparsity pattern changed");
+  }
+}
+
+Csr Talon::to_csr() const {
+  std::vector<Index> rowptr(static_cast<std::size_t>(m_) + 1, 0);
+  for (Index p = 0; p < npanels_; ++p) {
+    const Index row0 = panel_row_[static_cast<std::size_t>(p)];
+    const Index r = panel_row_[static_cast<std::size_t>(p) + 1] - row0;
+    for (Index b = panel_blockptr_[static_cast<std::size_t>(p)];
+         b < panel_blockptr_[static_cast<std::size_t>(p) + 1]; ++b) {
+      const std::uint32_t mask = block_mask_[static_cast<std::size_t>(b)];
+      for (Index j = 0; j < r; ++j) {
+        rowptr[static_cast<std::size_t>(row0 + j) + 1] += std::popcount(
+            (mask >> (8u * static_cast<unsigned>(j))) & 0xFFu);
+      }
+    }
+  }
+  for (Index i = 0; i < m_; ++i) {
+    rowptr[static_cast<std::size_t>(i) + 1] +=
+        rowptr[static_cast<std::size_t>(i)];
+  }
+  const std::size_t total =
+      m_ == 0 ? 0 : static_cast<std::size_t>(rowptr[static_cast<std::size_t>(m_)]);
+  std::vector<Index> colidx(total);
+  std::vector<Scalar> val(total);
+  std::vector<Index> cursor(rowptr.begin(), rowptr.end() - 1);
+  Index v = 0;
+  // Blocks ascend in start column and bits ascend within a block, so each
+  // row's entries come out column-sorted.
+  for (Index p = 0; p < npanels_; ++p) {
+    const Index row0 = panel_row_[static_cast<std::size_t>(p)];
+    const Index r = panel_row_[static_cast<std::size_t>(p) + 1] - row0;
+    for (Index b = panel_blockptr_[static_cast<std::size_t>(p)];
+         b < panel_blockptr_[static_cast<std::size_t>(p) + 1]; ++b) {
+      const Index c0 = block_col_[static_cast<std::size_t>(b)];
+      const std::uint32_t mask = block_mask_[static_cast<std::size_t>(b)];
+      for (Index j = 0; j < r; ++j) {
+        std::uint32_t bits = (mask >> (8u * static_cast<unsigned>(j))) & 0xFFu;
+        while (bits != 0) {
+          const int k = std::countr_zero(bits);
+          auto& cur = cursor[static_cast<std::size_t>(row0 + j)];
+          colidx[static_cast<std::size_t>(cur)] = c0 + k;
+          val[static_cast<std::size_t>(cur)] = val_[static_cast<std::size_t>(v)];
+          ++cur;
+          ++v;
+          bits &= bits - 1;
+        }
+      }
+    }
+  }
+  return Csr(m_, n_, std::move(rowptr), std::move(colidx), std::move(val));
+}
+
+}  // namespace kestrel::mat

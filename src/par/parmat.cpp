@@ -17,8 +17,9 @@ DiagFormat parse_diag_format(const std::string& name) {
   if (name == "csrperm" || name == "aijperm") return DiagFormat::kCsrPerm;
   if (name == "sell") return DiagFormat::kSell;
   if (name == "bcsr" || name == "baij") return DiagFormat::kBcsr;
+  if (name == "talon" || name == "spc5") return DiagFormat::kTalon;
   KESTREL_FAIL("unknown matrix format '" + name +
-               "' (expected csr|csrperm|sell|bcsr)");
+               "' (expected csr|csrperm|sell|bcsr|talon)");
 }
 
 const char* diag_format_name(DiagFormat fmt) {
@@ -31,6 +32,8 @@ const char* diag_format_name(DiagFormat fmt) {
       return "sell";
     case DiagFormat::kBcsr:
       return "bcsr";
+    case DiagFormat::kTalon:
+      return "talon";
   }
   return "?";
 }
@@ -98,9 +101,9 @@ ParMatrix::ParMatrix(const mat::Csr& local_rows, LayoutPtr layout,
   offdiag_.set_tier(opts.tier);
   ghost_.resize(nghost_);
 
-  if (opts.offdiag_format == OffdiagFormat::kSell) {
+  if (opts.offdiag_format != OffdiagFormat::kCompressedCsr) {
     // expand the compressed block to full local rows (empty rows are free
-    // in SELL: their slices get zero width) and store it as SELL
+    // in SELL — zero-width slices — and in Talon — blockless r=1 panels)
     std::vector<Index> full_rowptr(static_cast<std::size_t>(m) + 1, 0);
     for (std::size_t r = 0; r < offdiag_rows_.size(); ++r) {
       full_rowptr[static_cast<std::size_t>(offdiag_rows_[r]) + 1] =
@@ -124,8 +127,13 @@ ParMatrix::ParMatrix(const mat::Csr& local_rows, LayoutPtr layout,
     }
     mat::Csr full(m, nghost_, std::move(full_rowptr),
                   std::move(full_colidx), std::move(full_val));
-    offdiag_sell_ = std::make_shared<mat::Sell>(full, opts.sell);
-    offdiag_sell_->set_tier(opts.tier);
+    if (opts.offdiag_format == OffdiagFormat::kSell) {
+      offdiag_sell_ = std::make_shared<mat::Sell>(full, opts.sell);
+      offdiag_sell_->set_tier(opts.tier);
+    } else {
+      offdiag_talon_ = std::make_shared<mat::Talon>(full, opts.talon);
+      offdiag_talon_->set_tier(opts.tier);
+    }
   }
 
   // ---- Compute format for the diagonal block --------------------------
@@ -141,6 +149,9 @@ ParMatrix::ParMatrix(const mat::Csr& local_rows, LayoutPtr layout,
       break;
     case DiagFormat::kBcsr:
       diag_ = std::make_shared<mat::Bcsr>(diag_csr, opts.block_size);
+      break;
+    case DiagFormat::kTalon:
+      diag_ = std::make_shared<mat::Talon>(diag_csr, opts.talon);
       break;
   }
   diag_->set_tier(opts.tier);
@@ -232,9 +243,10 @@ void ParMatrix::spmv_local(const Scalar* x_local, Vector& y_local,
   static const int ev_local = prof::registered_event("MatMultLocal");
   static const int ev_wait = prof::registered_event("MatMultWait");
   static const int ev_off = prof::registered_event("MatMultOffdiag");
-  const std::size_t offdiag_traffic = offdiag_sell_
-                                          ? offdiag_sell_->spmv_traffic_bytes()
-                                          : offdiag_.spmv_traffic_bytes();
+  const std::size_t offdiag_traffic =
+      offdiag_sell_    ? offdiag_sell_->spmv_traffic_bytes()
+      : offdiag_talon_ ? offdiag_talon_->spmv_traffic_bytes()
+                       : offdiag_.spmv_traffic_bytes();
   prof::ScopedEvent mult(
       ev_mult,
       2u * static_cast<std::uint64_t>(diag_->nnz() + offdiag_.nnz()),
@@ -277,6 +289,10 @@ void ParMatrix::spmv_local(const Scalar* x_local, Vector& y_local,
   if (offdiag_sell_) {
     if (nghost_ > 0) {
       offdiag_sell_->spmv_add(ghost_.data(), y_local.data());
+    }
+  } else if (offdiag_talon_) {
+    if (nghost_ > 0) {
+      offdiag_talon_->spmv_add(ghost_.data(), y_local.data());
     }
   } else if (!offdiag_rows_.empty()) {
     auto fn = simd::lookup_as<simd::CsrSpmvAddRowsFn>(

@@ -20,27 +20,30 @@
 #include "mat/csr.hpp"
 #include "mat/csr_perm.hpp"
 #include "mat/sell.hpp"
+#include "mat/talon.hpp"
 #include "par/comm.hpp"
 #include "par/parvec.hpp"
 
 namespace kestrel::par {
 
-enum class DiagFormat { kCsr, kCsrPerm, kSell, kBcsr };
+enum class DiagFormat { kCsr, kCsrPerm, kSell, kBcsr, kTalon };
 
 DiagFormat parse_diag_format(const std::string& name);
 const char* diag_format_name(DiagFormat fmt);
 
 /// Storage for the off-diagonal block: the paper's "compressed CSR" (only
-/// nonzero rows stored, section 2.2) or full-row SELL as in PETSc's
-/// MPISELL type (empty interior rows cost nothing because their slices
-/// have zero width).
-enum class OffdiagFormat { kCompressedCsr, kSell };
+/// nonzero rows stored, section 2.2), full-row SELL as in PETSc's MPISELL
+/// type (empty interior rows cost nothing because their slices have zero
+/// width), or full-row Talon (empty rows cost one r=1 panel with zero
+/// blocks).
+enum class OffdiagFormat { kCompressedCsr, kSell, kTalon };
 
 struct ParMatrixOptions {
   DiagFormat diag_format = DiagFormat::kCsr;
   OffdiagFormat offdiag_format = OffdiagFormat::kCompressedCsr;
-  mat::SellOptions sell;  ///< used when diag_format == kSell
-  Index block_size = 2;   ///< used when diag_format == kBcsr
+  mat::SellOptions sell;    ///< used when diag_format == kSell
+  mat::TalonOptions talon;  ///< used when diag_format == kTalon
+  Index block_size = 2;     ///< used when diag_format == kBcsr
   simd::IsaTier tier = simd::default_tier();
 };
 
@@ -88,6 +91,7 @@ class ParMatrix {
   mat::Csr offdiag_;   ///< compressed rows, packed ghost column space
   std::vector<Index> offdiag_rows_;  ///< local row id per compressed row
   std::shared_ptr<mat::Sell> offdiag_sell_;  ///< full-row SELL alternative
+  std::shared_ptr<mat::Talon> offdiag_talon_;  ///< full-row Talon alternative
   Index nghost_ = 0;
 
   // communication plan

@@ -18,6 +18,8 @@ const char* model_format_name(ModelFormat fmt) {
       return "csr";
     case ModelFormat::kSell:
       return "sell";
+    case ModelFormat::kTalon:
+      return "talon";
   }
   return "?";
 }
@@ -34,7 +36,8 @@ SpmvWorkload SpmvWorkload::gray_scott(Index n) {
 
 SpmvWorkload SpmvWorkload::split(int parts) const {
   KESTREL_CHECK(parts >= 1, "split: parts must be positive");
-  return {rows / parts, nnz / parts, stored / parts};
+  return {rows / parts,          nnz / parts,          stored / parts,
+          talon_blocks / parts,  talon_panels / parts};
 }
 
 std::size_t SpmvWorkload::traffic_bytes(ModelFormat fmt) const {
@@ -45,6 +48,16 @@ std::size_t SpmvWorkload::traffic_bytes(ModelFormat fmt) const {
       return 12 * nz + 10 * m + 8 * m;  // section 6, n == m (square)
     case ModelFormat::kCsrPerm:
       return 12 * nz + 24 * m + 8 * m + 4 * m;  // + permutation array
+    case ModelFormat::kTalon: {
+      // 8 bytes per value (no per-entry column index), 8 per beta block
+      // (start column + mask), 12 per panel, plus x and y. Mirrors
+      // mat::Talon::spmv_traffic_bytes; geometry estimated when not given.
+      const auto blocks = static_cast<std::size_t>(
+          talon_blocks > 0 ? talon_blocks : (nnz + 5) / 6);
+      const auto panels = static_cast<std::size_t>(
+          talon_panels > 0 ? talon_panels : (rows + 1) / 2);
+      return 8 * nz + 8 * blocks + 12 * panels + 8 * m + 8 * m;
+    }
     default:
       return 12 * nz + 24 * m + 8 * m;
   }
@@ -89,6 +102,20 @@ KernelCost kernel_cost(ModelFormat fmt, simd::IsaTier tier) {
           return {4.0, 1.0};
         case IsaTier::kScalar:
           return {5.2, 4.0};
+      }
+      break;
+    case ModelFormat::kTalon:
+      // Expand-load replaces the gather, so per-element cost sits below
+      // SELL-AVX512 on blocky operators; the per-row term carries the
+      // panel reduction. AVX has no Talon kernel (falls back to scalar).
+      switch (tier) {
+        case IsaTier::kAvx512:
+          return {3.2, 2.5};
+        case IsaTier::kAvx2:
+          return {4.5, 3.0};
+        case IsaTier::kAvx:
+        case IsaTier::kScalar:
+          return {5.5, 4.0};
       }
       break;
   }

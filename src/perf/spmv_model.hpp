@@ -24,6 +24,7 @@ enum class ModelFormat {
   kCsrPerm,      ///< AIJPERM
   kCsr,          ///< hand-vectorized CSR (Algorithm 1), tier applies
   kSell,         ///< sliced ELLPACK (Algorithm 2), tier applies
+  kTalon,        ///< SPC5-style beta(r,c) masked blocks, tier applies
 };
 
 const char* model_format_name(ModelFormat fmt);
@@ -33,6 +34,11 @@ struct SpmvWorkload {
   std::int64_t rows = 0;
   std::int64_t nnz = 0;
   std::int64_t stored = 0;  ///< incl. SELL padding; == nnz for CSR
+  /// Talon block geometry (used only by ModelFormat::kTalon). 0 means
+  /// "estimate": ~6 nonzeros per beta block and 2-row panels, the typical
+  /// geometry of a 2-dof stencil operator like Gray-Scott.
+  std::int64_t talon_blocks = 0;
+  std::int64_t talon_panels = 0;
 
   /// The paper's Gray–Scott matrix on an n x n grid: 2 dof per node,
   /// exactly 10 stored elements per row, negligible SELL padding.

@@ -54,6 +54,10 @@ const char* op_name(Op op) {
       return "csr_perm_spmv";
     case Op::kBcsrSpmv:
       return "bcsr_spmv";
+    case Op::kTalonSpmv:
+      return "talon_spmv";
+    case Op::kTalonSpmvAdd:
+      return "talon_spmv_add";
     default:
       return "?";
   }

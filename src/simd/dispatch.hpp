@@ -29,6 +29,10 @@ using SellSpmvAddFn = void (*)(const mat::SellView&, const Scalar* x,
 using CsrPermSpmvFn = void (*)(const mat::CsrPermView&, const Scalar* x,
                                Scalar* y);
 using BcsrSpmvFn = void (*)(const mat::BcsrView&, const Scalar* x, Scalar* y);
+/// y = A*x (Talon beta(r,c) blocks, SPC5-style mask-driven expand loads);
+/// the Add variant computes y += A*x for the off-diagonal block path.
+using TalonSpmvFn = void (*)(const mat::TalonView&, const Scalar* x,
+                             Scalar* y);
 
 enum class Op : int {
   kCsrSpmv = 0,
@@ -40,6 +44,8 @@ enum class Op : int {
                       ///< paper section 5.5)
   kCsrPermSpmv,
   kBcsrSpmv,
+  kTalonSpmv,
+  kTalonSpmvAdd,
   kOpCount,
 };
 

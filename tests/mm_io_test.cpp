@@ -1,15 +1,38 @@
-// Matrix Market I/O tests.
+// Matrix Market I/O tests, including a property-based round-trip fuzz
+// sweep (general and symmetric files, comment/whitespace/CRLF noise) and
+// graceful-error checks on truncated or corrupt inputs.
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <sstream>
+#include <tuple>
+#include <utility>
+#include <vector>
 
 #include "base/error.hpp"
+#include "base/rng.hpp"
+#include "mat/coo.hpp"
 #include "mat/mm_io.hpp"
 #include "test_matrices.hpp"
 
 namespace kestrel::mat {
 namespace {
+
+void expect_same_matrix(const Csr& a, const Csr& b) {
+  ASSERT_EQ(b.rows(), a.rows());
+  ASSERT_EQ(b.cols(), a.cols());
+  ASSERT_EQ(b.nnz(), a.nnz());
+  for (Index i = 0; i < a.rows(); ++i) {
+    const auto c1 = a.row_cols(i);
+    const auto c2 = b.row_cols(i);
+    ASSERT_EQ(c1.size(), c2.size()) << "row " << i;
+    for (std::size_t k = 0; k < c1.size(); ++k) {
+      EXPECT_EQ(c1[k], c2[k]) << "row " << i;
+      EXPECT_DOUBLE_EQ(a.row_vals(i)[k], b.row_vals(i)[k]) << "row " << i;
+    }
+  }
+}
 
 TEST(MatrixMarket, WriteReadRoundTrip) {
   const Csr a = testing::uniform_random(9, 7, 3, 8);
@@ -72,6 +95,107 @@ TEST(MatrixMarket, RejectsTruncatedData) {
      << "2 2 2\n"
      << "1 1 1.0\n";
   EXPECT_THROW(read_matrix_market(ss), Error);
+}
+
+// ---- property-based fuzz sweeps -----------------------------------------
+
+TEST(MatrixMarket, FuzzGeneralRoundTripIsExact) {
+  // write() emits 17 significant digits, so a write/read cycle must
+  // reproduce every double bit-exactly on arbitrary random matrices.
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    Rng rng(1000 + seed);
+    const Index m = 1 + rng.next_index(30);
+    const Index n = 1 + rng.next_index(30);
+    const Index per_row = 1 + rng.next_index(4);
+    const Csr a = testing::uniform_random(m, n, per_row, 40 + seed);
+    std::stringstream ss;
+    write_matrix_market(a, ss);
+    const Csr b = read_matrix_market(ss);
+    expect_same_matrix(a, b);
+  }
+}
+
+TEST(MatrixMarket, FuzzSymmetricWithCommentAndWhitespaceNoise) {
+  // Hand-built symmetric files laced with the junk real-world .mtx files
+  // contain: CRLF endings, tab separators, leading spaces, blank lines,
+  // and stray comment lines between data records.
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    Rng rng(2000 + seed);
+    const Index n = 2 + rng.next_index(20);
+    Coo full(n, n);
+    std::vector<std::tuple<Index, Index, double>> lower;
+    std::set<std::pair<Index, Index>> used;
+    const Index tries = 2 * n;
+    for (Index t = 0; t < tries; ++t) {
+      Index i = rng.next_index(n);
+      Index j = rng.next_index(n);
+      if (i < j) std::swap(i, j);
+      if (!used.insert({i, j}).second) continue;
+      const double v = rng.uniform(-2.0, 2.0);
+      full.add(i, j, v);
+      if (i != j) full.add(j, i, v);
+      lower.emplace_back(i, j, v);
+    }
+    if (lower.empty()) {
+      full.add(0, 0, 1.0);
+      lower.emplace_back(0, 0, 1.0);
+    }
+
+    std::stringstream ss;
+    ss.precision(17);
+    ss << "%%MatrixMarket matrix coordinate real symmetric\r\n"
+       << "% generator noise\n"
+       << "\n"
+       << "   \t \n"
+       << "  " << n << " " << n << " " << lower.size() << " \r\n";
+    std::size_t c = 0;
+    for (const auto& [i, j, v] : lower) {
+      if (c % 3 == 0) ss << "% interleaved comment\r\n";
+      if (c % 4 == 1) ss << "\n";
+      ss << "  " << (i + 1) << "\t" << (j + 1) << "   " << v << "\r\n";
+      ++c;
+    }
+    const Csr b = read_matrix_market(ss);
+    expect_same_matrix(full.to_csr(), b);
+  }
+}
+
+// ---- graceful errors on truncated / corrupt inputs ----------------------
+
+TEST(MatrixMarket, RejectsTruncatedOrCorruptHeaders) {
+  for (const char* text : {
+           "",                                                  // empty
+           "%%MatrixMarket\n",                                  // banner only
+           "%%MatrixMarket matrix coordinate\n2 2 0\n",         // no field
+           "%%MatrixMarket matrix array real general\n2 2 0\n",      // dense
+           "%%MatrixMarket matrix coordinate complex general\n1 1 0\n",
+           "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n",
+           "%%MatrixMarket vector coordinate real general\n1 1 0\n",
+       }) {
+    std::stringstream ss(text);
+    EXPECT_THROW(read_matrix_market(ss), Error) << "input: " << text;
+  }
+}
+
+TEST(MatrixMarket, RejectsMissingOrMalformedSizeLine) {
+  for (const char* text : {
+           "%%MatrixMarket matrix coordinate real general\n",  // EOF
+           "%%MatrixMarket matrix coordinate real general\n% only comments\n",
+           "%%MatrixMarket matrix coordinate real general\nrows cols nnz\n",
+           "%%MatrixMarket matrix coordinate real general\n-2 2 1\n1 1 1\n",
+           "%%MatrixMarket matrix coordinate real general\n2 2 -1\n",
+       }) {
+    std::stringstream ss(text);
+    EXPECT_THROW(read_matrix_market(ss), Error) << "input: " << text;
+  }
+}
+
+TEST(MatrixMarket, RejectsMalformedEntries) {
+  for (const char* entry : {"1\n", "1 x 1.0\n", "1 2 pi\n", "0 1 1.0\n"}) {
+    std::stringstream ss;
+    ss << "%%MatrixMarket matrix coordinate real general\n2 2 1\n" << entry;
+    EXPECT_THROW(read_matrix_market(ss), Error) << "entry: " << entry;
+  }
 }
 
 TEST(MatrixMarket, FileRoundTrip) {

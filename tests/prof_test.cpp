@@ -12,6 +12,7 @@
 #include "base/error.hpp"
 #include "base/options.hpp"
 #include "mat/sell.hpp"
+#include "mat/talon.hpp"
 #include "perf/spmv_model.hpp"
 #include "prof/json.hpp"
 #include "prof/profiler.hpp"
@@ -326,6 +327,43 @@ TEST(ProfKernels, ReportedBytesMatchTrafficModelWithin10Percent) {
 
   // flops are exact: 2 per stored nonzero
   EXPECT_EQ(log.flops(ev_csr), 2u * static_cast<std::uint64_t>(jac.nnz()));
+}
+
+TEST(ProfKernels, TalonReportedBytesMatchTrafficModelWithin10Percent) {
+  // Same acceptance criterion for the Talon format: the bytes the kernel
+  // reports (Talon::spmv_traffic_bytes) must agree with the analytic
+  // traffic model within 10%. With the true block geometry plugged into
+  // the workload the two formulas coincide exactly; the default estimate
+  // (talon_blocks = talon_panels = 0) must still land inside the band.
+  const Index n = 16;
+  app::GrayScott gs(n);
+  Vector u;
+  gs.initial_condition(u);
+  const mat::Csr jac = gs.rhs_jacobian(u);
+  const mat::Talon talon(jac);
+
+  perf::SpmvWorkload wl = perf::SpmvWorkload::gray_scott(n);
+  wl.talon_blocks = talon.num_blocks();
+  wl.talon_panels = talon.num_panels();
+  const double model =
+      static_cast<double>(wl.traffic_bytes(perf::ModelFormat::kTalon));
+
+  prof::Profiler log;
+  prof::AttachGuard attach(&log);
+  prof::EnableGuard enable(true);
+  Vector x(jac.cols(), 1.0), y(jac.rows());
+  talon.spmv(x, y);
+
+  const int ev = prof::registered_event("MatMult(talon)");
+  ASSERT_EQ(log.calls(ev), 1u);
+  EXPECT_EQ(log.bytes(ev), talon.spmv_traffic_bytes());
+  EXPECT_NEAR(static_cast<double>(log.bytes(ev)), model, 0.10 * model);
+  EXPECT_EQ(log.flops(ev), 2u * static_cast<std::uint64_t>(jac.nnz()));
+
+  const perf::SpmvWorkload est = perf::SpmvWorkload::gray_scott(n);
+  const double est_model =
+      static_cast<double>(est.traffic_bytes(perf::ModelFormat::kTalon));
+  EXPECT_NEAR(est_model, model, 0.10 * model);
 }
 
 }  // namespace

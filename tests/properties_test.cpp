@@ -12,8 +12,10 @@
 #include "mat/dense.hpp"
 #include "mat/sell.hpp"
 #include "mat/spgemm.hpp"
+#include "mat/talon.hpp"
 #include "par/parmat.hpp"
 #include "pc/jacobi.hpp"
+#include "simd/isa.hpp"
 #include "test_matrices.hpp"
 
 namespace kestrel {
@@ -65,6 +67,46 @@ INSTANTIATE_TEST_SUITE_P(
       return "n" + std::to_string(std::get<0>(p.param)) + "_c" +
              std::to_string(std::get<1>(p.param)) + "_s" +
              std::to_string(std::get<2>(p.param));
+    });
+
+// ---- Talon round trips and SpMV over the same parameter grid ------------
+
+class TalonSweep : public ::testing::TestWithParam<std::tuple<Index, Index>> {
+};
+
+TEST_P(TalonSweep, RoundTripsAndMatchesCsrSpmv) {
+  const auto [n, force_r] = GetParam();
+  const mat::Csr csr = testing::power_law(n, 300 + n);
+  mat::TalonOptions opts;
+  opts.force_r = force_r;
+  const mat::Talon talon(csr, opts);
+  EXPECT_EQ(talon.nnz(), csr.nnz());
+  const mat::Csr back = talon.to_csr();
+  ASSERT_EQ(back.nnz(), csr.nnz());
+  for (Index i = 0; i < n; ++i) {
+    const auto c1 = csr.row_cols(i);
+    const auto c2 = back.row_cols(i);
+    ASSERT_EQ(c1.size(), c2.size());
+    for (std::size_t k = 0; k < c1.size(); ++k) {
+      EXPECT_EQ(c1[k], c2[k]);
+      EXPECT_DOUBLE_EQ(csr.row_vals(i)[k], back.row_vals(i)[k]);
+    }
+  }
+  const auto x = testing::random_x(n, 23);
+  Vector xv(n), y1, y2;
+  for (Index i = 0; i < n; ++i) xv[i] = x[static_cast<std::size_t>(i)];
+  csr.spmv(xv, y1);
+  talon.spmv(xv, y2);
+  for (Index i = 0; i < n; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, TalonSweep,
+    ::testing::Combine(::testing::Values<Index>(7, 17, 64, 65, 100),
+                       ::testing::Values<Index>(0, 1, 2, 4)),
+    [](const ::testing::TestParamInfo<std::tuple<Index, Index>>& p) {
+      return "n" + std::to_string(std::get<0>(p.param)) + "_r" +
+             std::to_string(std::get<1>(p.param));
     });
 
 // ---- all Krylov solvers vs the dense direct solution --------------------
@@ -195,6 +237,86 @@ TEST(BlockedLayout, DistributedBcsrGrayScott) {
       EXPECT_NEAR(y_par[i], y_seq[i], 1e-11);
     }
   });
+}
+
+// ---- distributed Talon across rank counts and ISA tiers -------------------
+
+TEST(DistributedTalon, MatchesSequentialAcrossRankCountsAndTiers) {
+  // Acceptance sweep: Talon as BOTH the diagonal and the full-row
+  // off-diagonal block of the distributed matrix must reproduce the
+  // sequential CSR product at 1, 2, and 8 ranks on every ISA tier the host
+  // supports.
+  app::GrayScott gs(8);
+  Vector u0;
+  gs.initial_condition(u0);
+  const mat::Csr global = gs.rhs_jacobian(u0);
+  const auto x = testing::random_x(global.cols(), 31);
+  Vector xg(global.cols());
+  for (Index i = 0; i < xg.size(); ++i) {
+    xg[i] = x[static_cast<std::size_t>(i)];
+  }
+  Vector y_seq;
+  global.spmv(xg, y_seq);
+
+  const int best = static_cast<int>(simd::detect_best_tier());
+  for (int nranks : {1, 2, 8}) {
+    auto layout = std::make_shared<par::Layout>(
+        par::Layout::even(global.rows(), nranks));
+    for (int t = 0; t <= best; ++t) {
+      const auto tier = static_cast<simd::IsaTier>(t);
+      par::Fabric::run(nranks, [&](par::Comm& comm) {
+        par::ParMatrixOptions opts;
+        opts.diag_format = par::DiagFormat::kTalon;
+        opts.offdiag_format = par::OffdiagFormat::kTalon;
+        opts.tier = tier;
+        const par::ParMatrix a =
+            par::ParMatrix::from_global(global, layout, comm, opts);
+        EXPECT_EQ(a.diag_block().format_name(), std::string("talon"));
+        par::ParVector xp(layout, comm.rank()), yp(layout, comm.rank());
+        xp.set_from_global(xg);
+        a.spmv(xp, yp, comm);
+        const Vector y_par = yp.gather_all(comm);
+        for (Index i = 0; i < y_seq.size(); ++i) {
+          EXPECT_NEAR(y_par[i], y_seq[i], 1e-11)
+              << "rank count " << nranks << " tier " << simd::tier_name(tier);
+        }
+      });
+    }
+  }
+}
+
+TEST(DistributedTalon, AdversarialPatternsAcrossRanks) {
+  // The patterns that historically break block formats, pushed through the
+  // distributed path (uneven ghost traffic, empty local rows, edge blocks).
+  for (const mat::Csr& global :
+       {testing::with_empty_rows(64), testing::last_row_only_column(48),
+        testing::straddling_boundaries(56)}) {
+    const auto x = testing::random_x(global.cols(), 37);
+    Vector xg(global.cols());
+    for (Index i = 0; i < xg.size(); ++i) {
+      xg[i] = x[static_cast<std::size_t>(i)];
+    }
+    Vector y_seq;
+    global.spmv(xg, y_seq);
+    for (int nranks : {2, 8}) {
+      auto layout = std::make_shared<par::Layout>(
+          par::Layout::even(global.rows(), nranks));
+      par::Fabric::run(nranks, [&](par::Comm& comm) {
+        par::ParMatrixOptions opts;
+        opts.diag_format = par::DiagFormat::kTalon;
+        opts.offdiag_format = par::OffdiagFormat::kTalon;
+        const par::ParMatrix a =
+            par::ParMatrix::from_global(global, layout, comm, opts);
+        par::ParVector xp(layout, comm.rank()), yp(layout, comm.rank());
+        xp.set_from_global(xg);
+        a.spmv(xp, yp, comm);
+        const Vector y_par = yp.gather_all(comm);
+        for (Index i = 0; i < y_seq.size(); ++i) {
+          EXPECT_NEAR(y_par[i], y_seq[i], 1e-11) << "ranks " << nranks;
+        }
+      });
+    }
+  }
 }
 
 }  // namespace

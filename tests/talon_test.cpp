@@ -1,0 +1,228 @@
+// Talon (SPC5-style beta(r,c) block format) unit tests: inspector
+// geometry, storage invariants, CSR round trips, value refresh, diagonal
+// extraction, the traffic-byte formula, and edge cases (empty matrix,
+// empty rows, matrix-edge blocks).
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "app/gray_scott.hpp"
+#include "mat/coo.hpp"
+#include "mat/csr.hpp"
+#include "mat/talon.hpp"
+#include "test_matrices.hpp"
+
+namespace kestrel::mat {
+namespace {
+
+using testing::dense_spmv;
+using testing::random_x;
+
+Csr two_by_two_blocks(Index nb, std::uint64_t seed = 11) {
+  // Fully dense 2x2 blocks on a ring: the shape Talon is built for.
+  Coo coo(nb * 2, nb * 2);
+  Rng rng(seed);
+  for (Index ib = 0; ib < nb; ++ib) {
+    for (Index jb : {ib, (ib + 1) % nb}) {
+      for (Index r = 0; r < 2; ++r) {
+        for (Index c = 0; c < 2; ++c) {
+          coo.add(ib * 2 + r, jb * 2 + c, rng.uniform(-1.0, 1.0));
+        }
+      }
+    }
+  }
+  return coo.to_csr();
+}
+
+TEST(Talon, PanelPartitionCoversAllRowsExactlyOnce) {
+  for (Index force_r : {Index(0), Index(1), Index(2), Index(4)}) {
+    TalonOptions opts;
+    opts.force_r = force_r;
+    const Csr csr = testing::power_law(53);
+    const Talon t(csr, opts);
+    const TalonView v = t.view();
+    ASSERT_GT(t.num_panels(), 0);
+    EXPECT_EQ(v.panel_row[0], 0);
+    EXPECT_EQ(v.panel_row[t.num_panels()], csr.rows());
+    for (Index p = 0; p < t.num_panels(); ++p) {
+      const Index r = v.panel_row[p + 1] - v.panel_row[p];
+      EXPECT_TRUE(r == 1 || r == 2 || r == 4) << "panel " << p;
+      if (force_r != 0) EXPECT_LE(r, force_r);
+    }
+    EXPECT_EQ(t.panels_with_r(1) + t.panels_with_r(2) + t.panels_with_r(4),
+              t.num_panels());
+  }
+}
+
+TEST(Talon, MaskPopcountsAccountForEveryNonzero) {
+  const Csr csr = testing::uniform_random(60, 60, 5);
+  const Talon t(csr);
+  const TalonView v = t.view();
+  std::int64_t counted = 0;
+  for (Index p = 0; p < v.npanels; ++p) {
+    const Index r = v.panel_row[p + 1] - v.panel_row[p];
+    std::int64_t panel_nnz = 0;
+    for (Index b = v.panel_blockptr[p]; b < v.panel_blockptr[p + 1]; ++b) {
+      // no bits above row r-1 may be set (widen first: shifting a uint32_t
+      // by 32 when r == 4 would be UB)
+      EXPECT_EQ(static_cast<std::uint64_t>(v.block_mask[b]) >>
+                    (8u * static_cast<unsigned>(r)),
+                0u);
+      EXPECT_NE(v.block_mask[b], 0u) << "empty block stored";
+      panel_nnz += std::popcount(v.block_mask[b]);
+    }
+    EXPECT_EQ(v.panel_valptr[p + 1] - v.panel_valptr[p], panel_nnz);
+    counted += panel_nnz;
+  }
+  EXPECT_EQ(counted, csr.nnz());
+}
+
+TEST(Talon, InspectorPicksTallPanelsOnBlockStructure) {
+  // Dense 2x2 blocks share column structure between row pairs, so the
+  // inspector should never fall back to r = 1 panels here.
+  const Csr csr = two_by_two_blocks(32);
+  const Talon t(csr);
+  EXPECT_EQ(t.panels_with_r(1), 0);
+  EXPECT_GT(t.block_fill(), 0.4);
+  // and the blocks must beat one-per-nonzero by a wide margin
+  EXPECT_LT(t.num_blocks(), csr.nnz() / 3);
+}
+
+TEST(Talon, RoundTripsThroughCsrExactly) {
+  for (Index force_r : {Index(0), Index(1), Index(2), Index(4)}) {
+    TalonOptions opts;
+    opts.force_r = force_r;
+    for (const Csr& csr :
+         {testing::banded(41, {-3, -1, 1, 3}), testing::power_law(64),
+          testing::with_empty_rows(48), testing::single_column(20),
+          testing::straddling_boundaries(40)}) {
+      const Talon t(csr, opts);
+      EXPECT_EQ(t.nnz(), csr.nnz());
+      const Csr back = t.to_csr();
+      ASSERT_EQ(back.rows(), csr.rows());
+      ASSERT_EQ(back.nnz(), csr.nnz());
+      for (Index i = 0; i < csr.rows(); ++i) {
+        const auto c0 = csr.row_cols(i);
+        const auto c1 = back.row_cols(i);
+        const auto v0 = csr.row_vals(i);
+        const auto v1 = back.row_vals(i);
+        ASSERT_EQ(c0.size(), c1.size()) << "row " << i;
+        for (std::size_t k = 0; k < c0.size(); ++k) {
+          EXPECT_EQ(c0[k], c1[k]) << "row " << i;
+          EXPECT_EQ(v0[k], v1[k]) << "row " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(Talon, CopyValuesFromRefreshesInPlace) {
+  const Csr a = testing::banded(37, {-2, 2}, 13);
+  Csr b = a;
+  for (std::int64_t k = 0; k < b.nnz(); ++k) b.mutable_val()[k] *= 3.0;
+  Talon t(a);
+  t.copy_values_from(b);
+  const auto x = random_x(a.cols(), 17);
+  const auto expect = dense_spmv(b, x);
+  Vector xv(a.cols());
+  for (Index i = 0; i < a.cols(); ++i) xv[i] = x[static_cast<std::size_t>(i)];
+  Vector y(a.rows());
+  t.spmv(xv, y);
+  for (Index i = 0; i < a.rows(); ++i) {
+    EXPECT_NEAR(y[i], expect[static_cast<std::size_t>(i)], 1e-11);
+  }
+}
+
+TEST(Talon, CopyValuesFromRejectsPatternMismatch) {
+  const Csr a = testing::banded(20, {-1, 1}, 1);
+  const Csr b = testing::banded(20, {-2, 2}, 1);
+  Talon t(a);
+  EXPECT_THROW(t.copy_values_from(b), Error);
+}
+
+TEST(Talon, GetDiagonalMatchesCsr) {
+  const Csr csr = testing::banded(45, {-4, -1, 1, 4});
+  const Talon t(csr);
+  Vector dt, dc;
+  t.get_diagonal(dt);
+  csr.get_diagonal(dc);
+  ASSERT_EQ(dt.size(), dc.size());
+  for (Index i = 0; i < dt.size(); ++i) EXPECT_EQ(dt[i], dc[i]);
+}
+
+TEST(Talon, EmptyMatrixAndEmptyRows) {
+  const Csr empty;
+  const Talon t0(empty);
+  EXPECT_EQ(t0.num_panels(), 0);
+  EXPECT_EQ(t0.num_blocks(), 0);
+  Vector x(0), y(0);
+  t0.spmv(x, y);  // must not crash
+
+  const Csr holes = testing::with_empty_rows(32);
+  const Talon t1(holes);
+  const auto xs = random_x(32, 3);
+  const auto expect = dense_spmv(holes, xs);
+  Vector xv(32);
+  for (Index i = 0; i < 32; ++i) xv[i] = xs[static_cast<std::size_t>(i)];
+  Vector yv(32, -7.0);
+  t1.spmv(xv, yv);
+  for (Index i = 0; i < 32; ++i) {
+    EXPECT_NEAR(yv[i], expect[static_cast<std::size_t>(i)], 1e-11);
+  }
+}
+
+TEST(Talon, EdgeBlockAtLastColumnIsMasked) {
+  // n = 13 (not a multiple of 8) with the last column populated: the final
+  // block starts above n-8 and must not read x out of bounds (ASan-fatal
+  // if it does).
+  Coo coo(13, 13);
+  for (Index i = 0; i < 13; ++i) {
+    coo.add(i, i, 2.0);
+    coo.add(i, 12, 1.0);
+  }
+  const Csr csr = coo.to_csr();
+  const Talon t(csr);
+  const auto xs = random_x(13, 29);
+  const auto expect = dense_spmv(csr, xs);
+  Vector xv(13);
+  for (Index i = 0; i < 13; ++i) xv[i] = xs[static_cast<std::size_t>(i)];
+  Vector yv(13);
+  for (auto tier : {simd::IsaTier::kScalar, simd::detect_best_tier()}) {
+    Talon tt(csr);
+    tt.set_tier(tier);
+    tt.spmv(xv, yv);
+    for (Index i = 0; i < 13; ++i) {
+      EXPECT_NEAR(yv[i], expect[static_cast<std::size_t>(i)], 1e-11);
+    }
+  }
+}
+
+TEST(Talon, TrafficFormulaMatchesGeometry) {
+  app::GrayScott gs(12);
+  Vector u;
+  gs.initial_condition(u);
+  const Csr csr = gs.rhs_jacobian(u);
+  const Talon t(csr);
+  const std::size_t expected =
+      8 * static_cast<std::size_t>(t.nnz()) +
+      8 * static_cast<std::size_t>(t.num_blocks()) +
+      12 * static_cast<std::size_t>(t.num_panels()) +
+      8 * static_cast<std::size_t>(t.cols()) +
+      8 * static_cast<std::size_t>(t.rows());
+  EXPECT_EQ(t.spmv_traffic_bytes(), expected);
+  // No padding: value storage is exactly 8 bytes per logical nonzero, and
+  // total traffic beats the CSR 12nnz+24m+8n model on this operator.
+  EXPECT_GT(t.storage_bytes(), 8 * static_cast<std::size_t>(t.nnz()));
+  EXPECT_LT(t.spmv_traffic_bytes(), csr.spmv_traffic_bytes());
+}
+
+TEST(Talon, RejectsBadForceR) {
+  const Csr csr = testing::banded(10, {-1, 1});
+  TalonOptions opts;
+  opts.force_r = 3;
+  EXPECT_THROW(Talon(csr, opts), Error);
+}
+
+}  // namespace
+}  // namespace kestrel::mat

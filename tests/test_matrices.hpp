@@ -80,6 +80,52 @@ inline mat::Csr with_dense_row(Index n, std::uint64_t seed = 5) {
   return coo.to_csr();
 }
 
+/// Single-column matrix (n x 1): the narrowest gather/block edge case —
+/// every format's column space is one entry wide. Some rows are empty.
+inline mat::Csr single_column(Index m, std::uint64_t seed = 6) {
+  Rng rng(seed);
+  mat::Coo coo(m, 1);
+  for (Index i = 0; i < m; ++i) {
+    if (i % 3 == 2) continue;  // sprinkle empty rows
+    coo.add(i, 0, rng.uniform(-1.0, 1.0));
+  }
+  return coo.to_csr();
+}
+
+/// The LAST column's only nonzero sits in the LAST row: a block/slice that
+/// starts near n-1 must edge-mask its x load, and any kernel that touches
+/// x past the mask reads out of bounds (caught under ASan).
+inline mat::Csr last_row_only_column(Index n, std::uint64_t seed = 7) {
+  Rng rng(seed);
+  mat::Coo coo(n, n);
+  for (Index i = 0; i + 1 < n; ++i) {
+    coo.add(i, i, 3.0 + rng.uniform(0.0, 1.0));
+    if (i > 0) coo.add(i, rng.next_index(n - 1), rng.uniform(-1.0, 1.0));
+  }
+  coo.add(n - 1, n - 1, 5.0);  // sole entry in column n-1
+  coo.add(n - 1, 0, rng.uniform(-1.0, 1.0));
+  return coo.to_csr();
+}
+
+/// Nonzero runs deliberately straddle every width-8 slice/block boundary:
+/// clusters of 3 columns centered on multiples of 8, and row lengths that
+/// shift by one across each row-group-of-8 boundary.
+inline mat::Csr straddling_boundaries(Index n, std::uint64_t seed = 8) {
+  Rng rng(seed);
+  mat::Coo coo(n, n);
+  for (Index i = 0; i < n; ++i) {
+    for (Index c = 8; c < n; c += 8) {
+      if ((i + c / 8) % 3 == 0) continue;  // gaps so blocks break up
+      for (Index j = c - 1; j <= c + 1 && j < n; ++j) {
+        coo.add(i, j, rng.uniform(-1.0, 1.0));
+      }
+    }
+    coo.add(i, i, 4.0);
+    if (i % 8 == 7 && i + 1 < n) coo.add(i, i + 1, rng.uniform(-1.0, 1.0));
+  }
+  return coo.to_csr();
+}
+
 /// Deterministic dense reference product y = A x.
 inline std::vector<Scalar> dense_spmv(const mat::Csr& a,
                                       const std::vector<Scalar>& x) {

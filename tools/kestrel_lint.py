@@ -565,12 +565,39 @@ def self_test() -> int:
         expect("missing_format_tu", {v.rule for v in lint(fx)},
                "kernel-perf-reporting", True)
 
+        # 10. Talon wired up as vector-only: its AVX-512 cell exists but
+        # the scalar oracle cell is missing.
+        fx = os.path.join(tmp, "talon_no_scalar")
+        _make_clean_fixture(fx)
+        _write(fx, REGISTRATION_HPP,
+               CLEAN_REGISTRATION.rstrip("\n") +
+               "                \\\n  X(talon, avx512)\n")
+        expect("talon_no_scalar", {v.rule for v in lint(fx)},
+               "kernel-table-scalar", True)
+
+        # 11. Talon format TU that never calls KESTREL_PROF_SPMV.
+        fx = os.path.join(tmp, "talon_silent_format")
+        _make_clean_fixture(fx)
+        _write(fx, REGISTRATION_HPP,
+               CLEAN_REGISTRATION.rstrip("\n") +
+               "                \\\n  X(talon, scalar)\n")
+        _write(fx, os.path.join(KERNELS_DIR, "talon_scalar.cpp"),
+               CLEAN_SCALAR_TU.replace("foo", "talon")
+                              .replace("kFooSpmv", "kTalonSpmv"))
+        _write(fx, os.path.join("src", "mat", "talon.cpp"),
+               "namespace k {\n"
+               "void Talon_spmv(const double* x, double* y) "
+               "{ (void)x; (void)y; }\n"
+               "}\n")
+        expect("talon_silent_format", {v.rule for v in lint(fx)},
+               "kernel-perf-reporting", True)
+
     if failures:
         print("kestrel_lint self-test FAILED:", file=sys.stderr)
         for f in failures:
             print("  " + f, file=sys.stderr)
         return 1
-    print("kestrel_lint self-test passed (10 fixtures).")
+    print("kestrel_lint self-test passed (12 fixtures).")
     return 0
 
 
