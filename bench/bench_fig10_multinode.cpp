@@ -90,6 +90,14 @@ int main(int argc, char** argv) {
 
   bench::header(
       "Figure 10 (modeled): Gray-Scott 16384^2 on Theta, walltime [s]");
+  // Halo-exchange constants come from this host's fabric (the bench_comm
+  // Phase A calibration) instead of the built-in defaults, so the model's
+  // comm term tracks the transport actually underneath Kestrel.
+  const CommModel cm =
+      CommModel::measure_fabric(bench::scaled_reps(50, 6));
+  std::printf("halo model: alpha = %.3f us, beta = %.4f ns/byte "
+              "(fabric-calibrated)\n",
+              cm.alpha_s * 1e6, cm.beta_s_per_byte * 1e9);
   const MachineProfile knl = knl7230();
   const struct {
     MemoryMode mode;
@@ -104,10 +112,10 @@ int main(int argc, char** argv) {
     for (int nodes : {64, 128, 256, 512}) {
       const auto csr = modeled_multinode(knl, m.mode, nodes,
                                          ModelFormat::kCsrBaseline,
-                                         IsaTier::kScalar);
+                                         IsaTier::kScalar, 16384, 5, 6, &cm);
       const auto sell = modeled_multinode(knl, m.mode, nodes,
                                           ModelFormat::kSell,
-                                          IsaTier::kAvx512);
+                                          IsaTier::kAvx512, 16384, 5, 6, &cm);
       std::printf("%8d %10.1f (%5.1f) %10.1f (%5.1f) %11.2fx %11.2fx\n",
                   nodes, csr.total_seconds, csr.matmult_seconds,
                   sell.total_seconds, sell.matmult_seconds,

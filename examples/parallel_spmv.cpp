@@ -4,6 +4,7 @@
 // rank-distributed system with allreduced dot products.
 //
 //   ./parallel_spmv [-ranks 4] [-n 64] [-mat_type sell|csr]
+//                   [-ghost_exchange persistent|mailbox]
 //                   [-log_view] [-log_trace trace.json] [-log_json m.json]
 
 #include <cstdio>
@@ -24,6 +25,8 @@ int main(int argc, char** argv) {
   const Index n = Options::global().get_index("n", 64);
   const std::string mat_type =
       Options::global().get_string("mat_type", "sell");
+  const std::string ghost_exchange =
+      Options::global().get_string("ghost_exchange", "persistent");
 
   const mat::Csr global = app::laplacian_dirichlet(n, n);
   std::printf("global matrix: %d x %d, %lld nnz, %d ranks\n", global.rows(),
@@ -35,6 +38,7 @@ int main(int argc, char** argv) {
   par::Fabric::run(nranks, [&](par::Comm& comm) {
     par::ParMatrixOptions opts;
     opts.diag_format = par::parse_diag_format(mat_type);
+    opts.persistent_ghosts = ghost_exchange != "mailbox";
     const par::ParMatrix a =
         par::ParMatrix::from_global(global, layout, comm, opts);
 
@@ -70,8 +74,10 @@ int main(int argc, char** argv) {
                   res.residual_norm);
     }
 
-    // Collective: reduces per-rank profilers (min/max/ratio) and, on rank
-    // 0, prints the table / writes the trace and metrics files.
+    // Collective: totals the fabric counters into `fabric/...` metrics,
+    // then reduces per-rank profilers (min/max/ratio) and, on rank 0,
+    // prints the table / writes the trace and metrics files.
+    comm.publish_stats_metrics();
     prof::export_all(logcfg, prof::current(), &comm);
   });
   return 0;

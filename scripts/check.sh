@@ -63,6 +63,23 @@ print("bench metrics ok:", {k: round(v, 2)
                             for k, v in doc["metrics"].items()})
 EOF
 
+banner "fabric exchange bench + BENCH_comm.json (speedup gate)"
+./build/bench/bench_comm --smoke --json build/BENCH_comm.json
+python3 - <<'EOF'
+import json
+with open("build/BENCH_comm.json") as f:
+    doc = json.load(f)
+assert doc["schema"] == "kestrel-scope-metrics-v1", doc.get("schema")
+m = doc["metrics"]
+assert m["comm_alpha_s"] > 0.0, "postal-model alpha not calibrated"
+assert m["fabric/persistent_allocs_per_exchange"] == 0.0, \
+    "persistent path allocated in steady state"
+assert m["exchange_speedup"] >= 1.3, \
+    f"persistent ghost exchange only {m['exchange_speedup']:.2f}x vs mailbox"
+print(f"comm bench ok: {m['exchange_speedup']:.2f}x speedup, "
+      f"alpha={m['comm_alpha_s'] * 1e6:.2f}us, 0 steady-state allocs")
+EOF
+
 sanitizer_suite() {
   local name="$1" label="$2"
   banner "sanitizer: $name (ctest -L $label)"

@@ -1,0 +1,35 @@
+// AVX2 gather-pack: out[i] = x[idx[i]] via vgatherdpd, 4 doubles per step
+// (Kestrel Slipstream ghost pack). Pack indices are arbitrary (the ghost
+// column lists the plan exchange produces), so a hardware gather is the
+// whole kernel: load 4 int32 indices, gather 4 doubles, store contiguously.
+
+#include <immintrin.h>
+
+#include "mat/kernels/registration.hpp"
+#include "simd/dispatch.hpp"
+
+namespace kestrel::mat::kernels {
+
+namespace {
+
+void gather_pack_avx2(const Scalar* x, const Index* idx, Index n,
+                      Scalar* out) {
+  Index i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i vidx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i));
+    const __m256d vals = _mm256_i32gather_pd(x, vidx, sizeof(Scalar));
+    _mm256_storeu_pd(out + i, vals);
+  }
+  for (; i < n; ++i) {
+    out[i] = x[idx[i]];
+  }
+}
+
+}  // namespace
+
+void register_gather_avx2() {
+  KESTREL_REGISTER_KERNEL(kGatherPack, kAvx2, gather_pack_avx2);
+}
+
+}  // namespace kestrel::mat::kernels

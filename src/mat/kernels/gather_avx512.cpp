@@ -1,0 +1,43 @@
+// AVX-512 gather-pack: out[i] = x[idx[i]], 8 doubles per step (Kestrel
+// Slipstream ghost pack). The main loop is one 256-bit index load + one
+// vgatherdpd + one 512-bit store; the remainder reuses the same gather
+// under an edge mask (paper section 3's remainder-handling idiom) instead
+// of falling back to a scalar tail.
+
+#include <immintrin.h>
+
+#include "mat/kernels/registration.hpp"
+#include "simd/dispatch.hpp"
+
+namespace kestrel::mat::kernels {
+
+namespace {
+
+void gather_pack_avx512(const Scalar* x, const Index* idx, Index n,
+                        Scalar* out) {
+  Index i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i vidx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + i));
+    const __m512d vals = _mm512_i32gather_pd(vidx, x, sizeof(Scalar));
+    _mm512_storeu_pd(out + i, vals);
+  }
+  const Index rem = n - i;
+  if (rem > 0) {
+    const __mmask8 mask = static_cast<__mmask8>((1u << rem) - 1u);
+    // Masked index load keeps the gather from dereferencing x at garbage
+    // positions for the dead lanes.
+    const __m256i vidx = _mm256_maskz_loadu_epi32(mask, idx + i);
+    const __m512d vals = _mm512_mask_i32gather_pd(_mm512_setzero_pd(), mask,
+                                                  vidx, x, sizeof(Scalar));
+    _mm512_mask_storeu_pd(out + i, mask, vals);
+  }
+}
+
+}  // namespace
+
+void register_gather_avx512() {
+  KESTREL_REGISTER_KERNEL(kGatherPack, kAvx512, gather_pack_avx512);
+}
+
+}  // namespace kestrel::mat::kernels

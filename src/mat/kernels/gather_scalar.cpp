@@ -1,0 +1,25 @@
+// Scalar gather-pack: out[i] = x[idx[i]] (Kestrel Slipstream ghost pack).
+// The baseline the vector tiers are measured against, and the mandatory
+// fallback every Op must have (tools/kestrel_lint.py kernel-op-scalar rule).
+
+#include "mat/kernels/registration.hpp"
+#include "simd/dispatch.hpp"
+
+namespace kestrel::mat::kernels {
+
+namespace {
+
+void gather_pack_scalar(const Scalar* x, const Index* idx, Index n,
+                        Scalar* out) {
+  for (Index i = 0; i < n; ++i) {
+    out[i] = x[idx[i]];
+  }
+}
+
+}  // namespace
+
+void register_gather_scalar() {
+  KESTREL_REGISTER_KERNEL(kGatherPack, kScalar, gather_pack_scalar);
+}
+
+}  // namespace kestrel::mat::kernels

@@ -27,7 +27,10 @@
   X(bcsr, avx2)                 \
   X(talon, scalar)              \
   X(talon, avx2)                \
-  X(talon, avx512)
+  X(talon, avx512)              \
+  X(gather, scalar)             \
+  X(gather, avx2)               \
+  X(gather, avx512)
 // clang-format on
 
 namespace kestrel::mat::kernels {

@@ -26,6 +26,14 @@ const char* fabric_event_name(FabricEventKind kind) {
       return "allreduce";
     case FabricEventKind::kAllgatherv:
       return "allgatherv";
+    case FabricEventKind::kChannelOpen:
+      return "channel-open";
+    case FabricEventKind::kChannelArm:
+      return "channel-arm";
+    case FabricEventKind::kChannelSend:
+      return "channel-send";
+    case FabricEventKind::kChannelComplete:
+      return "channel-complete";
     case FabricEventKind::kRankExit:
       return "rank-exit";
   }
@@ -53,8 +61,19 @@ std::string FabricChecker::trace_locked(std::size_t max_events) const {
     const FabricEvent& e = events_[i];
     os << "\n  rank " << e.rank << " #" << e.seq << " "
        << fabric_event_name(e.kind);
+    if (e.kind == FabricEventKind::kChannelOpen) {
+      os << " nsend=" << e.peer << " nrecv=" << e.tag;
+      continue;
+    }
+    if (e.kind == FabricEventKind::kChannelArm) {
+      os << " nrecv=" << e.tag;
+      continue;
+    }
     if (e.peer >= 0) {
-      os << (e.kind == FabricEventKind::kIsend ? " dest=" : " source=")
+      os << ((e.kind == FabricEventKind::kIsend ||
+              e.kind == FabricEventKind::kChannelSend)
+                 ? " dest="
+                 : " source=")
          << e.peer;
     }
     if (e.tag >= 0) os << " tag=" << e.tag;
@@ -112,6 +131,46 @@ void FabricChecker::on_recv(int rank, int source, int tag) {
   record(FabricEventKind::kRecv, rank, source, tag);
 }
 
+void FabricChecker::on_channel_open(int rank, int nsend, int nrecv) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // peer/tag carry the channel counts so the trace shows exchange shapes.
+  record(FabricEventKind::kChannelOpen, rank, nsend, nrecv);
+}
+
+void FabricChecker::on_channel_arm(int rank, int nrecv) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record(FabricEventKind::kChannelArm, rank, -1, nrecv);
+  RankState& rs = ranks_[static_cast<std::size_t>(rank)];
+  if (rs.pending_completions != 0) {
+    std::ostringstream os;
+    os << "rank " << rank << " re-armed a persistent exchange with "
+       << rs.pending_completions
+       << " undrained receive(s) from the previous round — a sender could "
+          "overwrite ghost data the rank has not consumed yet";
+    fail(os.str());
+  }
+  rs.pending_completions = static_cast<std::uint64_t>(nrecv);
+}
+
+void FabricChecker::on_channel_send(int rank, int dest) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record(FabricEventKind::kChannelSend, rank, dest, -1);
+}
+
+void FabricChecker::on_channel_complete(int rank, int source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record(FabricEventKind::kChannelComplete, rank, source, -1);
+  RankState& rs = ranks_[static_cast<std::size_t>(rank)];
+  if (rs.pending_completions == 0) {
+    std::ostringstream os;
+    os << "rank " << rank << " completed a persistent receive (source="
+       << source << ") with no armed round — wait_any called more times "
+          "than receives were posted";
+    fail(os.str());
+  }
+  --rs.pending_completions;
+}
+
 void FabricChecker::on_collective(int rank, FabricEventKind kind) {
   std::lock_guard<std::mutex> lock(mu_);
   record(kind, rank, -1, -1);
@@ -137,7 +196,15 @@ void FabricChecker::on_collective(int rank, FabricEventKind kind) {
 void FabricChecker::on_rank_exit(int rank) {
   std::lock_guard<std::mutex> lock(mu_);
   record(FabricEventKind::kRankExit, rank, -1, -1);
-  const auto& pending = ranks_[static_cast<std::size_t>(rank)].pending;
+  const RankState& rs = ranks_[static_cast<std::size_t>(rank)];
+  if (rs.pending_completions != 0) {
+    std::ostringstream os;
+    os << "rank " << rank << " exited Fabric::run with "
+       << rs.pending_completions
+       << " armed persistent receive(s) never completed";
+    fail(os.str());
+  }
+  const auto& pending = rs.pending;
   if (pending.empty()) return;
   std::ostringstream os;
   os << "rank " << rank << " exited Fabric::run with " << pending.size()

@@ -16,6 +16,11 @@
 //   * double-wait: the same Request (or a copy of it) waited on twice;
 //   * un-waited requests: a rank returns from Fabric::run with posted
 //     receives it never waited on — a silently dropped message;
+//   * persistent-channel misuse (Kestrel Slipstream): re-arming an exchange
+//     whose previous round was not fully drained, completing more receives
+//     than were armed, or exiting Fabric::run with an armed round still
+//     undrained — each of which would mean a ghost buffer read or written
+//     at the wrong time;
 //   * lost wakeups / deadlock: a rank blocked in a matching-receive past the
 //     hang timeout (see FabricOptions::hang_timeout_s in comm.hpp).
 //
@@ -39,6 +44,10 @@ enum class FabricEventKind : int {
   kBarrier,
   kAllreduce,
   kAllgatherv,
+  kChannelOpen,
+  kChannelArm,
+  kChannelSend,
+  kChannelComplete,
   kRankExit,
 };
 
@@ -71,6 +80,17 @@ class FabricChecker {
                bool request_done);
   void on_recv(int rank, int source, int tag);
 
+  // ---- persistent channels (Kestrel Slipstream) ------------------------
+  /// One endpoint registered `nsend` send and `nrecv` receive channels.
+  void on_channel_open(int rank, int nsend, int nrecv);
+  /// A receiver re-armed its exchange (`nrecv` receives posted). Fails if
+  /// the previous round still has undrained completions.
+  void on_channel_arm(int rank, int nrecv);
+  void on_channel_send(int rank, int dest);
+  /// A wait_any completed one receive from `source`. Fails if nothing is
+  /// armed (completion without a matching arm).
+  void on_channel_complete(int rank, int source);
+
   // ---- collectives -----------------------------------------------------
   /// `kind` must be kBarrier, kAllreduce or kAllgatherv. Verifies that all
   /// ranks run the same collective at the same per-rank collective round.
@@ -94,6 +114,8 @@ class FabricChecker {
     std::uint64_t next_seq = 0;
     std::uint64_t collective_round = 0;
     std::vector<PendingRecv> pending;
+    /// Armed persistent receives not yet completed by wait_any this round.
+    std::uint64_t pending_completions = 0;
   };
 
   // Callers must hold mu_.

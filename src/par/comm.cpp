@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <sstream>
 #include <thread>
@@ -54,6 +55,22 @@ std::string take_context(int source, int tag) {
   return os.str();
 }
 
+/// Bounded cooperative spin before parking on a persistent channel. The
+/// fabric is oversubscribed by design (ranks are threads, usually more of
+/// them than cores), so sched_yield hands the core straight to a runnable
+/// peer — which typically arms or delivers within a few yields — whereas
+/// parking costs two futex syscalls here plus a third in the peer's notify.
+/// Bounded so a genuinely slow peer still puts this rank properly to sleep.
+template <class Pred>
+bool spin_before_park(const Pred& ready) {
+  constexpr int kSpinYields = 32;
+  for (int i = 0; i < kSpinYields; ++i) {
+    if (ready()) return true;
+    std::this_thread::yield();
+  }
+  return ready();
+}
+
 bool env_flag(const char* name, bool fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
@@ -61,6 +78,34 @@ bool env_flag(const char* name, bool fallback) {
 }
 
 }  // namespace
+
+/// One persistent SPSC channel (Kestrel Slipstream). The receiver owns
+/// `dest`/`recv_count` (registered once at open); the armed/delivered
+/// counter pair is the entire steady-state protocol:
+///
+///   receiver arm round k:   armed.store(k)        (dest writable)
+///   sender   send round k:  wait armed >= k; memcpy(dest, packed, ...);
+///                           delivered.store(k)    (dest readable)
+///   receiver wait_any:      sees delivered >= k   (data already in place)
+///
+/// Both counters are seq_cst because they each participate in a Dekker-style
+/// flag handshake with a parked-waiter flag (sender_parked here, the
+/// receiver's Doorbell::parked in Fabric): the writer bumps its counter and
+/// then checks the peer's parked flag, the waiter raises its flag and then
+/// re-checks the counter, and seq_cst is what forbids both sides reading
+/// stale values at once (a lost wakeup). The mutex/condvar is touched only
+/// when a side actually has to park — the fast path is two atomic ops.
+struct GhostChannel {
+  int src = -1;
+  int dst = -1;
+  Scalar* dest = nullptr;  ///< receiver-registered in-place slice
+  Index recv_count = 0;
+  std::atomic<std::uint64_t> armed{0};
+  std::atomic<std::uint64_t> delivered{0};
+  std::atomic<int> sender_parked{0};
+  std::mutex mu;  ///< parking only; never taken on the fast path
+  std::condition_variable cv;
+};
 
 FabricOptions::FabricOptions() {
 #if defined(KESTREL_FABRIC_CHECK_DEFAULT)
@@ -97,6 +142,17 @@ void Comm::isend(int dest, int tag, const Scalar* data, std::size_t count) {
                    std::vector<Scalar>(data, data + count));
 }
 
+void Comm::isend_indices(int dest, int tag, const std::vector<Index>& data) {
+  KESTREL_CHECK(dest >= 0 && dest < size_,
+                "isend_indices: bad destination rank");
+  KESTREL_CHECK(tag >= 0, "isend_indices: user tags must be non-negative");
+  if (FabricChecker* chk = checker()) chk->on_isend(rank_, dest, tag);
+  if (prof::enabled()) {
+    prof::current().message(1, data.size() * sizeof(Index));
+  }
+  fabric_->deliver(dest, rank_, tag, data);
+}
+
 Request Comm::irecv(int source, int tag, std::vector<Scalar>* sink) {
   KESTREL_CHECK(source >= 0 && source < size_, "irecv: bad source rank");
   KESTREL_CHECK(tag >= 0, "irecv: user tags must be non-negative");
@@ -128,6 +184,13 @@ std::vector<Scalar> Comm::recv(int source, int tag) {
   return fabric_->take(rank_, source, tag);
 }
 
+std::vector<Index> Comm::recv_indices(int source, int tag) {
+  KESTREL_CHECK(source >= 0 && source < size_,
+                "recv_indices: bad source rank");
+  if (FabricChecker* chk = checker()) chk->on_recv(rank_, source, tag);
+  return fabric_->take_indices(rank_, source, tag);
+}
+
 Scalar Comm::allreduce(Scalar value, ReduceOp op) {
   if (FabricChecker* chk = checker()) {
     chk->on_collective(rank_, FabricEventKind::kAllreduce);
@@ -146,11 +209,11 @@ Scalar Comm::allreduce_impl(Scalar value, ReduceOp op) {
       acc = reduce2(acc, fabric_->take(0, r, kTagReduceUp)[0], op);
     }
     for (int r = 1; r < size_; ++r) {
-      fabric_->deliver(r, 0, kTagReduceDown, {acc});
+      fabric_->deliver(r, 0, kTagReduceDown, std::vector<Scalar>{acc});
     }
     return acc;
   }
-  fabric_->deliver(0, rank_, kTagReduceUp, {value});
+  fabric_->deliver(0, rank_, kTagReduceUp, std::vector<Scalar>{value});
   return fabric_->take(rank_, 0, kTagReduceDown)[0];
 }
 
@@ -173,11 +236,8 @@ std::vector<Scalar> Comm::allgatherv_impl(const std::vector<Scalar>& local) {
   if (size_ == 1) return local;
   if (rank_ == 0) {
     std::vector<Scalar> all = local;
-    std::vector<Scalar> sizes(static_cast<std::size_t>(size_), 0.0);
-    sizes[0] = static_cast<Scalar>(local.size());
     for (int r = 1; r < size_; ++r) {
       std::vector<Scalar> part = fabric_->take(0, r, kTagGatherUp);
-      sizes[static_cast<std::size_t>(r)] = static_cast<Scalar>(part.size());
       all.insert(all.end(), part.begin(), part.end());
     }
     for (int r = 1; r < size_; ++r) {
@@ -194,12 +254,26 @@ std::vector<Index> Comm::allgatherv(const std::vector<Index>& local) {
     chk->on_collective(rank_, FabricEventKind::kAllgatherv);
   }
   if (prof::enabled()) prof::current().reduction();
-  std::vector<Scalar> as_scalar(local.begin(), local.end());
-  std::vector<Scalar> all = allgatherv_impl(as_scalar);
-  std::vector<Index> out(all.size());
-  std::transform(all.begin(), all.end(), out.begin(),
-                 [](Scalar v) { return static_cast<Index>(v); });
-  return out;
+  return allgatherv_impl(local);
+}
+
+std::vector<Index> Comm::allgatherv_impl(const std::vector<Index>& local) {
+  // Typed end to end: indices never round-trip through Scalar, so values
+  // above 2^53 survive and the payload is half the bytes.
+  if (size_ == 1) return local;
+  if (rank_ == 0) {
+    std::vector<Index> all = local;
+    for (int r = 1; r < size_; ++r) {
+      std::vector<Index> part = fabric_->take_indices(0, r, kTagGatherUp);
+      all.insert(all.end(), part.begin(), part.end());
+    }
+    for (int r = 1; r < size_; ++r) {
+      fabric_->deliver(r, 0, kTagGatherDown, all);
+    }
+    return all;
+  }
+  fabric_->deliver(0, rank_, kTagGatherUp, local);
+  return fabric_->take_indices(rank_, 0, kTagGatherDown);
 }
 
 void Comm::barrier() {
@@ -210,14 +284,259 @@ void Comm::barrier() {
   (void)allreduce_impl(Scalar{0}, ReduceOp::kSum);
 }
 
+const FabricStats& Comm::stats() const {
+  return *fabric_->stats_[static_cast<std::size_t>(rank_)];
+}
+
+void Comm::add_payload_copy(std::uint64_t n) {
+  fabric_->stats_[static_cast<std::size_t>(rank_)]->payload_copies += n;
+}
+
+void Comm::publish_stats_metrics() {
+  const FabricStats& st = stats();
+  const struct {
+    const char* name;
+    std::uint64_t value;
+  } counters[] = {
+      {"fabric/mailbox_msgs", st.mailbox_msgs},
+      {"fabric/mailbox_allocs", st.mailbox_allocs},
+      {"fabric/payload_copies", st.payload_copies},
+      {"fabric/channel_sends", st.channel_sends},
+      {"fabric/send_parks", st.send_parks},
+      {"fabric/wait_any_calls", st.wait_any_calls},
+      {"fabric/wait_any_wakeups", st.wait_any_wakeups},
+  };
+  for (const auto& c : counters) {
+    // Collective: every rank contributes and every rank learns the total,
+    // so rank 0's profiler (the one export_all serializes) has them all.
+    const std::int64_t total =
+        allreduce(static_cast<std::int64_t>(c.value), ReduceOp::kSum);
+    if (prof::enabled()) {
+      prof::current().set_metric(c.name, static_cast<double>(total));
+    }
+  }
+}
+
+// ---- PersistentExchange ----------------------------------------------
+
+std::shared_ptr<PersistentExchange> Comm::open_exchange(
+    const std::vector<GhostSendSpec>& sends,
+    const std::vector<GhostRecvSpec>& recvs) {
+  std::shared_ptr<PersistentExchange> ex(
+      new PersistentExchange(fabric_, rank_));
+  ex->sends_.reserve(sends.size());
+  for (const GhostSendSpec& s : sends) {
+    KESTREL_CHECK(s.peer >= 0 && s.peer < size_ && s.peer != rank_,
+                  "open_exchange: bad send peer");
+    KESTREL_CHECK(s.count > 0, "open_exchange: empty send channel");
+    GhostChannel* ch = fabric_->open_channel_endpoint(rank_, s.peer, true);
+    ex->sends_.push_back(
+        PersistentExchange::SendSlot{ch, s.peer, s.count, 0});
+  }
+  ex->recvs_.reserve(recvs.size());
+  for (const GhostRecvSpec& r : recvs) {
+    KESTREL_CHECK(r.peer >= 0 && r.peer < size_ && r.peer != rank_,
+                  "open_exchange: bad recv peer");
+    KESTREL_CHECK(r.dest != nullptr && r.count > 0,
+                  "open_exchange: recv channel needs a destination slice");
+    GhostChannel* ch = fabric_->open_channel_endpoint(r.peer, rank_, false);
+    // Published to the sender by the first arm(): the sender reads these
+    // only after observing armed >= 1.
+    ch->dest = r.dest;
+    ch->recv_count = r.count;
+    ex->recvs_.push_back(
+        PersistentExchange::RecvSlot{ch, r.peer, r.count, false});
+  }
+  if (FabricChecker* chk = checker()) {
+    chk->on_channel_open(rank_, ex->nsend(), ex->nrecv());
+  }
+  return ex;
+}
+
+PersistentExchange::PersistentExchange(Fabric* fabric, int rank)
+    : fabric_(fabric), rank_(rank) {}
+
+void PersistentExchange::arm() {
+  KESTREL_CHECK(round_ == 0 || completed_ == nrecv(),
+                "arm: previous exchange round not fully drained");
+  ++round_;
+  completed_ = 0;
+  if (FabricChecker* chk = fabric_->checker_.get()) {
+    chk->on_channel_arm(rank_, nrecv());
+  }
+  for (RecvSlot& r : recvs_) {
+    r.done = false;
+    GhostChannel& ch = *r.ch;
+    ch.armed.store(round_, std::memory_order_seq_cst);
+    if (ch.sender_parked.load(std::memory_order_seq_cst) != 0) {
+      // Empty critical section: guarantees the parked sender is either
+      // fully asleep (notify wakes it) or has not yet evaluated its wait
+      // predicate under the lock (it will see the new armed value).
+      { std::lock_guard<std::mutex> lock(ch.mu); }
+      ch.cv.notify_all();
+    }
+  }
+}
+
+void PersistentExchange::send(int send_idx, const Scalar* packed,
+                              Index count) {
+  KESTREL_CHECK(send_idx >= 0 && send_idx < nsend(),
+                "send: bad channel index");
+  SendSlot& s = sends_[static_cast<std::size_t>(send_idx)];
+  KESTREL_CHECK(count == s.count,
+                "send: payload size does not match the registered plan");
+  if (FabricChecker* chk = fabric_->checker_.get()) {
+    chk->on_channel_send(rank_, s.peer);
+  }
+  FabricStats& st = *fabric_->stats_[static_cast<std::size_t>(rank_)];
+  GhostChannel& ch = *s.ch;
+  const std::uint64_t k = ++s.seq;
+  if (ch.armed.load(std::memory_order_seq_cst) < k &&
+      !spin_before_park([&] {
+        return ch.armed.load(std::memory_order_seq_cst) >= k ||
+               fabric_->aborted_.load(std::memory_order_relaxed);
+      })) {
+    // Slow path: the receiver has not re-armed this round yet (we are one
+    // full exchange ahead of it). Park on the channel condvar.
+    st.send_parks++;
+    ch.sender_parked.fetch_add(1, std::memory_order_seq_cst);
+    {
+      std::unique_lock<std::mutex> lock(ch.mu);
+      const auto ready = [&] {
+        return fabric_->aborted_.load(std::memory_order_relaxed) ||
+               ch.armed.load(std::memory_order_seq_cst) >= k;
+      };
+      if (fabric_->checker_ != nullptr && fabric_->opts_.hang_timeout_s > 0) {
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(fabric_->opts_.hang_timeout_s));
+        if (!ch.cv.wait_until(lock, deadline, ready)) {
+          ch.sender_parked.fetch_sub(1, std::memory_order_seq_cst);
+          lock.unlock();
+          std::ostringstream os;
+          os << "persistent send(dest=" << s.peer
+             << "): peer never re-armed the channel";
+          fabric_->hang_failure(rank_, os.str());
+        }
+      } else {
+        ch.cv.wait(lock, ready);
+      }
+    }
+    ch.sender_parked.fetch_sub(1, std::memory_order_seq_cst);
+    if (fabric_->aborted_.load(std::memory_order_relaxed) &&
+        ch.armed.load(std::memory_order_seq_cst) < k) {
+      KESTREL_FAIL("fabric aborted: a peer rank threw an exception");
+    }
+  }
+  // armed >= k (seq_cst) also publishes dest/recv_count from the receiver's
+  // open_exchange, so this cross-thread validation is race-free.
+  KESTREL_CHECK(count == ch.recv_count,
+                "send: sender plan count does not match receiver plan count");
+  std::memcpy(ch.dest, packed, static_cast<std::size_t>(count) *
+                                   sizeof(Scalar));
+  st.channel_sends++;
+  st.payload_copies++;
+  if (prof::enabled()) {
+    prof::current().message(
+        1, static_cast<std::size_t>(count) * sizeof(Scalar));
+  }
+  ch.delivered.store(k, std::memory_order_seq_cst);
+  Fabric::Doorbell& bell =
+      *fabric_->doorbells_[static_cast<std::size_t>(ch.dst)];
+  if (bell.parked.load(std::memory_order_seq_cst) > 0) {
+    { std::lock_guard<std::mutex> lock(bell.mu); }
+    bell.cv.notify_all();
+  }
+}
+
+int PersistentExchange::wait_any() {
+  KESTREL_CHECK(round_ > 0, "wait_any: exchange was never armed");
+  KESTREL_CHECK(completed_ < nrecv(),
+                "wait_any: every receive of this round already completed");
+  FabricStats& st = *fabric_->stats_[static_cast<std::size_t>(rank_)];
+  st.wait_any_calls++;
+  const auto scan = [&]() -> int {
+    for (int i = 0; i < nrecv(); ++i) {
+      RecvSlot& r = recvs_[static_cast<std::size_t>(i)];
+      if (!r.done &&
+          r.ch->delivered.load(std::memory_order_seq_cst) >= round_) {
+        return i;
+      }
+    }
+    return -1;
+  };
+  int idx = scan();
+  if (idx < 0) {
+    spin_before_park([&] {
+      idx = scan();
+      return idx >= 0 ||
+             fabric_->aborted_.load(std::memory_order_relaxed);
+    });
+  }
+  if (idx < 0 && fabric_->aborted_.load(std::memory_order_relaxed)) {
+    KESTREL_FAIL("fabric aborted: a peer rank threw an exception");
+  }
+  if (idx < 0) {
+    // Park on this rank's doorbell. The parked counter is the Dekker flag
+    // senders check after bumping delivered; the re-scan inside the wait
+    // predicate (under the doorbell mutex) closes the remaining window.
+    st.wait_any_wakeups++;
+    Fabric::Doorbell& bell =
+        *fabric_->doorbells_[static_cast<std::size_t>(rank_)];
+    bell.parked.fetch_add(1, std::memory_order_seq_cst);
+    {
+      std::unique_lock<std::mutex> lock(bell.mu);
+      const auto ready = [&] {
+        if (fabric_->aborted_.load(std::memory_order_relaxed)) return true;
+        idx = scan();
+        return idx >= 0;
+      };
+      if (fabric_->checker_ != nullptr && fabric_->opts_.hang_timeout_s > 0) {
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(fabric_->opts_.hang_timeout_s));
+        if (!bell.cv.wait_until(lock, deadline, ready)) {
+          bell.parked.fetch_sub(1, std::memory_order_seq_cst);
+          lock.unlock();
+          fabric_->hang_failure(rank_,
+                                "persistent wait_any: no channel delivered");
+        }
+      } else {
+        bell.cv.wait(lock, ready);
+      }
+    }
+    bell.parked.fetch_sub(1, std::memory_order_seq_cst);
+    if (idx < 0) {
+      KESTREL_FAIL("fabric aborted: a peer rank threw an exception");
+    }
+  }
+  RecvSlot& r = recvs_[static_cast<std::size_t>(idx)];
+  r.done = true;
+  ++completed_;
+  if (FabricChecker* chk = fabric_->checker_.get()) {
+    chk->on_channel_complete(rank_, r.peer);
+  }
+  return idx;
+}
+
+void PersistentExchange::wait_all() {
+  while (completed_ < nrecv()) (void)wait_any();
+}
+
 // ---- Fabric ----------------------------------------------------------
 
 Fabric::Fabric(int nranks, const FabricOptions& opts)
     : nranks_(nranks), opts_(opts) {
   if (opts_.check) checker_ = std::make_unique<FabricChecker>(nranks);
   mailboxes_.reserve(static_cast<std::size_t>(nranks));
+  doorbells_.reserve(static_cast<std::size_t>(nranks));
+  stats_.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
+    doorbells_.push_back(std::make_unique<Doorbell>());
+    stats_.push_back(std::make_unique<FabricStats>());
   }
 }
 
@@ -225,6 +544,12 @@ Fabric::~Fabric() = default;
 
 void Fabric::deliver(int dest, int source, int tag,
                      std::vector<Scalar> payload) {
+  // The payload vector was allocated (and filled by copy) by the sending
+  // rank just before this call; count it against that rank.
+  FabricStats& st = *stats_[static_cast<std::size_t>(source)];
+  st.mailbox_msgs++;
+  st.mailbox_allocs++;
+  st.payload_copies++;
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dest)];
   {
     std::lock_guard<std::mutex> lock(box.mu);
@@ -233,14 +558,31 @@ void Fabric::deliver(int dest, int source, int tag,
   box.cv.notify_all();
 }
 
-std::vector<Scalar> Fabric::take(int self, int source, int tag) {
+void Fabric::deliver(int dest, int source, int tag,
+                     std::vector<Index> payload) {
+  FabricStats& st = *stats_[static_cast<std::size_t>(source)];
+  st.mailbox_msgs++;
+  st.mailbox_allocs++;
+  st.payload_copies++;
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.iqueue[{source, tag}].push_back(std::move(payload));
+  }
+  box.cv.notify_all();
+}
+
+template <class T>
+std::vector<T> Fabric::take_from(
+    std::map<std::pair<int, int>, std::deque<std::vector<T>>> Mailbox::*q,
+    int self, int source, int tag) {
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(self)];
   std::unique_lock<std::mutex> lock(box.mu);
   const auto key = std::make_pair(source, tag);
   const auto ready = [&] {
     if (aborted_.load(std::memory_order_relaxed)) return true;
-    auto it = box.queue.find(key);
-    return it != box.queue.end() && !it->second.empty();
+    auto it = (box.*q).find(key);
+    return it != (box.*q).end() && !it->second.empty();
   };
   if (checker_ != nullptr && opts_.hang_timeout_s > 0) {
     // Bounded wait: a lost wakeup or a deadlocked peer would otherwise hang
@@ -252,24 +594,51 @@ std::vector<Scalar> Fabric::take(int self, int source, int tag) {
             std::chrono::duration<double>(opts_.hang_timeout_s));
     if (!box.cv.wait_until(lock, deadline, ready)) {
       lock.unlock();
-      abort_all();
-      std::ostringstream os;
-      os << "fabric checker: possible lost wakeup or deadlock: rank " << self
-         << " blocked in " << take_context(source, tag) << " for more than "
-         << opts_.hang_timeout_s << "s\n"
-         << checker_->trace(16);
-      KESTREL_FAIL(os.str());
+      hang_failure(self, take_context(source, tag));
     }
   } else {
     box.cv.wait(lock, ready);
   }
-  auto it = box.queue.find(key);
-  if (it == box.queue.end() || it->second.empty()) {
+  auto it = (box.*q).find(key);
+  if (it == (box.*q).end() || it->second.empty()) {
     KESTREL_FAIL("fabric aborted: a peer rank threw an exception");
   }
-  std::vector<Scalar> payload = std::move(it->second.front());
+  std::vector<T> payload = std::move(it->second.front());
   it->second.pop_front();
   return payload;
+}
+
+std::vector<Scalar> Fabric::take(int self, int source, int tag) {
+  return take_from(&Mailbox::queue, self, source, tag);
+}
+
+std::vector<Index> Fabric::take_indices(int self, int source, int tag) {
+  return take_from(&Mailbox::iqueue, self, source, tag);
+}
+
+GhostChannel* Fabric::open_channel_endpoint(int src, int dst,
+                                            bool sender_side) {
+  std::lock_guard<std::mutex> lock(channels_mu_);
+  ChannelSlots& slots = channels_[{src, dst}];
+  std::size_t& next =
+      sender_side ? slots.opened_by_sender : slots.opened_by_receiver;
+  if (next >= slots.channels.size()) {
+    auto ch = std::make_unique<GhostChannel>();
+    ch->src = src;
+    ch->dst = dst;
+    slots.channels.push_back(std::move(ch));
+  }
+  return slots.channels[next++].get();
+}
+
+void Fabric::hang_failure(int rank, const std::string& what) {
+  abort_all();
+  std::ostringstream os;
+  os << "fabric checker: possible lost wakeup or deadlock: rank " << rank
+     << " blocked in " << what << " for more than " << opts_.hang_timeout_s
+     << "s";
+  if (checker_ != nullptr) os << "\n" << checker_->trace(16);
+  KESTREL_FAIL(os.str());
 }
 
 void Fabric::abort_all() {
@@ -277,6 +646,19 @@ void Fabric::abort_all() {
   for (auto& box : mailboxes_) {
     std::lock_guard<std::mutex> lock(box->mu);
     box->cv.notify_all();
+  }
+  for (auto& bell : doorbells_) {
+    { std::lock_guard<std::mutex> lock(bell->mu); }
+    bell->cv.notify_all();
+  }
+  // Wake parked channel senders too: their receiver may be the rank that
+  // just failed.
+  std::lock_guard<std::mutex> reg_lock(channels_mu_);
+  for (auto& [key, slots] : channels_) {
+    for (auto& ch : slots.channels) {
+      { std::lock_guard<std::mutex> lock(ch->mu); }
+      ch->cv.notify_all();
+    }
   }
 }
 

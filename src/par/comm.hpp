@@ -9,10 +9,21 @@
 // Krylov solvers need. Semantics follow MPI: sends are eager and
 // nonblocking, receives match on (source, tag) in posting order.
 //
+// Kestrel Slipstream adds a persistent-communication fast path modeled on
+// MPI_Send_init/MPI_Recv_init + MPI_Start/MPI_Waitany: both endpoints of a
+// fixed ghost-exchange pattern register once (Comm::open_exchange), the
+// receiver pins an in-place destination slice per peer, and steady-state
+// traffic is one memcpy from the sender's pack buffer straight into that
+// slice — no heap allocation, no mailbox map, no intermediate payload
+// vector. Synchronization is lock-light: a seq_cst armed/delivered counter
+// pair per channel carries the fast path; mutexes and condition variables
+// are touched only to park when a rank genuinely has to wait.
+//
 // Correctness instrumentation (Kestrel Sentry): debug builds, sanitizer
 // presets and KESTREL_FABRIC_CHECK=1 attach a FabricChecker (par/checker.hpp)
 // that records a happens-before event trace and fails loudly on mismatched
-// collectives, double-wait, un-waited requests and fabric hangs.
+// collectives, double-wait, un-waited requests, undrained persistent
+// channels and fabric hangs.
 
 #include <atomic>
 #include <condition_variable>
@@ -30,6 +41,7 @@ namespace kestrel::par {
 
 class Fabric;
 class FabricChecker;
+struct GhostChannel;
 
 /// Handle for a pending nonblocking receive. Waiting on the same request
 /// twice (directly or via a copy) is a contract violation: it throws
@@ -45,6 +57,99 @@ struct Request {
   std::uint64_t id = 0;
 };
 
+/// Per-rank fabric counters (Kestrel Slipstream observability). Each rank
+/// thread is the only writer of its own cell, so the fields are plain
+/// integers; read them through Comm::stats() on the owning rank.
+struct FabricStats {
+  std::uint64_t mailbox_msgs = 0;     ///< messages sent through the mailbox
+  std::uint64_t mailbox_allocs = 0;   ///< payload vectors allocated (mailbox)
+  std::uint64_t payload_copies = 0;   ///< payload copies, all paths
+  std::uint64_t channel_sends = 0;    ///< persistent-channel deliveries
+  std::uint64_t send_parks = 0;       ///< sender blocked awaiting a re-arm
+  std::uint64_t wait_any_calls = 0;   ///< PersistentExchange::wait_any calls
+  std::uint64_t wait_any_wakeups = 0; ///< doorbell parks/wakeups in wait_any
+};
+
+/// One sender-side persistent channel: `count` scalars per round to `peer`.
+struct GhostSendSpec {
+  int peer = -1;
+  Index count = 0;
+};
+
+/// One receiver-side persistent channel: `count` scalars per round from
+/// `peer`, delivered in place into [dest, dest + count). `dest` must stay
+/// valid for the lifetime of the exchange.
+struct GhostRecvSpec {
+  int peer = -1;
+  Scalar* dest = nullptr;
+  Index count = 0;
+};
+
+/// Persistent ghost-exchange channels (Kestrel Slipstream): the fabric
+/// analogue of MPI_Send_init/MPI_Recv_init + MPI_Start/MPI_Waitany.
+///
+/// Lifecycle per round, on the receiver side:
+///   arm()          re-posts every receive (marks the destination slices
+///                  writable). Requires the previous round fully drained.
+///   wait_any()     blocks until SOME armed channel has been delivered and
+///                  returns its recv-spec index; each channel completes
+///                  exactly once per round, in arrival order, with the data
+///                  already in place at its registered destination.
+/// and on the sender side:
+///   send(i, p, n)  one-copy delivery of n packed scalars into peer i's
+///                  registered slice. Blocks (bounded-skew rendezvous) only
+///                  until the peer has re-armed the channel, i.e. senders
+///                  can run at most one exchange round ahead.
+///
+/// Matching: the k-th channel opened from rank S to rank R on the send side
+/// pairs with the k-th channel opened from S on R's receive side. Exchange
+/// setup is collective in practice (ParMatrix construction), which makes
+/// this ordering deterministic.
+class PersistentExchange {
+ public:
+  PersistentExchange(const PersistentExchange&) = delete;
+  PersistentExchange& operator=(const PersistentExchange&) = delete;
+
+  int nsend() const { return static_cast<int>(sends_.size()); }
+  int nrecv() const { return static_cast<int>(recvs_.size()); }
+
+  /// Receiver: post (re-arm) every receive channel for a new round.
+  void arm();
+  /// Sender: deliver `count` scalars into the peer slice of send channel
+  /// `send_idx`. `count` must equal the registered plan count.
+  void send(int send_idx, const Scalar* packed, Index count);
+  /// Receiver: block until a newly delivered channel exists; returns its
+  /// index into the recv specs. Must be called exactly nrecv() times per
+  /// armed round.
+  int wait_any();
+  /// Receiver: drain every outstanding receive of the current round.
+  void wait_all();
+
+ private:
+  friend class Comm;
+  PersistentExchange(Fabric* fabric, int rank);
+
+  struct SendSlot {
+    GhostChannel* ch = nullptr;
+    int peer = -1;
+    Index count = 0;
+    std::uint64_t seq = 0;  ///< rounds sent so far on this channel
+  };
+  struct RecvSlot {
+    GhostChannel* ch = nullptr;
+    int peer = -1;
+    Index count = 0;
+    bool done = false;  ///< completed in the current round
+  };
+
+  Fabric* fabric_;
+  int rank_;
+  std::vector<SendSlot> sends_;
+  std::vector<RecvSlot> recvs_;
+  std::uint64_t round_ = 0;  ///< arm rounds so far (receiver side)
+  int completed_ = 0;        ///< receives completed in the current round
+};
+
 /// Per-rank communicator; valid only inside Fabric::run.
 class Comm {
  public:
@@ -55,6 +160,12 @@ class Comm {
   /// and the call returns immediately.
   void isend(int dest, int tag, const std::vector<Scalar>& data);
   void isend(int dest, int tag, const Scalar* data, std::size_t count);
+  /// Typed index message: global indices travel as Index, not round-tripped
+  /// through Scalar (which silently loses precision for indices >= 2^53 and
+  /// doubles the bandwidth). Index and Scalar payloads queue separately, so
+  /// a tag may carry only one payload type at a time. Named (rather than an
+  /// isend overload) so brace-initialized payloads stay unambiguous.
+  void isend_indices(int dest, int tag, const std::vector<Index>& data);
 
   /// Posts a receive; wait() blocks until a message from (source, tag)
   /// arrives and fills *sink. Every posted request must be waited on
@@ -64,6 +175,8 @@ class Comm {
 
   /// Blocking receive convenience.
   std::vector<Scalar> recv(int source, int tag);
+  /// Blocking receive of a typed index message (see isend overload above).
+  std::vector<Index> recv_indices(int source, int tag);
 
   enum class ReduceOp { kSum, kMax, kMin };
   Scalar allreduce(Scalar value, ReduceOp op = ReduceOp::kSum);
@@ -76,8 +189,27 @@ class Comm {
 
   void barrier();
 
+  /// Registers this rank's half of a persistent ghost exchange (see
+  /// PersistentExchange). Purely local: no synchronization with the peers
+  /// happens until the first arm()/send().
+  std::shared_ptr<PersistentExchange> open_exchange(
+      const std::vector<GhostSendSpec>& sends,
+      const std::vector<GhostRecvSpec>& recvs);
+
+  /// This rank's fabric counters (single-writer: this rank's thread).
+  const FabricStats& stats() const;
+  /// Caller-side payload copies that belong to the fabric story (e.g. the
+  /// mailbox ghost unpack in ParMatrix) so `payload_copies` counts every
+  /// copy a message payload experiences end to end.
+  void add_payload_copy(std::uint64_t n = 1);
+  /// Collective: sums every counter across ranks and records the totals as
+  /// `fabric/...` metrics on the current profiler, so -log_json dumps carry
+  /// the fabric's allocation/copy/wakeup behavior.
+  void publish_stats_metrics();
+
  private:
   friend class Fabric;
+  friend class PersistentExchange;
   Comm(Fabric* fabric, int rank, int size)
       : fabric_(fabric), rank_(rank), size_(size) {}
   /// Collective bodies without checker events; the public entry points
@@ -85,6 +217,7 @@ class Comm {
   /// order, not the implementation's message pattern.
   Scalar allreduce_impl(Scalar value, ReduceOp op);
   std::vector<Scalar> allgatherv_impl(const std::vector<Scalar>& local);
+  std::vector<Index> allgatherv_impl(const std::vector<Index>& local);
   FabricChecker* checker() const;
 
   Fabric* fabric_;
@@ -105,7 +238,7 @@ struct FabricOptions {
   double hang_timeout_s;
 };
 
-/// Owns the mailboxes and threads. Usage:
+/// Owns the mailboxes, persistent channels and threads. Usage:
 ///   Fabric::run(4, [](Comm& comm) { ... });
 class Fabric {
  public:
@@ -117,26 +250,60 @@ class Fabric {
 
  private:
   friend class Comm;
+  friend class PersistentExchange;
   Fabric(int nranks, const FabricOptions& opts);
   ~Fabric();
 
   struct Mailbox {
     std::mutex mu;
     std::condition_variable cv;
-    // (source, tag) -> FIFO of message payloads
+    // (source, tag) -> FIFO of message payloads, one queue per payload type
     std::map<std::pair<int, int>, std::deque<std::vector<Scalar>>> queue;
+    std::map<std::pair<int, int>, std::deque<std::vector<Index>>> iqueue;
+  };
+
+  /// Per-rank doorbell for PersistentExchange::wait_any: senders ring it
+  /// after bumping a channel's delivered counter, but only when the
+  /// receiver advertised it is parked (lock-light fast path).
+  struct Doorbell {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::atomic<int> parked{0};
+  };
+
+  /// Persistent channels between one ordered (src, dst) pair, in the order
+  /// they were opened. Each side claims slots independently; the slot is
+  /// created by whichever endpoint registers first.
+  struct ChannelSlots {
+    std::vector<std::unique_ptr<GhostChannel>> channels;
+    std::size_t opened_by_sender = 0;
+    std::size_t opened_by_receiver = 0;
   };
 
   void deliver(int dest, int source, int tag, std::vector<Scalar> payload);
+  void deliver(int dest, int source, int tag, std::vector<Index> payload);
   std::vector<Scalar> take(int self, int source, int tag);
+  std::vector<Index> take_indices(int self, int source, int tag);
+  template <class T>
+  std::vector<T> take_from(
+      std::map<std::pair<int, int>, std::deque<std::vector<T>>> Mailbox::*q,
+      int self, int source, int tag);
+  /// Claims the next channel slot for (src -> dst) on the given side,
+  /// creating the channel if this endpoint registers first.
+  GhostChannel* open_channel_endpoint(int src, int dst, bool sender_side);
   /// Wakes every blocked rank after a rank failed, so one rank's exception
   /// cannot deadlock the rest of the fabric.
   void abort_all();
+  [[noreturn]] void hang_failure(int rank, const std::string& what);
 
   int nranks_;
   FabricOptions opts_;
   std::unique_ptr<FabricChecker> checker_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<Doorbell>> doorbells_;
+  std::vector<std::unique_ptr<FabricStats>> stats_;
+  std::mutex channels_mu_;
+  std::map<std::pair<int, int>, ChannelSlots> channels_;
   std::atomic<bool> aborted_{false};
   std::atomic<int> first_failed_rank_{-1};
 };

@@ -9,7 +9,8 @@
 namespace kestrel::par {
 
 namespace {
-constexpr int kTagGhost = 1;  ///< x-entry exchange during SpMV
+constexpr int kTagGhost = 1;  ///< x-entry exchange during SpMV (mailbox path)
+constexpr int kTagPlan = 2;   ///< setup-time plan exchange (typed indices)
 }
 
 DiagFormat parse_diag_format(const std::string& name) {
@@ -185,28 +186,62 @@ ParMatrix::ParMatrix(const mat::Csr& local_rows, LayoutPtr layout,
   }
 
   // Every rank tells every other rank which entries it needs (possibly an
-  // empty list), so receives are fully deterministic.
+  // empty list), so receives are fully deterministic. The lists travel on
+  // the typed Index path: global indices never round-trip through Scalar
+  // (which would silently lose precision at 2^53 and double the bytes).
   for (int r = 0; r < comm.size(); ++r) {
     if (r == rank_) continue;
-    const auto& list = needed[static_cast<std::size_t>(r)];
-    std::vector<Scalar> payload(list.begin(), list.end());
-    comm.isend(r, kTagGhost, payload);
+    comm.isend_indices(r, kTagPlan, needed[static_cast<std::size_t>(r)]);
   }
   sends_.clear();
   for (int r = 0; r < comm.size(); ++r) {
     if (r == rank_) continue;
-    const std::vector<Scalar> wanted = comm.recv(r, kTagGhost);
+    const std::vector<Index> wanted = comm.recv_indices(r, kTagPlan);
     if (wanted.empty()) continue;
     SendPlan plan;
     plan.peer = r;
     plan.local_indices.reserve(wanted.size());
-    for (Scalar gs : wanted) {
-      const Index g = static_cast<Index>(gs);
+    for (Index g : wanted) {
       KESTREL_CHECK(g >= b && g < e, "peer requested a non-owned entry");
       plan.local_indices.push_back(g - b);
     }
     sends_.push_back(std::move(plan));
   }
+
+  // ---- Ghost exchange fast-path setup ---------------------------------
+  persistent_ghosts_ = opts.persistent_ghosts;
+  gather_fn_ =
+      simd::lookup_as<simd::GatherPackFn>(simd::Op::kGatherPack, opts.tier);
+  // One contiguous pack buffer, sized once: plan i owns the slice at
+  // send_offsets_[i], so neither transport reallocates mid-iteration.
+  send_offsets_.clear();
+  std::size_t pack_total = 0;
+  for (const SendPlan& plan : sends_) {
+    send_offsets_.push_back(pack_total);
+    pack_total += plan.local_indices.size();
+  }
+  packbuf_.assign(pack_total, Scalar{0});
+  // The persistent channels themselves open lazily at the first spmv (see
+  // ensure_exchange): registration needs this object's final ghost_
+  // address, and the constructor's matrix may still be moved/copied.
+}
+
+void ParMatrix::ensure_exchange(Comm& comm) const {
+  if (exchange_ != nullptr && exchange_ghost_base_ == ghost_.data()) return;
+  std::vector<GhostSendSpec> send_specs;
+  send_specs.reserve(sends_.size());
+  for (const SendPlan& plan : sends_) {
+    send_specs.push_back(
+        {plan.peer, static_cast<Index>(plan.local_indices.size())});
+  }
+  std::vector<GhostRecvSpec> recv_specs;
+  recv_specs.reserve(recvs_.size());
+  for (const RecvPlan& plan : recvs_) {
+    recv_specs.push_back(
+        {plan.peer, ghost_.data() + plan.ghost_offset, plan.count});
+  }
+  exchange_ = comm.open_exchange(send_specs, recv_specs);
+  exchange_ghost_base_ = ghost_.data();
 }
 
 ParMatrix ParMatrix::from_global(const mat::Csr& global, LayoutPtr layout,
@@ -252,18 +287,34 @@ void ParMatrix::spmv_local(const Scalar* x_local, Vector& y_local,
       2u * static_cast<std::uint64_t>(diag_->nnz() + offdiag_.nnz()),
       diag_->spmv_traffic_bytes() + offdiag_traffic);
 
+  const bool exchanging = !sends_.empty() || !recvs_.empty();
+  const bool persistent = persistent_ghosts_ && exchanging;
+  if (persistent) {
+    // (0) re-arm the persistent receive channels before anything else:
+    // arming first (and only then sending) is what makes the rendezvous
+    // deadlock-free — a peer parked in send() is waiting on this line.
+    ensure_exchange(comm);
+    exchange_->arm();
+  }
+
   // (1) send the locally owned entries that other ranks need (eager sends
-  // double as the posted receives on the peer side).
-  for (const SendPlan& plan : sends_) {
+  // double as the posted receives on the peer side). Packing runs the
+  // kGatherPack kernel into this plan's pre-sized slice of packbuf_.
+  for (std::size_t si = 0; si < sends_.size(); ++si) {
+    const SendPlan& plan = sends_[si];
+    const Index count = static_cast<Index>(plan.local_indices.size());
+    Scalar* packed = packbuf_.data() + send_offsets_[si];
     {
       prof::ScopedEvent pack(ev_pack);
-      packbuf_.resize(plan.local_indices.size());
-      for (std::size_t k = 0; k < plan.local_indices.size(); ++k) {
-        packbuf_[k] = x_local[plan.local_indices[k]];
-      }
+      gather_fn_(x_local, plan.local_indices.data(), count, packed);
     }
     prof::ScopedEvent send(ev_send);
-    comm.isend(plan.peer, kTagGhost, packbuf_.data(), packbuf_.size());
+    if (persistent) {
+      exchange_->send(static_cast<int>(si), packed, count);
+    } else {
+      comm.isend(plan.peer, kTagGhost, packed,
+                 static_cast<std::size_t>(count));
+    }
   }
 
   // (2) diagonal block with the local x — overlaps with message delivery.
@@ -273,14 +324,26 @@ void ParMatrix::spmv_local(const Scalar* x_local, Vector& y_local,
     diag_->spmv(x_local, y_local.data());
   }
 
-  // (3) wait for ghost values.
+  // (3) wait for ghost values. Persistent path: complete in arrival order
+  // (wait_any); each completion means the peer's values are already in
+  // place in ghost_ — nothing to unpack. Mailbox path: blocking receives
+  // in plan order plus one copy into ghost_ per message (counted so the
+  // fabric's payload_copies metric reflects the full end-to-end cost).
   {
     prof::ScopedEvent wait(ev_wait);
-    for (const RecvPlan& plan : recvs_) {
-      const std::vector<Scalar> data = comm.recv(plan.peer, kTagGhost);
-      KESTREL_CHECK(static_cast<Index>(data.size()) == plan.count,
-                    "ghost message size mismatch");
-      std::copy(data.begin(), data.end(), ghost_.data() + plan.ghost_offset);
+    if (persistent) {
+      for (int c = 0; c < exchange_->nrecv(); ++c) {
+        (void)exchange_->wait_any();
+      }
+    } else {
+      for (const RecvPlan& plan : recvs_) {
+        const std::vector<Scalar> data = comm.recv(plan.peer, kTagGhost);
+        KESTREL_CHECK(static_cast<Index>(data.size()) == plan.count,
+                      "ghost message size mismatch");
+        std::copy(data.begin(), data.end(),
+                  ghost_.data() + plan.ghost_offset);
+        comm.add_payload_copy();
+      }
     }
   }
 

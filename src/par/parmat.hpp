@@ -11,6 +11,16 @@
 //   2. multiply the diagonal block with the local x;
 //   3. wait for ghost values to arrive;
 //   4. multiply the compressed off-diagonal block and accumulate.
+//
+// Kestrel Slipstream: by default the ghost exchange runs on persistent
+// fabric channels (Comm::open_exchange) opened lazily at the first spmv —
+// sends gather-pack into a pre-sized buffer with the simd::Op::kGatherPack
+// kernel and deliver with a single copy straight into this rank's ghost_
+// slice, and step 3 completes receives in arrival order (wait_any) instead
+// of plan order. Steady-state spmv performs zero heap allocations in the
+// fabric path. Set ParMatrixOptions::persistent_ghosts = false to use the
+// seed mailbox transport (one allocation + extra copy per message), kept
+// for differential tests and as the bench_comm baseline.
 
 #include <map>
 #include <memory>
@@ -23,6 +33,7 @@
 #include "mat/talon.hpp"
 #include "par/comm.hpp"
 #include "par/parvec.hpp"
+#include "simd/dispatch.hpp"
 
 namespace kestrel::par {
 
@@ -45,6 +56,9 @@ struct ParMatrixOptions {
   mat::TalonOptions talon;  ///< used when diag_format == kTalon
   Index block_size = 2;     ///< used when diag_format == kBcsr
   simd::IsaTier tier = simd::default_tier();
+  /// Ghost exchange transport: persistent zero-copy channels (default) or
+  /// the seed mailbox path (see the header comment).
+  bool persistent_ghosts = true;
 };
 
 class ParMatrix {
@@ -107,8 +121,24 @@ class ParMatrix {
   std::vector<SendPlan> sends_;
   std::vector<RecvPlan> recvs_;
 
-  mutable Vector ghost_;                      ///< packed ghost values
-  mutable std::vector<Scalar> packbuf_;       ///< send packing scratch
+  bool persistent_ghosts_ = true;
+  simd::GatherPackFn gather_fn_ = nullptr;  ///< resolved pack kernel
+
+  mutable Vector ghost_;                 ///< packed ghost values
+  /// One pre-sized pack buffer for all peers: plan i packs into
+  /// [send_offsets_[i], send_offsets_[i] + plan.count) — no reallocation
+  /// inside the send loop, ever.
+  mutable std::vector<Scalar> packbuf_;
+  std::vector<std::size_t> send_offsets_;
+
+  /// Persistent channel set, opened lazily at the first spmv (collective
+  /// because spmv is collective). The recorded ghost_ base pointer detects
+  /// a copied ParMatrix — whose ghost_ lives elsewhere — and re-opens
+  /// fresh channels for it instead of writing into the original's buffer.
+  mutable std::shared_ptr<PersistentExchange> exchange_;
+  mutable const Scalar* exchange_ghost_base_ = nullptr;
+
+  void ensure_exchange(Comm& comm) const;
 };
 
 }  // namespace kestrel::par

@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "perf/bwmodel.hpp"
+#include "perf/commmodel.hpp"
 
 namespace kestrel::perf {
 
@@ -76,12 +77,21 @@ double modeled_spmv_gflops(const MachineProfile& machine, MemoryMode mode,
 struct MultinodeEstimate {
   double total_seconds;
   double matmult_seconds;  ///< the hatched "MatMult kernel" share
+  double comm_seconds = 0.0;  ///< halo-exchange share (alpha + beta*bytes)
 };
 
+/// `comm` (optional) supplies the per-message alpha/beta constants for the
+/// halo-exchange term: 4 neighbor messages per linear iteration per
+/// multigrid level, message size tracking the per-rank subdomain edge and
+/// halving per level. The CommModel defaults reproduce the fixed
+/// 250 us-per-level latency term this model used before calibration
+/// existed; pass CommModel::measure_fabric() (what bench_comm records) or
+/// interconnect constants to re-anchor the curve.
 MultinodeEstimate modeled_multinode(const MachineProfile& machine,
                                     MemoryMode mode, int nodes,
                                     ModelFormat fmt, simd::IsaTier tier,
                                     Index grid_n = 16384, int time_steps = 5,
-                                    int mg_levels = 6);
+                                    int mg_levels = 6,
+                                    const CommModel* comm = nullptr);
 
 }  // namespace kestrel::perf

@@ -58,6 +58,8 @@ const char* op_name(Op op) {
       return "talon_spmv";
     case Op::kTalonSpmvAdd:
       return "talon_spmv_add";
+    case Op::kGatherPack:
+      return "gather_pack";
     default:
       return "?";
   }

@@ -33,6 +33,11 @@ using BcsrSpmvFn = void (*)(const mat::BcsrView&, const Scalar* x, Scalar* y);
 /// the Add variant computes y += A*x for the off-diagonal block path.
 using TalonSpmvFn = void (*)(const mat::TalonView&, const Scalar* x,
                              Scalar* y);
+/// out[i] = x[idx[i]] for i in [0, n): gather-pack of ghost values into a
+/// contiguous send buffer (Kestrel Slipstream). The AVX2/AVX-512 tiers use
+/// hardware gathers (vgatherdpd); indices must be valid for x.
+using GatherPackFn = void (*)(const Scalar* x, const Index* idx, Index n,
+                              Scalar* out);
 
 enum class Op : int {
   kCsrSpmv = 0,
@@ -46,6 +51,7 @@ enum class Op : int {
   kBcsrSpmv,
   kTalonSpmv,
   kTalonSpmvAdd,
+  kGatherPack,
   kOpCount,
 };
 

@@ -158,6 +158,183 @@ TEST(Fabric, RootCauseExceptionIsRethrown) {
   }
 }
 
+TEST(Fabric, TypedIndexMessagesRoundTrip) {
+  Fabric::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      // values beyond 2^53 would be corrupted by a Scalar round-trip; the
+      // typed path must carry them exactly (Index permitting)
+      comm.isend_indices(1, 4, {0, 7, 123456789, 3});
+      const auto echoed = comm.recv_indices(1, 5);
+      ASSERT_EQ(echoed.size(), 4u);
+      EXPECT_EQ(echoed[2], 123456790);
+    } else {
+      auto idx = comm.recv_indices(0, 4);
+      for (auto& v : idx) v += 1;
+      comm.isend_indices(0, 5, idx);
+    }
+  });
+}
+
+TEST(Fabric, IndexAllgathervConcatenatesInRankOrder) {
+  Fabric::run(3, [](Comm& comm) {
+    const std::vector<Index> local(static_cast<std::size_t>(comm.rank()),
+                                   static_cast<Index>(10 * comm.rank()));
+    const auto all = comm.allgatherv(local);
+    ASSERT_EQ(all.size(), 3u);  // 0 + 1 + 2
+    EXPECT_EQ(all[0], 10);
+    EXPECT_EQ(all[1], 20);
+    EXPECT_EQ(all[2], 20);
+  });
+}
+
+TEST(PersistentExchange, RoundTripDeliversInPlace) {
+  Fabric::run(2, [](Comm& comm) {
+    const int peer = 1 - comm.rank();
+    std::vector<Scalar> ghost(3, -1.0);
+    auto ex = comm.open_exchange({{peer, 3}}, {{peer, ghost.data(), 3}});
+    for (int round = 1; round <= 4; ++round) {
+      const std::vector<Scalar> packed = {
+          10.0 * comm.rank() + round, 0.5, static_cast<Scalar>(round)};
+      ex->arm();
+      ex->send(0, packed.data(), 3);
+      EXPECT_EQ(ex->wait_any(), 0);
+      // delivered straight into the registered slice, no staging buffer
+      EXPECT_DOUBLE_EQ(ghost[0], 10.0 * peer + round);
+      EXPECT_DOUBLE_EQ(ghost[2], static_cast<Scalar>(round));
+    }
+  });
+}
+
+TEST(PersistentExchange, WaitAnyCompletesInArrivalOrder) {
+  // Rank 0 receives from 1 and 2; rank 2's message is held back behind a
+  // mailbox rendezvous, so channel 0 (from rank 1) must complete first
+  // even though both were armed together.
+  Fabric::run(3, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<Scalar> ghost(2, 0.0);
+      auto ex = comm.open_exchange(
+          {}, {{1, ghost.data(), 1}, {2, ghost.data() + 1, 1}});
+      ex->arm();
+      const int first = ex->wait_any();
+      EXPECT_EQ(first, 0);          // rank 1 sent immediately
+      comm.isend(2, 1, {1.0});      // release rank 2
+      const int second = ex->wait_any();
+      EXPECT_EQ(second, 1);
+      EXPECT_DOUBLE_EQ(ghost[0], 1.0);
+      EXPECT_DOUBLE_EQ(ghost[1], 2.0);
+    } else if (comm.rank() == 1) {
+      auto ex = comm.open_exchange({{0, 1}}, {});
+      const Scalar v = 1.0;
+      ex->send(0, &v, 1);
+    } else {
+      auto ex = comm.open_exchange({{0, 1}}, {});
+      (void)comm.recv(0, 1);  // wait until rank 0 drained channel 0
+      const Scalar v = 2.0;
+      ex->send(0, &v, 1);
+    }
+  });
+}
+
+TEST(PersistentExchange, SenderBlocksUntilReArm) {
+  // Depth-1 backpressure: round k+1's send must not overwrite round k's
+  // data before the receiver drained it, even when the sender sprints.
+  Fabric::run(2, [](Comm& comm) {
+    constexpr int kRounds = 50;
+    if (comm.rank() == 0) {
+      auto ex = comm.open_exchange({{1, 1}}, {});
+      for (int round = 1; round <= kRounds; ++round) {
+        const Scalar v = static_cast<Scalar>(round);
+        ex->send(0, &v, 1);  // sprints ahead; parks when 1 round ahead
+      }
+    } else {
+      Scalar slot = 0.0;
+      auto ex = comm.open_exchange({}, {{0, &slot, 1}});
+      for (int round = 1; round <= kRounds; ++round) {
+        ex->arm();
+        ex->wait_all();
+        ASSERT_DOUBLE_EQ(slot, static_cast<Scalar>(round));
+      }
+    }
+  });
+}
+
+TEST(PersistentExchange, StatsCountChannelTraffic) {
+  Fabric::run(2, [](Comm& comm) {
+    const int peer = 1 - comm.rank();
+    std::vector<Scalar> ghost(4, 0.0);
+    auto ex = comm.open_exchange({{peer, 4}}, {{peer, ghost.data(), 4}});
+    const FabricStats before = comm.stats();
+    const std::vector<Scalar> packed(4, 1.5);
+    for (int round = 0; round < 10; ++round) {
+      ex->arm();
+      ex->send(0, packed.data(), 4);
+      ex->wait_all();
+    }
+    const FabricStats& after = comm.stats();
+    EXPECT_EQ(after.channel_sends - before.channel_sends, 10u);
+    EXPECT_EQ(after.payload_copies - before.payload_copies, 10u);
+    // the defining Slipstream property: zero mailbox allocations
+    EXPECT_EQ(after.mailbox_allocs, before.mailbox_allocs);
+    EXPECT_EQ(after.wait_any_calls - before.wait_any_calls, 10u);
+  });
+}
+
+TEST(PersistentExchange, MismatchedSendCountThrows) {
+  EXPECT_THROW(
+      Fabric::run(2,
+                  [](Comm& comm) {
+                    const int peer = 1 - comm.rank();
+                    std::vector<Scalar> ghost(3, 0.0);
+                    auto ex = comm.open_exchange({{peer, 3}},
+                                                 {{peer, ghost.data(), 3}});
+                    ex->arm();
+                    const std::vector<Scalar> wrong(2, 1.0);
+                    ex->send(0, wrong.data(), 2);  // plan says 3
+                    ex->wait_all();
+                  }),
+      Error);
+}
+
+TEST(PersistentExchange, InvalidSpecsRejected) {
+  Fabric::run(2, [](Comm& comm) {
+    std::vector<Scalar> ghost(1, 0.0);
+    if (comm.rank() == 0) {
+      EXPECT_THROW((void)comm.open_exchange({{5, 1}}, {}), Error);
+      EXPECT_THROW((void)comm.open_exchange({}, {{1, nullptr, 1}}), Error);
+      EXPECT_THROW((void)comm.open_exchange({}, {{1, ghost.data(), 0}}),
+                   Error);
+    }
+    comm.barrier();
+  });
+}
+
+TEST(PersistentExchange, AbortWakesParkedSenderAndWaiter) {
+  // Rank 1 dies; rank 0 is blocked in wait_any on a channel that will never
+  // be delivered and rank 2 is parked in send on a peer that will never
+  // re-arm. Abort must wake both without deadlock.
+  EXPECT_THROW(
+      Fabric::run(3,
+                  [](Comm& comm) {
+                    if (comm.rank() == 0) {
+                      Scalar slot = 0.0;
+                      auto ex = comm.open_exchange({}, {{1, &slot, 1}});
+                      ex->arm();
+                      (void)ex->wait_any();
+                    } else if (comm.rank() == 1) {
+                      auto ex = comm.open_exchange({{0, 1}}, {});
+                      (void)ex;
+                      KESTREL_FAIL("rank 1 exploded");
+                    } else {
+                      // send channel to rank 0, who never opens/arms the
+                      // matching receive endpoint: the send parks forever
+                      auto ex = comm.open_exchange({{0, 1}}, {});
+                      const Scalar v = 1.0;
+                      ex->send(0, &v, 1);
+                    }
+                  }),
+      Error);
+}
+
 TEST(Fabric, InvalidArgumentsRejected) {
   Fabric::run(2, [](Comm& comm) {
     if (comm.rank() == 0) {

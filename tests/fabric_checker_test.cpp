@@ -180,6 +180,58 @@ TEST(FabricChecker, DoubleWaitThrowsEvenWithCheckerOff) {
                Error);
 }
 
+TEST(FabricChecker, CleanPersistentExchangeStaysSilent) {
+  Fabric::run(2, checked(), [](Comm& comm) {
+    const int peer = 1 - comm.rank();
+    std::vector<Scalar> ghost(2, 0.0);
+    auto ex = comm.open_exchange({{peer, 2}}, {{peer, ghost.data(), 2}});
+    const std::vector<Scalar> packed = {1.0, 2.0};
+    for (int round = 0; round < 3; ++round) {
+      ex->arm();
+      ex->send(0, packed.data(), 2);
+      ex->wait_all();
+    }
+  });
+}
+
+TEST(FabricChecker, ReArmAcrossExchangesWithUndrainedReceives) {
+  // Per-rank accounting catches what each exchange's local state cannot:
+  // arming a second exchange while the first still has posted receives.
+  const std::string what = run_and_capture_error(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      Scalar a = 0.0, b = 0.0;
+      auto ex1 = comm.open_exchange({}, {{1, &a, 1}});
+      auto ex2 = comm.open_exchange({}, {{1, &b, 1}});
+      ex1->arm();
+      ex2->arm();  // ex1's receive is still in flight
+      ex1->wait_all();
+      ex2->wait_all();
+    }
+    // rank 1 exits immediately; rank 0 fails before needing its sends
+  });
+  EXPECT_NE(what.find("undrained receive(s)"), std::string::npos) << what;
+  EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
+}
+
+TEST(FabricChecker, ExitWithArmedReceivesReported) {
+  const std::string what = run_and_capture_error(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      Scalar slot = 0.0;
+      auto ex = comm.open_exchange({}, {{1, &slot, 1}});
+      ex->arm();
+      // returns without wait_any: the posted receive is abandoned
+    } else {
+      auto ex = comm.open_exchange({{0, 1}}, {});
+      const Scalar v = 4.0;
+      ex->send(0, &v, 1);
+    }
+  });
+  EXPECT_NE(what.find("armed persistent receive(s) never completed"),
+            std::string::npos)
+      << what;
+  EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
+}
+
 TEST(FabricChecker, EventNamesAreStable) {
   // The lint/docs reference these names; keep them fixed.
   EXPECT_STREQ(fabric_event_name(FabricEventKind::kIsend), "isend");
@@ -190,6 +242,14 @@ TEST(FabricChecker, EventNamesAreStable) {
   EXPECT_STREQ(fabric_event_name(FabricEventKind::kAllreduce), "allreduce");
   EXPECT_STREQ(fabric_event_name(FabricEventKind::kAllgatherv),
                "allgatherv");
+  EXPECT_STREQ(fabric_event_name(FabricEventKind::kChannelOpen),
+               "channel-open");
+  EXPECT_STREQ(fabric_event_name(FabricEventKind::kChannelArm),
+               "channel-arm");
+  EXPECT_STREQ(fabric_event_name(FabricEventKind::kChannelSend),
+               "channel-send");
+  EXPECT_STREQ(fabric_event_name(FabricEventKind::kChannelComplete),
+               "channel-complete");
   EXPECT_STREQ(fabric_event_name(FabricEventKind::kRankExit), "rank-exit");
 }
 

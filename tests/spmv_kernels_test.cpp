@@ -624,6 +624,43 @@ TEST(KernelOracle, BcsrSpmvMatchesScalar) {
   }
 }
 
+TEST(KernelOracle, GatherPackMatchesScalarAcrossTiers) {
+  // The ghost-pack kernel (Kestrel Slipstream): out[i] = x[idx[i]]. Sweeps
+  // every length that exercises the vector widths' remainder paths (AVX2
+  // packs 4 lanes, AVX-512 packs 8 with a masked tail) plus duplicate and
+  // boundary indices — gathers must tolerate reading the same slot twice
+  // and the last element of x.
+  const auto scalar =
+      simd::lookup_as<simd::GatherPackFn>(Op::kGatherPack, IsaTier::kScalar);
+  ASSERT_NE(scalar, nullptr);
+  const Index xn = 200;
+  const auto x = random_x(xn, 91);
+  for (IsaTier tier : oracle_tiers()) {
+    if (!simd::has_exact(Op::kGatherPack, tier)) continue;
+    const auto fn =
+        simd::lookup_as<simd::GatherPackFn>(Op::kGatherPack, tier);
+    for (Index n : {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 64,
+                    100}) {
+      Rng rng(static_cast<std::uint64_t>(400 + n));
+      std::vector<Index> idx(static_cast<std::size_t>(n));
+      for (Index i = 0; i < n; ++i) {
+        idx[static_cast<std::size_t>(i)] =
+            i % 5 == 0 ? xn - 1 : rng.next_index(xn);
+      }
+      if (n > 3) idx[3] = idx[0];  // duplicate gather target
+      std::vector<Scalar> ref(static_cast<std::size_t>(n) + 1, -7.0);
+      std::vector<Scalar> got(ref);
+      scalar(x.data(), idx.data(), n, ref.data());
+      fn(x.data(), idx.data(), n, got.data());
+      expect_same(ref, got,
+                  "gather_pack/" + std::string(simd::tier_name(tier)) +
+                      "/n" + std::to_string(n));
+      // the +1 sentinel slot proves the masked tail never overwrites
+      EXPECT_DOUBLE_EQ(got[static_cast<std::size_t>(n)], -7.0);
+    }
+  }
+}
+
 TEST(SpmvBcsr, GeneralBlockSizes) {
   for (Index bs : {1, 3, 4}) {
     const Index n = bs * 6;

@@ -49,7 +49,21 @@ kernel-perf-reporting
     traffic bytes to Kestrel Scope: its format TU src/mat/<fmt>.cpp must
     invoke KESTREL_PROF_SPMV at the spmv entry point. Without it, the
     format's work is invisible to -log_view and the bytes-vs-model
-    cross-check (tests/prof_test.cpp) cannot cover it.
+    cross-check (tests/prof_test.cpp) cannot cover it. Utility kernel
+    families that are not matrix formats (UTILITY_FORMATS, e.g. the
+    gather-pack family) are exempt: they have no spmv entry point and
+    their callers own the profiling.
+
+kernel-op-scalar
+    Every simd::Op registered from a kernel TU at a vector tier
+    (kAvx/kAvx2/kAvx512) must also be registered at IsaTier::kScalar
+    somewhere in src/mat/kernels/. kernel-table-scalar enforces this per
+    *format*; this rule enforces it per *operation*, catching a new op
+    (e.g. kGatherPack) added vector-only inside an existing format's TUs.
+    The scalar registration is what guarantees dispatch never fails on a
+    non-AVX host and gives the differential tests their oracle. The
+    registration-table half of the contract (the TU itself must be a
+    KESTREL_KERNEL_TABLE cell) is enforced by kernel-table-tu.
 """
 
 from __future__ import annotations
@@ -83,6 +97,10 @@ ALIGNED_INTRIN_RE = re.compile(
 )
 ALIGNED_ANNOTATION = "kestrel-aligned:"
 PROF_SPMV_MACRO = "KESTREL_PROF_SPMV"
+# Kernel families in KESTREL_KERNEL_TABLE that are not matrix formats: no
+# src/mat/<fmt>.cpp, no spmv entry point, profiling owned by the caller.
+UTILITY_FORMATS = {"gather"}
+VECTOR_TIER_TOKENS = {"kAvx", "kAvx2", "kAvx512"}
 TABLE_CELL_RE = re.compile(r"^\s*X\((\w+),\s*(\w+)\)", re.MULTILINE)
 REGISTER_MACRO_RE = re.compile(r"KESTREL_REGISTER_KERNEL\(\s*(\w+)\s*,\s*(\w+)")
 KERNEL_TU_RE = re.compile(r"^(\w+?)_(scalar|avx|avx2|avx512)\.cpp$")
@@ -370,6 +388,8 @@ def check_kernel_perf_reporting(repo: str) -> list[Violation]:
         return []
     violations = []
     for fmt in sorted({fmt for fmt, isa in cells if isa in ISA_TIER_TOKEN}):
+        if fmt in UTILITY_FORMATS:
+            continue
         rel = os.path.join("src", "mat", f"{fmt}.cpp")
         path = os.path.join(repo, rel)
         if not os.path.isfile(path):
@@ -387,6 +407,32 @@ def check_kernel_perf_reporting(repo: str) -> list[Violation]:
     return violations
 
 
+def check_kernel_op_scalar(repo: str) -> list[Violation]:
+    kernels_dir = os.path.join(repo, KERNELS_DIR)
+    if not os.path.isdir(kernels_dir):
+        return []
+    op_tiers: dict[str, set[str]] = {}
+    op_where: dict[str, str] = {}
+    for name in sorted(os.listdir(kernels_dir)):
+        if not name.endswith(".cpp"):
+            continue
+        rel = os.path.join(KERNELS_DIR, name)
+        text = read_text(os.path.join(kernels_dir, name))
+        for op, tier in REGISTER_MACRO_RE.findall(text):
+            op_tiers.setdefault(op, set()).add(tier)
+            op_where.setdefault(op, rel)
+    violations = []
+    for op, tiers in sorted(op_tiers.items()):
+        if tiers & VECTOR_TIER_TOKENS and "kScalar" not in tiers:
+            violations.append(Violation(
+                "kernel-op-scalar", op_where[op], 0,
+                f"simd::Op::{op} is registered at {sorted(tiers)} but never "
+                f"at IsaTier::kScalar — every kernel family needs a scalar "
+                f"counterpart (the dispatch fallback and the differential "
+                f"oracle); register one from a <fmt>_scalar.cpp table TU"))
+    return violations
+
+
 def lint(repo: str) -> list[Violation]:
     violations = []
     violations += check_kernel_table(repo)
@@ -394,6 +440,7 @@ def lint(repo: str) -> list[Violation]:
     violations += check_aligned_loads(repo)
     violations += check_banned_constructs(repo)
     violations += check_kernel_perf_reporting(repo)
+    violations += check_kernel_op_scalar(repo)
     return violations
 
 
@@ -592,12 +639,73 @@ def self_test() -> int:
         expect("talon_silent_format", {v.rule for v in lint(fx)},
                "kernel-perf-reporting", True)
 
+        # Shared scaffolding for the gather-pack fixtures: table cells,
+        # CMake lists and TUs for a utility (non-format) kernel family.
+        gather_registration = (
+            CLEAN_REGISTRATION.rstrip("\n") +
+            "                \\\n  X(gather, scalar)             "
+            "\\\n  X(gather, avx512)\n")
+        gather_cmake = (
+            CLEAN_CMAKE
+            .replace("mat/kernels/foo_scalar.cpp)",
+                     "mat/kernels/foo_scalar.cpp\n"
+                     "  mat/kernels/gather_scalar.cpp)")
+            .replace("mat/kernels/foo_avx512.cpp)",
+                     "mat/kernels/foo_avx512.cpp\n"
+                     "  mat/kernels/gather_avx512.cpp)"))
+        gather_avx512_tu = (
+            CLEAN_AVX512_TU.replace("foo_spmv_avx512", "gather_pack_avx512")
+                           .replace("register_foo_avx512",
+                                    "register_gather_avx512")
+                           .replace("kFooSpmv", "kGatherPack"))
+
+        # 12. A new op added vector-only: gather_avx512.cpp registers
+        # kGatherPack at kAvx512, but no TU registers it at kScalar (the
+        # gather_scalar.cpp TU registers a different op). The format-level
+        # kernel-table-scalar rule cannot see this; kernel-op-scalar must.
+        fx = os.path.join(tmp, "gather_op_no_scalar")
+        _make_clean_fixture(fx)
+        _write(fx, REGISTRATION_HPP, gather_registration)
+        _write(fx, SRC_CMAKE, gather_cmake)
+        _write(fx, os.path.join(KERNELS_DIR, "gather_scalar.cpp"),
+               CLEAN_SCALAR_TU.replace("foo_spmv_scalar",
+                                       "gather_aux_scalar")
+                              .replace("register_foo_scalar",
+                                       "register_gather_scalar")
+                              .replace("kFooSpmv", "kGatherAux"))
+        _write(fx, os.path.join(KERNELS_DIR, "gather_avx512.cpp"),
+               gather_avx512_tu)
+        rules = {v.rule for v in lint(fx)}
+        expect("gather_op_no_scalar", rules, "kernel-op-scalar", True)
+        expect("gather_op_no_scalar", rules, "kernel-table-scalar", False)
+
+        # 13. A complete gather-pack family (scalar + avx512 registering the
+        # same op) is fully clean — in particular kernel-perf-reporting must
+        # honor the UTILITY_FORMATS exemption (no src/mat/gather.cpp).
+        fx = os.path.join(tmp, "gather_clean")
+        _make_clean_fixture(fx)
+        _write(fx, REGISTRATION_HPP, gather_registration)
+        _write(fx, SRC_CMAKE, gather_cmake)
+        _write(fx, os.path.join(KERNELS_DIR, "gather_scalar.cpp"),
+               CLEAN_SCALAR_TU.replace("foo_spmv_scalar",
+                                       "gather_pack_scalar")
+                              .replace("register_foo_scalar",
+                                       "register_gather_scalar")
+                              .replace("kFooSpmv", "kGatherPack"))
+        _write(fx, os.path.join(KERNELS_DIR, "gather_avx512.cpp"),
+               gather_avx512_tu)
+        got = lint(fx)
+        if got:
+            failures.append(
+                "gather_clean fixture should pass, got:\n  " +
+                "\n  ".join(str(v) for v in got))
+
     if failures:
         print("kestrel_lint self-test FAILED:", file=sys.stderr)
         for f in failures:
             print("  " + f, file=sys.stderr)
         return 1
-    print("kestrel_lint self-test passed (12 fixtures).")
+    print("kestrel_lint self-test passed (14 fixtures).")
     return 0
 
 
