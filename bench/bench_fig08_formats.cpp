@@ -11,6 +11,7 @@
 #include <fstream>
 #include <memory>
 
+#include "aegis/abft.hpp"
 #include "bench_common.hpp"
 #include "mat/bcsr.hpp"
 #include "mat/csr_perm.hpp"
@@ -135,6 +136,37 @@ int main(int argc, char** argv) {
   }
   const double gf_base = report("CSR baseline", csr);
 
+  // Kestrel Aegis: ABFT verification overhead (EXPERIMENTS.md procedure).
+  // The checksum verify is one c·x dot plus one Σy reduction per spmv —
+  // O(n) against the O(nnz) multiply — so on nnz/row ≈ 10 matrices it
+  // should stay well under the 10% budget.
+  bench::header("Kestrel Aegis: ABFT-checksummed SpMV overhead");
+  std::printf("%-20s %10s %10s %10s\n", "variant", "plain", "abft",
+              "overhead");
+  auto abft_overhead = [&](const char* label,
+                           std::shared_ptr<const mat::Matrix> inner,
+                           int verify_every) {
+    const double t_plain = bench::time_spmv(*inner);
+    aegis::AbftOptions aopts;
+    aopts.verify_every = verify_every;
+    const aegis::AbftMatrix guarded(std::move(inner), aopts);
+    const double t_abft = bench::time_spmv(guarded);
+    const double pct = 100.0 * (t_abft - t_plain) / t_plain;
+    std::printf("%-20s %9.2fns %9.2fns %9.2f%%\n", label, t_plain * 1e9,
+                t_abft * 1e9, pct);
+    return pct;
+  };
+  auto sell_best = std::make_shared<mat::Sell>(csr);
+  sell_best->set_tier(best);
+  const double abft_pct_sell = abft_overhead("SELL best-ISA", sell_best, 1);
+  auto sell_every2 = std::make_shared<mat::Sell>(csr);
+  sell_every2->set_tier(best);
+  const double abft_pct_sell2 =
+      abft_overhead("SELL, verify 1-in-2", sell_every2, 2);
+  auto csr_best = std::make_shared<mat::Csr>(csr);
+  csr_best->set_tier(best);
+  const double abft_pct_csr = abft_overhead("CSR best-ISA", csr_best, 1);
+
   if (!bench::json_path().empty()) {
     // kestrel-scope-metrics-v1 artifact with the per-format Gflop/s at the
     // host's best ISA tier, for the bench-smoke CI job and figure scripts.
@@ -146,6 +178,9 @@ int main(int argc, char** argv) {
     log.set_metric("spmv_gflops/talon", gf_talon);
     log.set_metric("matrix_rows", static_cast<double>(csr.rows()));
     log.set_metric("matrix_nnz", static_cast<double>(csr.nnz()));
+    log.set_metric("abft_overhead_pct/sell", abft_pct_sell);
+    log.set_metric("abft_overhead_pct/sell_every2", abft_pct_sell2);
+    log.set_metric("abft_overhead_pct/csr", abft_pct_csr);
     std::ofstream out(bench::json_path());
     if (!out.good()) {
       std::fprintf(stderr, "cannot open %s\n", bench::json_path().c_str());

@@ -6,6 +6,8 @@
 //
 //   ./gray_scott [-n 128] [-steps 5] [-mat_type sell|csr]
 //                [-pc_mg_levels 3] [-ksp_type gmres] [-spmv_isa avx512]
+//                [-aegis_checkpoint_every 5] [-aegis_max_rollbacks 2]
+//                [-ksp_breakdown_recovery]
 //                [-log_view] [-log_trace trace.json] [-log_json metrics.json]
 
 #include <cstdio>
@@ -25,6 +27,9 @@ using namespace kestrel;
 int main(int argc, char** argv) {
   Options& opts = Options::global();
   opts.parse(argc, argv);
+  for (const std::string& w : opts.unknown_option_warnings()) {
+    std::fprintf(stderr, "%s\n", w.c_str());
+  }
   const prof::LogConfig logcfg = prof::configure(opts);
   const Index n = opts.get_index("n", 128);
   const int steps = opts.get_index("steps", 5);
@@ -51,6 +56,15 @@ int main(int argc, char** argv) {
   topts.newton.ksp_type = opts.get_string("ksp_type", "gmres");
   topts.newton.ksp.rtol = opts.get_scalar("ksp_rtol", 1e-6);
   topts.newton.pc_lag = opts.get_index("snes_lag_preconditioner", 1);
+  topts.newton.ksp.breakdown_recovery =
+      opts.get_bool("ksp_breakdown_recovery", false);
+  topts.newton.ksp.max_restarts =
+      static_cast<int>(opts.get_index("ksp_max_restarts", 1));
+  // Kestrel Aegis: checkpoint every k steps and rewind on a failed step.
+  topts.checkpoint_every =
+      static_cast<int>(opts.get_index("aegis_checkpoint_every", 0));
+  topts.max_rollbacks =
+      static_cast<int>(opts.get_index("aegis_max_rollbacks", 2));
 
   if (use_sell) {
     topts.newton.format_factory = [](const mat::Csr& a) {
@@ -81,9 +95,10 @@ int main(int argc, char** argv) {
   const ts::ThetaResult res = theta_integrate(gs, u, topts);
   const double elapsed = wall_time() - t0;
 
-  std::printf("\n%s after %d steps (t = %.1f)\n",
+  std::printf("\n%s after %d steps (t = %.1f)%s\n",
               res.completed ? "completed" : "FAILED", res.steps_taken,
-              res.final_time);
+              res.final_time,
+              res.rollbacks > 0 ? " [with Aegis rollbacks]" : "");
   std::printf("Newton iterations: %d | linear iterations: %d\n",
               res.total_newton_iterations, res.total_linear_iterations);
   std::printf("wall time: %.3f s\n", elapsed);

@@ -80,6 +80,16 @@ print(f"comm bench ok: {m['exchange_speedup']:.2f}x speedup, "
       f"alpha={m['comm_alpha_s'] * 1e6:.2f}us, 0 steady-state allocs")
 EOF
 
+banner "aegis fault-tolerance suite (ctest -L aegis) + fault-injected solve"
+ctest --test-dir build -L aegis --output-on-failure
+# Deterministic end-to-end fault sweep on both ghost transports; the spec is
+# printed by the example, so any failure replays with the same -aegis_faults.
+for transport in mailbox persistent; do
+  ./build/examples/parallel_spmv -ranks 8 -n 32 \
+    -aegis_faults "seed=7,drop=0.1,delay=0.1,dup=0.1,reorder=0.1,bitflip=0.05" \
+    -aegis_abft -ksp_breakdown_recovery -ghost_exchange "$transport"
+done
+
 sanitizer_suite() {
   local name="$1" label="$2"
   banner "sanitizer: $name (ctest -L $label)"

@@ -8,6 +8,31 @@ Error::Error(const std::string& what, const char* file, int line)
       file_(file),
       line_(line) {}
 
+RankFailure::RankFailure(int failed_rank, const std::string& what,
+                         const char* file, int line)
+    : Error("rank failure (rank " + std::to_string(failed_rank) + "): " +
+                what,
+            file, line),
+      failed_rank_(failed_rank) {}
+
+AbftError::AbftError(const std::string& format, Scalar drift,
+                     const std::string& what, const char* file, int line)
+    : Error("abft verification failed (" + format +
+                ", drift=" + std::to_string(drift) + "): " + what,
+            file, line),
+      format_(format),
+      drift_(drift) {}
+
+OptionsError::OptionsError(const std::string& key, const std::string& value,
+                           const std::string& expected, const char* file,
+                           int line)
+    : Error("option -" + key + " expects " + expected + ", got '" + value +
+                "'",
+            file, line),
+      key_(key),
+      value_(value),
+      expected_(expected) {}
+
 namespace detail {
 
 void throw_error(const std::string& msg, const char* file, int line) {

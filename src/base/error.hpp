@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "base/types.hpp"
+
 namespace kestrel {
 
 /// Exception thrown by all Kestrel precondition and runtime checks.
@@ -19,6 +21,52 @@ class Error : public std::runtime_error {
  private:
   const char* file_;
   int line_;
+};
+
+/// Structured fabric failure (Kestrel Aegis): one rank died (injected kill,
+/// unrecoverable transport fault, or its own exception) and every other rank
+/// unwinds its pending collectives with this error instead of hanging.
+/// failed_rank() names the root-cause rank on every thrower.
+class RankFailure : public Error {
+ public:
+  RankFailure(int failed_rank, const std::string& what, const char* file,
+              int line);
+  int failed_rank() const noexcept { return failed_rank_; }
+
+ private:
+  int failed_rank_;
+};
+
+/// ABFT checksum verification failed even after the recompute-retry: the
+/// SpMV result is corrupt and could not be recovered.
+class AbftError : public Error {
+ public:
+  AbftError(const std::string& format, Scalar drift, const std::string& what,
+            const char* file, int line);
+  const std::string& format() const noexcept { return format_; }
+  /// |c.x - sum(y)| observed at the failing verification.
+  Scalar drift() const noexcept { return drift_; }
+
+ private:
+  std::string format_;
+  Scalar drift_;
+};
+
+/// Structured option-parse failure: carries the key, the raw value and what
+/// was expected, so callers can report (or test) malformed flags precisely
+/// instead of getting a silent default or a bare abort.
+class OptionsError : public Error {
+ public:
+  OptionsError(const std::string& key, const std::string& value,
+               const std::string& expected, const char* file, int line);
+  const std::string& key() const noexcept { return key_; }
+  const std::string& value() const noexcept { return value_; }
+  const std::string& expected() const noexcept { return expected_; }
+
+ private:
+  std::string key_;
+  std::string value_;
+  std::string expected_;
 };
 
 namespace detail {

@@ -1,5 +1,6 @@
 #include "base/options.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
 
@@ -64,8 +65,9 @@ Index Options::get_index(const std::string& key, Index fallback) const {
   if (!v) return fallback;
   char* end = nullptr;
   const long parsed = std::strtol(v->c_str(), &end, 10);
-  KESTREL_CHECK(end == v->c_str() + v->size(),
-                "option -" + key + " expects an integer, got '" + *v + "'");
+  if (v->empty() || end != v->c_str() + v->size()) {
+    throw OptionsError(key, *v, "an integer", __FILE__, __LINE__);
+  }
   return static_cast<Index>(parsed);
 }
 
@@ -74,8 +76,9 @@ Scalar Options::get_scalar(const std::string& key, Scalar fallback) const {
   if (!v) return fallback;
   char* end = nullptr;
   const double parsed = std::strtod(v->c_str(), &end);
-  KESTREL_CHECK(end == v->c_str() + v->size(),
-                "option -" + key + " expects a number, got '" + *v + "'");
+  if (v->empty() || end != v->c_str() + v->size()) {
+    throw OptionsError(key, *v, "a number", __FILE__, __LINE__);
+  }
   return parsed;
 }
 
@@ -84,7 +87,45 @@ bool Options::get_bool(const std::string& key, bool fallback) const {
   if (!v) return fallback;
   if (v->empty() || *v == "true" || *v == "1" || *v == "yes") return true;
   if (*v == "false" || *v == "0" || *v == "no") return false;
-  KESTREL_FAIL("option -" + key + " expects a boolean, got '" + *v + "'");
+  throw OptionsError(key, *v, "a boolean", __FILE__, __LINE__);
+}
+
+std::vector<std::string> Options::unknown_keys(
+    const std::string& prefix, const std::vector<std::string>& known) const {
+  std::vector<std::string> out;
+  for (const auto& [k, _] : kv_) {
+    if (k.compare(0, prefix.size(), prefix) != 0) continue;
+    if (std::find(known.begin(), known.end(), k) == known.end()) {
+      out.push_back(k);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Options::unknown_option_warnings() const {
+  // The prefixes components own, with every spelling they read. A typo like
+  // -ksp_rtoll silently falls back to the default; surfacing it as a warning
+  // is the difference between a misconfigured run and a debugging session.
+  static const struct {
+    const char* prefix;
+    std::vector<std::string> known;
+  } families[] = {
+      {"aegis_",
+       {"aegis_faults", "aegis_abft", "aegis_abft_tol",
+        "aegis_checkpoint_every", "aegis_max_rollbacks"}},
+      {"ksp_",
+       {"ksp_type", "ksp_rtol", "ksp_atol", "ksp_max_it",
+        "ksp_gmres_restart", "ksp_monitor", "ksp_breakdown_recovery",
+        "ksp_max_restarts"}},
+  };
+  std::vector<std::string> out;
+  for (const auto& fam : families) {
+    for (const std::string& k : unknown_keys(fam.prefix, fam.known)) {
+      out.push_back("WARNING: unknown option -" + k +
+                    " (unrecognized " + fam.prefix + "* option; a typo?)");
+    }
+  }
+  return out;
 }
 
 std::vector<std::string> Options::keys() const {

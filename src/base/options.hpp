@@ -31,9 +31,20 @@ class Options {
 
   std::string get_string(const std::string& key,
                          const std::string& fallback) const;
+  /// The typed getters throw kestrel::OptionsError (carrying key, raw value
+  /// and the expected form) on a malformed value — a structured error
+  /// instead of a silent default or a bare abort.
   Index get_index(const std::string& key, Index fallback) const;
   Scalar get_scalar(const std::string& key, Scalar fallback) const;
   bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Keys starting with `prefix` that are not in `known` (typo detection).
+  std::vector<std::string> unknown_keys(
+      const std::string& prefix,
+      const std::vector<std::string>& known) const;
+  /// Warning lines for unknown -aegis_* / -ksp_* option names; empty when
+  /// every such option is recognized. Examples print these at startup.
+  std::vector<std::string> unknown_option_warnings() const;
 
   /// All keys in insertion-independent (sorted) order; for -help output.
   std::vector<std::string> keys() const;

@@ -8,8 +8,8 @@
 
 namespace kestrel::ksp {
 
-SolveResult BiCgStab::solve(LinearContext& ctx, const Vector& b,
-                            Vector& x) const {
+SolveResult BiCgStab::solve_once(LinearContext& ctx, const Vector& b,
+                                 Vector& x) const {
   const Index n = ctx.local_size();
   KESTREL_CHECK(b.size() == n, "bicgstab: rhs size mismatch");
   KESTREL_CHECK(x.size() == n, "bicgstab: solution size mismatch");
@@ -29,7 +29,7 @@ SolveResult BiCgStab::solve(LinearContext& ctx, const Vector& b,
 
   for (int it = 1;; ++it) {
     const Scalar rho_next = ctx.dot(rhat, r);
-    if (rho_next == 0.0 || omega == 0.0) {
+    if (rho_next == 0.0 || omega == 0.0 || std::isnan(rho_next)) {
       result.converged = false;
       result.reason = Reason::kDivergedBreakdown;
       result.iterations = it;
@@ -43,7 +43,14 @@ SolveResult BiCgStab::solve(LinearContext& ctx, const Vector& b,
 
     ctx.apply_pc(p, phat);
     ctx.apply_operator(phat, v);
-    alpha = rho / ctx.dot(rhat, v);
+    const Scalar rhat_v = ctx.dot(rhat, v);
+    if (rhat_v == 0.0 || std::isnan(rhat_v)) {
+      result.converged = false;
+      result.reason = Reason::kDivergedBreakdown;
+      result.iterations = it;
+      return result;
+    }
+    alpha = rho / rhat_v;
 
     s.copy_from(r);
     s.axpy(-alpha, v);
@@ -58,7 +65,7 @@ SolveResult BiCgStab::solve(LinearContext& ctx, const Vector& b,
     ctx.apply_pc(s, shat);
     ctx.apply_operator(shat, t);
     const Scalar tt = ctx.dot(t, t);
-    if (tt == 0.0) {
+    if (!(tt > 0.0)) {  // also trips on NaN
       result.converged = false;
       result.reason = Reason::kDivergedBreakdown;
       result.iterations = it;

@@ -6,7 +6,8 @@
 
 namespace kestrel::ksp {
 
-SolveResult Cg::solve(LinearContext& ctx, const Vector& b, Vector& x) const {
+SolveResult Cg::solve_once(LinearContext& ctx, const Vector& b,
+                           Vector& x) const {
   const Index n = ctx.local_size();
   KESTREL_CHECK(b.size() == n, "cg: rhs size mismatch");
   KESTREL_CHECK(x.size() == n, "cg: solution size mismatch");
@@ -27,7 +28,9 @@ SolveResult Cg::solve(LinearContext& ctx, const Vector& b, Vector& x) const {
   for (int it = 1;; ++it) {
     ctx.apply_operator(p, ap);
     const Scalar pap = ctx.dot(p, ap);
-    if (pap <= 0.0) {
+    // Negated comparison also trips on NaN: a corrupted ap must not become
+    // the alpha denominator.
+    if (!(pap > 0.0)) {
       // operator not SPD (or breakdown)
       result.converged = false;
       result.reason = Reason::kDivergedBreakdown;

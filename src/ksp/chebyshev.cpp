@@ -8,8 +8,8 @@
 
 namespace kestrel::ksp {
 
-SolveResult Chebyshev::solve(LinearContext& ctx, const Vector& b,
-                             Vector& x) const {
+SolveResult Chebyshev::solve_once(LinearContext& ctx, const Vector& b,
+                                  Vector& x) const {
   const Index n = ctx.local_size();
   KESTREL_CHECK(b.size() == n, "chebyshev: rhs size mismatch");
   KESTREL_CHECK(x.size() == n, "chebyshev: solution size mismatch");

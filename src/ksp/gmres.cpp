@@ -10,8 +10,8 @@
 
 namespace kestrel::ksp {
 
-SolveResult Gmres::solve(LinearContext& ctx, const Vector& b,
-                         Vector& x) const {
+SolveResult Gmres::solve_once(LinearContext& ctx, const Vector& b,
+                              Vector& x) const {
   const Index n = ctx.local_size();
   KESTREL_CHECK(b.size() == n, "gmres: rhs size mismatch");
   KESTREL_CHECK(x.size() == n, "gmres: solution size mismatch");
@@ -88,6 +88,15 @@ SolveResult Gmres::solve(LinearContext& ctx, const Vector& b,
       // new rotation to annihilate the subdiagonal
       const Scalar denom = std::hypot(col[static_cast<std::size_t>(j)],
                                       col[static_cast<std::size_t>(j) + 1]);
+      if (!std::isfinite(denom)) {
+        // A NaN/Inf Hessenberg entry (poisoned operator or dot product)
+        // would silently corrupt every later rotation; surface it now.
+        result.converged = false;
+        result.reason = Reason::kDivergedNan;
+        result.iterations = total_it;
+        result.residual_norm = denom;
+        return result;
+      }
       if (denom == 0.0) {
         cs[static_cast<std::size_t>(j)] = 1.0;
         sn[static_cast<std::size_t>(j)] = 0.0;

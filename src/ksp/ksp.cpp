@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "aegis/fault.hpp"
 #include "base/error.hpp"
 #include "base/rng.hpp"
 #include "ksp/context.hpp"
@@ -36,6 +37,57 @@ Scalar LinearContext::dot(const Vector& a, const Vector& b) {
 
 Scalar LinearContext::norm2(const Vector& a) {
   return std::sqrt(dot(a, a));
+}
+
+SolveResult Solver::solve(LinearContext& ctx, const Vector& b,
+                          Vector& x) const {
+  if (!settings_.breakdown_recovery) return solve_once(ctx, b, x);
+
+  // Kestrel Aegis recovery driver. Every method recomputes the true
+  // residual b - A x at entry, so a restart is simply another solve_once
+  // from wherever the previous attempt left the iterate — unless that
+  // iterate is NaN/Inf-poisoned, in which case we fall back to the guess
+  // the caller handed in.
+  Vector entry_guess(x.size());
+  entry_guess.copy_from(x);
+
+  aegis::AegisStats& st = aegis::stats();
+  SolveResult result;
+  int total_iterations = 0;
+  int restarts = 0;
+  for (;;) {
+    bool abft_tripped = false;
+    try {
+      result = solve_once(ctx, b, x);
+    } catch (const AbftError&) {
+      // The operator's checksum retry already failed once; treat a thrown
+      // AbftError like a breakdown and re-run the method, but give up and
+      // rethrow once the restart budget is spent.
+      if (restarts >= settings_.max_restarts) throw;
+      abft_tripped = true;
+      result = SolveResult{};  // iterations inside the aborted run are lost
+      result.reason = Reason::kDivergedBreakdown;
+    }
+    total_iterations += result.iterations;
+    const bool broken =
+        !result.converged && (result.reason == Reason::kDivergedBreakdown ||
+                              result.reason == Reason::kDivergedNan);
+    if (!broken || restarts >= settings_.max_restarts) break;
+    ++restarts;
+    st.solver_restarts++;
+    bool finite = true;
+    for (Index i = 0; i < x.size(); ++i) {
+      if (!std::isfinite(x[i])) {
+        finite = false;
+        break;
+      }
+    }
+    if (!finite || abft_tripped) x.copy_from(entry_guess);
+  }
+  result.iterations = total_iterations;
+  result.restarts = restarts;
+  if (result.converged && restarts > 0) st.recoveries++;
+  return result;
 }
 
 bool Solver::check(Scalar rnorm, Scalar rnorm0, int it,

@@ -32,9 +32,11 @@ const char* reason_name(Reason r);
 
 struct SolveResult {
   bool converged = false;
-  int iterations = 0;
+  int iterations = 0;  ///< total across recovery restarts
   Scalar residual_norm = 0.0;
   Reason reason = Reason::kDivergedMaxIts;
+  /// Breakdown-recovery restarts taken (Kestrel Aegis); 0 on a clean solve.
+  int restarts = 0;
 };
 
 struct Settings {
@@ -42,6 +44,13 @@ struct Settings {
   Scalar atol = 1e-50;
   int max_iterations = 10000;
   int gmres_restart = 30;
+  /// Kestrel Aegis breakdown recovery: on DIVERGED_BREAKDOWN / DIVERGED_NAN
+  /// the driver restarts the method from the current iterate (or the entry
+  /// guess when the iterate is NaN/Inf-poisoned), recomputing the true
+  /// residual, up to max_restarts times before falling back to the
+  /// structured failure.
+  bool breakdown_recovery = false;
+  int max_restarts = 1;
   /// Called after each iteration with (iteration, residual norm).
   std::function<void(int, Scalar)> monitor;
 };
@@ -71,15 +80,23 @@ class Solver {
   explicit Solver(Settings settings = {}) : settings_(settings) {}
 
   /// Solves A x = b starting from the incoming x (use x.set(0) for a zero
-  /// initial guess).
-  virtual SolveResult solve(LinearContext& ctx, const Vector& b,
-                            Vector& x) const = 0;
+  /// initial guess). Non-virtual recovery driver (Kestrel Aegis): runs the
+  /// method via solve_once and, when Settings::breakdown_recovery is set,
+  /// restarts it on breakdown / NaN divergence / AbftError up to
+  /// Settings::max_restarts times before surfacing the failure.
+  SolveResult solve(LinearContext& ctx, const Vector& b, Vector& x) const;
+
   virtual std::string name() const = 0;
 
   Settings& settings() { return settings_; }
   const Settings& settings() const { return settings_; }
 
  protected:
+  /// One un-recovered run of the Krylov method. Restart-from-iterate works
+  /// because every method recomputes the true residual b - A x at entry.
+  virtual SolveResult solve_once(LinearContext& ctx, const Vector& b,
+                                 Vector& x) const = 0;
+
   /// Shared convergence test; returns true when iteration should stop.
   bool check(Scalar rnorm, Scalar rnorm0, int it, SolveResult* out) const;
 
@@ -96,16 +113,16 @@ std::unique_ptr<Solver> make_solver(const std::string& type,
 class Cg final : public Solver {
  public:
   using Solver::Solver;
-  SolveResult solve(LinearContext& ctx, const Vector& b,
-                    Vector& x) const override;
+  SolveResult solve_once(LinearContext& ctx, const Vector& b,
+                         Vector& x) const override;
   std::string name() const override { return "cg"; }
 };
 
 class Gmres final : public Solver {
  public:
   using Solver::Solver;
-  SolveResult solve(LinearContext& ctx, const Vector& b,
-                    Vector& x) const override;
+  SolveResult solve_once(LinearContext& ctx, const Vector& b,
+                         Vector& x) const override;
   std::string name() const override { return "gmres"; }
 };
 
@@ -114,16 +131,16 @@ class Gmres final : public Solver {
 class FGmres final : public Solver {
  public:
   using Solver::Solver;
-  SolveResult solve(LinearContext& ctx, const Vector& b,
-                    Vector& x) const override;
+  SolveResult solve_once(LinearContext& ctx, const Vector& b,
+                         Vector& x) const override;
   std::string name() const override { return "fgmres"; }
 };
 
 class BiCgStab final : public Solver {
  public:
   using Solver::Solver;
-  SolveResult solve(LinearContext& ctx, const Vector& b,
-                    Vector& x) const override;
+  SolveResult solve_once(LinearContext& ctx, const Vector& b,
+                         Vector& x) const override;
   std::string name() const override { return "bicgstab"; }
 };
 
@@ -131,8 +148,8 @@ class Richardson final : public Solver {
  public:
   explicit Richardson(Settings settings = {}, Scalar omega = 1.0)
       : Solver(settings), omega_(omega) {}
-  SolveResult solve(LinearContext& ctx, const Vector& b,
-                    Vector& x) const override;
+  SolveResult solve_once(LinearContext& ctx, const Vector& b,
+                         Vector& x) const override;
   std::string name() const override { return "richardson"; }
 
  private:
@@ -146,8 +163,8 @@ class Chebyshev final : public Solver {
   /// the spectrum.
   Chebyshev(Settings settings, Scalar emin, Scalar emax)
       : Solver(settings), emin_(emin), emax_(emax) {}
-  SolveResult solve(LinearContext& ctx, const Vector& b,
-                    Vector& x) const override;
+  SolveResult solve_once(LinearContext& ctx, const Vector& b,
+                         Vector& x) const override;
   std::string name() const override { return "chebyshev"; }
 
  private:

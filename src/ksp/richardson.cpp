@@ -8,8 +8,8 @@
 
 namespace kestrel::ksp {
 
-SolveResult Richardson::solve(LinearContext& ctx, const Vector& b,
-                              Vector& x) const {
+SolveResult Richardson::solve_once(LinearContext& ctx, const Vector& b,
+                                   Vector& x) const {
   const Index n = ctx.local_size();
   KESTREL_CHECK(b.size() == n, "richardson: rhs size mismatch");
   KESTREL_CHECK(x.size() == n, "richardson: solution size mismatch");

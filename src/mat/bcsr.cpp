@@ -85,6 +85,23 @@ void Bcsr::get_diagonal(Vector& d) const {
   }
 }
 
+void Bcsr::abft_col_checksum(Vector& c) const {
+  c.resize(cols());
+  c.set(0.0);
+  for (Index ib = 0; ib < mb_; ++ib) {
+    for (Index k = rowptr_[ib]; k < rowptr_[ib + 1]; ++k) {
+      const Index jb = colidx_[k];
+      const Scalar* blk =
+          val_.data() + static_cast<std::size_t>(k) * bs_ * bs_;
+      for (Index r = 0; r < bs_; ++r) {
+        for (Index cc = 0; cc < bs_; ++cc) {
+          c[jb * bs_ + cc] += blk[r * bs_ + cc];
+        }
+      }
+    }
+  }
+}
+
 std::size_t Bcsr::storage_bytes() const {
   return rowptr_.size() * sizeof(Index) + colidx_.size() * sizeof(Index) +
          val_.size() * sizeof(Scalar);

@@ -69,6 +69,14 @@ void Csr::get_diagonal(Vector& d) const {
   for (Index i = 0; i < m_; ++i) d[i] = at(i, i);
 }
 
+void Csr::abft_col_checksum(Vector& c) const {
+  c.resize(n_);
+  c.set(0.0);
+  const std::size_t nz =
+      m_ == 0 ? 0 : static_cast<std::size_t>(rowptr_[static_cast<std::size_t>(m_)]);
+  for (std::size_t k = 0; k < nz; ++k) c[colidx_[k]] += val_[k];
+}
+
 Scalar Csr::at(Index i, Index j) const {
   KESTREL_CHECK(i >= 0 && i < m_ && j >= 0 && j < n_, "index out of range");
   const Index* begin = colidx_.data() + rowptr_[i];

@@ -22,6 +22,9 @@ class CsrPerm final : public Matrix {
   void spmv(const Scalar* x, Scalar* y) const override;
   using Matrix::spmv;
   void get_diagonal(Vector& d) const override { csr_.get_diagonal(d); }
+  void abft_col_checksum(Vector& c) const override {
+    csr_.abft_col_checksum(c);
+  }
   std::string format_name() const override { return "csrperm"; }
   std::size_t storage_bytes() const override;
   std::size_t spmv_traffic_bytes() const override {

@@ -40,6 +40,15 @@ void Dense::get_diagonal(Vector& d) const {
   for (Index i = 0; i < m_; ++i) d[i] = at(i, i);
 }
 
+void Dense::abft_col_checksum(Vector& c) const {
+  c.resize(n_);
+  c.set(0.0);
+  for (Index i = 0; i < m_; ++i) {
+    const Scalar* row = a_.data() + static_cast<std::size_t>(i) * n_;
+    for (Index j = 0; j < n_; ++j) c[j] += row[j];
+  }
+}
+
 void Dense::lu_factor() {
   KESTREL_CHECK(m_ == n_, "LU requires a square matrix");
   piv_.resize(static_cast<std::size_t>(m_));

@@ -24,6 +24,7 @@ class Dense final : public Matrix {
   void spmv(const Scalar* x, Scalar* y) const override;
   using Matrix::spmv;
   void get_diagonal(Vector& d) const override;
+  void abft_col_checksum(Vector& c) const override;
   std::string format_name() const override { return "dense"; }
   std::size_t storage_bytes() const override {
     return a_.size() * sizeof(Scalar);

@@ -39,6 +39,14 @@ class Matrix {
   /// d[i] = A(i,i); requires a square matrix.
   virtual void get_diagonal(Vector& d) const = 0;
 
+  /// Kestrel Aegis ABFT hook: c = Aᵀ·1 (column checksums) computed from the
+  /// format's own storage at assembly time. For a fault-free SpMV,
+  /// c·x == Σᵢ(A·x)ᵢ up to rounding; aegis::AbftMatrix verifies that
+  /// invariant after every multiply. Every KESTREL_REGISTER_KERNEL format
+  /// must implement this (enforced by tools/kestrel_lint.py, rule
+  /// abft-hook).
+  virtual void abft_col_checksum(Vector& c) const = 0;
+
   virtual std::string format_name() const = 0;
 
   /// Actual bytes of matrix storage (values + all index metadata).

@@ -196,6 +196,22 @@ void Sell::spmv_sorted_fixup(Scalar* y) const {
   }
 }
 
+void Sell::abft_col_checksum(Vector& c) const {
+  c.resize(n_);
+  c.set(0.0);
+  // rlen bounds the walk to real entries, so padding (whatever column index
+  // it carries) never contributes.
+  for (Index p = 0; p < m_; ++p) {
+    const Index s = p / c_;
+    const Index lane = p % c_;
+    const Index base = sliceptr_[static_cast<std::size_t>(s)];
+    for (Index j = 0; j < rlen_[static_cast<std::size_t>(p)]; ++j) {
+      const std::size_t k = static_cast<std::size_t>(base + j * c_ + lane);
+      c[colidx_[k]] += val_[k];
+    }
+  }
+}
+
 void Sell::get_diagonal(Vector& d) const {
   KESTREL_CHECK(m_ == n_, "get_diagonal requires a square matrix");
   d.resize(m_);

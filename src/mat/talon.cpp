@@ -210,6 +210,30 @@ void Talon::get_diagonal(Vector& d) const {
   }
 }
 
+void Talon::abft_col_checksum(Vector& c) const {
+  c.resize(n_);
+  c.set(0.0);
+  for (Index p = 0; p < npanels_; ++p) {
+    const Index row0 = panel_row_[static_cast<std::size_t>(p)];
+    const Index r = panel_row_[static_cast<std::size_t>(p) + 1] - row0;
+    Index v = panel_valptr_[static_cast<std::size_t>(p)];
+    for (Index b = panel_blockptr_[static_cast<std::size_t>(p)];
+         b < panel_blockptr_[static_cast<std::size_t>(p) + 1]; ++b) {
+      const Index c0 = block_col_[static_cast<std::size_t>(b)];
+      const std::uint32_t mask = block_mask_[static_cast<std::size_t>(b)];
+      for (Index j = 0; j < r; ++j) {
+        std::uint32_t bits = (mask >> (8u * static_cast<unsigned>(j))) & 0xFFu;
+        while (bits != 0) {
+          const int k = std::countr_zero(bits);
+          c[c0 + k] += val_[static_cast<std::size_t>(v)];
+          ++v;
+          bits &= bits - 1;
+        }
+      }
+    }
+  }
+}
+
 std::size_t Talon::storage_bytes() const {
   return (panel_row_.size() + panel_blockptr_.size() + panel_valptr_.size() +
           block_col_.size()) *

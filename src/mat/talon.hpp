@@ -51,6 +51,7 @@ class Talon final : public Matrix {
   void spmv(const Scalar* x, Scalar* y) const override;
   using Matrix::spmv;
   void get_diagonal(Vector& d) const override;
+  void abft_col_checksum(Vector& c) const override;
   std::string format_name() const override { return "talon"; }
   std::size_t storage_bytes() const override;
   std::size_t spmv_traffic_bytes() const override;

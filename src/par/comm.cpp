@@ -8,6 +8,7 @@
 #include <sstream>
 #include <thread>
 
+#include "aegis/fault.hpp"
 #include "base/error.hpp"
 #include "par/checker.hpp"
 #include "prof/profiler.hpp"
@@ -36,22 +37,25 @@ Scalar reduce2(Scalar a, Scalar b, Comm::ReduceOp op) {
 }
 
 /// Describes a blocked matching-receive for hang reports, translating the
-/// internal collective tags back into user-facing operation names.
-std::string take_context(int source, int tag) {
+/// internal collective tags back into user-facing operation names. Always
+/// names the offending channel's (src, dst, tag) so a fault-injection test
+/// (or a user) can see exactly which link stalled.
+std::string take_context(int self, int source, int tag) {
   std::ostringstream os;
   switch (tag) {
     case kTagReduceUp:
     case kTagReduceDown:
-      os << "allreduce/barrier (source=" << source << ")";
+      os << "allreduce/barrier";
       break;
     case kTagGatherUp:
     case kTagGatherDown:
-      os << "allgatherv (source=" << source << ")";
+      os << "allgatherv";
       break;
     default:
-      os << "recv(source=" << source << ", tag=" << tag << ")";
+      os << "recv";
       break;
   }
+  os << " (src=" << source << ", dst=" << self << ", tag=" << tag << ")";
   return os.str();
 }
 
@@ -102,6 +106,10 @@ struct GhostChannel {
   Index recv_count = 0;
   std::atomic<std::uint64_t> armed{0};
   std::atomic<std::uint64_t> delivered{0};
+  /// Aegis end-to-end payload checksum of the current round's slice,
+  /// written (relaxed) before the delivered bump that publishes it; the
+  /// receiver validates it in wait_any when a fault plan is attached.
+  std::atomic<std::uint64_t> xsum{0};
   std::atomic<int> sender_parked{0};
   std::mutex mu;  ///< parking only; never taken on the fast path
   std::condition_variable cv;
@@ -120,6 +128,12 @@ FabricOptions::FabricOptions() {
   if (const char* v = std::getenv("KESTREL_FABRIC_HANG_TIMEOUT")) {
     hang_timeout_s = std::strtod(v, nullptr);
   }
+  // Millisecond override (Kestrel Aegis): fault-injection tests need short
+  // bounded waits without flaking the second-granularity knob above.
+  if (const char* v = std::getenv("KESTREL_FABRIC_TIMEOUT_MS")) {
+    hang_timeout_s = std::strtod(v, nullptr) / 1000.0;
+  }
+  faults = aegis::FaultPlan::from_env();
 }
 
 // ---- Comm ------------------------------------------------------------
@@ -315,6 +329,11 @@ void Comm::publish_stats_metrics() {
       prof::current().set_metric(c.name, static_cast<double>(total));
     }
   }
+  // Aegis counters are process-global atomics (every rank already sees the
+  // totals), so no reduction is needed — each rank stamps the same values.
+  if (prof::enabled()) {
+    aegis::publish_metrics(prof::current());
+  }
 }
 
 // ---- PersistentExchange ----------------------------------------------
@@ -361,6 +380,7 @@ void PersistentExchange::arm() {
                 "arm: previous exchange round not fully drained");
   ++round_;
   completed_ = 0;
+  fabric_->maybe_kill(rank_, "persistent exchange arm");
   if (FabricChecker* chk = fabric_->checker_.get()) {
     chk->on_channel_arm(rank_, nrecv());
   }
@@ -391,6 +411,49 @@ void PersistentExchange::send(int send_idx, const Scalar* packed,
   FabricStats& st = *fabric_->stats_[static_cast<std::size_t>(rank_)];
   GhostChannel& ch = *s.ch;
   const std::uint64_t k = ++s.seq;
+  const aegis::FaultPlan* plan = fabric_->opts_.faults.get();
+  if (plan != nullptr) {
+    fabric_->maybe_kill(rank_, "persistent channel send");
+    if (plan->corrupts_messages()) {
+      // A persistent channel is a single-slot rendezvous: the armed/
+      // delivered round counters already deduplicate and order rounds, so
+      // dup/reorder verdicts degenerate to a recoverable retransmission,
+      // exactly like drop and bit-flip (whose corrupted attempts the
+      // receiver NACKs via the end-to-end checksum below). Delay is a
+      // plain in-flight stall.
+      const aegis::FaultVerdict verdict =
+          plan->message_fault(rank_, s.peer, /*tag=*/send_idx, k);
+      aegis::AegisStats& ast = aegis::stats();
+      if (verdict.kind == aegis::FaultKind::kDelay) {
+        ast.faults_injected++;
+        ast.delays++;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(plan->delay_ms()));
+      } else if (verdict.kind != aegis::FaultKind::kNone &&
+                 verdict.kind != aegis::FaultKind::kKillRank) {
+        ast.faults_injected++;
+        for (int attempt = 0; attempt < verdict.repeat; ++attempt) {
+          if (attempt >= plan->max_retries()) {
+            throw RankFailure(
+                rank_,
+                std::string("unrecoverable ") +
+                    aegis::fault_kind_name(verdict.kind) +
+                    " fault: persistent channel (src=" +
+                    std::to_string(rank_) + ", dst=" +
+                    std::to_string(s.peer) + ", round " + std::to_string(k) +
+                    ") still faulty after " +
+                    std::to_string(plan->max_retries()) + " retries",
+                __FILE__, __LINE__);
+          }
+          if (verdict.kind == aegis::FaultKind::kBitFlip) {
+            ast.checksum_failures++;
+          }
+          ast.retries++;
+          aegis::backoff_sleep(attempt);
+        }
+      }
+    }
+  }
   if (ch.armed.load(std::memory_order_seq_cst) < k &&
       !spin_before_park([&] {
         return ch.armed.load(std::memory_order_seq_cst) >= k ||
@@ -415,7 +478,8 @@ void PersistentExchange::send(int send_idx, const Scalar* packed,
           ch.sender_parked.fetch_sub(1, std::memory_order_seq_cst);
           lock.unlock();
           std::ostringstream os;
-          os << "persistent send(dest=" << s.peer
+          os << "persistent channel send (src=" << rank_ << ", dst="
+             << s.peer << ", tag=" << send_idx
              << "): peer never re-armed the channel";
           fabric_->hang_failure(rank_, os.str());
         }
@@ -426,7 +490,7 @@ void PersistentExchange::send(int send_idx, const Scalar* packed,
     ch.sender_parked.fetch_sub(1, std::memory_order_seq_cst);
     if (fabric_->aborted_.load(std::memory_order_relaxed) &&
         ch.armed.load(std::memory_order_seq_cst) < k) {
-      KESTREL_FAIL("fabric aborted: a peer rank threw an exception");
+      fabric_->abort_failure();
     }
   }
   // armed >= k (seq_cst) also publishes dest/recv_count from the receiver's
@@ -435,6 +499,14 @@ void PersistentExchange::send(int send_idx, const Scalar* packed,
                 "send: sender plan count does not match receiver plan count");
   std::memcpy(ch.dest, packed, static_cast<std::size_t>(count) *
                                    sizeof(Scalar));
+  if (plan != nullptr && plan->corrupts_messages()) {
+    // End-to-end integrity: published before (and by) the delivered bump;
+    // the receiver re-checksums the in-place slice in wait_any.
+    ch.xsum.store(
+        aegis::checksum_bytes(ch.dest, static_cast<std::size_t>(count) *
+                                           sizeof(Scalar)),
+        std::memory_order_relaxed);
+  }
   st.channel_sends++;
   st.payload_copies++;
   if (prof::enabled()) {
@@ -475,7 +547,7 @@ int PersistentExchange::wait_any() {
     });
   }
   if (idx < 0 && fabric_->aborted_.load(std::memory_order_relaxed)) {
-    KESTREL_FAIL("fabric aborted: a peer rank threw an exception");
+    fabric_->abort_failure();
   }
   if (idx < 0) {
     // Park on this rank's doorbell. The parked counter is the Dekker flag
@@ -500,8 +572,18 @@ int PersistentExchange::wait_any() {
         if (!bell.cv.wait_until(lock, deadline, ready)) {
           bell.parked.fetch_sub(1, std::memory_order_seq_cst);
           lock.unlock();
-          fabric_->hang_failure(rank_,
-                                "persistent wait_any: no channel delivered");
+          // Name every channel still pending this round, so the report
+          // points at the exact (src, dst, tag) links that stalled.
+          std::ostringstream os;
+          os << "persistent wait_any: no channel delivered; pending:";
+          for (int i = 0; i < nrecv(); ++i) {
+            const RecvSlot& pend = recvs_[static_cast<std::size_t>(i)];
+            if (!pend.done) {
+              os << " (src=" << pend.peer << ", dst=" << rank_
+                 << ", tag=" << i << ")";
+            }
+          }
+          fabric_->hang_failure(rank_, os.str());
         }
       } else {
         bell.cv.wait(lock, ready);
@@ -509,10 +591,28 @@ int PersistentExchange::wait_any() {
     }
     bell.parked.fetch_sub(1, std::memory_order_seq_cst);
     if (idx < 0) {
-      KESTREL_FAIL("fabric aborted: a peer rank threw an exception");
+      fabric_->abort_failure();
     }
   }
   RecvSlot& r = recvs_[static_cast<std::size_t>(idx)];
+  const aegis::FaultPlan* plan = fabric_->opts_.faults.get();
+  if (plan != nullptr && plan->corrupts_messages()) {
+    // End-to-end integrity check of the in-place delivery. The sender's
+    // simulated retransmissions always end in a clean copy, so a mismatch
+    // here means genuine memory corruption — fail structured, naming the
+    // link.
+    const std::uint64_t got = aegis::checksum_bytes(
+        r.ch->dest, static_cast<std::size_t>(r.count) * sizeof(Scalar));
+    if (got != r.ch->xsum.load(std::memory_order_relaxed)) {
+      aegis::stats().checksum_failures++;
+      throw RankFailure(r.peer,
+                        "persistent channel payload checksum mismatch "
+                        "(src=" + std::to_string(r.peer) + ", dst=" +
+                            std::to_string(rank_) + ", tag=" +
+                            std::to_string(idx) + ")",
+                        __FILE__, __LINE__);
+    }
+  }
   r.done = true;
   ++completed_;
   if (FabricChecker* chk = fabric_->checker_.get()) {
@@ -533,10 +633,14 @@ Fabric::Fabric(int nranks, const FabricOptions& opts)
   mailboxes_.reserve(static_cast<std::size_t>(nranks));
   doorbells_.reserve(static_cast<std::size_t>(nranks));
   stats_.reserve(static_cast<std::size_t>(nranks));
+  send_seq_.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
     doorbells_.push_back(std::make_unique<Doorbell>());
     stats_.push_back(std::make_unique<FabricStats>());
+    send_seq_.push_back(
+        std::make_unique<std::map<std::tuple<int, int, bool>,
+                                  std::uint64_t>>());
   }
 }
 
@@ -544,6 +648,20 @@ Fabric::~Fabric() = default;
 
 void Fabric::deliver(int dest, int source, int tag,
                      std::vector<Scalar> payload) {
+  deliver_impl(&Mailbox::queue, dest, source, tag, std::move(payload),
+               /*is_index=*/false);
+}
+
+void Fabric::deliver(int dest, int source, int tag,
+                     std::vector<Index> payload) {
+  deliver_impl(&Mailbox::iqueue, dest, source, tag, std::move(payload),
+               /*is_index=*/true);
+}
+
+template <class T>
+void Fabric::deliver_impl(
+    std::map<std::pair<int, int>, std::deque<FabricEnvelope<T>>> Mailbox::*q,
+    int dest, int source, int tag, std::vector<T> payload, bool is_index) {
   // The payload vector was allocated (and filled by copy) by the sending
   // rank just before this call; count it against that rank.
   FabricStats& st = *stats_[static_cast<std::size_t>(source)];
@@ -551,69 +669,221 @@ void Fabric::deliver(int dest, int source, int tag,
   st.mailbox_allocs++;
   st.payload_copies++;
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dest)];
-  {
-    std::lock_guard<std::mutex> lock(box.mu);
-    box.queue[{source, tag}].push_back(std::move(payload));
+  const aegis::FaultPlan* plan = opts_.faults.get();
+  if (plan != nullptr) maybe_kill(source, "mailbox send");
+  // Enqueues one envelope; a reordered envelope jumps the (source, tag)
+  // queue (push_front), which the receiver heals by consuming in sequence
+  // order rather than arrival order.
+  const auto enqueue = [&](FabricEnvelope<T> env, bool front) {
+    {
+      std::lock_guard<std::mutex> lock(box.mu);
+      auto& dq = (box.*q)[{source, tag}];
+      if (front) {
+        dq.push_front(std::move(env));
+      } else {
+        dq.push_back(std::move(env));
+      }
+    }
+    box.cv.notify_all();
+  };
+  if (plan == nullptr || !plan->corrupts_messages()) {
+    // Fault-free fast path (also kill-only plans): unchecked envelope, no
+    // sequence-number or checksum work.
+    FabricEnvelope<T> env;
+    env.payload = std::move(payload);
+    enqueue(std::move(env), /*front=*/false);
+    return;
   }
-  box.cv.notify_all();
-}
-
-void Fabric::deliver(int dest, int source, int tag,
-                     std::vector<Index> payload) {
-  FabricStats& st = *stats_[static_cast<std::size_t>(source)];
-  st.mailbox_msgs++;
-  st.mailbox_allocs++;
-  st.payload_copies++;
-  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dest)];
-  {
-    std::lock_guard<std::mutex> lock(box.mu);
-    box.iqueue[{source, tag}].push_back(std::move(payload));
+  auto& seq_map = *send_seq_[static_cast<std::size_t>(source)];
+  const std::uint64_t seq = ++seq_map[{dest, tag, is_index}];
+  const std::uint64_t sum = aegis::checksum_bytes(
+      payload.data(), payload.size() * sizeof(T));
+  aegis::AegisStats& ast = aegis::stats();
+  const aegis::FaultVerdict verdict =
+      plan->message_fault(source, dest, tag, seq);
+  bool reorder = false;
+  switch (verdict.kind) {
+    case aegis::FaultKind::kNone:
+    case aegis::FaultKind::kKillRank:
+      break;
+    case aegis::FaultKind::kDelay: {
+      ast.faults_injected++;
+      ast.delays++;
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          plan->delay_ms()));
+      break;
+    }
+    case aegis::FaultKind::kDuplicate: {
+      // Stale copy first; it carries the same sequence number, so the
+      // receiver consumes one copy and discards the other as a duplicate.
+      ast.faults_injected++;
+      FabricEnvelope<T> dup;
+      dup.seq = seq;
+      dup.sum = sum;
+      dup.checked = true;
+      dup.payload = payload;
+      enqueue(std::move(dup), /*front=*/false);
+      break;
+    }
+    case aegis::FaultKind::kReorder: {
+      ast.faults_injected++;
+      reorder = true;
+      break;
+    }
+    case aegis::FaultKind::kDrop:
+    case aegis::FaultKind::kBitFlip: {
+      // The link eats (or corrupts) the message for `repeat` consecutive
+      // attempts; the sender retransmits with exponential backoff until its
+      // retry budget runs out, at which point the link is declared dead and
+      // the failure unwinds the whole fabric as a structured error.
+      ast.faults_injected++;
+      for (int attempt = 0; attempt < verdict.repeat; ++attempt) {
+        if (attempt >= plan->max_retries()) {
+          throw RankFailure(
+              source,
+              std::string("unrecoverable ") +
+                  aegis::fault_kind_name(verdict.kind) + " fault: link to "
+                  "rank " + std::to_string(dest) + " (tag " +
+                  std::to_string(tag) + ", seq " + std::to_string(seq) +
+                  ") still faulty after " +
+                  std::to_string(plan->max_retries()) + " retries",
+              __FILE__, __LINE__);
+        }
+        if (verdict.kind == aegis::FaultKind::kBitFlip) {
+          // The corrupted attempt really reaches the receiver: same seq,
+          // checksum of the CLEAN payload, one bit flipped in flight. The
+          // receiver detects the mismatch and discards it.
+          FabricEnvelope<T> bad;
+          bad.seq = seq;
+          bad.sum = sum;
+          bad.checked = true;
+          bad.payload = payload;
+          if (!bad.payload.empty()) {
+            auto* bytes = reinterpret_cast<unsigned char*>(
+                bad.payload.data());
+            bytes[static_cast<std::size_t>(attempt) %
+                  (bad.payload.size() * sizeof(T))] ^= 0x40;
+          }
+          enqueue(std::move(bad), /*front=*/false);
+        }
+        ast.retries++;
+        aegis::backoff_sleep(attempt);
+      }
+      break;
+    }
   }
-  box.cv.notify_all();
+  FabricEnvelope<T> env;
+  env.seq = seq;
+  env.sum = sum;
+  env.checked = true;
+  env.payload = std::move(payload);
+  enqueue(std::move(env), reorder);
 }
 
 template <class T>
 std::vector<T> Fabric::take_from(
-    std::map<std::pair<int, int>, std::deque<std::vector<T>>> Mailbox::*q,
+    std::map<std::pair<int, int>, std::deque<FabricEnvelope<T>>> Mailbox::*q,
+    std::map<std::pair<int, int>, std::uint64_t> Mailbox::*seen,
     int self, int source, int tag) {
+  const aegis::FaultPlan* plan = opts_.faults.get();
+  if (plan != nullptr) maybe_kill(self, "mailbox receive");
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(self)];
   std::unique_lock<std::mutex> lock(box.mu);
   const auto key = std::make_pair(source, tag);
-  const auto ready = [&] {
-    if (aborted_.load(std::memory_order_relaxed)) return true;
-    auto it = (box.*q).find(key);
-    return it != (box.*q).end() && !it->second.empty();
-  };
-  if (checker_ != nullptr && opts_.hang_timeout_s > 0) {
-    // Bounded wait: a lost wakeup or a deadlocked peer would otherwise hang
-    // this rank forever. On timeout, abort the fabric (so peers unblock)
-    // and report who was stuck on what.
-    const auto deadline =
-        std::chrono::steady_clock::now() +
-        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-            std::chrono::duration<double>(opts_.hang_timeout_s));
-    if (!box.cv.wait_until(lock, deadline, ready)) {
-      lock.unlock();
-      hang_failure(self, take_context(source, tag));
+  // Duplicate and corrupted envelopes are consumed and discarded inside the
+  // loop, which can leave the queue empty again — hence wait-and-rescan
+  // until a genuinely new, intact envelope is accepted.
+  for (;;) {
+    const auto ready = [&] {
+      if (aborted_.load(std::memory_order_relaxed)) return true;
+      auto it = (box.*q).find(key);
+      return it != (box.*q).end() && !it->second.empty();
+    };
+    if (checker_ != nullptr && opts_.hang_timeout_s > 0) {
+      // Bounded wait: a lost wakeup or a deadlocked peer would otherwise
+      // hang this rank forever. On timeout, abort the fabric (so peers
+      // unblock) and report who was stuck on what.
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(opts_.hang_timeout_s));
+      if (!box.cv.wait_until(lock, deadline, ready)) {
+        lock.unlock();
+        hang_failure(self, take_context(self, source, tag));
+      }
+    } else {
+      box.cv.wait(lock, ready);
     }
-  } else {
-    box.cv.wait(lock, ready);
+    auto it = (box.*q).find(key);
+    if (it == (box.*q).end() || it->second.empty()) {
+      abort_failure();
+    }
+    auto& dq = it->second;
+    if (!dq.front().checked) {
+      // Fault-free fast path: strict FIFO, no bookkeeping.
+      std::vector<T> payload = std::move(dq.front().payload);
+      dq.pop_front();
+      return payload;
+    }
+    // Aegis path: consume in sequence order (heals reordering), discard
+    // duplicates (seq already seen) and corrupted payloads (checksum
+    // mismatch; the clean retransmission follows).
+    auto best = dq.begin();
+    for (auto e = std::next(dq.begin()); e != dq.end(); ++e) {
+      if (e->seq < best->seq) best = e;
+    }
+    aegis::AegisStats& ast = aegis::stats();
+    std::uint64_t& seen_seq = (box.*seen)[key];
+    if (best->seq <= seen_seq) {
+      dq.erase(best);
+      ast.duplicates_dropped++;
+      continue;
+    }
+    if (aegis::checksum_bytes(best->payload.data(),
+                              best->payload.size() * sizeof(T)) !=
+        best->sum) {
+      dq.erase(best);
+      ast.checksum_failures++;
+      continue;
+    }
+    if (best != dq.begin()) ast.reorders_healed++;
+    seen_seq = best->seq;
+    std::vector<T> payload = std::move(best->payload);
+    dq.erase(best);
+    return payload;
   }
-  auto it = (box.*q).find(key);
-  if (it == (box.*q).end() || it->second.empty()) {
-    KESTREL_FAIL("fabric aborted: a peer rank threw an exception");
-  }
-  std::vector<T> payload = std::move(it->second.front());
-  it->second.pop_front();
-  return payload;
 }
 
 std::vector<Scalar> Fabric::take(int self, int source, int tag) {
-  return take_from(&Mailbox::queue, self, source, tag);
+  return take_from(&Mailbox::queue, &Mailbox::seq_seen, self, source, tag);
 }
 
 std::vector<Index> Fabric::take_indices(int self, int source, int tag) {
-  return take_from(&Mailbox::iqueue, self, source, tag);
+  return take_from(&Mailbox::iqueue, &Mailbox::iseq_seen, self, source, tag);
+}
+
+void Fabric::maybe_kill(int rank, const char* where) const {
+  const aegis::FaultPlan* plan = opts_.faults.get();
+  if (plan == nullptr || !plan->check_kill(rank)) return;
+  aegis::stats().rank_kills++;
+  throw RankFailure(rank,
+                    std::string("injected rank kill at ") + where +
+                        " (fault plan '" + plan->spec() + "')",
+                    __FILE__, __LINE__);
+}
+
+void Fabric::abort_failure() const {
+  // Every unwinding rank reports the same root cause, so a test (or an
+  // operator) can assert the structured failure on all ranks, not just the
+  // one that died.
+  const int first = first_failed_rank_.load(std::memory_order_seq_cst);
+  if (first >= 0) {
+    throw RankFailure(first,
+                      "fabric aborted: unwinding pending operations after "
+                      "the failure of rank " + std::to_string(first),
+                      __FILE__, __LINE__);
+  }
+  KESTREL_FAIL("fabric aborted: a peer rank threw an exception");
 }
 
 GhostChannel* Fabric::open_channel_endpoint(int src, int dst,

@@ -33,9 +33,14 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <tuple>
 #include <vector>
 
 #include "base/types.hpp"
+
+namespace kestrel::aegis {
+class FaultPlan;
+}
 
 namespace kestrel::par {
 
@@ -230,12 +235,29 @@ class Comm {
 ///   * check: KESTREL_FABRIC_CHECK=0/1 if set; else KESTREL_FABRIC_CHECK_DEFAULT
 ///     if compiled in (the sanitizer presets define it to 1); else on in
 ///     debug (!NDEBUG) builds and off in release builds.
-///   * hang_timeout_s: KESTREL_FABRIC_HANG_TIMEOUT seconds if set, else 30.
-///     Only active while checking; <= 0 disables hang detection.
+///   * hang_timeout_s: KESTREL_FABRIC_TIMEOUT_MS milliseconds if set, else
+///     KESTREL_FABRIC_HANG_TIMEOUT seconds if set, else 30s. Only active
+///     while checking; <= 0 disables hang detection.
+///   * faults: the Kestrel Aegis fault-injection plan; parsed from
+///     KESTREL_AEGIS when set, nullptr (no injection) otherwise.
 struct FabricOptions {
   FabricOptions();  // resolves the defaults described above
   bool check;
   double hang_timeout_s;
+  std::shared_ptr<const aegis::FaultPlan> faults;
+};
+
+/// One mailbox message (Kestrel Aegis envelope): the payload plus the
+/// per-(source, tag) sequence number and payload checksum that let the
+/// receiver discard duplicates/corruption and re-sequence reordered
+/// deliveries. seq stays 0 (and checks are skipped) when no fault plan is
+/// attached, so the fault-free fast path pays nothing.
+template <class T>
+struct FabricEnvelope {
+  std::uint64_t seq = 0;
+  std::uint64_t sum = 0;    ///< FNV-1a of payload bytes; valid iff checked
+  bool checked = false;
+  std::vector<T> payload;
 };
 
 /// Owns the mailboxes, persistent channels and threads. Usage:
@@ -257,9 +279,14 @@ class Fabric {
   struct Mailbox {
     std::mutex mu;
     std::condition_variable cv;
-    // (source, tag) -> FIFO of message payloads, one queue per payload type
-    std::map<std::pair<int, int>, std::deque<std::vector<Scalar>>> queue;
-    std::map<std::pair<int, int>, std::deque<std::vector<Index>>> iqueue;
+    // (source, tag) -> FIFO of message envelopes, one queue per payload type
+    std::map<std::pair<int, int>, std::deque<FabricEnvelope<Scalar>>> queue;
+    std::map<std::pair<int, int>, std::deque<FabricEnvelope<Index>>> iqueue;
+    // Highest sequence number consumed per (source, tag) stream; entries at
+    // or below it are duplicates. Guarded by mu. Only populated when a
+    // fault plan is active.
+    std::map<std::pair<int, int>, std::uint64_t> seq_seen;
+    std::map<std::pair<int, int>, std::uint64_t> iseq_seen;
   };
 
   /// Per-rank doorbell for PersistentExchange::wait_any: senders ring it
@@ -282,11 +309,18 @@ class Fabric {
 
   void deliver(int dest, int source, int tag, std::vector<Scalar> payload);
   void deliver(int dest, int source, int tag, std::vector<Index> payload);
+  template <class T>
+  void deliver_impl(
+      std::map<std::pair<int, int>, std::deque<FabricEnvelope<T>>>
+          Mailbox::*q,
+      int dest, int source, int tag, std::vector<T> payload, bool is_index);
   std::vector<Scalar> take(int self, int source, int tag);
   std::vector<Index> take_indices(int self, int source, int tag);
   template <class T>
   std::vector<T> take_from(
-      std::map<std::pair<int, int>, std::deque<std::vector<T>>> Mailbox::*q,
+      std::map<std::pair<int, int>, std::deque<FabricEnvelope<T>>>
+          Mailbox::*q,
+      std::map<std::pair<int, int>, std::uint64_t> Mailbox::*seen,
       int self, int source, int tag);
   /// Claims the next channel slot for (src -> dst) on the given side,
   /// creating the channel if this endpoint registers first.
@@ -295,6 +329,12 @@ class Fabric {
   /// cannot deadlock the rest of the fabric.
   void abort_all();
   [[noreturn]] void hang_failure(int rank, const std::string& what);
+  /// Unwind path for a rank woken by abort_all: throws the structured
+  /// RankFailure naming the root-cause rank when it is known, the generic
+  /// fabric-aborted error otherwise.
+  [[noreturn]] void abort_failure() const;
+  /// Throws RankFailure if the fault plan kills `rank` at this consultation.
+  void maybe_kill(int rank, const char* where) const;
 
   int nranks_;
   FabricOptions opts_;
@@ -302,6 +342,11 @@ class Fabric {
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<Doorbell>> doorbells_;
   std::vector<std::unique_ptr<FabricStats>> stats_;
+  /// Per-rank sender sequence counters, keyed (dest, tag, index-stream).
+  /// Single-writer: only the owning rank's thread sends from it.
+  std::vector<std::unique_ptr<
+      std::map<std::tuple<int, int, bool>, std::uint64_t>>>
+      send_seq_;
   std::mutex channels_mu_;
   std::map<std::pair<int, int>, ChannelSlots> channels_;
   std::atomic<bool> aborted_{false};

@@ -1,7 +1,10 @@
 #include "par/parmat.hpp"
 
 #include <algorithm>
+#include <cmath>
 
+#include "aegis/abft.hpp"
+#include "aegis/fault.hpp"
 #include "base/error.hpp"
 #include "prof/profiler.hpp"
 #include "simd/dispatch.hpp"
@@ -224,6 +227,20 @@ ParMatrix::ParMatrix(const mat::Csr& local_rows, LayoutPtr layout,
   // The persistent channels themselves open lazily at the first spmv (see
   // ensure_exchange): registration needs this object's final ghost_
   // address, and the constructor's matrix may still be moved/copied.
+
+  // ---- Kestrel Aegis ABFT setup ---------------------------------------
+  // Column checksums at assembly, per block: the distributed invariant is
+  // c_diag·x_local + c_off·ghost == Σ y_local on every rank (no extra
+  // communication — each rank verifies its own row block independently).
+  abft_ = opts.abft;
+  abft_tol_ = opts.abft_tol;
+  if (abft_) {
+    diag_->abft_col_checksum(abft_cdiag_);
+    // The compressed CSR's column space is already the packed ghost space,
+    // and the SELL/Talon off-diagonal alternatives store exactly the same
+    // entries, so one checksum covers all three representations.
+    offdiag_.abft_col_checksum(abft_coff_);
+  }
 }
 
 void ParMatrix::ensure_exchange(Comm& comm) const {
@@ -317,11 +334,33 @@ void ParMatrix::spmv_local(const Scalar* x_local, Vector& y_local,
     }
   }
 
+  // Local compute, factored so the ABFT path can recompute it (steps 2+4)
+  // from the already-exchanged ghost values on a checksum mismatch.
+  const auto diag_multiply = [&] {
+    y_local.resize(local_rows());
+    diag_->spmv(x_local, y_local.data());
+  };
+  const auto offdiag_multiply = [&] {
+    if (offdiag_sell_) {
+      if (nghost_ > 0) {
+        offdiag_sell_->spmv_add(ghost_.data(), y_local.data());
+      }
+    } else if (offdiag_talon_) {
+      if (nghost_ > 0) {
+        offdiag_talon_->spmv_add(ghost_.data(), y_local.data());
+      }
+    } else if (!offdiag_rows_.empty()) {
+      auto fn = simd::lookup_as<simd::CsrSpmvAddRowsFn>(
+          simd::Op::kCsrSpmvAddRows, offdiag_.tier());
+      fn(offdiag_.view(), offdiag_rows_.data(), ghost_.data(),
+         y_local.data());
+    }
+  };
+
   // (2) diagonal block with the local x — overlaps with message delivery.
   {
     prof::ScopedEvent local(ev_local);
-    y_local.resize(local_rows());
-    diag_->spmv(x_local, y_local.data());
+    diag_multiply();
   }
 
   // (3) wait for ghost values. Persistent path: complete in arrival order
@@ -348,20 +387,61 @@ void ParMatrix::spmv_local(const Scalar* x_local, Vector& y_local,
   }
 
   // (4) off-diagonal block accumulates into y.
-  prof::ScopedEvent off(ev_off);
-  if (offdiag_sell_) {
-    if (nghost_ > 0) {
-      offdiag_sell_->spmv_add(ghost_.data(), y_local.data());
+  {
+    prof::ScopedEvent off(ev_off);
+    offdiag_multiply();
+  }
+
+  // (5) ABFT verification (Kestrel Aegis): each rank checks its local row
+  // block against the assembly-time column checksums; a transient fault
+  // heals with one local recompute (the ghost values are already in
+  // place — no re-communication), a persistent one throws AbftError.
+  if (abft_) {
+    aegis::AegisStats& ast = aegis::stats();
+    const auto verify_local = [&](Scalar* drift) {
+      // Combined check c_diag·x + c_off·ghost − Σy = 0, so rounding in
+      // either term is pooled into one drift and one scale. The reductions
+      // are the tier-dispatched Aegis passes (aegis/abft.hpp).
+      Scalar cxd = 0.0, cxd_abs = 0.0, cxo = 0.0, cxo_abs = 0.0;
+      aegis::dot_abs(abft_cdiag_.data(), x_local, abft_cdiag_.size(), &cxd,
+                     &cxd_abs);
+      aegis::dot_abs(abft_coff_.data(), ghost_.data(), abft_coff_.size(),
+                     &cxo, &cxo_abs);
+      Scalar ysum = 0.0, ysum_abs = 0.0;
+      aegis::sum_abs(y_local.data(), y_local.size(), &ysum, &ysum_abs);
+      *drift = std::abs((cxd + cxo) - ysum);
+      if (std::isnan(*drift)) return false;
+      return *drift <= abft_tol_ * (cxd_abs + cxo_abs + ysum_abs + 1.0);
+    };
+    Scalar drift = 0.0;
+    bool ok;
+    {
+      KESTREL_PROF_SPMV(
+          "AbftVerify",
+          2 * (local_rows() + abft_cdiag_.size() + abft_coff_.size()),
+          sizeof(Scalar) *
+              static_cast<std::size_t>(2 * (abft_cdiag_.size() +
+                                            abft_coff_.size()) +
+                                       local_rows()));
+      ast.abft_verifications++;
+      ok = verify_local(&drift);
     }
-  } else if (offdiag_talon_) {
-    if (nghost_ > 0) {
-      offdiag_talon_->spmv_add(ghost_.data(), y_local.data());
+    if (!ok) {
+      ast.abft_failures++;
+      ast.abft_retries++;
+      diag_multiply();
+      offdiag_multiply();
+      ast.abft_verifications++;
+      if (verify_local(&drift)) {
+        ast.recoveries++;
+      } else {
+        throw AbftError(
+            "parmat(" + diag_->format_name() + ")", drift,
+            "distributed checksum invariant still violated after local "
+            "recompute on rank " + std::to_string(rank_),
+            __FILE__, __LINE__);
+      }
     }
-  } else if (!offdiag_rows_.empty()) {
-    auto fn = simd::lookup_as<simd::CsrSpmvAddRowsFn>(
-        simd::Op::kCsrSpmvAddRows, offdiag_.tier());
-    fn(offdiag_.view(), offdiag_rows_.data(), ghost_.data(),
-       y_local.data());
   }
 }
 

@@ -59,6 +59,11 @@ struct ParMatrixOptions {
   /// Ghost exchange transport: persistent zero-copy channels (default) or
   /// the seed mailbox path (see the header comment).
   bool persistent_ghosts = true;
+  /// Kestrel Aegis ABFT: precompute per-block column checksums at assembly
+  /// and verify c_diag·x + c_off·ghost == Σy after every spmv, recomputing
+  /// the local multiply once on a mismatch before throwing AbftError.
+  bool abft = false;
+  Scalar abft_tol = 1e-8;
 };
 
 class ParMatrix {
@@ -123,6 +128,12 @@ class ParMatrix {
 
   bool persistent_ghosts_ = true;
   simd::GatherPackFn gather_fn_ = nullptr;  ///< resolved pack kernel
+
+  // Kestrel Aegis ABFT state (empty unless ParMatrixOptions::abft).
+  bool abft_ = false;
+  Scalar abft_tol_ = 1e-8;
+  Vector abft_cdiag_;  ///< diag blockᵀ·1 over the local column space
+  Vector abft_coff_;   ///< offdiag blockᵀ·1 over the packed ghost space
 
   mutable Vector ghost_;                 ///< packed ghost values
   /// One pre-sized pack buffer for all peers: plan i packs into

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "aegis/fault.hpp"
 #include "base/error.hpp"
 #include "ksp/context.hpp"
 #include "mat/coo.hpp"
@@ -55,27 +56,52 @@ NewtonResult newton_solve(const NonlinearFunction& f, Vector& u,
   KESTREL_CHECK(opts.pc_lag >= 1, "newton: pc_lag must be >= 1");
   std::unique_ptr<pc::Pc> pc;
   for (int it = 1; it <= opts.max_iterations; ++it) {
-    if (plog != nullptr) plog->begin(ev_jac);
-    const mat::Csr jac = f.jacobian(u);
-    const auto op = format_factory(jac);
-    if (plog != nullptr) plog->end(ev_jac);
-    if (!pc || (it - 1) % opts.pc_lag == 0) {
-      if (plog != nullptr) plog->begin(ev_pc);
-      pc = pc_factory(jac);
-      if (plog != nullptr) plog->end(ev_pc);
-    }
+    // Kestrel Aegis: an AbftError out of the KSP means the operator's
+    // checksum retry could not clear the corruption — the assembled matrix
+    // itself is suspect. Rebuilding it from the user callback replaces the
+    // corrupted storage, so the iteration gets exactly one fresh-assembly
+    // retry (with a fresh preconditioner) before the error propagates.
+    ksp::SolveResult lin;
+    std::int64_t jac_nnz = 0;
+    int attempt = 0;
+    for (bool solved = false; !solved; ++attempt) {
+      try {
+        if (plog != nullptr) plog->begin(ev_jac);
+        const mat::Csr jac = f.jacobian(u);
+        jac_nnz = jac.nnz();
+        const auto op = format_factory(jac);
+        if (plog != nullptr) plog->end(ev_jac);
+        if (!pc || (it - 1) % opts.pc_lag == 0 || attempt > 0) {
+          if (plog != nullptr) plog->begin(ev_pc);
+          pc = pc_factory(jac);
+          if (plog != nullptr) plog->end(ev_pc);
+        }
 
-    // solve J du = -F
-    rhs.copy_from(fvec);
-    rhs.scale(-1.0);
-    du.set(0.0);
-    ksp::SeqContext ctx(*op, pc.get());
-    if (plog != nullptr) plog->begin(ev_ksp);
-    const ksp::SolveResult lin = solver->solve(ctx, rhs, du);
-    if (plog != nullptr) {
-      plog->end(ev_ksp, static_cast<std::uint64_t>(lin.iterations) * 2u *
-                            static_cast<std::uint64_t>(jac.nnz()));
+        // solve J du = -F
+        rhs.copy_from(fvec);
+        rhs.scale(-1.0);
+        du.set(0.0);
+        ksp::SeqContext ctx(*op, pc.get());
+        if (plog != nullptr) plog->begin(ev_ksp);
+        try {
+          lin = solver->solve(ctx, rhs, du);
+        } catch (...) {
+          // keep the profiler's begin/end nesting intact across the unwind
+          if (plog != nullptr) plog->end(ev_ksp);
+          throw;
+        }
+        if (plog != nullptr) {
+          plog->end(ev_ksp, static_cast<std::uint64_t>(lin.iterations) * 2u *
+                                static_cast<std::uint64_t>(jac_nnz));
+        }
+        solved = true;
+      } catch (const AbftError&) {
+        if (attempt >= 1) throw;
+        aegis::stats().abft_retries++;
+        result.abft_retries++;
+      }
     }
+    if (attempt > 1) aegis::stats().recoveries++;
     result.total_linear_iterations += lin.iterations;
     if (!lin.converged && lin.reason != ksp::Reason::kDivergedMaxIts) {
       // hard linear failure (NaN/breakdown): stop

@@ -61,6 +61,9 @@ struct NewtonResult {
   int iterations = 0;
   Scalar fnorm = 0.0;
   int total_linear_iterations = 0;
+  /// Fresh-Jacobian retries taken after an AbftError escaped the KSP
+  /// (Kestrel Aegis); 0 on a clean solve.
+  int abft_retries = 0;
 };
 
 /// Solves F(u) = 0, updating u in place from the supplied initial guess.

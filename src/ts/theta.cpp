@@ -1,5 +1,6 @@
 #include "ts/theta.hpp"
 
+#include "aegis/fault.hpp"
 #include "base/error.hpp"
 #include "mat/spgemm.hpp"
 #include "prof/profiler.hpp"
@@ -54,19 +55,47 @@ ThetaResult theta_integrate(const RhsFunction& f, Vector& u,
                 "theta: implicit weight must be in (0, 1]");
   KESTREL_CHECK(opts.dt > 0.0 && opts.steps >= 0, "theta: bad step setup");
 
+  KESTREL_CHECK(opts.checkpoint_every >= 0 && opts.max_rollbacks >= 0,
+                "theta: bad checkpoint setup");
+
   ThetaResult result;
   Vector u_old(f.size());
+
+  // Kestrel Aegis checkpointing: u_ckpt holds the state after step
+  // ckpt_step; on a failed step the loop rewinds there and replays.
+  const bool checkpointing = opts.checkpoint_every > 0;
+  Vector u_ckpt;
+  int ckpt_step = 0;
+  if (checkpointing) {
+    u_ckpt.resize(f.size());
+    u_ckpt.copy_from(u);
+  }
+
   for (int step = 1; step <= opts.steps; ++step) {
     u_old.copy_from(u);
     ThetaStage stage(f, u_old, opts.theta, opts.dt);
     // warm start from the previous state
-    const snes::NewtonResult newton = snes::newton_solve(stage, u,
-                                                         opts.newton);
+    snes::NewtonResult newton;
+    bool step_failed = false;
+    try {
+      newton = snes::newton_solve(stage, u, opts.newton);
+      step_failed = !newton.converged;
+    } catch (const AbftError&) {
+      if (!checkpointing || result.rollbacks >= opts.max_rollbacks) throw;
+      step_failed = true;
+    }
     result.total_newton_iterations += newton.iterations;
     result.total_linear_iterations += newton.total_linear_iterations;
-    if (!newton.converged) {
-      result.completed = false;
-      return result;
+    if (step_failed) {
+      if (!checkpointing || result.rollbacks >= opts.max_rollbacks) {
+        result.completed = false;
+        return result;
+      }
+      result.rollbacks++;
+      aegis::stats().rollbacks++;
+      u.copy_from(u_ckpt);
+      step = ckpt_step;  // the for-increment replays ckpt_step + 1 next
+      continue;
     }
     result.steps_taken = step;
     result.final_time = step * opts.dt;
@@ -76,8 +105,13 @@ ThetaResult theta_integrate(const RhsFunction& f, Vector& u,
                                      result.final_time,
                                      static_cast<double>(newton.iterations));
     }
+    if (checkpointing && step % opts.checkpoint_every == 0) {
+      u_ckpt.copy_from(u);
+      ckpt_step = step;
+    }
   }
   result.completed = true;
+  if (result.rollbacks > 0) aegis::stats().recoveries++;
   return result;
 }
 

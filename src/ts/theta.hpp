@@ -29,6 +29,13 @@ struct ThetaOptions {
   Scalar dt = 1.0;
   int steps = 20;      ///< the paper's single-node run: 20 steps
   snes::NewtonOptions newton;
+  /// Kestrel Aegis rollback: checkpoint u every k completed steps (0 =
+  /// disabled). When a step fails — Newton does not converge, or an
+  /// AbftError escapes its solver — the integrator rewinds to the last
+  /// checkpoint and replays, up to max_rollbacks times, before giving up
+  /// (returning completed=false, or rethrowing the AbftError).
+  int checkpoint_every = 0;
+  int max_rollbacks = 2;
   /// Called after each completed step with (step, t, u).
   std::function<void(int, Scalar, const Vector&)> monitor;
 };
@@ -39,6 +46,8 @@ struct ThetaResult {
   Scalar final_time = 0.0;
   int total_newton_iterations = 0;
   int total_linear_iterations = 0;
+  /// Checkpoint rewinds taken (Kestrel Aegis); 0 on a clean integration.
+  int rollbacks = 0;
 };
 
 /// Integrates u from t = 0 over opts.steps steps of size opts.dt.

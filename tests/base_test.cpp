@@ -132,6 +132,60 @@ TEST(Options, LaterSettingsOverride) {
   EXPECT_EQ(opts.keys().size(), 1u);
 }
 
+TEST(Options, StructuredParseErrorsCarryKeyValueExpected) {
+  Options opts;
+  opts.set("ksp_max_it", "ten");
+  try {
+    opts.get_index("ksp_max_it", 0);
+    FAIL() << "expected OptionsError";
+  } catch (const OptionsError& e) {
+    EXPECT_EQ(e.key(), "ksp_max_it");
+    EXPECT_EQ(e.value(), "ten");
+    EXPECT_FALSE(e.expected().empty());
+    EXPECT_NE(std::string(e.what()).find("ksp_max_it"), std::string::npos);
+  }
+  opts.set("aegis_abft_tol", "1e-x");
+  try {
+    opts.get_scalar("aegis_abft_tol", 0.0);
+    FAIL() << "expected OptionsError";
+  } catch (const OptionsError& e) {
+    EXPECT_EQ(e.key(), "aegis_abft_tol");
+    EXPECT_EQ(e.value(), "1e-x");
+  }
+  opts.set("aegis_abft", "maybe");
+  EXPECT_THROW(opts.get_bool("aegis_abft", false), OptionsError);
+}
+
+TEST(Options, UnknownKeysFiltersByPrefixAndKnownList) {
+  Options opts;
+  opts.set("aegis_faults", "drop=0.1");
+  opts.set("aegis_fautls", "typo");
+  opts.set("mat_type", "sell");
+  const auto unknown = opts.unknown_keys("aegis_", {"aegis_faults"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "aegis_fautls");
+}
+
+TEST(Options, UnknownOptionWarningsFlagTyposInAegisAndKspFamilies) {
+  Options opts;
+  opts.set_flag("aegis_abft");
+  opts.set("ksp_rtol", "1e-8");
+  EXPECT_TRUE(opts.unknown_option_warnings().empty());
+
+  opts.set_flag("aegis_abftt");    // typo
+  opts.set("ksp_rtoll", "1e-8");   // typo
+  opts.set("unrelated", "fine");   // outside the warned prefixes
+  const auto warnings = opts.unknown_option_warnings();
+  ASSERT_EQ(warnings.size(), 2u);
+  bool saw_aegis = false, saw_ksp = false;
+  for (const auto& w : warnings) {
+    if (w.find("aegis_abftt") != std::string::npos) saw_aegis = true;
+    if (w.find("ksp_rtoll") != std::string::npos) saw_ksp = true;
+  }
+  EXPECT_TRUE(saw_aegis);
+  EXPECT_TRUE(saw_ksp);
+}
+
 TEST(Rng, DeterministicForSeed) {
   Rng a(7), b(7), c(8);
   EXPECT_EQ(a.next_u64(), b.next_u64());

@@ -54,6 +54,16 @@ kernel-perf-reporting
     gather-pack family) are exempt: they have no spmv entry point and
     their callers own the profiling.
 
+abft-hook
+    Every matrix format in KESTREL_KERNEL_TABLE must define its ABFT
+    column-checksum hook: `abft_col_checksum` must appear in the format's
+    own src/mat/<fmt>.cpp or src/mat/<fmt>.hpp. The Kestrel Aegis
+    AbftMatrix wrapper (src/aegis/abft.cpp) builds c = A^T.1 through this
+    hook from the format's *own* storage — a format that inherits another
+    format's implementation would checksum the wrong value stream and
+    either miss corruption or flag clean multiplies. Utility kernel
+    families (UTILITY_FORMATS) are exempt: they are not matrix formats.
+
 kernel-op-scalar
     Every simd::Op registered from a kernel TU at a vector tier
     (kAvx/kAvx2/kAvx512) must also be registered at IsaTier::kScalar
@@ -97,6 +107,7 @@ ALIGNED_INTRIN_RE = re.compile(
 )
 ALIGNED_ANNOTATION = "kestrel-aligned:"
 PROF_SPMV_MACRO = "KESTREL_PROF_SPMV"
+ABFT_HOOK = "abft_col_checksum"
 # Kernel families in KESTREL_KERNEL_TABLE that are not matrix formats: no
 # src/mat/<fmt>.cpp, no spmv entry point, profiling owned by the caller.
 UTILITY_FORMATS = {"gather"}
@@ -407,6 +418,33 @@ def check_kernel_perf_reporting(repo: str) -> list[Violation]:
     return violations
 
 
+def check_abft_hook(repo: str) -> list[Violation]:
+    cells, _ = parse_kernel_table(repo)
+    if not cells:
+        return []
+    violations = []
+    for fmt in sorted({fmt for fmt, isa in cells if isa in ISA_TIER_TOKEN}):
+        if fmt in UTILITY_FORMATS:
+            continue
+        candidates = [os.path.join("src", "mat", f"{fmt}.cpp"),
+                      os.path.join("src", "mat", f"{fmt}.hpp")]
+        present = [rel for rel in candidates
+                   if os.path.isfile(os.path.join(repo, rel))]
+        if not present:
+            # kernel-perf-reporting already flags the missing format TU.
+            continue
+        if any(ABFT_HOOK in read_text(os.path.join(repo, rel))
+               for rel in present):
+            continue
+        violations.append(Violation(
+            "abft-hook", present[0], 0,
+            f"format '{fmt}' never defines {ABFT_HOOK}() in its own "
+            f"files — Kestrel Aegis cannot build the c = A^T.1 checksum "
+            f"from this format's storage, so AbftMatrix('{fmt}') would "
+            f"verify against the wrong value stream"))
+    return violations
+
+
 def check_kernel_op_scalar(repo: str) -> list[Violation]:
     kernels_dir = os.path.join(repo, KERNELS_DIR)
     if not os.path.isdir(kernels_dir):
@@ -440,6 +478,7 @@ def lint(repo: str) -> list[Violation]:
     violations += check_aligned_loads(repo)
     violations += check_banned_constructs(repo)
     violations += check_kernel_perf_reporting(repo)
+    violations += check_abft_hook(repo)
     violations += check_kernel_op_scalar(repo)
     return violations
 
@@ -488,6 +527,7 @@ void Foo_spmv(const double* x, double* y) {
   KESTREL_PROF_SPMV("MatMult(foo)", 2 * nnz(), spmv_traffic_bytes());
   (void)x; (void)y;
 }
+void Foo_abft_col_checksum(double* c) { (void)c; }
 }
 """
 
@@ -639,6 +679,30 @@ def self_test() -> int:
         expect("talon_silent_format", {v.rule for v in lint(fx)},
                "kernel-perf-reporting", True)
 
+        # 11b. A table format whose own files never define the ABFT
+        # column-checksum hook.
+        fx = os.path.join(tmp, "no_abft_hook")
+        _make_clean_fixture(fx)
+        _write(fx, os.path.join("src", "mat", "foo.cpp"),
+               CLEAN_FORMAT_TU.replace(
+                   "void Foo_abft_col_checksum(double* c) { (void)c; }\n",
+                   ""))
+        rules = {v.rule for v in lint(fx)}
+        expect("no_abft_hook", rules, "abft-hook", True)
+        expect("no_abft_hook", rules, "kernel-perf-reporting", False)
+
+        # 11c. The hook may live in the format header instead of the TU.
+        fx = os.path.join(tmp, "abft_hook_in_header")
+        _make_clean_fixture(fx)
+        _write(fx, os.path.join("src", "mat", "foo.cpp"),
+               CLEAN_FORMAT_TU.replace(
+                   "void Foo_abft_col_checksum(double* c) { (void)c; }\n",
+                   ""))
+        _write(fx, os.path.join("src", "mat", "foo.hpp"),
+               "#pragma once\nvoid abft_col_checksum(double* c);\n")
+        expect("abft_hook_in_header", {v.rule for v in lint(fx)},
+               "abft-hook", False)
+
         # Shared scaffolding for the gather-pack fixtures: table cells,
         # CMake lists and TUs for a utility (non-format) kernel family.
         gather_registration = (
@@ -705,7 +769,7 @@ def self_test() -> int:
         for f in failures:
             print("  " + f, file=sys.stderr)
         return 1
-    print("kestrel_lint self-test passed (14 fixtures).")
+    print("kestrel_lint self-test passed (16 fixtures).")
     return 0
 
 
