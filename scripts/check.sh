@@ -26,8 +26,15 @@ banner "lint (kernel contracts)"
 python3 tools/kestrel_lint.py --self-test
 python3 tools/kestrel_lint.py --repo .
 
+banner "lint (header self-sufficiency)"
+python3 tools/check_headers.py --repo . -j "$jobs"
+
+banner "argus (kernel memory-safety / tail / traffic proofs)"
+python3 tools/argus/argus.py --repo . --self-test
+python3 tools/argus/argus.py --repo .
+
 banner "build + full test suite"
-cmake -B build -S . >/dev/null
+cmake -B build -S . -DKESTREL_WERROR=ON >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure
 

@@ -107,6 +107,20 @@ std::size_t Bcsr::storage_bytes() const {
          val_.size() * sizeof(Scalar);
 }
 
+// argus-traffic-model: bcsr
+// argus-traffic-stream: val = 8 * nblocks * bs * bs
+// argus-traffic-stream: colidx = 4 * nblocks
+// argus-traffic-stream: rowptr = 4 * mb + 4
+// argus-traffic-stream: y = 8 * mb * bs : wa
+// argus-traffic-stream: x = 8 * nb * bs
+// argus-traffic-bind: val_.size() = nblocks * bs * bs
+// argus-traffic-bind: colidx_.size() = nblocks
+// argus-traffic-bind: rowptr_.size() = mb + 1
+// argus-traffic-bind: sizeof(Scalar) = 8
+// argus-traffic-bind: sizeof(Index) = 4
+// argus-traffic-bind: rows() = mb * bs
+// argus-traffic-bind: cols() = nb * bs
+// argus-traffic-cpp: spmv_traffic_bytes
 std::size_t Bcsr::spmv_traffic_bytes() const {
   // 8 bytes per stored scalar + 4 bytes per block column index + rowptr +
   // x and y.

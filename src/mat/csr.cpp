@@ -91,6 +91,16 @@ std::size_t Csr::storage_bytes() const {
          val_.size() * sizeof(Scalar);
 }
 
+// argus-traffic-model: csr
+// argus-traffic-stream: val = 8 * nnz
+// argus-traffic-stream: colidx = 4 * nnz
+// argus-traffic-stream: rowptr = 8 * m : conv
+// argus-traffic-stream: y = 16 * m : wa
+// argus-traffic-stream: x = 8 * n
+// argus-traffic-bind: nnz() = nnz
+// argus-traffic-bind: m_ = m
+// argus-traffic-bind: n_ = n
+// argus-traffic-cpp: spmv_traffic_bytes
 std::size_t Csr::spmv_traffic_bytes() const {
   // Paper section 6: 12*nnz + 24*m + 8*n bytes — 12 bytes per stored
   // element (8 value + 4 column index), 24 bytes per row (output vector

@@ -27,6 +27,14 @@ class CsrPerm final : public Matrix {
   }
   std::string format_name() const override { return "csrperm"; }
   std::size_t storage_bytes() const override;
+  // argus-traffic-model: csr_perm
+  // argus-traffic-stream: @include = csr
+  // argus-traffic-stream: perm = 4 * m
+  // argus-traffic-stream: group_begin = 0 : amortized
+  // argus-traffic-stream: group_rlen = 0 : amortized
+  // argus-traffic-bind: csr_.spmv_traffic_bytes() = include_csr
+  // argus-traffic-bind: rows() = m
+  // argus-traffic-cpp: spmv_traffic_bytes
   std::size_t spmv_traffic_bytes() const override {
     // CSR traffic plus the permutation array read (4 bytes/row).
     return csr_.spmv_traffic_bytes() + 4 * static_cast<std::size_t>(rows());

@@ -9,6 +9,8 @@
 #include "mat/kernels/views.hpp"
 #include "simd/dispatch.hpp"
 
+// argus-contract: format=bcsr isa=avx2
+
 namespace kestrel::mat::kernels {
 
 namespace {
@@ -35,6 +37,11 @@ void bcsr_spmv_bs2_avx2(const BcsrView& a, const Scalar* x, Scalar* y) {
   }
 }
 
+// argus-kernel: bcsr_spmv_generic_avx2
+// argus-param: a : view BcsrView
+// argus-param: x : in extent nb * bs
+// argus-param: y : out extent mb * bs
+// argus-traffic: bcsr
 void bcsr_spmv_generic_avx2(const BcsrView& a, const Scalar* x, Scalar* y) {
   // only bs == 2 has a vector path; everything else runs the same scalar
   // algorithm as the scalar TU

@@ -6,6 +6,8 @@
 #include "mat/kernels/views.hpp"
 #include "simd/dispatch.hpp"
 
+// argus-contract: format=bcsr isa=scalar
+
 namespace kestrel::mat::kernels {
 
 namespace {
@@ -24,6 +26,11 @@ void bcsr_spmv_bs2(const BcsrView& a, const Scalar* x, Scalar* y) {
   }
 }
 
+// argus-kernel: bcsr_spmv_scalar
+// argus-param: a : view BcsrView
+// argus-param: x : in extent nb * bs
+// argus-param: y : out extent mb * bs
+// argus-traffic: bcsr
 void bcsr_spmv_scalar(const BcsrView& a, const Scalar* x, Scalar* y) {
   if (a.bs == 2) {
     bcsr_spmv_bs2(a, x, y);

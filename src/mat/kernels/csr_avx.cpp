@@ -9,6 +9,8 @@
 #include "mat/kernels/views.hpp"
 #include "simd/dispatch.hpp"
 
+// argus-contract: format=csr isa=avx
+
 namespace kestrel::mat::kernels {
 
 namespace {
@@ -41,6 +43,11 @@ inline Scalar row_dot_avx(const Scalar* val, const Index* colidx, Index len,
   return sum;
 }
 
+// argus-kernel: csr_spmv_avx
+// argus-param: a : view CsrView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-traffic: csr
 void csr_spmv_avx(const CsrView& a, const Scalar* x, Scalar* y) {
   for (Index i = 0; i < a.m; ++i) {
     const Index begin = a.rowptr[i];
@@ -49,6 +56,12 @@ void csr_spmv_avx(const CsrView& a, const Scalar* x, Scalar* y) {
   }
 }
 
+// argus-kernel: csr_spmv_add_rows_avx
+// argus-param: a : view CsrView
+// argus-param: rows : in extent m elem [0, len(y))
+// argus-param: x : in extent n
+// argus-param: y : out
+// argus-traffic: none
 void csr_spmv_add_rows_avx(const CsrView& a, const Index* rows,
                            const Scalar* x, Scalar* y) {
   for (Index i = 0; i < a.m; ++i) {

@@ -12,6 +12,8 @@
 #include "mat/kernels/views.hpp"
 #include "simd/dispatch.hpp"
 
+// argus-contract: format=csr isa=avx512
+
 namespace kestrel::mat::kernels {
 
 namespace {
@@ -42,6 +44,11 @@ inline Scalar row_dot_avx512(const Scalar* val, const Index* colidx,
   return sum;
 }
 
+// argus-kernel: csr_spmv_avx512
+// argus-param: a : view CsrView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-traffic: csr
 void csr_spmv_avx512(const CsrView& a, const Scalar* x, Scalar* y) {
   for (Index i = 0; i < a.m; ++i) {
     const Index begin = a.rowptr[i];
@@ -50,6 +57,12 @@ void csr_spmv_avx512(const CsrView& a, const Scalar* x, Scalar* y) {
   }
 }
 
+// argus-kernel: csr_spmv_add_rows_avx512
+// argus-param: a : view CsrView
+// argus-param: rows : in extent m elem [0, len(y))
+// argus-param: x : in extent n
+// argus-param: y : out
+// argus-traffic: none
 void csr_spmv_add_rows_avx512(const CsrView& a, const Index* rows,
                               const Scalar* x, Scalar* y) {
   for (Index i = 0; i < a.m; ++i) {

@@ -6,10 +6,17 @@
 #include "mat/kernels/views.hpp"
 #include "simd/dispatch.hpp"
 
+// argus-contract: format=csr_perm isa=scalar
+
 namespace kestrel::mat::kernels {
 
 namespace {
 
+// argus-kernel: csr_perm_spmv_scalar
+// argus-param: a : view CsrPermView
+// argus-param: x : in extent csr.n
+// argus-param: y : out extent csr.m
+// argus-traffic: csr_perm
 void csr_perm_spmv_scalar(const CsrPermView& a, const Scalar* x, Scalar* y) {
   const CsrView& csr = a.csr;
   for (Index g = 0; g < a.ngroups; ++g) {

@@ -6,10 +6,17 @@
 #include "mat/kernels/views.hpp"
 #include "simd/dispatch.hpp"
 
+// argus-contract: format=csr isa=scalar
+
 namespace kestrel::mat::kernels {
 
 namespace {
 
+// argus-kernel: csr_spmv_scalar
+// argus-param: a : view CsrView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-traffic: csr
 void csr_spmv_scalar(const CsrView& a, const Scalar* x, Scalar* y) {
   for (Index i = 0; i < a.m; ++i) {
     Scalar sum = 0.0;
@@ -21,6 +28,12 @@ void csr_spmv_scalar(const CsrView& a, const Scalar* x, Scalar* y) {
   }
 }
 
+// argus-kernel: csr_spmv_add_rows_scalar
+// argus-param: a : view CsrView
+// argus-param: rows : in extent m elem [0, len(y))
+// argus-param: x : in extent n
+// argus-param: y : out
+// argus-traffic: none
 void csr_spmv_add_rows_scalar(const CsrView& a, const Index* rows,
                               const Scalar* x, Scalar* y) {
   for (Index i = 0; i < a.m; ++i) {

@@ -8,10 +8,18 @@
 #include "mat/kernels/registration.hpp"
 #include "simd/dispatch.hpp"
 
+// argus-contract: format=gather isa=avx2
+
 namespace kestrel::mat::kernels {
 
 namespace {
 
+// argus-kernel: gather_pack_avx2
+// argus-param: x : in
+// argus-param: idx : in extent n elem [0, len(x))
+// argus-param: n : int
+// argus-param: out : out extent n
+// argus-traffic: none
 void gather_pack_avx2(const Scalar* x, const Index* idx, Index n,
                       Scalar* out) {
   Index i = 0;

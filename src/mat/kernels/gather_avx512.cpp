@@ -9,10 +9,18 @@
 #include "mat/kernels/registration.hpp"
 #include "simd/dispatch.hpp"
 
+// argus-contract: format=gather isa=avx512
+
 namespace kestrel::mat::kernels {
 
 namespace {
 
+// argus-kernel: gather_pack_avx512
+// argus-param: x : in
+// argus-param: idx : in extent n elem [0, len(x))
+// argus-param: n : int
+// argus-param: out : out extent n
+// argus-traffic: none
 void gather_pack_avx512(const Scalar* x, const Index* idx, Index n,
                         Scalar* out) {
   Index i = 0;

@@ -5,10 +5,18 @@
 #include "mat/kernels/registration.hpp"
 #include "simd/dispatch.hpp"
 
+// argus-contract: format=gather isa=scalar
+
 namespace kestrel::mat::kernels {
 
 namespace {
 
+// argus-kernel: gather_pack_scalar
+// argus-param: x : in
+// argus-param: idx : in extent n elem [0, len(x))
+// argus-param: n : int
+// argus-param: out : out extent n
+// argus-traffic: none
 void gather_pack_scalar(const Scalar* x, const Index* idx, Index n,
                         Scalar* out) {
   for (Index i = 0; i < n; ++i) {

@@ -9,6 +9,8 @@
 #include "mat/kernels/views.hpp"
 #include "simd/dispatch.hpp"
 
+// argus-contract: format=sell isa=avx
+
 namespace kestrel::mat::kernels {
 
 namespace {
@@ -65,9 +67,21 @@ void sell_spmv_avx_impl(const SellView& a, const Scalar* x, Scalar* y) {
   }
 }
 
+// argus-kernel: sell_spmv_avx
+// argus-param: a : view SellView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-require: divides(4, c)
+// argus-traffic: sell
 void sell_spmv_avx(const SellView& a, const Scalar* x, Scalar* y) {
   sell_spmv_avx_impl<false>(a, x, y);
 }
+// argus-kernel: sell_spmv_add_avx
+// argus-param: a : view SellView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-require: divides(4, c)
+// argus-traffic: sell
 void sell_spmv_add_avx(const SellView& a, const Scalar* x, Scalar* y) {
   sell_spmv_avx_impl<true>(a, x, y);
 }

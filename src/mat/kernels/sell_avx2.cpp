@@ -8,6 +8,8 @@
 #include "mat/kernels/views.hpp"
 #include "simd/dispatch.hpp"
 
+// argus-contract: format=sell isa=avx2
+
 namespace kestrel::mat::kernels {
 
 namespace {
@@ -60,9 +62,21 @@ void sell_spmv_avx2_impl(const SellView& a, const Scalar* x, Scalar* y) {
   }
 }
 
+// argus-kernel: sell_spmv_avx2
+// argus-param: a : view SellView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-require: divides(4, c)
+// argus-traffic: sell
 void sell_spmv_avx2(const SellView& a, const Scalar* x, Scalar* y) {
   sell_spmv_avx2_impl<false>(a, x, y);
 }
+// argus-kernel: sell_spmv_add_avx2
+// argus-param: a : view SellView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-require: divides(4, c)
+// argus-traffic: sell
 void sell_spmv_add_avx2(const SellView& a, const Scalar* x, Scalar* y) {
   sell_spmv_avx2_impl<true>(a, x, y);
 }

@@ -15,6 +15,8 @@
 #include "mat/kernels/views.hpp"
 #include "simd/dispatch.hpp"
 
+// argus-contract: format=sell isa=avx512
+
 namespace kestrel::mat::kernels {
 
 namespace {
@@ -87,9 +89,21 @@ void sell_spmv_avx512_impl(const SellView& a, const Scalar* x, Scalar* y) {
   }
 }
 
+// argus-kernel: sell_spmv_avx512
+// argus-param: a : view SellView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-require: divides(8, c)
+// argus-traffic: sell
 void sell_spmv_avx512(const SellView& a, const Scalar* x, Scalar* y) {
   sell_spmv_avx512_impl<false>(a, x, y);
 }
+// argus-kernel: sell_spmv_add_avx512
+// argus-param: a : view SellView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-require: divides(8, c)
+// argus-traffic: sell
 void sell_spmv_add_avx512(const SellView& a, const Scalar* x, Scalar* y) {
   sell_spmv_avx512_impl<true>(a, x, y);
 }
@@ -98,6 +112,12 @@ void sell_spmv_add_avx512(const SellView& a, const Scalar* x, Scalar* y) {
 /// per-column masks instead of multiplying stored zeros. Kept for the
 /// ablation bench; the paper measured it ~10% SLOWER than the unmasked
 /// kernel because of mask-handling overhead and lost load alignment.
+// argus-kernel: sell_spmv_bitmask_avx512
+// argus-param: a : view SellView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-require: divides(8, c)
+// argus-traffic: none
 void sell_spmv_bitmask_avx512(const SellView& a, const Scalar* x, Scalar* y) {
   const Index c = a.c;  // multiple of 8, enforced by caller
   const Index nv = c / 8;
@@ -133,6 +153,12 @@ void sell_spmv_bitmask_avx512(const SellView& a, const Scalar* x, Scalar* y) {
 /// loop. The paper notes these classic techniques "do not affect the
 /// performance significantly" — kept as a dispatchable variant so the
 /// ablation bench can verify that on real hardware. Requires c == 8.
+// argus-kernel: sell_spmv_avx512_prefetch
+// argus-param: a : view SellView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-require: c == 8
+// argus-traffic: sell
 void sell_spmv_avx512_prefetch(const SellView& a, const Scalar* x,
                                Scalar* y) {
   const Index ns = a.nslices;

@@ -6,6 +6,8 @@
 #include "mat/kernels/views.hpp"
 #include "simd/dispatch.hpp"
 
+// argus-contract: format=sell isa=scalar
+
 namespace kestrel::mat::kernels {
 
 namespace {
@@ -34,15 +36,30 @@ void sell_spmv_scalar_impl(const SellView& a, const Scalar* x, Scalar* y) {
   }
 }
 
+// argus-kernel: sell_spmv_scalar
+// argus-param: a : view SellView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-traffic: sell
 void sell_spmv_scalar(const SellView& a, const Scalar* x, Scalar* y) {
   sell_spmv_scalar_impl<false>(a, x, y);
 }
+// argus-kernel: sell_spmv_add_scalar
+// argus-param: a : view SellView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-traffic: sell
 void sell_spmv_add_scalar(const SellView& a, const Scalar* x, Scalar* y) {
   sell_spmv_scalar_impl<true>(a, x, y);
 }
 
 /// ESB-style bit-array variant (paper section 5.3 ablation): skip padded
 /// lanes via the mask instead of multiplying stored zeros.
+// argus-kernel: sell_spmv_bitmask_scalar
+// argus-param: a : view SellView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-traffic: none
 void sell_spmv_bitmask_scalar(const SellView& a, const Scalar* x, Scalar* y) {
   const Index c = a.c;
   for (Index s = 0; s < a.nslices; ++s) {

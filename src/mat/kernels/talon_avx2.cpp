@@ -16,6 +16,9 @@
 #include "mat/kernels/views.hpp"
 #include "simd/dispatch.hpp"
 
+// argus-contract: format=talon isa=avx2
+// argus-table: kOffsets = setbits
+
 namespace kestrel::mat::kernels {
 
 namespace {
@@ -95,9 +98,19 @@ void talon_spmv_avx2_impl(const TalonView& a, const Scalar* x, Scalar* y) {
   }
 }
 
+// argus-kernel: talon_spmv_avx2
+// argus-param: a : view TalonView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-traffic: talon
 void talon_spmv_avx2(const TalonView& a, const Scalar* x, Scalar* y) {
   talon_spmv_avx2_impl<false>(a, x, y);
 }
+// argus-kernel: talon_spmv_add_avx2
+// argus-param: a : view TalonView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-traffic: talon
 void talon_spmv_add_avx2(const TalonView& a, const Scalar* x, Scalar* y) {
   talon_spmv_avx2_impl<true>(a, x, y);
 }

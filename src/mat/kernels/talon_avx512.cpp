@@ -15,6 +15,8 @@
 #include "mat/kernels/views.hpp"
 #include "simd/dispatch.hpp"
 
+// argus-contract: format=talon isa=avx512
+
 namespace kestrel::mat::kernels {
 
 namespace {
@@ -76,9 +78,19 @@ void talon_spmv_avx512_impl(const TalonView& a, const Scalar* x, Scalar* y) {
   }
 }
 
+// argus-kernel: talon_spmv_avx512
+// argus-param: a : view TalonView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-traffic: talon
 void talon_spmv_avx512(const TalonView& a, const Scalar* x, Scalar* y) {
   talon_spmv_avx512_impl<false>(a, x, y);
 }
+// argus-kernel: talon_spmv_add_avx512
+// argus-param: a : view TalonView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-traffic: talon
 void talon_spmv_add_avx512(const TalonView& a, const Scalar* x, Scalar* y) {
   talon_spmv_avx512_impl<true>(a, x, y);
 }

@@ -8,6 +8,8 @@
 #include "mat/kernels/views.hpp"
 #include "simd/dispatch.hpp"
 
+// argus-contract: format=talon isa=scalar
+
 namespace kestrel::mat::kernels {
 
 namespace {
@@ -40,9 +42,19 @@ void talon_spmv_scalar_impl(const TalonView& a, const Scalar* x, Scalar* y) {
   }
 }
 
+// argus-kernel: talon_spmv_scalar
+// argus-param: a : view TalonView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-traffic: talon
 void talon_spmv_scalar(const TalonView& a, const Scalar* x, Scalar* y) {
   talon_spmv_scalar_impl<false>(a, x, y);
 }
+// argus-kernel: talon_spmv_add_scalar
+// argus-param: a : view TalonView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-traffic: talon
 void talon_spmv_add_scalar(const TalonView& a, const Scalar* x, Scalar* y) {
   talon_spmv_scalar_impl<true>(a, x, y);
 }

@@ -8,6 +8,16 @@
 namespace kestrel::mat {
 
 /// Compressed sparse row (PETSc AIJ). rowptr has m+1 entries.
+// argus-view: CsrView
+// argus-let: nnz = rowptr[m]
+// argus-extent: rowptr = m + 1
+// argus-extent: colidx = nnz
+// argus-extent: val = nnz
+// argus-fact: m >= 0
+// argus-fact: n >= 0
+// argus-fact: monotone(rowptr)
+// argus-fact: rowptr[0] == 0
+// argus-fact: elem(colidx) in [0, n)
 struct CsrView {
   Index m = 0;  ///< number of rows
   Index n = 0;  ///< number of columns
@@ -21,6 +31,24 @@ struct CsrView {
 /// slice (c values per slice-column). rlen[i] is the true nonzero count of
 /// row i (paper section 5.2); padded entries carry value 0 and a column
 /// index copied from a real in-slice entry (section 5.5).
+// argus-view: SellView
+// argus-let: stored = sliceptr[nslices]
+// argus-extent: sliceptr = nslices + 1
+// argus-extent: colidx = stored
+// argus-extent: val = stored
+// argus-extent: rlen = m
+// argus-extent: bitmask = stored / c
+// argus-fact: m >= 0
+// argus-fact: n >= 0
+// argus-fact: c >= 1
+// argus-fact: c <= 64
+// argus-fact: nslices == ceil_div(m, c)
+// argus-fact: monotone(sliceptr)
+// argus-fact: sliceptr[0] == 0
+// argus-fact: divides(c, elem(sliceptr))
+// argus-fact: maskword(bitmask)
+// argus-fact: elem(colidx) in [0, n)
+// argus-fact: elem(rlen) in [0, n]
 struct SellView {
   Index m = 0;          ///< logical number of rows (before slice padding)
   Index n = 0;          ///< number of columns
@@ -39,6 +67,17 @@ struct SellView {
 /// CSR grouped by equal row length (PETSc AIJPERM). Rows are NOT reordered
 /// in memory; `perm` lists row ids group by group and groups of equal-length
 /// rows are vectorized across rows (paper section 2.4).
+// argus-view: CsrPermView
+// argus-field: csr : CsrView
+// argus-extent: group_begin = ngroups + 1
+// argus-extent: perm = csr.m
+// argus-extent: group_rlen = ngroups
+// argus-fact: ngroups >= 0
+// argus-fact: monotone(group_begin)
+// argus-fact: group_begin[0] == 0
+// argus-fact: group_begin[ngroups] == csr.m
+// argus-fact: elem(perm) in [0, csr.m)
+// argus-fact: group(perm, group_begin, group_rlen, csr.rowptr)
 struct CsrPermView {
   CsrView csr;
   Index ngroups = 0;
@@ -54,6 +93,29 @@ struct CsrPermView {
 /// and the nonzero values are packed densely in (block, row, mask-bit)
 /// order with NO zero padding — kernels expand them into vector lanes with
 /// vpexpandpd / mask loads and advance the value pointer by popcount.
+// argus-view: TalonView
+// argus-let: nblocks = panel_blockptr[npanels]
+// argus-let: stored = panel_valptr[npanels]
+// argus-extent: panel_row = npanels + 1
+// argus-extent: panel_blockptr = npanels + 1
+// argus-extent: panel_valptr = npanels + 1
+// argus-extent: block_col = nblocks
+// argus-extent: block_mask = nblocks
+// argus-extent: val = stored
+// argus-fact: m >= 0
+// argus-fact: n >= 0
+// argus-fact: npanels >= 0
+// argus-fact: monotone(panel_row)
+// argus-fact: monotone(panel_blockptr)
+// argus-fact: monotone(panel_valptr)
+// argus-fact: panel_row[0] == 0
+// argus-fact: panel_blockptr[0] == 0
+// argus-fact: panel_valptr[0] == 0
+// argus-fact: panel_row[npanels] == m
+// argus-fact: elem(block_col) in [0, n)
+// argus-fact: stride(panel_row) in {1, 2, 4}
+// argus-fact: maskbit(block_mask, block_col, n)
+// argus-fact: packed(val, panel_valptr, block_mask)
 struct TalonView {
   Index m = 0;        ///< number of rows
   Index n = 0;        ///< number of columns
@@ -72,6 +134,17 @@ struct TalonView {
 
 /// Block CSR (PETSc BAIJ) with square bs x bs blocks stored row-major per
 /// block; brow/bcol are in block units.
+// argus-view: BcsrView
+// argus-let: nblocks = rowptr[mb]
+// argus-extent: rowptr = mb + 1
+// argus-extent: colidx = nblocks
+// argus-extent: val = nblocks * bs * bs
+// argus-fact: mb >= 0
+// argus-fact: nb >= 0
+// argus-fact: bs >= 1
+// argus-fact: monotone(rowptr)
+// argus-fact: rowptr[0] == 0
+// argus-fact: elem(colidx) in [0, nb)
 struct BcsrView {
   Index mb = 0;  ///< number of block rows
   Index nb = 0;  ///< number of block cols

@@ -238,6 +238,16 @@ std::size_t Sell::storage_bytes() const {
          bitmask_.size() * sizeof(std::uint64_t);
 }
 
+// argus-traffic-model: sell
+// argus-traffic-stream: val = 8 * nnz
+// argus-traffic-stream: colidx = 4 * nnz
+// argus-traffic-stream: sliceptr = 2 * m : conv
+// argus-traffic-stream: y = 8 * m
+// argus-traffic-stream: x = 8 * n
+// argus-traffic-bind: nnz() = nnz
+// argus-traffic-bind: m_ = m
+// argus-traffic-bind: n_ = n
+// argus-traffic-cpp: spmv_traffic_bytes
 std::size_t Sell::spmv_traffic_bytes() const {
   // Paper section 6: 12*nnz + 10*m + 8*n bytes — the slice pointer array is
   // only m/8 integers, rlen is not touched by SpMV, so per-row metadata

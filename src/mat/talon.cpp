@@ -242,6 +242,21 @@ std::size_t Talon::storage_bytes() const {
          val_.size() * sizeof(Scalar);
 }
 
+// argus-traffic-model: talon
+// argus-traffic-stream: val = 8 * nnz
+// argus-traffic-stream: block_col = 4 * nblocks
+// argus-traffic-stream: block_mask = 4 * nblocks
+// argus-traffic-stream: panel_row = 4 * npanels
+// argus-traffic-stream: panel_blockptr = 4 * npanels
+// argus-traffic-stream: panel_valptr = 4 * npanels
+// argus-traffic-stream: y = 8 * m : wa
+// argus-traffic-stream: x = 8 * n
+// argus-traffic-bind: num_blocks() = nblocks
+// argus-traffic-bind: nnz_ = nnz
+// argus-traffic-bind: npanels_ = npanels
+// argus-traffic-bind: m_ = m
+// argus-traffic-bind: n_ = n
+// argus-traffic-cpp: spmv_traffic_bytes
 std::size_t Talon::spmv_traffic_bytes() const {
   // Section 6-style model: 8 bytes per stored value (no per-entry column
   // index — that is the point of the format), 8 bytes per block (4 start

@@ -438,8 +438,8 @@ TEST_P(FaultSweep, KillSurfacesRankFailureOnEveryRank) {
 
 INSTANTIATE_TEST_SUITE_P(MailboxAndPersistent, FaultSweep,
                          ::testing::Values(false, true),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "persistent" : "mailbox";
+                         [](const ::testing::TestParamInfo<bool>& mode) {
+                           return mode.param ? "persistent" : "mailbox";
                          });
 
 // --------------------------------------------------------------------------

@@ -48,7 +48,9 @@ TEST(Talon, PanelPartitionCoversAllRowsExactlyOnce) {
     for (Index p = 0; p < t.num_panels(); ++p) {
       const Index r = v.panel_row[p + 1] - v.panel_row[p];
       EXPECT_TRUE(r == 1 || r == 2 || r == 4) << "panel " << p;
-      if (force_r != 0) EXPECT_LE(r, force_r);
+      if (force_r != 0) {
+        EXPECT_LE(r, force_r);
+      }
     }
     EXPECT_EQ(t.panels_with_r(1) + t.panels_with_r(2) + t.panels_with_r(4),
               t.num_panels());

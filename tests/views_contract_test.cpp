@@ -1,0 +1,242 @@
+// Runtime enforcement of the Argus view contracts (src/mat/kernels/views.hpp).
+//
+// Every `argus-fact:` / `argus-extent:` annotation that the static analyzer
+// assumes about a view is asserted here against views actually constructed
+// by the format inspectors, over adversarial matrices: empty rows, a fully
+// dense row, one-column matrices, rectangular shapes, power-law row lengths
+// and patterns that straddle slice/panel boundaries. If an inspector ever
+// emits a view violating its annotated invariant, this test fails before
+// the abstract interpreter's proofs could be invalidated silently.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "mat/bcsr.hpp"
+#include "mat/coo.hpp"
+#include "mat/csr.hpp"
+#include "mat/csr_perm.hpp"
+#include "mat/sell.hpp"
+#include "mat/talon.hpp"
+#include "test_matrices.hpp"
+
+namespace kestrel::mat {
+namespace {
+
+Index ceil_div(Index a, Index b) { return (a + b - 1) / b; }
+
+// argus-view: CsrView — monotone(rowptr), rowptr[0] == 0,
+// elem(colidx) in [0, n).
+void check_csr_view(const CsrView& v) {
+  ASSERT_GE(v.m, 0);
+  ASSERT_GE(v.n, 0);
+  ASSERT_EQ(v.rowptr[0], 0);
+  for (Index i = 0; i < v.m; ++i) {
+    ASSERT_LE(v.rowptr[i], v.rowptr[i + 1]) << "rowptr not monotone at " << i;
+  }
+  const Index nnz = v.rowptr[v.m];
+  for (Index k = 0; k < nnz; ++k) {
+    ASSERT_GE(v.colidx[k], 0) << "colidx[" << k << "]";
+    ASSERT_LT(v.colidx[k], v.n) << "colidx[" << k << "]";
+  }
+}
+
+// argus-view: SellView — c in [1, 64], nslices == ceil_div(m, c),
+// monotone(sliceptr), sliceptr[0] == 0, divides(c, elem(sliceptr)),
+// elem(colidx) in [0, n), elem(rlen) in [0, n], maskword(bitmask).
+void check_sell_view(const SellView& v) {
+  ASSERT_GE(v.c, 1);
+  ASSERT_LE(v.c, 64);
+  ASSERT_EQ(v.nslices, ceil_div(v.m, v.c));
+  ASSERT_EQ(v.sliceptr[0], 0);
+  for (Index s = 0; s < v.nslices; ++s) {
+    ASSERT_LE(v.sliceptr[s], v.sliceptr[s + 1]);
+    ASSERT_EQ(v.sliceptr[s] % v.c, 0)
+        << "sliceptr[" << s << "] not a multiple of the slice height";
+  }
+  const Index stored = v.sliceptr[v.nslices];
+  for (Index k = 0; k < stored; ++k) {
+    ASSERT_GE(v.colidx[k], 0);
+    ASSERT_LT(v.colidx[k], v.n) << "padded colidx must copy a real index";
+  }
+  for (Index i = 0; i < v.m; ++i) {
+    ASSERT_GE(v.rlen[i], 0);
+    ASSERT_LE(v.rlen[i], v.n);
+  }
+  if (v.bitmask != nullptr) {
+    // One bit per stored element, c bits per slice-column word group; a
+    // set bit k in word w must address a lane < c, and padded lanes of the
+    // final slice (rows >= m) must be clear.
+    const Index words = stored / v.c;
+    std::int64_t bits = 0;
+    for (Index w = 0; w < words; ++w) {
+      const std::uint64_t word = v.bitmask[w];
+      if (v.c < 64) {
+        ASSERT_EQ(word >> v.c, 0u)
+            << "bitmask word " << w << " sets lanes beyond slice height";
+      }
+      bits += std::popcount(word);
+    }
+    // Exactly the true nonzeros are marked: sum(popcount) == sum(rlen).
+    std::int64_t true_nnz = 0;
+    for (Index i = 0; i < v.m; ++i) true_nnz += v.rlen[i];
+    ASSERT_EQ(bits, true_nnz);
+  }
+}
+
+// argus-view: CsrPermView — monotone(group_begin), group_begin[0] == 0,
+// group_begin[ngroups] == csr.m, elem(perm) in [0, csr.m) (a permutation),
+// group(perm, group_begin, group_rlen, csr.rowptr).
+void check_csr_perm_view(const CsrPermView& v) {
+  check_csr_view(v.csr);
+  ASSERT_GE(v.ngroups, 0);
+  ASSERT_EQ(v.group_begin[0], 0);
+  ASSERT_EQ(v.group_begin[v.ngroups], v.csr.m);
+  std::vector<char> seen(static_cast<std::size_t>(v.csr.m), 0);
+  for (Index g = 0; g < v.ngroups; ++g) {
+    ASSERT_LE(v.group_begin[g], v.group_begin[g + 1]);
+    for (Index p = v.group_begin[g]; p < v.group_begin[g + 1]; ++p) {
+      const Index row = v.perm[p];
+      ASSERT_GE(row, 0);
+      ASSERT_LT(row, v.csr.m);
+      ASSERT_FALSE(seen[static_cast<std::size_t>(row)])
+          << "perm repeats row " << row;
+      seen[static_cast<std::size_t>(row)] = 1;
+      // The group fact: every row in group g has exactly group_rlen[g]
+      // stored elements. The vectorized kernels bank on this equality to
+      // run one gather per iteration across the whole group.
+      ASSERT_EQ(v.csr.rowptr[row + 1] - v.csr.rowptr[row], v.group_rlen[g])
+          << "row " << row << " disagrees with its group length";
+    }
+  }
+}
+
+// argus-view: TalonView — monotone panel arrays starting at 0,
+// panel_row[npanels] == m, stride(panel_row) in {1, 2, 4},
+// elem(block_col) in [0, n), maskbit(block_mask, block_col, n),
+// packed(val, panel_valptr, block_mask).
+void check_talon_view(const TalonView& v) {
+  ASSERT_EQ(v.panel_row[0], 0);
+  ASSERT_EQ(v.panel_blockptr[0], 0);
+  ASSERT_EQ(v.panel_valptr[0], 0);
+  ASSERT_EQ(v.panel_row[v.npanels], v.m);
+  for (Index p = 0; p < v.npanels; ++p) {
+    const Index r = v.panel_row[p + 1] - v.panel_row[p];
+    ASSERT_TRUE(r == 1 || r == 2 || r == 4) << "panel " << p << " height " << r;
+    ASSERT_LE(v.panel_blockptr[p], v.panel_blockptr[p + 1]);
+    ASSERT_LE(v.panel_valptr[p], v.panel_valptr[p + 1]);
+    std::int64_t popsum = 0;
+    for (Index b = v.panel_blockptr[p]; b < v.panel_blockptr[p + 1]; ++b) {
+      const Index c0 = v.block_col[b];
+      ASSERT_GE(c0, 0);
+      ASSERT_LT(c0, v.n);
+      const std::uint32_t mask = v.block_mask[b];
+      for (Index j = 0; j < r; ++j) {
+        const auto byte = (mask >> (8 * j)) & 0xFFu;
+        // maskbit: a set bit k means column c0 + k exists, so it must be
+        // inside the matrix.
+        for (int k = 0; k < 8; ++k) {
+          if (byte & (1u << k)) {
+            ASSERT_LT(c0 + k, v.n);
+          }
+        }
+        popsum += std::popcount(byte);
+      }
+      // Bytes above the panel height must be clear, or the packed stream
+      // accounting below would disagree with what the kernels consume.
+      if (r < 4) {
+        ASSERT_EQ(mask >> (8 * r), 0u) << "block " << b;
+      }
+    }
+    // packed: the panel's val run holds exactly one scalar per set mask
+    // bit — no padding, nothing skipped.
+    ASSERT_EQ(popsum, v.panel_valptr[p + 1] - v.panel_valptr[p])
+        << "panel " << p << " packed-stream length mismatch";
+  }
+}
+
+// argus-view: BcsrView — bs >= 1, monotone(rowptr), rowptr[0] == 0,
+// elem(colidx) in [0, nb).
+void check_bcsr_view(const BcsrView& v) {
+  ASSERT_GE(v.mb, 0);
+  ASSERT_GE(v.nb, 0);
+  ASSERT_GE(v.bs, 1);
+  ASSERT_EQ(v.rowptr[0], 0);
+  for (Index i = 0; i < v.mb; ++i) {
+    ASSERT_LE(v.rowptr[i], v.rowptr[i + 1]);
+  }
+  const Index nblocks = v.rowptr[v.mb];
+  for (Index k = 0; k < nblocks; ++k) {
+    ASSERT_GE(v.colidx[k], 0);
+    ASSERT_LT(v.colidx[k], v.nb);
+  }
+}
+
+std::vector<Csr> adversarial_matrices() {
+  std::vector<Csr> out;
+  out.push_back(testing::banded(64, {1, 8}));
+  out.push_back(testing::uniform_random(37, 53, 5));  // rectangular, m != n
+  out.push_back(testing::power_law(100));
+  out.push_back(testing::with_empty_rows(48));
+  out.push_back(testing::with_dense_row(40));
+  out.push_back(testing::single_column(33));
+  out.push_back(testing::last_row_only_column(29));
+  out.push_back(testing::straddling_boundaries(64));
+  out.push_back(Coo(7, 7).to_csr());  // fully empty matrix
+  return out;
+}
+
+TEST(ViewsContract, Csr) {
+  for (const Csr& csr : adversarial_matrices()) {
+    check_csr_view(csr.view());
+  }
+}
+
+TEST(ViewsContract, SellAllSliceHeights) {
+  for (const Csr& csr : adversarial_matrices()) {
+    for (Index c : {2, 8, 16}) {
+      for (bool bitmask : {false, true}) {
+        SellOptions opts;
+        opts.slice_height = c;
+        opts.build_bitmask = bitmask;
+        const Sell sell(csr, opts);
+        check_sell_view(sell.view());
+      }
+    }
+    SellOptions sorted;
+    sorted.sigma = 4;
+    check_sell_view(Sell(csr, sorted).view());
+  }
+}
+
+TEST(ViewsContract, CsrPerm) {
+  for (const Csr& csr : adversarial_matrices()) {
+    const CsrPerm perm(csr);
+    check_csr_perm_view(perm.view());
+  }
+}
+
+TEST(ViewsContract, TalonAllPanelHeights) {
+  for (const Csr& csr : adversarial_matrices()) {
+    for (Index r : {0, 1, 2, 4}) {
+      TalonOptions opts;
+      opts.force_r = r;
+      const Talon talon(csr, opts);
+      check_talon_view(talon.view());
+    }
+  }
+}
+
+TEST(ViewsContract, Bcsr) {
+  // Bcsr wants dimensions divisible by bs; use shapes that are.
+  for (Index bs : {2, 4}) {
+    check_bcsr_view(Bcsr(testing::banded(64, {1, 8}), bs).view());
+    check_bcsr_view(Bcsr(testing::straddling_boundaries(64), bs).view());
+    check_bcsr_view(Bcsr(Coo(8, 8).to_csr(), bs).view());
+  }
+}
+
+}  // namespace
+}  // namespace kestrel::mat

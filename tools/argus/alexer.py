@@ -1,0 +1,126 @@
+"""Argus C++ tokenizer.
+
+Produces a flat token stream from a kernel TU. Ordinary comments and
+preprocessor lines are dropped; `// argus-*` annotation comments are kept as
+first-class `annot` tokens so the parser can attach contracts to the function
+or declaration that follows them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+# Longest-match-first punctuator table.
+_PUNCTS = [
+    "<<=", ">>=", "->*", "...", "::", "->", "++", "--", "<<", ">>",
+    "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=", "(", ")", "{", "}", "[", "]", ";", ",", ".", "?",
+    ":", "+", "-", "*", "/", "%", "<", ">", "=", "!", "~", "&", "|",
+    "^", "#",
+]
+
+
+@dataclass
+class Tok:
+    kind: str   # id | num | str | chr | punct | annot | eof
+    val: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.val}@{self.line}"
+
+
+class LexError(Exception):
+    def __init__(self, line: int, msg: str):
+        super().__init__(f"line {line}: {msg}")
+        self.line = line
+
+
+def tokenize(text: str) -> List[Tok]:
+    toks: List[Tok] = []
+    i, n, line = 0, len(text), 1
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r\f\v":
+            i += 1
+            continue
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            body = text[i + 2:j].strip()
+            if body.startswith("argus-"):
+                toks.append(Tok("annot", body, line))
+            i = j
+            continue
+        if text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            if j < 0:
+                raise LexError(line, "unterminated block comment")
+            line += text.count("\n", i, j)
+            i = j + 2
+            continue
+        if ch == "#":
+            # Preprocessor directive: skip whole (possibly continued) line.
+            j = i
+            while j < n:
+                e = text.find("\n", j)
+                e = n if e < 0 else e
+                if text[e - 1] == "\\" if e > 0 else False:
+                    line += 1
+                    j = e + 1
+                    continue
+                break
+            line += 1
+            i = e + 1 if e < n else n
+            continue
+        if ch == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 2 if text[j] == "\\" else 1
+            toks.append(Tok("str", text[i:j + 1], line))
+            i = j + 1
+            continue
+        if ch == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 2 if text[j] == "\\" else 1
+            toks.append(Tok("chr", text[i:j + 1], line))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            if text.startswith("0x", i) or text.startswith("0X", i):
+                j = i + 2
+                while j < n and (text[j] in "0123456789abcdefABCDEF'"):
+                    j += 1
+            else:
+                while j < n and (text[j].isdigit() or text[j] in ".'eE"):
+                    if text[j] in "eE" and j + 1 < n and text[j + 1] in "+-":
+                        j += 1
+                    j += 1
+            while j < n and text[j] in "uUlLfF":
+                j += 1
+            toks.append(Tok("num", text[i:j], line))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            toks.append(Tok("id", text[i:j], line))
+            i = j
+            continue
+        for p in _PUNCTS:
+            if text.startswith(p, i):
+                toks.append(Tok("punct", p, line))
+                i += len(p)
+                break
+        else:
+            raise LexError(line, f"unexpected character {ch!r}")
+    toks.append(Tok("eof", "", line))
+    return toks

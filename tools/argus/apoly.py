@@ -1,0 +1,282 @@
+"""Argus symbolic polynomial domain.
+
+Abstract values and proof obligations are integer polynomials over *atoms*:
+
+  Sym(name)          -- a named integer symbol: a view field ("a.m"), a kernel
+                        parameter extent ("x#len"), or a fresh loop symbol.
+  ArrElem(arr, idx)  -- the value of integer array `arr` at symbolic index
+                        `idx` (itself a Poly), e.g. sliceptr[s + 1]. These are
+                        the atoms the monotone/telescoping rules act on.
+  OpTerm(op, args)   -- an interpreted-but-nonlinear operation kept opaque at
+                        the polynomial level: floor division ('div'), 'mod',
+                        'ceildiv', 'popcount', 'shl', 'min', 'max'. The prover
+                        linearizes each with sound bounding constraints.
+
+A Poly is a finite map {monomial -> coefficient} plus facts-free structural
+normalization; a monomial is a multiset of atoms (so bs*bs and k*bs^2 are
+first-class, which the BCSR generic kernel needs).  Coefficients are exact
+(int / Fraction — Fractions only appear transiently inside the prover's
+Fourier–Motzkin elimination).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Tuple, Union
+
+
+class Atom:
+    """Base class for polynomial atoms. Subclasses are immutable/hashable."""
+
+    __slots__ = ()
+
+    def key(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Sym(Atom):
+    name: str
+
+    def key(self) -> str:
+        return f"s:{self.name}"
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ArrElem(Atom):
+    arr: str
+    idx: "Poly"
+
+    def key(self) -> str:
+        return f"a:{self.arr}[{self.idx.key()}]"
+
+    def __repr__(self) -> str:
+        return f"{self.arr}[{self.idx}]"
+
+
+@dataclass(frozen=True)
+class OpTerm(Atom):
+    op: str
+    args: Tuple["Poly", ...]
+
+    def key(self) -> str:
+        inner = ",".join(a.key() for a in self.args)
+        return f"o:{self.op}({inner})"
+
+    def __repr__(self) -> str:
+        return f"{self.op}({', '.join(map(str, self.args))})"
+
+
+# A monomial is a sorted tuple of (atom, power); () is the constant monomial.
+Monomial = Tuple[Tuple[Atom, int], ...]
+Coeff = Union[int, Fraction]
+
+
+def _mono_mul(a: Monomial, b: Monomial) -> Monomial:
+    powers: dict = {}
+    for atom, p in a + b:
+        powers[atom] = powers.get(atom, 0) + p
+    return tuple(sorted(((at, p) for at, p in powers.items() if p),
+                        key=lambda e: (e[0].key(), e[1])))
+
+
+def _mono_key(m: Monomial) -> str:
+    return "*".join(f"{at.key()}^{p}" for at, p in m)
+
+
+class Poly:
+    """Immutable normalized polynomial."""
+
+    __slots__ = ("terms", "_key")
+
+    def __init__(self, terms: dict | None = None):
+        clean = {}
+        for mono, c in (terms or {}).items():
+            if isinstance(c, Fraction) and c.denominator == 1:
+                c = int(c)
+            if c != 0:
+                clean[mono] = c
+        object.__setattr__(self, "terms", clean)
+        object.__setattr__(self, "_key", None)
+
+    # -- constructors -------------------------------------------------------
+    @staticmethod
+    def const(c: Coeff) -> "Poly":
+        return Poly({(): c})
+
+    @staticmethod
+    def atom(a: Atom) -> "Poly":
+        return Poly({((a, 1),): 1})
+
+    @staticmethod
+    def sym(name: str) -> "Poly":
+        return Poly.atom(Sym(name))
+
+    # -- algebra ------------------------------------------------------------
+    def __add__(self, other: "Poly | int") -> "Poly":
+        other = _coerce(other)
+        out = dict(self.terms)
+        for m, c in other.terms.items():
+            out[m] = out.get(m, 0) + c
+        return Poly(out)
+
+    def __sub__(self, other: "Poly | int") -> "Poly":
+        return self + (-_coerce(other))
+
+    def __rsub__(self, other: int) -> "Poly":
+        return _coerce(other) - self
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Poly":
+        return Poly({m: -c for m, c in self.terms.items()})
+
+    def __mul__(self, other: "Poly | int") -> "Poly":
+        other = _coerce(other)
+        out: dict = {}
+        for m1, c1 in self.terms.items():
+            for m2, c2 in other.terms.items():
+                m = _mono_mul(m1, m2)
+                out[m] = out.get(m, 0) + c1 * c2
+        return Poly(out)
+
+    __rmul__ = __mul__
+
+    def scale(self, q: Coeff) -> "Poly":
+        return Poly({m: c * q for m, c in self.terms.items()})
+
+    # -- inspection ---------------------------------------------------------
+    def is_const(self) -> bool:
+        return all(m == () for m in self.terms)
+
+    def const_value(self) -> Coeff:
+        return self.terms.get((), 0)
+
+    def atoms(self) -> Iterable[Atom]:
+        for m in self.terms:
+            for at, _p in m:
+                yield at
+
+    def monomials(self) -> Iterable[Monomial]:
+        return (m for m in self.terms if m != ())
+
+    def degree(self) -> int:
+        deg = 0
+        for m in self.terms:
+            deg = max(deg, sum(p for _a, p in m))
+        return deg
+
+    def coeff(self, mono: Monomial) -> Coeff:
+        return self.terms.get(mono, 0)
+
+    def key(self) -> str:
+        if self._key is None:
+            parts = sorted(f"{c}*{_mono_key(m)}" for m, c in self.terms.items())
+            object.__setattr__(self, "_key", "+".join(parts) or "0")
+        return self._key
+
+    def subst_atom(self, atom: Atom, repl: "Poly") -> "Poly":
+        """Replace every occurrence of `atom` with `repl` (power-expanded)."""
+        out = Poly()
+        for m, c in self.terms.items():
+            term = Poly.const(c)
+            for at, p in m:
+                base = repl if at == atom else Poly.atom(at)
+                for _ in range(p):
+                    term = term * base
+            out = out + term
+        return out
+
+    def map_atoms(self, fn) -> "Poly":
+        """Rebuild the poly with fn applied to every atom (recursively through
+        ArrElem indices and OpTerm args). fn returns a Poly."""
+        out = Poly()
+        for m, c in self.terms.items():
+            term = Poly.const(c)
+            for at, p in m:
+                if isinstance(at, ArrElem):
+                    at2 = ArrElem(at.arr, at.idx.map_atoms(fn))
+                    rep = fn(at2)
+                elif isinstance(at, OpTerm):
+                    at2 = OpTerm(at.op, tuple(a.map_atoms(fn) for a in at.args))
+                    rep = fn(at2)
+                else:
+                    rep = fn(at)
+                for _ in range(p):
+                    term = term * rep
+            out = out + term
+        return out
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Poly) and self.terms == other.terms
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        if not self.terms:
+            return "0"
+        parts = []
+        for m, c in sorted(self.terms.items(), key=lambda e: _mono_key(e[0])):
+            if m == ():
+                parts.append(str(c))
+            else:
+                mono = "*".join(
+                    (repr(at) if p == 1 else f"{at!r}^{p}") for at, p in m)
+                parts.append(mono if c == 1 else f"{c}*{mono}")
+        return " + ".join(parts).replace("+ -", "- ")
+
+
+def _coerce(v: "Poly | int") -> Poly:
+    if isinstance(v, Poly):
+        return v
+    return Poly.const(v)
+
+
+ZERO = Poly()
+ONE = Poly.const(1)
+
+
+def pdiv(p: Poly, q: Poly) -> Poly:
+    """Floor division as a Poly. Constant-folds exact integer cases."""
+    if p.is_const() and q.is_const() and q.const_value() not in (0,):
+        return Poly.const(p.const_value() // q.const_value())
+    # (k * q) / q == k when the division is syntactically exact
+    if q.is_const():
+        d = q.const_value()
+        if d != 0 and all(c % d == 0 for c in p.terms.values()):
+            return p.scale(Fraction(1, d))
+    return Poly.atom(OpTerm("div", (p, q)))
+
+
+def pmod(p: Poly, q: Poly) -> Poly:
+    if p.is_const() and q.is_const() and q.const_value() != 0:
+        return Poly.const(p.const_value() % q.const_value())
+    return Poly.atom(OpTerm("mod", (p, q)))
+
+
+def pmin(a: Poly, b: Poly) -> Poly:
+    if a == b:
+        return a
+    if a.is_const() and b.is_const():
+        return a if a.const_value() <= b.const_value() else b
+    return Poly.atom(OpTerm("min", (a, b)))
+
+
+def pmax(a: Poly, b: Poly) -> Poly:
+    if a == b:
+        return a
+    if a.is_const() and b.is_const():
+        return a if a.const_value() >= b.const_value() else b
+    return Poly.atom(OpTerm("max", (a, b)))
+
+
+def ceildiv(p: Poly, q: Poly) -> Poly:
+    if p.is_const() and q.is_const() and q.const_value() > 0:
+        a, b = p.const_value(), q.const_value()
+        return Poly.const(-((-a) // b))
+    return Poly.atom(OpTerm("ceildiv", (p, q)))

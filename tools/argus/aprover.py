@@ -1,0 +1,597 @@
+"""Argus entailment prover.
+
+Decides queries of the form `p >= 0` (and sugar: lt/le/eq) against a fact
+database collected from view contracts and the abstract interpreter's path
+conditions.  The pipeline:
+
+  1. Constraint closure — instantiate array axioms (monotonicity, element
+     ranges), linearize opaque OpTerms (div/mod/popcount/min/max/ceildiv)
+     with sound bounds, strengthen inequalities through the divisibility
+     lattice (if c | g and g >= 1 then g >= c — the argument that makes
+     SELL slice arithmetic sound), and saturate products against provably
+     nonnegative atoms for nonlinear queries (BCSR's k*bs^2 + r*bs + c).
+
+  2. Query-directed Fourier–Motzkin elimination — repeatedly substitute a
+     bounding constraint for one monomial of the query until the residue is
+     a constant.  Branching is capped; failures are memoized.
+
+Everything is sound-for-proofs: a `True` answer means the inequality follows
+from the facts; `False` means "could not prove", which Argus reports as a
+violation with the residual obligation.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Set, Tuple
+
+from apoly import ArrElem, Monomial, OpTerm, Poly, Sym
+from apoly import _mono_key as _mono_name
+
+MAX_DEPTH = 14
+MAX_NODES = 20000
+MAX_BRANCH = 10
+
+
+def _divisor_monos(m: Monomial):
+    """All divisor monomials of m (per-atom power 0..p), zero powers omitted.
+
+    Yielded tuples preserve the sorted atom order of the input, so their
+    _mono_name keys are canonical.
+    """
+    items = list(m)
+
+    def rec(i: int):
+        if i == len(items):
+            yield ()
+            return
+        at, p = items[i]
+        for rest in rec(i + 1):
+            for q in range(p + 1):
+                yield (((at, q),) + rest) if q else rest
+
+    seen = set()
+    for d in rec(0):
+        t = tuple(d)
+        if t not in seen:
+            seen.add(t)
+            yield t
+
+
+class FactDB:
+    """Facts known at a program point. Copy-on-branch."""
+
+    def __init__(self):
+        self.ineqs: List[Poly] = []          # each p means p >= 0
+        self.divides: List[Tuple[int, Poly]] = []  # (c, p): c | p
+        self.monotone: Set[str] = set()      # nondecreasing integer arrays
+        # arr -> (lo, hi): every element e satisfies lo <= e < hi
+        self.elem_range: Dict[str, Tuple[Poly, Poly]] = {}
+        self.elem_divides: Dict[str, int] = {}   # arr -> c: c | every element
+        # arr -> allowed values of arr[i+1]-arr[i]
+        self.stride: Dict[str, Tuple[int, ...]] = {}
+        self._keys: Set[str] = set()
+
+    def copy(self) -> "FactDB":
+        db = FactDB()
+        db.ineqs = list(self.ineqs)
+        db.divides = list(self.divides)
+        db.monotone = set(self.monotone)
+        db.elem_range = dict(self.elem_range)
+        db.elem_divides = dict(self.elem_divides)
+        db.stride = dict(self.stride)
+        db._keys = set(self._keys)
+        return db
+
+    def add_ge0(self, p: Poly) -> None:
+        if p.is_const():
+            return  # trivially true facts add nothing (or are contradictions)
+        k = p.key()
+        if k not in self._keys:
+            self._keys.add(k)
+            self.ineqs.append(p)
+
+    def add_le(self, a: Poly, b: "Poly | int") -> None:
+        b = b if isinstance(b, Poly) else Poly.const(b)
+        self.add_ge0(b - a)
+
+    def add_lt(self, a: Poly, b: "Poly | int") -> None:
+        b = b if isinstance(b, Poly) else Poly.const(b)
+        self.add_ge0(b - a - 1)
+
+    def add_eq0(self, p: Poly) -> None:
+        self.add_ge0(p)
+        self.add_ge0(-p)
+
+    def add_eq(self, a: Poly, b: "Poly | int") -> None:
+        b = b if isinstance(b, Poly) else Poly.const(b)
+        self.add_eq0(a - b)
+
+    def add_divides(self, c: int, p: Poly) -> None:
+        if c > 1 and not p.is_const():
+            self.divides.append((c, p))
+
+
+def _mono_of(atom) -> Monomial:
+    return ((atom, 1),)
+
+
+class Prover:
+    def __init__(self, db: FactDB):
+        self.db = db
+        self._closure: Optional[List[Poly]] = None
+        self._nonneg_atoms: Optional[List] = None
+        self._divs: List[Tuple[int, Poly]] = list(db.divides)
+        self._div_keys: Set[str] = set()
+
+    # -- public query API ---------------------------------------------------
+    def prove_ge0(self, p: Poly) -> bool:
+        cons = self._constraints_for(p)
+        self._nodes = 0
+        self._memo: Dict[str, bool] = {}
+        return self._entail(p, cons, 0)
+
+    def prove_le(self, a: Poly, b: Poly) -> bool:
+        return self.prove_ge0(b - a)
+
+    def prove_lt(self, a: Poly, b: Poly) -> bool:
+        return self.prove_ge0(b - a - 1)
+
+    def prove_eq(self, a: Poly, b: Poly) -> bool:
+        d = a - b
+        if d.is_const():
+            return d.const_value() == 0
+        return self.prove_ge0(d) and self.prove_ge0(-d)
+
+    def divides_known(self, c: int, p: Poly) -> bool:
+        self._instantiate_elem_divides(_collect_atoms([p]))
+        return _lattice_divides(c, p, self._divs)
+
+    def _instantiate_elem_divides(self, atoms) -> None:
+        """divides(c, elem(arr)) facts become concrete lattice members for
+        every arr element the query mentions."""
+        for at in atoms:
+            if isinstance(at, ArrElem) and at.arr in self.db.elem_divides:
+                k = at.key()
+                if k not in self._div_keys:
+                    self._div_keys.add(k)
+                    self._divs.append(
+                        (self.db.elem_divides[at.arr], Poly.atom(at)))
+
+    # -- closure construction ------------------------------------------------
+    def _constraints_for(self, query: Poly) -> List[Poly]:
+        base = self._base_closure()
+        cons = list(base)
+        seen = {f.key() for f in cons}
+
+        def push(f: Poly) -> None:
+            if not f.is_const():
+                k = f.key()
+                if k not in seen:
+                    seen.add(k)
+                    cons.append(f)
+
+        # Close query-specific atoms (elem ranges, opterm bounds, monotone
+        # pairs involving atoms that only occur in the query).
+        for _round in range(4):
+            atoms = _collect_atoms([query] + cons)
+            self._instantiate_elem_divides(atoms)
+            before = len(cons)
+            for f in self._atom_axioms(atoms):
+                push(f)
+            for f in self._monotone_pairs(atoms, cons):
+                push(f)
+            for f in self._stride_pairs(atoms):
+                push(f)
+            if len(cons) == before:
+                break
+
+        for f in self._divides_strengthen(cons):
+            push(f)
+
+        if query.degree() >= 2 or any(f.degree() >= 2 for f in cons):
+            targets = self._target_monomials([query] + cons)
+            for f in self._saturate_products(cons, targets, query):
+                push(f)
+        # Symbolic-divisor div() atoms get their axioms last: the guards
+        # (p >= 0, d >= 1) may need the saturated products to discharge.
+        atoms = _collect_atoms([query] + cons)
+        for f in self._symdiv_axioms(atoms, cons):
+            push(f)
+        return cons
+
+    @staticmethod
+    def _target_monomials(polys: List[Poly]) -> Set[str]:
+        """Keys of nonlinear monomials occurring anywhere in the query or
+        the fact set (recursing into ArrElem indices / OpTerm arguments),
+        downward-closed under monomial division (rowptr[mb]*bs^2 admits
+        rowptr[mb]*bs and bs^2 as elimination way-points). Product
+        saturation only keeps products confined to these — FM elimination
+        never benefits from a product that introduces a nonlinear monomial
+        nothing else mentions."""
+        monos: List = []
+        seen_monos: Set[str] = set()
+        siblings: Dict[str, List] = {}   # array -> its ArrElem atoms seen
+        sib_keys: Set[str] = set()
+        stack = list(polys)
+        seen_polys = set()
+        while stack:
+            p = stack.pop()
+            k = p.key()
+            if k in seen_polys:
+                continue
+            seen_polys.add(k)
+            for m in p.monomials():
+                if sum(pw for _a, pw in m) >= 2:
+                    mk = _mono_name(m)
+                    if mk not in seen_monos:
+                        seen_monos.add(mk)
+                        monos.append(m)
+            for at in p.atoms():
+                if isinstance(at, ArrElem):
+                    if at.key() not in sib_keys:
+                        sib_keys.add(at.key())
+                        siblings.setdefault(at.arr, []).append(at)
+                    stack.append(at.idx)
+                elif isinstance(at, OpTerm):
+                    stack.extend(at.args)
+        # Array-sibling closure: a monotone chain relates rowptr[i] to
+        # rowptr[i+1] to rowptr[mb], so if rowptr[i]*bs^2 is a target the
+        # same monomial built on any sibling rowptr[..] atom must be a
+        # way-point too.
+        for m in list(monos):
+            for pos, (at, pw) in enumerate(m):
+                if not isinstance(at, ArrElem):
+                    continue
+                for sib in siblings.get(at.arr, ()):
+                    if sib.key() == at.key():
+                        continue
+                    repl = list(m)
+                    repl[pos] = (sib, pw)
+                    merged: Dict[str, Tuple] = {}
+                    for a2, p2 in repl:
+                        k2 = a2.key()
+                        if k2 in merged:
+                            merged[k2] = (a2, merged[k2][1] + p2)
+                        else:
+                            merged[k2] = (a2, p2)
+                    sm = tuple(sorted(merged.values(),
+                                      key=lambda ap: (ap[0].key(), ap[1])))
+                    smk = _mono_name(sm)
+                    if smk not in seen_monos:
+                        seen_monos.add(smk)
+                        monos.append(sm)
+        out: Set[str] = set()
+        for m in monos:
+            for d in _divisor_monos(m):
+                if sum(pw for _a, pw in d) >= 2:
+                    out.add(_mono_name(d))
+        return out
+
+    def _symdiv_axioms(self, atoms, cons: List[Poly]) -> List[Poly]:
+        """Axioms for div(p, d) with a *symbolic* divisor: when d >= 1 is
+        known, 0 <= v <= p follows from p >= 0 (the exact d*v bracketing is
+        nonlinear in d and deliberately not emitted)."""
+        out: List[Poly] = []
+        for at in atoms:
+            if not (isinstance(at, OpTerm) and at.op == "div"):
+                continue
+            if at.args[1].is_const():
+                continue
+            p, d = at.args
+            v = Poly.atom(at)
+            if not self._quick_entail(d - 1, cons):
+                continue
+            if self._quick_entail(p, cons):
+                out.append(v)          # v >= 0
+                out.append(p - v)      # v <= p
+        return out
+
+    def _base_closure(self) -> List[Poly]:
+        if self._closure is None:
+            self._closure = list(self.db.ineqs)
+        return self._closure
+
+    def _atom_axioms(self, atoms) -> List[Poly]:
+        out: List[Poly] = []
+        for at in atoms:
+            if isinstance(at, ArrElem) and at.arr in self.db.elem_range:
+                lo, hi = self.db.elem_range[at.arr]
+                a = Poly.atom(at)
+                out.append(a - lo)          # a >= lo
+                out.append(hi - 1 - a)      # a <= hi - 1
+            elif isinstance(at, OpTerm):
+                out.extend(self._opterm_axioms(at))
+        return out
+
+    def _opterm_axioms(self, t: OpTerm) -> List[Poly]:
+        v = Poly.atom(t)
+        out: List[Poly] = []
+        if t.op == "div" and t.args[1].is_const():
+            p, d = t.args[0], t.args[1].const_value()
+            if d > 0:
+                # d*v <= p <= d*v + d - 1; exact when d | p.
+                out.append(p - v.scale(d))
+                if _lattice_divides(d, p, self._divs):
+                    out.append(v.scale(d) - p)
+                else:
+                    out.append(v.scale(d) + (d - 1) - p)
+        elif t.op == "mod" and t.args[1].is_const():
+            d = t.args[1].const_value()
+            if d > 0:
+                out.append(v)               # v >= 0
+                out.append(Poly.const(d - 1) - v)
+        elif t.op == "ceildiv" and t.args[1].is_const():
+            p, d = t.args[0], t.args[1].const_value()
+            if d > 0:
+                # p <= d*v <= p + d - 1
+                out.append(v.scale(d) - p)
+                out.append(p + (d - 1) - v.scale(d))
+        elif t.op == "popcount":
+            width = t.args[1].const_value() if len(t.args) > 1 and \
+                t.args[1].is_const() else 64
+            out.append(v)
+            out.append(Poly.const(width) - v)
+        elif t.op == "min":
+            for a in t.args:
+                out.append(a - v)           # v <= each arg
+        elif t.op == "max":
+            for a in t.args:
+                out.append(v - a)           # v >= each arg
+        return out
+
+    def _monotone_pairs(self, atoms, cons: List[Poly]) -> List[Poly]:
+        """For nondecreasing arr and index polys i <= j (decided with a
+        restricted sub-proof), emit arr[j] - arr[i] >= 0."""
+        by_arr: Dict[str, List[ArrElem]] = {}
+        for at in atoms:
+            if isinstance(at, ArrElem) and at.arr in self.db.monotone:
+                by_arr.setdefault(at.arr, []).append(at)
+        out: List[Poly] = []
+        for _arr, elems in by_arr.items():
+            uniq = list({e.key(): e for e in elems}.values())
+            for i, a in enumerate(uniq):
+                for b in uniq[i + 1:]:
+                    d = b.idx - a.idx
+                    lohi = None
+                    if d.is_const():
+                        lohi = (a, b) if d.const_value() >= 0 else (b, a)
+                    else:
+                        if self._quick_entail(d, cons):
+                            lohi = (a, b)
+                        elif self._quick_entail(-d, cons):
+                            lohi = (b, a)
+                    if lohi is not None:
+                        lo, hi = lohi
+                        out.append(Poly.atom(hi) - Poly.atom(lo))
+        return out
+
+    def _stride_pairs(self, atoms) -> List[Poly]:
+        """stride(arr) in {v...}: for adjacent elements arr[i], arr[i+1] the
+        difference is bounded by min/max of the allowed value set."""
+        by_arr: Dict[str, List[ArrElem]] = {}
+        for at in atoms:
+            if isinstance(at, ArrElem) and at.arr in self.db.stride:
+                by_arr.setdefault(at.arr, []).append(at)
+        out: List[Poly] = []
+        for arr, elems in by_arr.items():
+            vals = self.db.stride[arr]
+            uniq = list({e.key(): e for e in elems}.values())
+            for a in uniq:
+                for b in uniq:
+                    d = b.idx - a.idx
+                    if d.is_const() and d.const_value() == 1:
+                        diff = Poly.atom(b) - Poly.atom(a)
+                        out.append(diff - min(vals))   # diff >= min
+                        out.append(max(vals) - diff)   # diff <= max
+        return out
+
+    def _quick_entail(self, p: Poly, cons: List[Poly]) -> bool:
+        """Bounded entailment used while *building* the closure (no monotone
+        recursion, no saturation)."""
+        self._nodes = 0
+        self._memo = {}
+        return self._entail(p, cons, MAX_DEPTH - 4)
+
+    def _divides_strengthen(self, cons: List[Poly]) -> List[Poly]:
+        """f >= 0, c | (f - s + s') ... concretely: split f into non-constant
+        part g and constant s (f = g + s). If c | g then g >= -s implies
+        g >= c*ceil(-s/c)."""
+        moduli = sorted({c for c, _p in self.db.divides}, reverse=True)
+        out: List[Poly] = []
+        if not moduli:
+            return out
+        for f in cons:
+            s = f.const_value()
+            if not isinstance(s, int):
+                continue
+            g = f - s
+            if g.is_const() or g.degree() > 1:
+                continue
+            for c in moduli:
+                if _lattice_divides(c, g, self._divs):
+                    bound = c * (-((s) // c))  # c * ceil(-s / c)
+                    if bound > -s:
+                        out.append(g - bound)
+                    break
+        return out
+
+    def _saturate_products(self, cons: List[Poly], targets: Set[str],
+                           query: Optional[Poly] = None) -> List[Poly]:
+        mine = cons if query is None else [query] + cons
+        nonneg = self._nonneg_atom_polys(cons, targets, mine)
+
+        def confined(g: Poly) -> bool:
+            return all(sum(pw for _a, pw in m) < 2 or _mono_name(m) in targets
+                       for m in g.monomials())
+
+        out: List[Poly] = []
+        # Products of nonneg atoms alone: rowptr[mb] >= 0 is only known by
+        # entailment (not a constraint), yet rowptr[mb]*bs^2 >= 0 is exactly
+        # the kind of fact a degree-3 extent proof hinges on.
+        for i, a in enumerate(nonneg):
+            out.append(a)
+            for b in nonneg[i:]:
+                g = a * b
+                if confined(g):
+                    out.append(g)
+                    for c in nonneg:
+                        h = g * c
+                        if h.degree() <= 3 and confined(h) and len(out) < 400:
+                            out.append(h)
+        for f in cons:
+            if f.degree() >= 3 or len(out) >= 400:
+                continue
+            for a in nonneg:
+                g = f * a
+                if g.degree() > 3 or not confined(g):
+                    continue
+                out.append(g)
+                for b in nonneg:
+                    h = g * b
+                    if h.degree() <= 3 and len(out) < 400 and confined(h):
+                        out.append(h)
+        return out
+
+    def _nonneg_atom_polys(self, cons: List[Poly], targets: Set[str],
+                           mine: Optional[List[Poly]] = None) -> List[Poly]:
+        """Atoms provably >= 0 that can actually participate in a confined
+        product: an atom outside every target monomial can never survive the
+        confinement filter (its products always introduce a foreign
+        monomial), so only target-monomial atoms are collected — first from
+        single-monomial constraints (cheap, covers bs, c, r etc.), then via
+        a bounded entailment (covers e.g. rowptr[mb], which is only nonneg
+        through the monotone chain)."""
+        relevant = set()
+        for f in (mine if mine is not None else cons):
+            for m in f.monomials():
+                if _mono_name(m) in targets:
+                    for atom, _pw in m:
+                        relevant.add(atom.key())
+        out = []
+        seen = set()
+        for f in cons:
+            monos = list(f.monomials())
+            if len(monos) != 1:
+                continue
+            m = monos[0]
+            if len(m) != 1 or m[0][1] != 1:
+                continue
+            alpha = f.coeff(m)
+            const = f.const_value()
+            # alpha*x + const >= 0
+            if alpha > 0 and const <= 0:
+                atom = m[0][0]
+                if atom.key() in relevant and atom.key() not in seen:
+                    seen.add(atom.key())
+                    out.append(Poly.atom(atom))
+        if targets:
+            extra = 0
+            for f in (mine if mine is not None else cons):
+                for m in f.monomials():
+                    if _mono_name(m) not in targets:
+                        continue
+                    for atom, _pw in m:
+                        if atom.key() in seen or extra >= 8:
+                            continue
+                        seen.add(atom.key())
+                        if self._quick_entail(Poly.atom(atom), cons):
+                            out.append(Poly.atom(atom))
+                            extra += 1
+        return out[:12]
+
+    # -- Fourier–Motzkin core ------------------------------------------------
+    def _entail(self, p: Poly, cons: List[Poly], depth: int) -> bool:
+        if p.is_const():
+            return p.const_value() >= 0
+        if depth >= MAX_DEPTH or self._nodes >= MAX_NODES:
+            return False
+        self._nodes += 1
+        key = p.key()
+        if key in self._memo:
+            return self._memo[key]
+        self._memo[key] = False  # guard against cycles
+
+        # Choose the monomial with the fewest usable bounding constraints.
+        best = None
+        for m in p.monomials():
+            c = p.coeff(m)
+            usable = [f for f in cons
+                      if (f.coeff(m) > 0) == (c > 0) and f.coeff(m) != 0]
+            if not usable:
+                return False  # unbounded monomial in the needed direction
+            if best is None or len(usable) < len(best[2]):
+                best = (m, c, usable)
+        if best is None:
+            return False
+        m, c, usable = best
+        for f in usable[:MAX_BRANCH]:
+            alpha = f.coeff(m)
+            # f = alpha*m + r >= 0.
+            # c > 0 (alpha > 0): m >= -r/alpha  -> p >= rest - (c/alpha)*r
+            # c < 0 (alpha < 0): m <= -r/alpha  -> p >= rest - (c/alpha)*r
+            r = f - Poly({m: alpha})
+            rest = p - Poly({m: c})
+            ratio = Fraction(c) / Fraction(alpha)
+            p2 = rest - r.scale(ratio)
+            if self._entail(p2, cons, depth + 1):
+                self._memo[key] = True
+                return True
+        return False
+
+
+def _collect_atoms(polys: List[Poly]) -> List:
+    """All atoms occurring in `polys`, recursing into ArrElem indices and
+    OpTerm arguments. Deduplicated by key, insertion-ordered."""
+    out: Dict[str, object] = {}
+    stack = list(polys)
+    while stack:
+        p = stack.pop()
+        for at in p.atoms():
+            k = at.key()
+            if k in out:
+                continue
+            out[k] = at
+            if isinstance(at, ArrElem):
+                stack.append(at.idx)
+            elif isinstance(at, OpTerm):
+                stack.extend(at.args)
+    return list(out.values())
+
+
+def _lattice_divides(c: int, p: Poly,
+                     facts: List[Tuple[int, Poly]]) -> bool:
+    """Is c | p derivable from the integer lattice spanned by `facts` plus
+    c*Z on every monomial?  Greedy elimination of non-constant monomials by
+    integer multiples of fact polys whose modulus is a multiple of c."""
+    if c <= 1:
+        return True
+    pool = sorted((q for cc, q in facts if cc % c == 0),
+                  key=lambda q: len(q.terms))
+    cur = p
+    seen = set()
+    for _ in range(24):
+        if cur.key() in seen:
+            return False
+        seen.add(cur.key())
+        mono = None
+        for m in cur.monomials():
+            if cur.coeff(m) % c != 0:
+                mono = m
+                break
+        if mono is None:
+            cv = cur.const_value()
+            return isinstance(cv, int) and cv % c == 0
+        hit = False
+        for q in pool:
+            alpha = q.coeff(mono)
+            if alpha == 0:
+                continue
+            coef = cur.coeff(mono)
+            if coef % alpha == 0:
+                cur = cur - q.scale(coef // alpha)
+                hit = True
+                break
+        if not hit:
+            return False
+    return False

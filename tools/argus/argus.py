@@ -1,0 +1,353 @@
+#!/usr/bin/env python3
+"""Argus — static analyzer for Kestrel's SIMD kernel translation units.
+
+Parses every kernel TU into an intrinsic-level mini-IR, instantiates the
+view contracts declared in src/mat/kernels/views.hpp, and abstractly
+interprets each registered kernel over symbolic interval/polynomial domains
+to prove, per TU:
+
+  * every load/store/gather/scatter (masked included) stays inside the
+    declared view extents                                    [bounds]
+  * lanes beyond the row/slice end are provably masked       [tail-mask]
+  * every vector mask derives from row-length arithmetic or a
+    declared constant table                                  [mask-provenance]
+  * packed value streams advance exactly by popcount         [packed-stream]
+  * the set of arrays a kernel touches matches the format's
+    spmv_traffic_bytes() model, and that model's stream
+    decomposition sums to the C++ formula                    [traffic]
+
+Usage:
+  python3 tools/argus/argus.py --repo .            # analyze the repo
+  python3 tools/argus/argus.py --repo . --json     # machine-readable report
+  python3 tools/argus/argus.py --self-test         # mutation fixtures
+
+Exit status is non-zero when any violation (or self-test miss) is found.
+No dependencies outside the Python 3 standard library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+from typing import Dict, List, Optional, Tuple
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import aparser
+import atraffic
+from acontracts import (ContractError, TUContract, ViewContract,
+                        parse_traffic_models, parse_tu_contract,
+                        parse_view_contracts)
+from ainterp import Interp, Violation
+
+REGISTER_RE = re.compile(
+    r"KESTREL_REGISTER_KERNEL\(\s*\w+\s*,\s*\w+\s*,\s*(\w+)\s*\)")
+
+# Field scraping for view structs (views.hpp): scalar integer fields and
+# typed data pointers. Nested view members are declared to Argus through
+# `argus-field:` annotations, not scraped here.
+_INT_FIELD_RE = re.compile(r"^\s*(Index|int|std::u?int\d+_t)\s+(\w+)\s*=")
+_PTR_FIELD_RE = re.compile(
+    r"^\s*const\s+([\w:]+)\s*\*\s*(\w+)\s*=\s*nullptr\s*;")
+
+_PTR_SIZES = {
+    "Index": (4, "int"),
+    "int": (4, "int"),
+    "std::uint32_t": (4, "int"),
+    "std::int32_t": (4, "int"),
+    "std::uint64_t": (8, "int"),
+    "std::int64_t": (8, "int"),
+    "Scalar": (8, "float"),
+    "double": (8, "float"),
+}
+
+
+def scan_annots(text: str) -> List[Tuple[int, str]]:
+    """Collect `// argus-*` lines (header files are not run through the
+    kernel parser)."""
+    out: List[Tuple[int, str]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.strip()
+        if stripped.startswith("//"):
+            body = stripped[2:].strip()
+            if body.startswith("argus-"):
+                out.append((lineno, body))
+    return out
+
+
+def scrape_field_types(text: str) -> Dict[str, Dict[str, Tuple[str, int, str]]]:
+    """view name -> field -> (kind, esize, fkind) from struct bodies."""
+    out: Dict[str, Dict[str, Tuple[str, int, str]]] = {}
+    cur: Optional[str] = None
+    for raw in text.splitlines():
+        m = re.match(r"^\s*struct\s+(\w+)\s*\{", raw)
+        if m:
+            cur = m.group(1)
+            out[cur] = {}
+            continue
+        if cur is None:
+            continue
+        if re.match(r"^\s*\};", raw):
+            cur = None
+            continue
+        m = _INT_FIELD_RE.match(raw)
+        if m:
+            out[cur][m.group(2)] = ("int", 4, "int")
+            continue
+        m = _PTR_FIELD_RE.match(raw)
+        if m and m.group(1) in _PTR_SIZES:
+            esize, fkind = _PTR_SIZES[m.group(1)]
+            out[cur][m.group(2)] = ("ptr", esize, fkind)
+    return out
+
+
+def load_views(views_path: str):
+    with open(views_path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    views = parse_view_contracts(scan_annots(text), views_path)
+    ftypes = scrape_field_types(text)
+    return views, ftypes
+
+
+def collect_traffic_models(repo: str):
+    """Parse every argus-traffic-model in the format sources and prove each
+    stream decomposition against its C++ formula."""
+    models = []
+    issues: List[atraffic.TrafficIssue] = []
+    pats = ["src/mat/*.cpp", "src/mat/*.hpp"]
+    for pat in pats:
+        for path in sorted(glob.glob(os.path.join(repo, pat))):
+            with open(path, "r", encoding="utf-8") as fh:
+                text = fh.read()
+            if "argus-traffic-model" not in text:
+                continue
+            rel = os.path.relpath(path, repo)
+            found = parse_traffic_models(text, rel)
+            for model in found:
+                issues.extend(atraffic.check_model_formula(model, text))
+            models.extend(found)
+    return atraffic.model_index(models), issues
+
+
+def analyze_tu(path: str, rel: str, views: Dict[str, ViewContract],
+               ftypes, traffic_index) -> Tuple[List[Violation], int,
+                                               List[atraffic.TrafficIssue]]:
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    registered = list(dict.fromkeys(REGISTER_RE.findall(text)))
+    violations: List[Violation] = []
+    tissues: List[atraffic.TrafficIssue] = []
+    if not registered:
+        return violations, 0, tissues
+    try:
+        tu = aparser.parse_file(path)
+    except Exception as ex:
+        violations.append(Violation(rel, 1, "unsupported",
+                                    f"parse failure: {ex}", "<tu>"))
+        return violations, 0, tissues
+    tu.path = rel
+    try:
+        tuc = parse_tu_contract(
+            tu.annots, {f.name: f.annots for f in tu.funcs if f.annots}, rel)
+    except ContractError as ex:
+        violations.append(Violation(rel, 1, "contract", str(ex), "<tu>"))
+        return violations, 0, tissues
+    if not tuc.fmt:
+        violations.append(Violation(
+            rel, 1, "contract",
+            "kernel TU lacks an `// argus-contract: format=... isa=...` "
+            "header", "<tu>"))
+    funcs = {f.name: f for f in tu.funcs}
+    analyzed = 0
+    for fn in registered:
+        func = funcs.get(fn)
+        if func is None:
+            violations.append(Violation(
+                rel, 1, "contract",
+                f"registered kernel {fn!r} has no definition in this TU",
+                fn))
+            continue
+        kc = tuc.kernels.get(fn)
+        if kc is None:
+            violations.append(Violation(
+                rel, func.line, "contract",
+                f"registered kernel {fn!r} carries no argus-kernel "
+                "contract", fn))
+            continue
+        interp = Interp(tu, tuc, views, ftypes)
+        try:
+            interp.analyze_kernel(func, kc)
+        except ContractError as ex:
+            violations.append(Violation(rel, func.line, "contract",
+                                        str(ex), fn))
+            continue
+        violations.extend(interp.violations)
+        analyzed += 1
+        if kc.traffic and kc.traffic != "none":
+            model = traffic_index.get(kc.traffic)
+            where = kc.where or f"{rel}:{func.line}"
+            if model is None:
+                violations.append(Violation(
+                    rel, func.line, "traffic",
+                    f"kernel {fn} references unknown traffic model "
+                    f"{kc.traffic!r}", fn))
+            elif not interp.violations:
+                # Stream accounting is only meaningful when the abstract
+                # interpretation itself completed cleanly.
+                tissues.extend(atraffic.check_kernel_streams(
+                    fn, where, model, traffic_index,
+                    interp.reads, interp.writes))
+    return violations, analyzed, tissues
+
+
+def run_repo(repo: str, tus: List[str], as_json: bool) -> int:
+    views_path = os.path.join(repo, "src/mat/kernels/views.hpp")
+    if not os.path.exists(views_path):
+        print(f"argus: no view contracts at {views_path}", file=sys.stderr)
+        return 2
+    try:
+        views, ftypes = load_views(views_path)
+    except ContractError as ex:
+        print(f"argus: {ex}", file=sys.stderr)
+        return 2
+    traffic_index, tissues = collect_traffic_models(repo)
+    paths = tus or sorted(glob.glob(
+        os.path.join(repo, "src/mat/kernels/*.cpp")))
+    all_violations: List[Violation] = []
+    kernels = 0
+    ntus = 0
+    for path in paths:
+        rel = os.path.relpath(path, repo)
+        v, n, ti = analyze_tu(path, rel, views, ftypes, traffic_index)
+        if n or v:
+            ntus += 1
+        all_violations.extend(v)
+        tissues.extend(ti)
+        kernels += n
+    for ti in tissues:
+        all_violations.append(Violation(ti.path, ti.line, "traffic",
+                                        ti.message, ti.fmt))
+    all_violations.sort(key=lambda v: (v.path, v.line, v.category))
+    if as_json:
+        print(json.dumps({
+            "kernels": kernels,
+            "tus": ntus,
+            "violations": [{
+                "path": v.path, "line": v.line, "category": v.category,
+                "kernel": v.kernel, "message": v.message,
+            } for v in all_violations],
+        }, indent=2))
+    else:
+        for v in all_violations:
+            print(v.render())
+        status = "FAIL" if all_violations else "OK"
+        print(f"argus: {kernels} kernels across {ntus} TUs, "
+              f"{len(all_violations)} violation(s): {status}")
+    return 1 if all_violations else 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test: mutation fixtures
+# ---------------------------------------------------------------------------
+
+_EXPECT_RE = re.compile(r"^//\s*expect-violation:\s*([\w-]+)\s*(?:::\s*(.+))?$")
+
+
+def run_selftest(repo: str, as_json: bool) -> int:
+    """Each fixture under tools/argus/selftest/ is a deliberately broken
+    kernel TU (or traffic model). A `// expect-violation: <category> ::
+    <regex>` header states what Argus must catch. The self-test fails if
+    any seeded bug goes undetected."""
+    views_path = os.path.join(repo, "src/mat/kernels/views.hpp")
+    views, ftypes = load_views(views_path)
+    traffic_index, _ = collect_traffic_models(repo)
+    fixtures = sorted(glob.glob(
+        os.path.join(repo, "tools/argus/selftest/*.cpp")))
+    if not fixtures:
+        print("argus --self-test: no fixtures found", file=sys.stderr)
+        return 2
+    failures: List[str] = []
+    results = []
+    for path in fixtures:
+        rel = os.path.relpath(path, repo)
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        expects: List[Tuple[str, Optional[str]]] = []
+        for raw in text.splitlines():
+            m = _EXPECT_RE.match(raw.strip())
+            if m:
+                expects.append((m.group(1), m.group(2)))
+        if not expects:
+            failures.append(f"{rel}: fixture has no expect-violation header")
+            continue
+        # Fixture-local traffic models participate (for seeded mismatches).
+        local_index = dict(traffic_index)
+        local_tissues: List[atraffic.TrafficIssue] = []
+        if "argus-traffic-model" in text:
+            local_models = parse_traffic_models(text, rel)
+            for model in local_models:
+                local_tissues.extend(
+                    atraffic.check_model_formula(model, text))
+            local_index.update(atraffic.model_index(local_models))
+        violations, _, tissues = analyze_tu(path, rel, views, ftypes,
+                                            local_index)
+        for ti in local_tissues + tissues:
+            violations.append(Violation(ti.path, ti.line, "traffic",
+                                        ti.message, ti.fmt))
+        rendered = [v.render() for v in violations]
+        missing = []
+        for cat, pat in expects:
+            hit = any(
+                v.category == cat and
+                (pat is None or re.search(pat, r))
+                for v, r in zip(violations, rendered))
+            if not hit:
+                missing.append((cat, pat))
+        results.append({
+            "fixture": rel,
+            "expects": len(expects),
+            "caught": len(expects) - len(missing),
+            "violations": rendered,
+        })
+        for cat, pat in missing:
+            want = f"{cat}" + (f" :: {pat}" if pat else "")
+            failures.append(
+                f"{rel}: seeded bug NOT detected (expected {want}); "
+                f"got: {rendered or ['<clean>']}")
+    if as_json:
+        print(json.dumps({"fixtures": results, "failures": failures},
+                         indent=2))
+    else:
+        for r in results:
+            mark = "ok" if r["caught"] == r["expects"] else "MISS"
+            print(f"  [{mark}] {r['fixture']}: caught {r['caught']}/"
+                  f"{r['expects']} seeded bug(s)")
+        for f in failures:
+            print(f"argus --self-test: {f}")
+        status = "FAIL" if failures else "OK"
+        print(f"argus --self-test: {len(results)} fixtures: {status}")
+    return 1 if failures else 0
+
+
+def main(argv: List[str]) -> int:
+    ap = argparse.ArgumentParser(
+        prog="argus", description="Kestrel SIMD kernel static analyzer")
+    ap.add_argument("--repo", default=".", help="repository root")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the mutation-fixture self-test")
+    ap.add_argument("--json", action="store_true",
+                    help="emit a JSON report")
+    ap.add_argument("tus", nargs="*",
+                    help="specific kernel TUs (default: all registered)")
+    args = ap.parse_args(argv)
+    if args.self_test:
+        return run_selftest(args.repo, args.json)
+    return run_repo(args.repo, args.tus, args.json)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,264 @@
+"""Traffic-model consistency checking.
+
+Each format's `spmv_traffic_bytes()` carries an `// argus-traffic-model`
+annotation run that decomposes the paper's byte formula into per-array
+streams (`// argus-traffic-stream: val = 8 * nnz`).  This module proves two
+things about every model:
+
+1. **Formula consistency** — the sum of the declared stream byte counts is
+   exactly (as a polynomial) the expression returned by the annotated C++
+   function.  The C++ `return` expression is extracted textually, casts are
+   stripped, `argus-traffic-bind` rewrites (e.g. ``nnz() = nnz``) are
+   applied, and both sides are compared in the monomial-normal polynomial
+   domain.  A model that drifts from the code it claims to describe fails
+   here, with no build step involved.
+
+2. **Kernel/IR consistency** — every array stream the abstract interpreter
+   saw a kernel touch must appear in the model (after `@include`
+   expansion), and every modeled stream that is not tagged `conv`
+   (accounting convention) or `amortized` (asymptotically negligible) must
+   actually be touched by the kernel.  A kernel that starts reading an
+   array the traffic model does not account for — or a model that bills
+   for an array no kernel touches — fails here.
+
+Stream tags:
+  wa          write-allocate accounting (count includes the RFO read)
+  conv        accounting convention; not required to appear in kernel IR
+  amortized   asymptotically negligible stream (may carry count 0)
+  esize N     explicit element size (bytes) for the esize cross-check
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import aparser as A
+from apoly import OpTerm, Poly, pdiv, pmod
+from acontracts import (ContractError, TrafficModel, TrafficStream,
+                        parse_annot_expr)
+
+
+@dataclass
+class TrafficIssue:
+    path: str
+    line: int
+    fmt: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: traffic [{self.fmt}]: {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# Expression -> polynomial (free identifiers become symbols)
+# ---------------------------------------------------------------------------
+
+def expr_poly(e: A.Expr, where: str) -> Poly:
+    if isinstance(e, A.Num):
+        return Poly.const(e.value)
+    if isinstance(e, A.Ident):
+        return Poly.sym(e.name)
+    if isinstance(e, A.Member):
+        return Poly.sym(_dotted(e, where))
+    if isinstance(e, A.Unary) and e.op == "-":
+        return -expr_poly(e.operand, where)
+    if isinstance(e, A.Binary):
+        a = expr_poly(e.lhs, where)
+        b = expr_poly(e.rhs, where)
+        if e.op == "+":
+            return a + b
+        if e.op == "-":
+            return a - b
+        if e.op == "*":
+            return a * b
+        if e.op == "/":
+            return pdiv(a, b)
+        if e.op == "%":
+            return pmod(a, b)
+        raise ContractError(where, f"unsupported operator {e.op!r}")
+    if isinstance(e, A.Call):
+        args = [expr_poly(x, where) for x in e.args]
+        if e.fn in ("ceil_div", "ceildiv"):
+            return Poly.atom(OpTerm("ceildiv", (args[0], args[1])))
+        if e.fn == "popcount":
+            return Poly.atom(OpTerm("popcount", (args[0],)))
+        raise ContractError(where, f"unsupported call {e.fn!r}")
+    raise ContractError(where, f"unsupported traffic expr {e}")
+
+
+def _dotted(e: A.Expr, where: str) -> str:
+    if isinstance(e, A.Ident):
+        return e.name
+    if isinstance(e, A.Member):
+        return _dotted(e.base, where) + "." + e.name
+    raise ContractError(where, "expected a dotted name")
+
+
+# ---------------------------------------------------------------------------
+# C++ side: extract the annotated function's return expression
+# ---------------------------------------------------------------------------
+
+_CAST_RE = re.compile(r"\bstatic_cast\s*<[^<>]*>")
+
+
+def extract_cpp_return(text: str, model: TrafficModel) -> Optional[str]:
+    """Find `return <expr>;` inside the function named `model.cpp_fn`,
+    searching forward from the annotation block."""
+    if not model.cpp_fn:
+        return None
+    lines = text.splitlines()
+    # Find the function header at/after the annotation block.
+    start = None
+    header = re.compile(r"\b" + re.escape(model.cpp_fn) + r"\s*\(")
+    for i in range(model.line - 1, min(len(lines), model.line + 24)):
+        if header.search(lines[i]):
+            start = i
+            break
+    if start is None:
+        return None
+    # Collect the first return statement within the next ~30 lines.
+    buf: List[str] = []
+    collecting = False
+    for i in range(start, min(len(lines), start + 30)):
+        line = lines[i]
+        if not collecting:
+            m = re.search(r"\breturn\b", line)
+            if not m:
+                if "}" in line and i > start:
+                    break
+                continue
+            collecting = True
+            line = line[m.end():]
+        buf.append(line)
+        if ";" in line:
+            break
+    joined = " ".join(buf)
+    semi = joined.find(";")
+    if semi < 0:
+        return None
+    return joined[:semi].strip()
+
+
+def rewrite_cpp(expr: str, binds: List[Tuple[str, str]]) -> str:
+    out = _CAST_RE.sub("", expr)
+    # Longest left-hand side first so `val_.size()` wins over `val_`.
+    for lhs, rhs in sorted(binds, key=lambda b: -len(b[0])):
+        out = out.replace(lhs, "(" + rhs + ")")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Checks
+# ---------------------------------------------------------------------------
+
+def model_index(models: List[TrafficModel]) -> Dict[str, TrafficModel]:
+    out: Dict[str, TrafficModel] = {}
+    for m in models:
+        out[m.fmt] = m
+    return out
+
+
+def _stream_sum(model: TrafficModel, where: str) -> Poly:
+    total = Poly.const(0)
+    for s in model.streams:
+        if s.include is not None:
+            total = total + Poly.sym(f"include_{s.include}")
+        elif s.count is not None:
+            total = total + expr_poly(s.count, where)
+    return total
+
+
+def check_model_formula(model: TrafficModel,
+                        text: str) -> List[TrafficIssue]:
+    """Prove sum(streams) == the C++ return expression."""
+    where = f"{model.path}:{model.line}"
+    issues: List[TrafficIssue] = []
+    if not model.cpp_fn:
+        issues.append(TrafficIssue(model.path, model.line, model.fmt,
+                                   "model lacks an argus-traffic-cpp anchor"))
+        return issues
+    raw = extract_cpp_return(text, model)
+    if raw is None:
+        issues.append(TrafficIssue(
+            model.path, model.line, model.fmt,
+            f"could not locate `return ...;` in {model.cpp_fn}()"))
+        return issues
+    rewritten = rewrite_cpp(raw, model.binds)
+    try:
+        cpp = expr_poly(parse_annot_expr(rewritten, where), where)
+    except ContractError as ex:
+        issues.append(TrafficIssue(
+            model.path, model.line, model.fmt,
+            f"cannot normalize C++ expression {rewritten!r}: {ex}"))
+        return issues
+    try:
+        total = _stream_sum(model, where)
+    except ContractError as ex:
+        issues.append(TrafficIssue(model.path, model.line, model.fmt,
+                                   f"bad stream expression: {ex}"))
+        return issues
+    diff = total - cpp
+    if not (diff.is_const() and diff.const_value() == 0):
+        issues.append(TrafficIssue(
+            model.path, model.line, model.fmt,
+            f"stream sum != spmv_traffic_bytes(): residual {diff}"))
+    return issues
+
+
+def expand_streams(model: TrafficModel, index: Dict[str, TrafficModel],
+                   _seen: Optional[set] = None) -> Dict[str, TrafficStream]:
+    """Stream name -> stream, with @include recursively folded in."""
+    seen = _seen if _seen is not None else set()
+    if model.fmt in seen:
+        return {}
+    seen.add(model.fmt)
+    out: Dict[str, TrafficStream] = {}
+    for s in model.streams:
+        if s.include is not None:
+            sub = index.get(s.include)
+            if sub is not None:
+                for k, v in expand_streams(sub, index, seen).items():
+                    out.setdefault(k, v)
+        else:
+            out[s.array] = s
+    return out
+
+
+def check_kernel_streams(kernel: str, where: str, model: TrafficModel,
+                         index: Dict[str, TrafficModel],
+                         reads: Dict[str, int],
+                         writes: Dict[str, int]) -> List[TrafficIssue]:
+    """IR <-> model stream-set consistency for one analyzed kernel."""
+    issues: List[TrafficIssue] = []
+    streams = expand_streams(model, index)
+    touched: Dict[str, int] = dict(reads)
+    for k, v in writes.items():
+        touched[k] = max(touched.get(k, 0), v)
+    path, _, lineno = where.rpartition(":")
+    line = int(lineno) if lineno.isdigit() else model.line
+    path = path or model.path
+    for name, esize in sorted(touched.items()):
+        s = streams.get(name)
+        if s is None:
+            issues.append(TrafficIssue(
+                path, line, model.fmt,
+                f"kernel {kernel} touches array {name!r} absent from the "
+                f"'{model.fmt}' traffic model"))
+        elif "esize" in s.tags and s.tags["esize"]:
+            declared = int(s.tags["esize"])
+            if declared != esize:
+                issues.append(TrafficIssue(
+                    path, line, model.fmt,
+                    f"kernel {kernel}: stream {name!r} declared esize "
+                    f"{declared} but IR accesses {esize}-byte elements"))
+    for name, s in sorted(streams.items()):
+        if "conv" in s.tags or "amortized" in s.tags:
+            continue
+        if name not in touched:
+            issues.append(TrafficIssue(
+                path, line, model.fmt,
+                f"traffic model '{model.fmt}' bills stream {name!r} but "
+                f"kernel {kernel} never touches it"))
+    return issues

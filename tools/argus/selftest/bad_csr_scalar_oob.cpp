@@ -1,0 +1,38 @@
+// SELF-TEST FIXTURE — scalar CSR kernel with an off-by-one on the x
+// subscript: x[colidx[k] + 1] instead of x[colidx[k]]. elem(colidx) lies
+// in [0, n), so the shifted index reaches x[n].
+//
+// expect-violation: bounds :: x
+
+#include "mat/kernels/registration.hpp"
+#include "mat/kernels/views.hpp"
+#include "simd/dispatch.hpp"
+
+// argus-contract: format=csr isa=scalar
+
+namespace kestrel::mat::kernels {
+
+namespace {
+
+// argus-kernel: csr_spmv_scalar
+// argus-param: a : view CsrView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-traffic: none
+void csr_spmv_scalar(const CsrView& a, const Scalar* x, Scalar* y) {
+  for (Index i = 0; i < a.m; ++i) {
+    Scalar sum = 0.0;
+    for (Index k = a.rowptr[i]; k < a.rowptr[i + 1]; ++k) {
+      sum += a.val[k] * x[a.colidx[k] + 1];  // BUG: off-by-one column
+    }
+    y[i] = sum;
+  }
+}
+
+}  // namespace
+
+void register_csr_scalar_oob_fixture() {
+  KESTREL_REGISTER_KERNEL(kCsrSpmv, kScalar, csr_spmv_scalar);
+}
+
+}  // namespace kestrel::mat::kernels

@@ -1,0 +1,64 @@
+// SELF-TEST FIXTURE — CSR AVX-512 tail whose gather mask enables one more
+// lane than the masked index load produced. Both masks have clean
+// (1 << k) - 1 provenance, so the provenance check passes; the gather
+// still consumes a lane of colidx that was never loaded (it holds the
+// maskz zero, so x[0] is silently folded into the row sum).
+//
+// expect-violation: tail-mask :: consumes lanes beyond
+
+#include <immintrin.h>
+
+#include "mat/kernels/registration.hpp"
+#include "mat/kernels/views.hpp"
+#include "simd/dispatch.hpp"
+
+// argus-contract: format=csr isa=avx512
+
+namespace kestrel::mat::kernels {
+
+namespace {
+
+// argus-kernel: csr_spmv_avx512
+// argus-param: a : view CsrView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-traffic: none
+void csr_spmv_avx512(const CsrView& a, const Scalar* x, Scalar* y) {
+  for (Index i = 0; i < a.m; ++i) {
+    const Index begin = a.rowptr[i];
+    const Index len = a.rowptr[i + 1] - begin;
+    Scalar sum = 0.0;
+    Index k = 0;
+    for (; k + 8 <= len; k += 8) {
+      const __m512d vals = _mm512_loadu_pd(a.val + begin + k);
+      const __m256i idx = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(a.colidx + begin + k));
+      const __m512d vx = _mm512_i32gather_pd(idx, x, 8);
+      sum += _mm512_reduce_add_pd(_mm512_mul_pd(vals, vx));
+    }
+    const Index rem = len - k;
+    if (rem > 2) {
+      const __mmask8 mask =
+          static_cast<__mmask8>((1u << static_cast<unsigned>(rem)) - 1u);
+      // BUG: gather mask widened to rem + 1 lanes.
+      const __mmask8 wide =
+          static_cast<__mmask8>((1u << static_cast<unsigned>(rem + 1)) - 1u);
+      const __m512d vals = _mm512_maskz_loadu_pd(mask, a.val + begin + k);
+      const __m256i idx = _mm256_maskz_loadu_epi32(mask, a.colidx + begin + k);
+      const __m512d vx =
+          _mm512_mask_i32gather_pd(_mm512_setzero_pd(), wide, idx, x, 8);
+      sum += _mm512_reduce_add_pd(_mm512_maskz_mul_pd(mask, vals, vx));
+    } else {
+      for (; k < len; ++k) sum += a.val[begin + k] * x[a.colidx[begin + k]];
+    }
+    y[i] = sum;
+  }
+}
+
+}  // namespace
+
+void register_csr_tail_widened_fixture() {
+  KESTREL_REGISTER_KERNEL(kCsrSpmv, kAvx512, csr_spmv_avx512);
+}
+
+}  // namespace kestrel::mat::kernels

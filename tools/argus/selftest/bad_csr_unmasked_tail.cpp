@@ -1,0 +1,66 @@
+// SELF-TEST FIXTURE — CSR AVX-512 loop remainder processed with UNMASKED
+// loads. The tail holds rem in (2, 8) elements, but the mutated kernel
+// issues full 8-wide loads of val and colidx: up to 5 elements past the
+// row (and, on the last row, past the arrays) are touched.
+//
+// expect-violation: bounds :: val
+// expect-violation: bounds :: colidx
+
+#include <immintrin.h>
+
+#include "mat/kernels/registration.hpp"
+#include "mat/kernels/views.hpp"
+#include "simd/dispatch.hpp"
+
+// argus-contract: format=csr isa=avx512
+
+namespace kestrel::mat::kernels {
+
+namespace {
+
+inline Scalar row_dot_avx512(const Scalar* val, const Index* colidx,
+                             Index len, const Scalar* x) {
+  __m512d acc = _mm512_setzero_pd();
+  Index k = 0;
+  for (; k + 8 <= len; k += 8) {
+    const __m512d vals = _mm512_loadu_pd(val + k);
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(colidx + k));
+    const __m512d vx = _mm512_i32gather_pd(idx, x, 8);
+    acc = _mm512_fmadd_pd(vals, vx, acc);
+  }
+  Scalar sum = _mm512_reduce_add_pd(acc);
+  const Index rem = len - k;
+  if (rem > 2) {
+    // BUG: remainder loads forgot their masks.
+    const __m512d vals = _mm512_loadu_pd(val + k);
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(colidx + k));
+    const __m512d vx = _mm512_i32gather_pd(idx, x, 8);
+    sum += _mm512_reduce_add_pd(_mm512_mul_pd(vals, vx));
+  } else {
+    for (; k < len; ++k) sum += val[k] * x[colidx[k]];
+  }
+  return sum;
+}
+
+// argus-kernel: csr_spmv_avx512
+// argus-param: a : view CsrView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-traffic: none
+void csr_spmv_avx512(const CsrView& a, const Scalar* x, Scalar* y) {
+  for (Index i = 0; i < a.m; ++i) {
+    const Index begin = a.rowptr[i];
+    y[i] = row_dot_avx512(a.val + begin, a.colidx + begin,
+                          a.rowptr[i + 1] - begin, x);
+  }
+}
+
+}  // namespace
+
+void register_csr_unmasked_tail_fixture() {
+  KESTREL_REGISTER_KERNEL(kCsrSpmv, kAvx512, csr_spmv_avx512);
+}
+
+}  // namespace kestrel::mat::kernels

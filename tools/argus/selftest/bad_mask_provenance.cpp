@@ -1,0 +1,60 @@
+// SELF-TEST FIXTURE — tail mask conjured from unrelated data. The mutated
+// remainder builds its __mmask8 from a column index instead of from the
+// row-length arithmetic (1 << rem) - 1, so nothing bounds which lanes it
+// enables. Argus must reject the mask's provenance.
+//
+// expect-violation: mask-provenance :: no provable provenance
+
+#include <immintrin.h>
+
+#include "mat/kernels/registration.hpp"
+#include "mat/kernels/views.hpp"
+#include "simd/dispatch.hpp"
+
+// argus-contract: format=csr isa=avx512
+
+namespace kestrel::mat::kernels {
+
+namespace {
+
+// argus-kernel: csr_spmv_avx512
+// argus-param: a : view CsrView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-traffic: none
+void csr_spmv_avx512(const CsrView& a, const Scalar* x, Scalar* y) {
+  for (Index i = 0; i < a.m; ++i) {
+    const Index begin = a.rowptr[i];
+    const Index len = a.rowptr[i + 1] - begin;
+    Scalar sum = 0.0;
+    Index k = 0;
+    for (; k + 8 <= len; k += 8) {
+      const __m512d vals = _mm512_loadu_pd(a.val + begin + k);
+      const __m256i idx = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(a.colidx + begin + k));
+      const __m512d vx = _mm512_i32gather_pd(idx, x, 8);
+      sum += _mm512_reduce_add_pd(_mm512_mul_pd(vals, vx));
+    }
+    const Index rem = len - k;
+    if (rem > 2) {
+      // BUG: the mask is derived from matrix data, not from `rem`.
+      const __mmask8 mask = static_cast<__mmask8>(a.colidx[begin]);
+      const __m512d vals = _mm512_maskz_loadu_pd(mask, a.val + begin + k);
+      const __m256i idx = _mm256_maskz_loadu_epi32(mask, a.colidx + begin + k);
+      const __m512d vx =
+          _mm512_mask_i32gather_pd(_mm512_setzero_pd(), mask, idx, x, 8);
+      sum += _mm512_reduce_add_pd(_mm512_maskz_mul_pd(mask, vals, vx));
+    } else {
+      for (; k < len; ++k) sum += a.val[begin + k] * x[a.colidx[begin + k]];
+    }
+    y[i] = sum;
+  }
+}
+
+}  // namespace
+
+void register_mask_provenance_fixture() {
+  KESTREL_REGISTER_KERNEL(kCsrSpmv, kAvx512, csr_spmv_avx512);
+}
+
+}  // namespace kestrel::mat::kernels

@@ -1,0 +1,32 @@
+// SELF-TEST FIXTURE — a registered kernel TU with no Argus annotations at
+// all: no `// argus-contract:` header and no per-kernel contract. The
+// lint gate requires every kernel TU to carry both.
+//
+// expect-violation: contract :: lacks an
+// expect-violation: contract :: carries no argus-kernel
+
+#include "mat/kernels/registration.hpp"
+#include "mat/kernels/views.hpp"
+#include "simd/dispatch.hpp"
+
+namespace kestrel::mat::kernels {
+
+namespace {
+
+void csr_spmv_scalar(const CsrView& a, const Scalar* x, Scalar* y) {
+  for (Index i = 0; i < a.m; ++i) {
+    Scalar sum = 0.0;
+    for (Index k = a.rowptr[i]; k < a.rowptr[i + 1]; ++k) {
+      sum += a.val[k] * x[a.colidx[k]];
+    }
+    y[i] = sum;
+  }
+}
+
+}  // namespace
+
+void register_missing_contract_fixture() {
+  KESTREL_REGISTER_KERNEL(kCsrSpmv, kScalar, csr_spmv_scalar);
+}
+
+}  // namespace kestrel::mat::kernels

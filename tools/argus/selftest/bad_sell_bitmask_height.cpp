@@ -1,0 +1,78 @@
+// SELF-TEST FIXTURE — the historical AVX-512 SELL bitmask bug, verbatim.
+//
+// This is the seed-tree version of sell_spmv_bitmask_avx512 (fixed in the
+// Sentry PR): the kernel hard-codes slice height 8 (`a.bitmask[k / 8]`,
+// `row0 = s * 8`) while the dispatcher hands it any c that is a multiple
+// of 8. For c > 8 the bitmask word index runs past stored/c words and the
+// computed rows land in the wrong place. Under the honest dispatch
+// contract divides(8, c), Argus must refuse the bitmask subscript.
+//
+// expect-violation: bounds :: bitmask
+// expect-violation: mask-provenance
+
+#include <immintrin.h>
+
+#include "mat/kernels/registration.hpp"
+#include "mat/kernels/views.hpp"
+#include "simd/dispatch.hpp"
+
+// argus-contract: format=sell isa=avx512
+
+namespace kestrel::mat::kernels {
+
+namespace {
+
+template <bool Add>
+inline void store_lanes(Scalar* y, Index nrows, Index lane0, __m512d acc) {
+  const Index valid = nrows - lane0;
+  if (valid >= 8) {
+    if constexpr (Add) {
+      _mm512_storeu_pd(y, _mm512_add_pd(_mm512_loadu_pd(y), acc));
+    } else {
+      _mm512_storeu_pd(y, acc);
+    }
+  } else if (valid > 0) {
+    const __mmask8 mask = static_cast<__mmask8>((1u << valid) - 1u);
+    if constexpr (Add) {
+      const __m512d old = _mm512_maskz_loadu_pd(mask, y);
+      _mm512_mask_storeu_pd(y, mask, _mm512_add_pd(old, acc));
+    } else {
+      _mm512_mask_storeu_pd(y, mask, acc);
+    }
+  }
+}
+
+// argus-kernel: sell_spmv_bitmask_avx512
+// argus-param: a : view SellView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-require: divides(8, c)
+// argus-traffic: none
+void sell_spmv_bitmask_avx512(const SellView& a, const Scalar* x, Scalar* y) {
+  const Index c = a.c;  // requires c == 8 — but the dispatcher never did
+  for (Index s = 0; s < a.nslices; ++s) {
+    __m512d acc = _mm512_setzero_pd();
+    const Index begin = a.sliceptr[s];
+    const Index end = a.sliceptr[s + 1];
+    for (Index k = begin; k < end; k += 8) {
+      const __mmask8 mask = static_cast<__mmask8>(a.bitmask[k / 8]);
+      const __m512d vals = _mm512_maskz_loadu_pd(mask, a.val + k);
+      const __m256i idx =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a.colidx + k));
+      const __m512d vx =
+          _mm512_mask_i32gather_pd(_mm512_setzero_pd(), mask, idx, x, 8);
+      acc = _mm512_mask3_fmadd_pd(vals, vx, acc, mask);
+    }
+    const Index row0 = s * 8;
+    const Index nrows = (row0 + 8 <= a.m) ? 8 : (a.m - row0);
+    store_lanes<false>(y + row0, nrows, 0, acc);
+  }
+}
+
+}  // namespace
+
+void register_sell_bitmask_fixture() {
+  KESTREL_REGISTER_KERNEL(kSellSpmvBitmask, kAvx512, sell_spmv_bitmask_avx512);
+}
+
+}  // namespace kestrel::mat::kernels

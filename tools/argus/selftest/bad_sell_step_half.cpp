@@ -1,0 +1,56 @@
+// SELF-TEST FIXTURE — SELL c=8 inner loop stepping by 4 instead of 8.
+// Slices are padded to whole 8-element columns, so k only ever needs to
+// advance a full vector at a time; stepping 4 makes the second half of
+// every 8-wide load overrun the slice (and the val/colidx arrays on the
+// final column).
+//
+// expect-violation: bounds :: val
+
+#include <immintrin.h>
+
+#include "mat/kernels/registration.hpp"
+#include "mat/kernels/views.hpp"
+#include "simd/dispatch.hpp"
+
+// argus-contract: format=sell isa=avx512
+
+namespace kestrel::mat::kernels {
+
+namespace {
+
+// argus-kernel: sell_spmv_avx512
+// argus-param: a : view SellView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-require: c == 8
+// argus-traffic: none
+void sell_spmv_avx512(const SellView& a, const Scalar* x, Scalar* y) {
+  for (Index s = 0; s < a.nslices; ++s) {
+    __m512d acc = _mm512_setzero_pd();
+    const Index begin = a.sliceptr[s];
+    const Index end = a.sliceptr[s + 1];
+    for (Index k = begin; k < end; k += 4) {  // BUG: half-vector step
+      const __m512d vals = _mm512_loadu_pd(a.val + k);
+      const __m256i idx =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a.colidx + k));
+      const __m512d vx = _mm512_i32gather_pd(idx, x, 8);
+      acc = _mm512_fmadd_pd(vals, vx, acc);
+    }
+    const Index row0 = s * 8;
+    if (row0 + 8 <= a.m) {
+      _mm512_storeu_pd(y + row0, acc);
+    } else {
+      const __mmask8 mask =
+          static_cast<__mmask8>((1u << static_cast<unsigned>(a.m - row0)) - 1u);
+      _mm512_mask_storeu_pd(y + row0, mask, acc);
+    }
+  }
+}
+
+}  // namespace
+
+void register_sell_step_half_fixture() {
+  KESTREL_REGISTER_KERNEL(kSellSpmv, kAvx512, sell_spmv_avx512);
+}
+
+}  // namespace kestrel::mat::kernels

@@ -1,0 +1,52 @@
+// SELF-TEST FIXTURE — Talon AVX-512 kernel with the right-edge branch of
+// the x load deleted. block_col only promises c0 < n, so an unconditional
+// 8-wide load of x + c0 reads up to 7 doubles past the vector on blocks
+// that straddle the matrix edge.
+//
+// expect-violation: bounds :: x
+
+#include <immintrin.h>
+
+#include <bit>
+
+#include "mat/kernels/registration.hpp"
+#include "mat/kernels/views.hpp"
+#include "simd/dispatch.hpp"
+
+// argus-contract: format=talon isa=avx512
+
+namespace kestrel::mat::kernels {
+
+namespace {
+
+// argus-kernel: talon_spmv_avx512
+// argus-param: a : view TalonView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-traffic: none
+void talon_spmv_avx512(const TalonView& a, const Scalar* x, Scalar* y) {
+  for (Index p = 0; p < a.npanels; ++p) {
+    const Index row0 = a.panel_row[p];
+    const Scalar* v = a.val + a.panel_valptr[p];
+    __m512d acc = _mm512_setzero_pd();
+    for (Index b = a.panel_blockptr[p]; b < a.panel_blockptr[p + 1]; ++b) {
+      const Index c0 = a.block_col[b];
+      const std::uint32_t mask = a.block_mask[b];
+      // BUG: edge branch removed — always loads a full vector of x.
+      const __m512d xv = _mm512_loadu_pd(x + c0);
+      const auto mj = static_cast<__mmask8>(mask & 0xFFu);
+      const __m512d vals = _mm512_maskz_expandloadu_pd(mj, v);
+      acc = _mm512_mask3_fmadd_pd(vals, xv, acc, mj);
+      v += std::popcount(static_cast<unsigned>(mj));
+    }
+    y[row0] = _mm512_reduce_add_pd(acc);
+  }
+}
+
+}  // namespace
+
+void register_talon_edge_fixture() {
+  KESTREL_REGISTER_KERNEL(kTalonSpmv, kAvx512, talon_spmv_avx512);
+}
+
+}  // namespace kestrel::mat::kernels

@@ -1,0 +1,59 @@
+// SELF-TEST FIXTURE — Talon AVX-512 kernel advancing the packed value
+// pointer by a full vector (8) per block instead of popcount(mask). The
+// packed stream stores exactly one double per set mask bit, so any block
+// whose mask byte is not all-ones makes the pointer drift forward past
+// the bytes the mask paid for.
+//
+// expect-violation: packed-stream :: advanced past the mask-byte budget
+
+#include <immintrin.h>
+
+#include <bit>
+
+#include "mat/kernels/registration.hpp"
+#include "mat/kernels/views.hpp"
+#include "simd/dispatch.hpp"
+
+// argus-contract: format=talon isa=avx512
+
+namespace kestrel::mat::kernels {
+
+namespace {
+
+// argus-kernel: talon_spmv_avx512
+// argus-param: a : view TalonView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-traffic: none
+void talon_spmv_avx512(const TalonView& a, const Scalar* x, Scalar* y) {
+  for (Index p = 0; p < a.npanels; ++p) {
+    const Index row0 = a.panel_row[p];
+    const Scalar* v = a.val + a.panel_valptr[p];
+    __m512d acc = _mm512_setzero_pd();
+    for (Index b = a.panel_blockptr[p]; b < a.panel_blockptr[p + 1]; ++b) {
+      const Index c0 = a.block_col[b];
+      const std::uint32_t mask = a.block_mask[b];
+      __m512d xv;
+      if (c0 + kZmmDoubles <= a.n) {
+        xv = _mm512_loadu_pd(x + c0);
+      } else {
+        const auto edge = static_cast<__mmask8>(
+            (1u << static_cast<unsigned>(a.n - c0)) - 1u);
+        xv = _mm512_maskz_loadu_pd(edge, x + c0);
+      }
+      const auto mj = static_cast<__mmask8>(mask & 0xFFu);
+      const __m512d vals = _mm512_maskz_expandloadu_pd(mj, v);
+      acc = _mm512_mask3_fmadd_pd(vals, xv, acc, mj);
+      v += 8;  // BUG: should advance by popcount(mj)
+    }
+    y[row0] = _mm512_reduce_add_pd(acc);
+  }
+}
+
+}  // namespace
+
+void register_talon_packed_fixture() {
+  KESTREL_REGISTER_KERNEL(kTalonSpmv, kAvx512, talon_spmv_avx512);
+}
+
+}  // namespace kestrel::mat::kernels

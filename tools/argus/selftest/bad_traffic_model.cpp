@@ -1,0 +1,58 @@
+// SELF-TEST FIXTURE — traffic model that disagrees with its own code and
+// its own kernel. The fixture-local model `csr_fix` declares streams
+// summing to 12*nnz + 24*m + 8*n bytes, but the C++ implementation
+// returns 12*nnz + 32*m + 8*n (an 8*m residual). On top of that, the
+// kernel annotated with this model never reads colidx or x, both of
+// which the model bills as non-amortized streams.
+//
+// expect-violation: traffic :: residual
+// expect-violation: traffic :: never touches it
+
+#include "mat/kernels/registration.hpp"
+#include "mat/kernels/views.hpp"
+#include "simd/dispatch.hpp"
+
+// argus-contract: format=csr isa=scalar
+
+namespace kestrel::mat::kernels {
+
+namespace {
+
+// argus-traffic-model: csr_fix
+// argus-traffic-stream: val = 8 * nnz
+// argus-traffic-stream: colidx = 4 * nnz
+// argus-traffic-stream: rowptr = 8 * m : conv
+// argus-traffic-stream: y = 16 * m : wa
+// argus-traffic-stream: x = 8 * n
+// argus-traffic-bind: nnz_ = nnz
+// argus-traffic-bind: m_ = m
+// argus-traffic-bind: n_ = n
+// argus-traffic-cpp: csr_fix_traffic_bytes
+std::size_t csr_fix_traffic_bytes(Index nnz_, Index m_, Index n_) {
+  // BUG: bills 32 bytes per row; the declared streams only sum to 24.
+  return 12 * nnz_ + 32 * m_ + 8 * n_;
+}
+
+// argus-kernel: csr_rowsum_scalar
+// argus-param: a : view CsrView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-traffic: csr_fix
+void csr_rowsum_scalar(const CsrView& a, const Scalar* x, Scalar* y) {
+  // BUG (vs the model): never touches colidx or x, yet csr_fix bills both.
+  for (Index i = 0; i < a.m; ++i) {
+    Scalar sum = 0.0;
+    for (Index k = a.rowptr[i]; k < a.rowptr[i + 1]; ++k) {
+      sum += a.val[k];
+    }
+    y[i] = sum;
+  }
+}
+
+}  // namespace
+
+void register_traffic_model_fixture() {
+  KESTREL_REGISTER_KERNEL(kCsrSpmv, kScalar, csr_rowsum_scalar);
+}
+
+}  // namespace kestrel::mat::kernels

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Header self-sufficiency check (Kestrel Sentry).
+
+Every public header under src/ must compile on its own: a TU consisting of
+nothing but `#include "<header>"` has to survive `-fsyntax-only`. This
+catches headers that silently lean on includes their current consumers
+happen to pull in first — the classic way a refactor in one file breaks
+the build of twelve others.
+
+Usage:
+  python3 tools/check_headers.py --repo .          # check all src/ headers
+  python3 tools/check_headers.py --repo . -j 8     # parallel
+  python3 tools/check_headers.py --repo . src/mat/csr.hpp   # subset
+
+Headers are compiled with the full vector ISA enabled: -fsyntax-only never
+emits code, so allowing the intrinsics everywhere is safe and keeps the
+kernel helper headers checkable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+ISA_FLAGS = ["-mavx2", "-mavx512f", "-mavx512dq", "-mavx512vl",
+             "-mavx512bw", "-mfma"]
+
+
+def find_compiler(explicit: str | None) -> str | None:
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for cand in (os.environ.get("CXX"), "c++", "g++", "clang++"):
+        if cand and shutil.which(cand):
+            return cand
+    return None
+
+
+def iter_headers(repo: str) -> list[str]:
+    out = []
+    src = os.path.join(repo, "src")
+    for root, _dirs, files in os.walk(src):
+        for name in sorted(files):
+            if name.endswith(".hpp"):
+                out.append(os.path.relpath(os.path.join(root, name), repo))
+    return sorted(out)
+
+
+def check_one(cxx: str, repo: str, rel: str, tmpdir: str) -> tuple[str, str]:
+    """Returns (header, error-text); error-text is empty on success."""
+    include_from_src = os.path.relpath(rel, "src")
+    stub = os.path.join(tmpdir, include_from_src.replace(os.sep, "__") + ".cpp")
+    with open(stub, "w", encoding="utf-8") as f:
+        f.write(f'#include "{include_from_src}"\n')
+    cmd = [cxx, "-std=c++20", "-fsyntax-only", "-Wall", "-Wextra",
+           "-I", os.path.join(repo, "src"), *ISA_FLAGS, stub]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode == 0:
+        return rel, ""
+    return rel, proc.stderr.strip() or f"exit code {proc.returncode}"
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--repo", default=".", help="repository root")
+    ap.add_argument("--compiler", default=None,
+                    help="C++ compiler to use (default: $CXX, c++, g++, ...)")
+    ap.add_argument("-j", "--jobs", type=int, default=os.cpu_count() or 2)
+    ap.add_argument("headers", nargs="*",
+                    help="specific headers (repo-relative); default: all src/")
+    args = ap.parse_args(argv)
+
+    cxx = find_compiler(args.compiler)
+    if cxx is None:
+        print("check_headers: no C++ compiler found; skipping (pass)",
+              file=sys.stderr)
+        return 0
+
+    headers = args.headers or iter_headers(args.repo)
+    if not headers:
+        print("check_headers: no headers under src/", file=sys.stderr)
+        return 1
+
+    failures: list[tuple[str, str]] = []
+    with tempfile.TemporaryDirectory(prefix="kestrel_hdr_") as tmp, \
+            concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        futs = [pool.submit(check_one, cxx, args.repo, h, tmp)
+                for h in headers]
+        for fut in concurrent.futures.as_completed(futs):
+            rel, err = fut.result()
+            if err:
+                failures.append((rel, err))
+
+    for rel, err in sorted(failures):
+        print(f"check_headers: {rel} is not self-sufficient:", file=sys.stderr)
+        for line in err.splitlines()[:12]:
+            print(f"  {line}", file=sys.stderr)
+    status = "FAIL" if failures else "OK"
+    print(f"check_headers: {len(headers)} headers, "
+          f"{len(failures)} failure(s): {status}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -115,6 +115,11 @@ VECTOR_TIER_TOKENS = {"kAvx", "kAvx2", "kAvx512"}
 TABLE_CELL_RE = re.compile(r"^\s*X\((\w+),\s*(\w+)\)", re.MULTILINE)
 REGISTER_MACRO_RE = re.compile(r"KESTREL_REGISTER_KERNEL\(\s*(\w+)\s*,\s*(\w+)")
 KERNEL_TU_RE = re.compile(r"^(\w+?)_(scalar|avx|avx2|avx512)\.cpp$")
+# Kestrel Argus: every kernel TU must carry the machine-checked contract
+# header that tools/argus/argus.py analyzes (see DESIGN.md §10).
+ARGUS_CONTRACT_RE = re.compile(
+    r"^\s*//\s*argus-contract:\s*format=\w+\s+isa=\w+\s*$", re.MULTILINE)
+ARGUS_KERNEL_RE = re.compile(r"^\s*//\s*argus-kernel:\s*\w+", re.MULTILINE)
 
 
 @dataclass
@@ -471,6 +476,37 @@ def check_kernel_op_scalar(repo: str) -> list[Violation]:
     return violations
 
 
+def check_argus_contracts(repo: str) -> list[Violation]:
+    """Every TU that registers a kernel must be analyzable by Kestrel Argus:
+    a `// argus-contract: format=<f> isa=<i>` TU header plus at least one
+    `// argus-kernel:` block. Without them the abstract interpreter skips
+    the TU and its loads/stores are never proven in bounds."""
+    kernels_dir = os.path.join(repo, KERNELS_DIR)
+    if not os.path.isdir(kernels_dir):
+        return []
+    violations = []
+    for name in sorted(os.listdir(kernels_dir)):
+        if not name.endswith(".cpp"):
+            continue
+        rel = os.path.join(KERNELS_DIR, name)
+        text = read_text(os.path.join(kernels_dir, name))
+        if not REGISTER_MACRO_RE.search(text):
+            continue
+        if not ARGUS_CONTRACT_RE.search(text):
+            violations.append(Violation(
+                "argus-contract", rel, 0,
+                "kernel TU has no parseable '// argus-contract: format=<f> "
+                "isa=<i>' header — tools/argus/argus.py skips it, so its "
+                "loads/stores are never proven in bounds (DESIGN.md §10)"))
+        elif not ARGUS_KERNEL_RE.search(text):
+            violations.append(Violation(
+                "argus-contract", rel, 0,
+                "kernel TU has an argus-contract header but no "
+                "'// argus-kernel:' block — the registered kernels carry "
+                "no param/extent contract for the abstract interpreter"))
+    return violations
+
+
 def lint(repo: str) -> list[Violation]:
     violations = []
     violations += check_kernel_table(repo)
@@ -480,6 +516,7 @@ def lint(repo: str) -> list[Violation]:
     violations += check_kernel_perf_reporting(repo)
     violations += check_abft_hook(repo)
     violations += check_kernel_op_scalar(repo)
+    violations += check_argus_contracts(repo)
     return violations
 
 
@@ -501,7 +538,9 @@ CLEAN_REGISTRATION = """#pragma once
 """
 
 CLEAN_SCALAR_TU = """
+// argus-contract: format=foo isa=scalar
 namespace k {
+// argus-kernel: foo_spmv_scalar
 void foo_spmv_scalar() {}
 void register_foo_scalar() {
   KESTREL_REGISTER_KERNEL(kFooSpmv, kScalar, foo_spmv_scalar);
@@ -510,7 +549,9 @@ void register_foo_scalar() {
 """
 
 CLEAN_AVX512_TU = """
+// argus-contract: format=foo isa=avx512
 namespace k {
+// argus-kernel: foo_spmv_avx512
 void foo_spmv_avx512(double* p) {
   // kestrel-aligned: p comes from AlignedBuffer<double, 64> (aligned.hpp)
   _mm512_load_pd(p);
@@ -764,12 +805,30 @@ def self_test() -> int:
                 "gather_clean fixture should pass, got:\n  " +
                 "\n  ".join(str(v) for v in got))
 
+        # 14. Kernel TU with no argus-contract header at all.
+        fx = os.path.join(tmp, "no_argus_header")
+        _make_clean_fixture(fx)
+        _write(fx, os.path.join(KERNELS_DIR, "foo_scalar.cpp"),
+               CLEAN_SCALAR_TU.replace(
+                   "// argus-contract: format=foo isa=scalar\n", ""))
+        expect("no_argus_header", {v.rule for v in lint(fx)},
+               "argus-contract", True)
+
+        # 15. TU header present but no per-kernel contract block.
+        fx = os.path.join(tmp, "no_argus_kernel")
+        _make_clean_fixture(fx)
+        _write(fx, os.path.join(KERNELS_DIR, "foo_scalar.cpp"),
+               CLEAN_SCALAR_TU.replace(
+                   "// argus-kernel: foo_spmv_scalar\n", ""))
+        expect("no_argus_kernel", {v.rule for v in lint(fx)},
+               "argus-contract", True)
+
     if failures:
         print("kestrel_lint self-test FAILED:", file=sys.stderr)
         for f in failures:
             print("  " + f, file=sys.stderr)
         return 1
-    print("kestrel_lint self-test passed (16 fixtures).")
+    print("kestrel_lint self-test passed (18 fixtures).")
     return 0
 
 
