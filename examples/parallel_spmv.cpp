@@ -15,6 +15,11 @@
 //                   [-aegis_abft_tol 1e-8] [-ksp_breakdown_recovery]
 //                   [-ksp_max_restarts 1]
 //                   [-log_view] [-log_trace trace.json] [-log_json m.json]
+//                   [-log_hwc]
+//
+// -log_hwc (Kestrel Pulse) samples hardware counters (cycles, instructions,
+// LLC misses, DRAM bytes) around every profiler span; on hosts without
+// perf-event access it degrades to modeled bytes with a single warning.
 
 #include <cstdio>
 
@@ -34,6 +39,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", w.c_str());
   }
   const prof::LogConfig logcfg = prof::configure(Options::global());
+  if (logcfg.hwc) {
+    std::printf("hwc: measured counters on (source %s)\n",
+                prof::hwc::source_name(prof::hwc::source()));
+  }
   const int nranks = Options::global().get_index("ranks", 4);
   const Index n = Options::global().get_index("n", 64);
   const std::string mat_type =

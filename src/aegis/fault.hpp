@@ -133,7 +133,7 @@ struct AegisStats {
 AegisStats& stats();
 
 /// Records every counter as an `aegis/...` metric on the given profiler
-/// (kestrel-scope-metrics-v1 names; flows into -log_json via prof).
+/// (kestrel-scope-metrics-v2 names; flows into -log_json via prof).
 void publish_metrics(prof::Profiler& prof);
 
 /// FNV-1a over a byte range: the transport payload checksum. Cheap, and

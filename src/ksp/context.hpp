@@ -16,6 +16,7 @@ class SeqContext final : public LinearContext {
       : a_(a), pc_(pc) {}
 
   Index local_size() const override { return a_.rows(); }
+  std::int64_t operator_nnz() const override { return a_.nnz(); }
   void apply_operator(const Vector& x, Vector& y) override {
     a_.spmv(x, y);
   }
@@ -37,6 +38,7 @@ class ParContext final : public LinearContext {
       : a_(a), comm_(comm), pc_(local_pc) {}
 
   Index local_size() const override { return a_.local_rows(); }
+  std::int64_t operator_nnz() const override { return a_.local_nnz(); }
   void apply_operator(const Vector& x, Vector& y) override {
     a_.spmv_local(x.data(), y, comm_);
   }

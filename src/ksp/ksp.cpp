@@ -41,6 +41,29 @@ Scalar LinearContext::norm2(const Vector& a) {
 
 SolveResult Solver::solve(LinearContext& ctx, const Vector& b,
                           Vector& x) const {
+  if (!prof::enabled()) return solve_driver(ctx, b, x);
+  // Owns the "KSPSolve" event: flop counting needs the iteration count, so
+  // this is a manual begin/end rather than a ScopedEvent, kept LIFO-correct
+  // across the unwind when the recovery budget is exhausted.
+  static const int ev_ksp = prof::registered_event("KSPSolve");
+  prof::Profiler& plog = prof::current();
+  plog.begin(ev_ksp);
+  SolveResult result;
+  try {
+    result = solve_driver(ctx, b, x);
+  } catch (...) {
+    plog.end(ev_ksp);
+    throw;
+  }
+  const std::int64_t nnz = ctx.operator_nnz();
+  plog.end(ev_ksp,
+           static_cast<std::uint64_t>(result.iterations) * 2u *
+               static_cast<std::uint64_t>(nnz > 0 ? nnz : 0));
+  return result;
+}
+
+SolveResult Solver::solve_driver(LinearContext& ctx, const Vector& b,
+                                 Vector& x) const {
   if (!settings_.breakdown_recovery) return solve_once(ctx, b, x);
 
   // Kestrel Aegis recovery driver. Every method recomputes the true

@@ -64,6 +64,11 @@ class LinearContext {
 
   /// Local length of solution/rhs vectors.
   virtual Index local_size() const = 0;
+  /// Stored nonzeros of the (local part of the) operator, so the KSPSolve
+  /// profiler event can account ~2*nnz flops per iteration (Kestrel Pulse
+  /// pairs them with measured cycles for a solver-level IPC). 0 = unknown,
+  /// e.g. matrix-free contexts.
+  virtual std::int64_t operator_nnz() const { return 0; }
   /// y = A * x.
   virtual void apply_operator(const Vector& x, Vector& y) = 0;
   /// z = M^{-1} r; identity by default.
@@ -83,7 +88,11 @@ class Solver {
   /// initial guess). Non-virtual recovery driver (Kestrel Aegis): runs the
   /// method via solve_once and, when Settings::breakdown_recovery is set,
   /// restarts it on breakdown / NaN divergence / AbftError up to
-  /// Settings::max_restarts times before surfacing the failure.
+  /// Settings::max_restarts times before surfacing the failure. The whole
+  /// call is recorded as the "KSPSolve" profiler event with
+  /// iterations * 2 * ctx.operator_nnz() flops, so every caller (SNES, TS,
+  /// examples, benches) gets solver-level timing + measured counters
+  /// without wrapping it themselves.
   SolveResult solve(LinearContext& ctx, const Vector& b, Vector& x) const;
 
   virtual std::string name() const = 0;
@@ -101,6 +110,11 @@ class Solver {
   bool check(Scalar rnorm, Scalar rnorm0, int it, SolveResult* out) const;
 
   Settings settings_;
+
+ private:
+  /// The Aegis recovery driver (the body of solve(), minus profiling).
+  SolveResult solve_driver(LinearContext& ctx, const Vector& b,
+                           Vector& x) const;
 };
 
 /// Factory keyed by PETSc-style names: cg, gmres, bicgstab, richardson,

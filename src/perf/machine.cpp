@@ -1,5 +1,8 @@
 #include "perf/machine.hpp"
 
+#include <cstdio>
+#include <cstring>
+
 namespace kestrel::perf {
 
 const char* memory_mode_name(MemoryMode mode) {
@@ -77,6 +80,27 @@ MachineProfile skylake() {
 
 std::vector<MachineProfile> table1_machines() {
   return {haswell(), broadwell(), skylake(), knl7230()};
+}
+
+std::string host_cpu_model() {
+  FILE* f = std::fopen("/proc/cpuinfo", "re");
+  if (f == nullptr) return "";
+  std::string model;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "model name", 10) != 0) continue;
+    const char* colon = std::strchr(line, ':');
+    if (colon == nullptr) continue;
+    const char* p = colon + 1;
+    while (*p == ' ' || *p == '\t') ++p;
+    model = p;
+    while (!model.empty() && (model.back() == '\n' || model.back() == ' ')) {
+      model.pop_back();
+    }
+    break;
+  }
+  std::fclose(f);
+  return model;
 }
 
 }  // namespace kestrel::perf

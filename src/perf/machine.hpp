@@ -63,4 +63,9 @@ MachineProfile skylake();
 /// All Table 1 machines in the figure's order.
 std::vector<MachineProfile> table1_machines();
 
+/// Best-effort host CPU model string from /proc/cpuinfo ("" when unknown).
+/// Recorded in the metrics-JSON hwc block (Kestrel Pulse) so measured
+/// counter artifacts carry the machine they were measured on.
+std::string host_cpu_model();
+
 }  // namespace kestrel::perf

@@ -1,0 +1,178 @@
+#pragma once
+// Kestrel Pulse: measured hardware counters for Kestrel Scope, closing the
+// model-vs-machine loop. A dependency-free perf_event_open(2) sampler —
+// PAPI-style grouped fd reads, no external library — that attaches a
+// per-thread counter set (cycles, instructions, LLC misses, and DRAM-read
+// bytes where the uncore IMC PMU is exposed) to every profiler span, so the
+// -log_view table, the Chrome trace and the metrics JSON carry MEASURED
+// bytes and IPC next to the wall time / flops / modeled bytes that
+// spmv_traffic_bytes() predicts.
+//
+// Counter semantics:
+//   * The three core counters form one perf event GROUP (leader: cycles),
+//     so they are scheduled onto the PMU together and a single read(2)
+//     returns a consistent snapshot. Groups can be multiplexed off the PMU
+//     by the kernel; reads carry time_enabled/time_running and raw values
+//     are scaled by enabled/running (the standard PAPI/perf correction —
+//     see scale_multiplexed()). Counters free-run from open; spans record
+//     wrap-safe deltas between begin and end snapshots.
+//   * DRAM traffic: where /sys/bus/event_source/devices/uncore_imc_* is
+//     available, dram_bytes counts memory-controller CAS reads x 64
+//     (socket-wide — attribute with care on shared machines). Everywhere
+//     else the documented fallback is LLC-miss x 64 (kCacheLineBytes):
+//     an undercount when hardware prefetchers bypass the miss counter, an
+//     overcount never, so it brackets the model from below.
+//   * Capability probing is runtime, not compile-time: perf_event_paranoid,
+//     missing PMUs (VMs, containers) and seccomp all degrade to the
+//     modeled-bytes-only path with a single structured warning
+//     (enable_if_capable()), never an error.
+//
+// Everything syscall-shaped lives in hwc.cpp behind #ifdef __linux__; this
+// header is freestanding C++ so the profiler core stays portable and tests
+// can exercise the pure counter math (scale_multiplexed, wrap_delta,
+// llc_fallback_bytes) on any host.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kestrel::prof::hwc {
+
+// ---- pure counter math (unit-tested, no syscalls) ------------------------
+
+/// DRAM transfers happen in cache-line units; the LLC-miss fallback and the
+/// IMC CAS-count conversion both scale by this.
+inline constexpr std::uint64_t kCacheLineBytes = 64;
+
+/// Multiplexing correction: when the kernel time-shares the PMU between
+/// groups, a group is only counting for time_running of the time_enabled
+/// window and the raw value is extrapolated by enabled/running (exactly
+/// what PAPI and `perf stat` report). running == 0 means the group never
+/// got scheduled: the honest answer is 0, not infinity.
+std::uint64_t scale_multiplexed(std::uint64_t raw, std::uint64_t time_enabled,
+                                std::uint64_t time_running);
+
+/// now - before in wrap-safe unsigned arithmetic: a counter that wrapped
+/// its 64-bit range between snapshots still yields the true small delta.
+std::uint64_t wrap_delta(std::uint64_t before, std::uint64_t now);
+
+/// The documented DRAM-traffic fallback: LLC misses x 64-byte lines.
+std::uint64_t llc_fallback_bytes(std::uint64_t llc_misses);
+
+// ---- capability probing ---------------------------------------------------
+
+/// Where dram_bytes comes from (also the "source" string in the JSON hwc
+/// block, via source_name()).
+enum class Source {
+  kNone,          ///< hwc disabled or unavailable
+  kLlcFallback,   ///< core PMU only: LLC misses x 64
+  kUncoreImc,     ///< memory-controller CAS reads x 64 (socket-wide)
+  kSoftwareDebug  ///< KESTREL_HWC_SOFTWARE=1: software perf events stand in
+                  ///< for the PMU so the full pipeline runs in VMs/CI
+};
+
+const char* source_name(Source s);
+
+/// One-time runtime probe of what this host/kernel/container allows.
+struct Capability {
+  bool counters = false;     ///< hardware cycles/instructions/LLC group opens
+  bool dram_uncore = false;  ///< uncore IMC CAS counters open
+  bool sw_counters = false;  ///< software events open (debug source)
+  int paranoid = -1;         ///< /proc/sys/kernel/perf_event_paranoid (-1 =
+                             ///< unreadable: no perf_event support at all)
+  std::string detail;        ///< human-readable reason when counters == false
+};
+
+/// Probes once (first call) and caches; never throws.
+const Capability& capability();
+
+// ---- global switch --------------------------------------------------------
+
+/// True when profiler begin/end snapshots counters. Off by default; flipped
+/// by -log_hwc / KESTREL_LOG_HWC through enable_if_capable().
+bool enabled();
+void set_enabled(bool on);
+/// The active dram_bytes source (kNone while disabled).
+Source source();
+
+/// Enables collection if the probe says this host can deliver it (or if
+/// KESTREL_HWC_SOFTWARE=1 asks for the software debug source). On an
+/// incapable host it leaves hwc off and emits ONE structured warning on
+/// stderr ("kestrel: [hwc] ... ; continuing with modeled bytes only"),
+/// so runs degrade loudly-once rather than silently or fatally.
+bool enable_if_capable();
+
+// ---- readings -------------------------------------------------------------
+
+/// One multiplexing-corrected counter snapshot (or a span delta of two).
+struct Reading {
+  bool valid = false;  ///< false: host incapable / hwc disabled — all zero
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t dram_bytes = 0;  ///< per source(); see header comment
+  std::uint64_t time_enabled = 0;
+  std::uint64_t time_running = 0;
+};
+
+/// Snapshot of this thread's counter group (lazily opened per thread on
+/// first use). Invalid (all-zero) when hwc is disabled or the open failed.
+Reading read_thread();
+
+/// Span delta now - before, wrap-safe per counter; invalid unless both
+/// endpoints are valid.
+Reading delta(const Reading& before, const Reading& now);
+
+// ---- low-level grouped-fd access (tests use this with software events) ---
+
+/// perf_event_attr (type, config) pair. The constants below mirror the
+/// <linux/perf_event.h> values used here so callers (tests, benches) need
+/// no kernel headers.
+struct CounterSpec {
+  std::uint32_t type = 0;
+  std::uint64_t config = 0;
+};
+
+inline constexpr std::uint32_t kTypeHardware = 0;  // PERF_TYPE_HARDWARE
+inline constexpr std::uint32_t kTypeSoftware = 1;  // PERF_TYPE_SOFTWARE
+inline constexpr std::uint64_t kHwCycles = 0;       // PERF_COUNT_HW_CPU_CYCLES
+inline constexpr std::uint64_t kHwInstructions = 1;  // ..._HW_INSTRUCTIONS
+inline constexpr std::uint64_t kHwCacheMisses = 3;   // ..._HW_CACHE_MISSES
+inline constexpr std::uint64_t kSwTaskClock = 1;     // ..._SW_TASK_CLOCK (ns)
+inline constexpr std::uint64_t kSwPageFaults = 2;    // ..._SW_PAGE_FAULTS
+
+/// A group of perf counters behind one leader fd: one read(2) returns every
+/// member plus time_enabled/time_running for the multiplexing correction.
+/// Move-only (owns fds). On non-Linux hosts open() always returns false.
+class Group {
+ public:
+  Group() = default;
+  ~Group();
+  Group(Group&& other) noexcept;
+  Group& operator=(Group&& other) noexcept;
+  Group(const Group&) = delete;
+  Group& operator=(const Group&) = delete;
+
+  /// Opens specs[0] as the group leader and the rest as members, counting
+  /// `pid` (0 = calling thread, -1 = whole system) on `cpu` (-1 = any).
+  /// Counters free-run from the moment the group is enabled here. Returns
+  /// false (with errno detail in error()) without throwing on any failure.
+  bool open(const std::vector<CounterSpec>& specs, int pid = 0, int cpu = -1);
+  bool valid() const { return !fds_.empty(); }
+  void close();
+  const std::string& error() const { return error_; }
+
+  struct Sample {
+    std::vector<std::uint64_t> values;  ///< multiplexing-corrected, per spec
+    std::uint64_t time_enabled = 0;
+    std::uint64_t time_running = 0;
+  };
+  /// One consistent snapshot of the whole group; false on read failure.
+  bool sample(Sample* out) const;
+
+ private:
+  std::vector<int> fds_;
+  std::string error_;
+};
+
+}  // namespace kestrel::prof::hwc

@@ -49,6 +49,12 @@ const Value* Value::find(const std::string& key) const {
 
 namespace {
 
+/// Nesting cap for the recursive-descent parser: each object/array level
+/// costs native stack, so adversarial inputs like 100k copies of '[' must
+/// fail with a kestrel::Error, not a stack overflow. Kestrel's own
+/// documents nest < 10 deep.
+constexpr int kMaxDepth = 128;
+
 class Parser {
  public:
   explicit Parser(const std::string& text) : text_(text) {}
@@ -129,6 +135,7 @@ class Parser {
 
   Value parse_object() {
     expect('{');
+    const DepthGuard guard(this);
     Value v;
     v.kind = Value::Kind::Object;
     if (peek() == '}') {
@@ -153,6 +160,7 @@ class Parser {
 
   Value parse_array() {
     expect('[');
+    const DepthGuard guard(this);
     Value v;
     v.kind = Value::Kind::Array;
     if (peek() == ']') {
@@ -210,8 +218,19 @@ class Parser {
           break;
         case 'u': {
           KESTREL_CHECK(pos_ + 4 <= text_.size(), "json: bad \\u escape");
-          const unsigned long cp =
-              std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
+          unsigned long cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            // strtoul would silently accept a shorter-than-4 hex prefix
+            // (e.g. "\u12x4"); every digit must actually be hex.
+            const char h = text_[pos_ + static_cast<std::size_t>(i)];
+            KESTREL_CHECK(std::isxdigit(static_cast<unsigned char>(h)),
+                          "json: bad \\u escape at byte " +
+                              std::to_string(pos_));
+            cp = cp * 16 +
+                 static_cast<unsigned long>(
+                     h <= '9' ? h - '0'
+                              : (h | 0x20) - 'a' + 10);
+          }
           pos_ += 4;
           // ASCII-only decoding is enough for Kestrel's own output; other
           // code points round-trip as '?'.
@@ -239,8 +258,25 @@ class Parser {
     return v;
   }
 
+  /// RAII nesting-depth accounting for parse_object/parse_array.
+  class DepthGuard {
+   public:
+    explicit DepthGuard(Parser* p) : p_(p) {
+      KESTREL_CHECK(++p_->depth_ <= kMaxDepth,
+                    "json: nesting deeper than " + std::to_string(kMaxDepth) +
+                        " levels");
+    }
+    ~DepthGuard() { --p_->depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+
+   private:
+    Parser* p_;
+  };
+
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -113,8 +113,16 @@ LogConfig configure(const Options& opts) {
   if (const char* v = std::getenv("KESTREL_LOG_JSON")) {
     if (cfg.json_path.empty() && *v != '\0') cfg.json_path = v;
   }
+  cfg.hwc = opts.get_bool("log_hwc", false);
+  if (const char* v = std::getenv("KESTREL_LOG_HWC")) {
+    if (*v != '\0' && !(v[0] == '0' && v[1] == '\0')) cfg.hwc = true;
+  }
   if (cfg.any()) set_enabled(true);
   if (!cfg.trace_path.empty()) set_tracing(true);
+  // Kestrel Pulse: turn counter sampling on only if the host can deliver it;
+  // otherwise enable_if_capable() warns once and the run keeps the modeled
+  // bytes-only path. cfg.hwc reports what actually happened.
+  if (cfg.hwc) cfg.hwc = hwc::enable_if_capable();
   return cfg;
 }
 
@@ -137,12 +145,18 @@ EventPerf& Profiler::cell(int stage, int event) {
 }
 
 void Profiler::begin(int event) {
+  // Snapshot counters and clock before taking the lock: lock wait time must
+  // not be attributed to the event.
+  hwc::Reading hwc0;
+  if (hwc::enabled()) hwc0 = hwc::read_thread();
   const double now = wall_time();
   std::lock_guard<std::mutex> lock(mu_);
-  running_.push_back({event, now});
+  running_.push_back({event, now, hwc0});
 }
 
 void Profiler::end(int event, std::uint64_t flops, std::uint64_t bytes) {
+  hwc::Reading hwc1;
+  if (hwc::enabled()) hwc1 = hwc::read_thread();
   const double now = wall_time();
   std::lock_guard<std::mutex> lock(mu_);
   KESTREL_CHECK(!running_.empty(), "prof: end('" + event_name(event) +
@@ -160,10 +174,16 @@ void Profiler::end(int event, std::uint64_t flops, std::uint64_t bytes) {
   p.calls += 1;
   p.flops += flops;
   p.bytes += bytes;
+  const hwc::Reading d = hwc::delta(top.hwc0, hwc1);
+  p.cycles += d.cycles;
+  p.instructions += d.instructions;
+  p.llc_misses += d.llc_misses;
+  p.hwc_bytes += d.dram_bytes;
   if (tracing()) {
     if (spans_.size() < kMaxSpans) {
-      spans_.push_back(
-          {event, stage, top.t0, now, static_cast<int>(running_.size())});
+      spans_.push_back({event, stage, top.t0, now,
+                        static_cast<int>(running_.size()), d.cycles,
+                        d.instructions, d.llc_misses, d.dram_bytes});
     } else {
       ++dropped_spans_;
     }

@@ -32,6 +32,8 @@
 #include <utility>
 #include <vector>
 
+#include "prof/hwc.hpp"
+
 namespace kestrel {
 class Options;
 
@@ -90,12 +92,19 @@ struct LogConfig {
   bool view = false;         ///< -log_view: print the event table
   std::string trace_path;    ///< -log_trace <file>: Chrome trace JSON
   std::string json_path;     ///< -log_json <file>: metrics JSON
-  bool any() const { return view || !trace_path.empty() || !json_path.empty(); }
+  /// -log_hwc (Kestrel Pulse): true only when hardware counters were both
+  /// requested AND available — configure() downgrades it (with hwc's single
+  /// structured warning) on hosts without perf-event access.
+  bool hwc = false;
+  bool any() const {
+    return view || hwc || !trace_path.empty() || !json_path.empty();
+  }
 };
 
-/// Reads -log_view / -log_trace <file> / -log_json <file> from `opts`,
-/// with KESTREL_LOG_VIEW / KESTREL_LOG_TRACE / KESTREL_LOG_JSON environment
-/// fallbacks, and flips the global collection switches accordingly.
+/// Reads -log_view / -log_trace <file> / -log_json <file> / -log_hwc from
+/// `opts`, with KESTREL_LOG_VIEW / KESTREL_LOG_TRACE / KESTREL_LOG_JSON /
+/// KESTREL_LOG_HWC environment fallbacks, and flips the global collection
+/// switches accordingly.
 LogConfig configure(const Options& opts);
 
 // ---- accumulators --------------------------------------------------------
@@ -108,6 +117,11 @@ struct EventPerf {
   std::uint64_t messages = 0;       ///< fabric messages sent
   std::uint64_t message_bytes = 0;  ///< payload bytes sent
   std::uint64_t reductions = 0;     ///< collective operations
+  // Kestrel Pulse: measured counters (all zero unless hwc::enabled()).
+  std::uint64_t cycles = 0;        ///< measured CPU cycles
+  std::uint64_t instructions = 0;  ///< measured retired instructions
+  std::uint64_t llc_misses = 0;    ///< measured last-level cache misses
+  std::uint64_t hwc_bytes = 0;     ///< measured DRAM bytes (see hwc::Source)
 };
 
 /// One flattened (stage, event) cell with nonzero activity.
@@ -126,6 +140,12 @@ struct TraceSpan {
   double t0 = 0.0;
   double t1 = 0.0;
   int depth = 0;  ///< nesting depth at begin (0 = outermost)
+  // Kestrel Pulse counter deltas over the span (zero unless hwc was on);
+  // exported as Chrome-trace args.
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t hwc_bytes = 0;
 };
 
 class Profiler {
@@ -185,6 +205,7 @@ class Profiler {
   struct Running {
     int event;
     double t0;
+    hwc::Reading hwc0;  ///< counter snapshot at begin (invalid if hwc off)
   };
 
   EventPerf& cell(int stage, int event);  // mu_ must be held

@@ -10,6 +10,8 @@
 
 #include "base/error.hpp"
 #include "par/comm.hpp"
+#include "perf/machine.hpp"
+#include "prof/hwc.hpp"
 #include "prof/json.hpp"
 
 namespace kestrel::prof {
@@ -18,8 +20,11 @@ namespace {
 
 // Flat encodings for the collective exchange. Counts are exact as doubles
 // up to 2^53, far beyond anything these counters reach in-process.
-constexpr std::size_t kRowWidth = 9;   // stage,event,sec,calls,flops,bytes,msgs,msgbytes,red
-constexpr std::size_t kSpanWidth = 6;  // rank,event,stage,t0,t1,depth
+constexpr std::size_t kRowWidth = 13;   // stage,event,sec,calls,flops,bytes,
+                                        // msgs,msgbytes,red,cycles,instr,
+                                        // llcmiss,hwcbytes
+constexpr std::size_t kSpanWidth = 10;  // rank,event,stage,t0,t1,depth,
+                                        // cycles,instr,llcmiss,hwcbytes
 
 std::vector<Scalar> encode_rows(const Profiler& p) {
   std::vector<Scalar> flat;
@@ -35,6 +40,10 @@ std::vector<Scalar> encode_rows(const Profiler& p) {
     flat.push_back(static_cast<Scalar>(r.perf.messages));
     flat.push_back(static_cast<Scalar>(r.perf.message_bytes));
     flat.push_back(static_cast<Scalar>(r.perf.reductions));
+    flat.push_back(static_cast<Scalar>(r.perf.cycles));
+    flat.push_back(static_cast<Scalar>(r.perf.instructions));
+    flat.push_back(static_cast<Scalar>(r.perf.llc_misses));
+    flat.push_back(static_cast<Scalar>(r.perf.hwc_bytes));
   }
   return flat;
 }
@@ -50,6 +59,10 @@ std::vector<Scalar> encode_spans(const Profiler& p, int rank) {
     flat.push_back(s.t0);
     flat.push_back(s.t1);
     flat.push_back(static_cast<Scalar>(s.depth));
+    flat.push_back(static_cast<Scalar>(s.cycles));
+    flat.push_back(static_cast<Scalar>(s.instructions));
+    flat.push_back(static_cast<Scalar>(s.llc_misses));
+    flat.push_back(static_cast<Scalar>(s.hwc_bytes));
   }
   return flat;
 }
@@ -63,6 +76,8 @@ struct Accum {
   int ranks_seen = 0;
   double flops = 0.0, bytes = 0.0;
   double messages = 0.0, message_bytes = 0.0, reductions = 0.0;
+  double cycles_min = 0.0, cycles_max = 0.0, cycles_sum = 0.0;
+  double instructions = 0.0, llc_misses = 0.0, hwc_bytes = 0.0;
 };
 
 Reduced finish(std::map<std::pair<int, int>, Accum> cells, int nranks,
@@ -89,6 +104,13 @@ Reduced finish(std::map<std::pair<int, int>, Accum> cells, int nranks,
     r.messages_total = a.messages;
     r.message_bytes_total = a.message_bytes;
     r.reductions_total = a.reductions;
+    r.cycles_total = a.cycles_sum;
+    r.cycles_min = a.ranks_seen < nranks ? 0.0 : a.cycles_min;
+    r.cycles_max = a.cycles_max;
+    r.cycles_avg = a.cycles_sum / nranks;
+    r.instructions_total = a.instructions;
+    r.llc_misses_total = a.llc_misses;
+    r.hwc_bytes_total = a.hwc_bytes;
     out.messages_total += a.messages;
     out.message_bytes_total += a.message_bytes;
     out.reductions_total += a.reductions;
@@ -124,6 +146,13 @@ void accumulate(std::map<std::pair<int, int>, Accum>& cells,
   a.messages += tuple[6];
   a.message_bytes += tuple[7];
   a.reductions += tuple[8];
+  const double cycles = tuple[9];
+  if (a.ranks_seen == 1 || cycles < a.cycles_min) a.cycles_min = cycles;
+  a.cycles_max = std::max(a.cycles_max, cycles);
+  a.cycles_sum += cycles;
+  a.instructions += tuple[10];
+  a.llc_misses += tuple[11];
+  a.hwc_bytes += tuple[12];
 }
 
 }  // namespace
@@ -164,6 +193,10 @@ Reduced reduce(const Profiler& p, par::Comm& comm) {
     s.t0 = t[3];
     s.t1 = t[4];
     s.depth = static_cast<int>(t[5]);
+    s.cycles = static_cast<std::uint64_t>(t[6]);
+    s.instructions = static_cast<std::uint64_t>(t[7]);
+    s.llc_misses = static_cast<std::uint64_t>(t[8]);
+    s.hwc_bytes = static_cast<std::uint64_t>(t[9]);
     spans.push_back({static_cast<int>(t[0]), s});
   }
   return finish(std::move(cells), comm.size(), elapsed_max, std::move(spans),
@@ -226,6 +259,47 @@ void report(std::ostream& os, const Reduced& r) {
                   row.messages_total, avg_len, row.reductions_total);
     os << line;
   }
+  // Kestrel Pulse: a second table with the MEASURED counters, printed only
+  // when at least one cell carries them (so existing -log_view output and
+  // its consumers are untouched on hwc-less runs). MB meas vs MB model is
+  // the model-vs-machine loop closed per event.
+  bool any_hwc = false;
+  for (const ReducedRow& row : r.rows) any_hwc |= row.cycles_total > 0.0;
+  if (any_hwc) {
+    os << "\nKestrel Pulse: measured hardware counters (source: "
+       << hwc::source_name(hwc::source()) << ")\n";
+    char hhead[256];
+    std::snprintf(hhead, sizeof(hhead),
+                  "%-28s %14s %14s %6s %6s %12s %10s %10s\n", "Event",
+                  "Cycles", "Instrs", "IPC", "CycRat", "LLCmiss", "MBmeas",
+                  "MBmodel");
+    const char* hrule =
+        "----------------------------------------------------------------"
+        "---------------------------------------\n";
+    int last = -1;
+    for (const ReducedRow& row : r.rows) {
+      if (row.cycles_total <= 0.0) continue;
+      if (row.stage != last) {
+        os << "--- Stage " << row.stage << ": " << stage_name(row.stage)
+           << " ---\n"
+           << hhead << hrule;
+        last = row.stage;
+      }
+      const double ipc = row.cycles_total > 0.0
+                             ? row.instructions_total / row.cycles_total
+                             : 0.0;
+      const double cyc_ratio =
+          row.cycles_min > 0.0 ? row.cycles_max / row.cycles_min : 0.0;
+      char line[256];
+      std::snprintf(line, sizeof(line),
+                    "%-28s %14.0f %14.0f %6.2f %6.2f %12.0f %10.1f %10.1f\n",
+                    event_name(row.event).c_str(), row.cycles_total,
+                    row.instructions_total, ipc, cyc_ratio,
+                    row.llc_misses_total, row.hwc_bytes_total / 1.0e6,
+                    row.bytes_total / 1.0e6);
+      os << line;
+    }
+  }
   if (r.dropped_spans > 0) {
     os << "\nWARNING: " << r.dropped_spans
        << " trace spans dropped (recording cap); the trace is truncated.\n";
@@ -261,7 +335,16 @@ void write_chrome_trace(std::ostream& os, const Reduced& r) {
        << json::escape(event_name(rs.span.event)) << "\",\"cat\":\""
        << json::escape(stage_name(rs.span.stage)) << "\",\"ts\":"
        << fmt("%.3f", ts) << ",\"dur\":" << fmt("%.3f", dur)
-       << ",\"args\":{\"depth\":" << rs.span.depth << "}}";
+       << ",\"args\":{\"depth\":" << rs.span.depth;
+    // Measured counters ride along as trace args (Perfetto shows them in
+    // the span details pane) only when the span actually carries them.
+    if (rs.span.cycles > 0) {
+      os << ",\"cycles\":" << rs.span.cycles
+         << ",\"instructions\":" << rs.span.instructions
+         << ",\"llc_misses\":" << rs.span.llc_misses
+         << ",\"hwc_bytes\":" << rs.span.hwc_bytes;
+    }
+    os << "}}";
   }
   os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
         "\"producer\":\"kestrel-scope\",\"dropped_spans\":"
@@ -269,13 +352,28 @@ void write_chrome_trace(std::ostream& os, const Reduced& r) {
 }
 
 void write_json_metrics(std::ostream& os, const Reduced& r) {
-  os << "{\n\"schema\":\"kestrel-scope-metrics-v1\",\n";
+  os << "{\n\"schema\":\"" << kMetricsSchema << "\",\n";
   os << "\"nranks\":" << r.nranks << ",\n";
   os << "\"elapsed_seconds\":" << fmt("%.9e", r.elapsed_max) << ",\n";
   os << "\"totals\":{\"messages\":" << fmt("%.0f", r.messages_total)
      << ",\"message_bytes\":" << fmt("%.0f", r.message_bytes_total)
      << ",\"reductions\":" << fmt("%.0f", r.reductions_total)
      << ",\"dropped_spans\":" << r.dropped_spans << "},\n";
+
+  // v2 addition: machine/capability metadata for the measured counters.
+  // "available" reflects whether sampling was ON for this run; the probe
+  // fields say what the host could have delivered.
+  {
+    const hwc::Capability& cap = hwc::capability();
+    os << "\"hwc\":{\"available\":" << (hwc::enabled() ? "true" : "false")
+       << ",\"source\":\"" << hwc::source_name(hwc::source())
+       << "\",\"counters_probe\":" << (cap.counters ? "true" : "false")
+       << ",\"dram_uncore_probe\":" << (cap.dram_uncore ? "true" : "false")
+       << ",\"paranoid\":" << cap.paranoid
+       << ",\"cache_line_bytes\":" << hwc::kCacheLineBytes
+       << ",\"cpu\":\"" << json::escape(perf::host_cpu_model())
+       << "\",\"detail\":\"" << json::escape(cap.detail) << "\"},\n";
+  }
 
   os << "\"events\":[";
   bool comma = false;
@@ -296,7 +394,21 @@ void write_json_metrics(std::ostream& os, const Reduced& r) {
        << ",\"mflops_per_s\":" << fmt("%.3f", mflops)
        << ",\"messages\":" << fmt("%.0f", row.messages_total)
        << ",\"message_bytes\":" << fmt("%.0f", row.message_bytes_total)
-       << ",\"reductions\":" << fmt("%.0f", row.reductions_total) << "}";
+       << ",\"reductions\":" << fmt("%.0f", row.reductions_total);
+    // v2 addition: measured counters, only on rows that carry them (rows
+    // from hwc-less runs stay bit-identical to v1 apart from the schema).
+    if (row.cycles_total > 0.0) {
+      const double ipc = row.instructions_total / row.cycles_total;
+      os << ",\"cycles_total\":" << fmt("%.0f", row.cycles_total)
+         << ",\"cycles_min\":" << fmt("%.0f", row.cycles_min)
+         << ",\"cycles_max\":" << fmt("%.0f", row.cycles_max)
+         << ",\"cycles_avg\":" << fmt("%.1f", row.cycles_avg)
+         << ",\"instructions_total\":" << fmt("%.0f", row.instructions_total)
+         << ",\"llc_misses_total\":" << fmt("%.0f", row.llc_misses_total)
+         << ",\"hwc_bytes_total\":" << fmt("%.0f", row.hwc_bytes_total)
+         << ",\"ipc\":" << fmt("%.4f", ipc);
+    }
+    os << "}";
   }
   os << "\n],\n";
 

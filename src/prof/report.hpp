@@ -5,7 +5,7 @@
 //                          per-rank min/max/ratio columns,
 //   * write_chrome_trace(): Chrome trace-event JSON (one Perfetto track per
 //                          rank) from the spans recorded under -log_trace,
-//   * write_json_metrics(): machine-readable dump ("kestrel-scope-metrics-v1")
+//   * write_json_metrics(): machine-readable dump (schema kMetricsSchema)
 //                          that bench/ figure scripts consume.
 // export_all() ties them to a LogConfig; on a fabric it is collective and
 // only rank 0 writes.
@@ -22,6 +22,15 @@ class Comm;
 
 namespace kestrel::prof {
 
+/// The metrics-JSON schema version every export path must declare (the
+/// kestrel_lint prof-schema-version rule rejects hardcoded copies). v2 is
+/// a strict superset of v1: all v1 fields are unchanged, v2 adds the
+/// top-level "hwc" machine/capability block and the per-event measured
+/// counter fields — so v1 consumers parse v2 documents untouched.
+inline constexpr const char* kMetricsSchema = "kestrel-scope-metrics-v2";
+/// Previous version, still accepted by validators (check.sh, CI).
+inline constexpr const char* kMetricsSchemaV1 = "kestrel-scope-metrics-v1";
+
 /// One (stage, event) cell reduced across ranks.
 struct ReducedRow {
   int stage = kMainStage;
@@ -36,6 +45,16 @@ struct ReducedRow {
   double messages_total = 0.0;
   double message_bytes_total = 0.0;
   double reductions_total = 0.0;
+  // Kestrel Pulse measured counters, reduced across ranks (all zero when
+  // hwc was off). Totals are sums; min/max/avg expose rank imbalance in
+  // measured work the same way t_min/t_max/t_avg do for time.
+  double cycles_total = 0.0;
+  double cycles_min = 0.0;
+  double cycles_max = 0.0;
+  double cycles_avg = 0.0;
+  double instructions_total = 0.0;
+  double llc_misses_total = 0.0;
+  double hwc_bytes_total = 0.0;
 };
 
 /// A trace span tagged with the rank that recorded it.
@@ -73,7 +92,8 @@ void report(std::ostream& os, const Reduced& r);
 /// earliest span. Load in Perfetto / chrome://tracing.
 void write_chrome_trace(std::ostream& os, const Reduced& r);
 
-/// "kestrel-scope-metrics-v1" machine-readable metrics document.
+/// kMetricsSchema machine-readable metrics document (see the constant's
+/// comment for the v1 -> v2 compatibility contract).
 void write_json_metrics(std::ostream& os, const Reduced& r);
 
 /// Runs the exporters the config asked for: reduces (collectively when

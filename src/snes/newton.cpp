@@ -15,6 +15,10 @@ NewtonResult newton_solve(const NonlinearFunction& f, Vector& u,
                           const NewtonOptions& opts) {
   const Index n = f.size();
   KESTREL_CHECK(u.size() == n, "newton: initial guess size mismatch");
+  // The whole Newton solve is one profiler event; the nested
+  // SNESJacobianEval / PCSetUp / KSPSolve events break down its time.
+  static const int ev_snes = prof::registered_event("SNESSolve");
+  prof::ScopedEvent snes_scope(ev_snes);
 
   auto format_factory = opts.format_factory;
   if (!format_factory) {
@@ -45,7 +49,6 @@ NewtonResult newton_solve(const NonlinearFunction& f, Vector& u,
 
   static const int ev_jac = prof::registered_event("SNESJacobianEval");
   static const int ev_pc = prof::registered_event("PCSetUp");
-  static const int ev_ksp = prof::registered_event("KSPSolve");
   // Snapshot the profiler once: instrumentation stays consistent even if a
   // -log_* switch flips mid-solve.
   prof::Profiler* plog = prof::enabled() ? &prof::current() : nullptr;
@@ -62,13 +65,11 @@ NewtonResult newton_solve(const NonlinearFunction& f, Vector& u,
     // corrupted storage, so the iteration gets exactly one fresh-assembly
     // retry (with a fresh preconditioner) before the error propagates.
     ksp::SolveResult lin;
-    std::int64_t jac_nnz = 0;
     int attempt = 0;
     for (bool solved = false; !solved; ++attempt) {
       try {
         if (plog != nullptr) plog->begin(ev_jac);
         const mat::Csr jac = f.jacobian(u);
-        jac_nnz = jac.nnz();
         const auto op = format_factory(jac);
         if (plog != nullptr) plog->end(ev_jac);
         if (!pc || (it - 1) % opts.pc_lag == 0 || attempt > 0) {
@@ -82,18 +83,9 @@ NewtonResult newton_solve(const NonlinearFunction& f, Vector& u,
         rhs.scale(-1.0);
         du.set(0.0);
         ksp::SeqContext ctx(*op, pc.get());
-        if (plog != nullptr) plog->begin(ev_ksp);
-        try {
-          lin = solver->solve(ctx, rhs, du);
-        } catch (...) {
-          // keep the profiler's begin/end nesting intact across the unwind
-          if (plog != nullptr) plog->end(ev_ksp);
-          throw;
-        }
-        if (plog != nullptr) {
-          plog->end(ev_ksp, static_cast<std::uint64_t>(lin.iterations) * 2u *
-                                static_cast<std::uint64_t>(jac_nnz));
-        }
+        // Solver::solve records the "KSPSolve" event itself (with
+        // iterations * 2 * nnz flops via SeqContext::operator_nnz).
+        lin = solver->solve(ctx, rhs, du);
         solved = true;
       } catch (const AbftError&) {
         if (attempt >= 1) throw;

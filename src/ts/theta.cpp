@@ -71,7 +71,11 @@ ThetaResult theta_integrate(const RhsFunction& f, Vector& u,
     u_ckpt.copy_from(u);
   }
 
+  static const int ev_step = prof::registered_event("TSStep");
   for (int step = 1; step <= opts.steps; ++step) {
+    // One profiler event per time step (nested SNESSolve/KSPSolve events
+    // break it down); RAII keeps begin/end paired across rollback paths.
+    prof::ScopedEvent step_scope(ev_step);
     u_old.copy_from(u);
     ThetaStage stage(f, u_old, opts.theta, opts.dt);
     // warm start from the previous state

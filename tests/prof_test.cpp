@@ -14,6 +14,7 @@
 #include "mat/sell.hpp"
 #include "mat/talon.hpp"
 #include "perf/spmv_model.hpp"
+#include "prof/hwc.hpp"
 #include "prof/json.hpp"
 #include "prof/profiler.hpp"
 #include "prof/report.hpp"
@@ -262,8 +263,20 @@ TEST(ProfExport, MetricsJsonMatchesSchema) {
   const prof::json::Value doc = prof::json::parse(os.str());
 
   ASSERT_NE(doc.find("schema"), nullptr);
-  EXPECT_EQ(doc.find("schema")->string, "kestrel-scope-metrics-v1");
+  // The writer must emit the shared constant (v2); v1 consumers keep
+  // working because v2 only ADDS fields, checked below.
+  EXPECT_EQ(doc.find("schema")->string, prof::kMetricsSchema);
+  EXPECT_EQ(doc.find("schema")->string, "kestrel-scope-metrics-v2");
   EXPECT_EQ(doc.find("nranks")->number, 1.0);
+
+  // v2 hwc capability block is always present (available=false on hosts
+  // where sampling was off) so consumers can branch on it.
+  const auto* hwc_block = doc.find("hwc");
+  ASSERT_NE(hwc_block, nullptr);
+  ASSERT_NE(hwc_block->find("available"), nullptr);
+  ASSERT_NE(hwc_block->find("source"), nullptr);
+  ASSERT_NE(hwc_block->find("paranoid"), nullptr);
+  EXPECT_EQ(hwc_block->find("cache_line_bytes")->number, 64.0);
   const auto* events = doc.find("events");
   ASSERT_NE(events, nullptr);
   bool found = false;
@@ -364,6 +377,51 @@ TEST(ProfKernels, TalonReportedBytesMatchTrafficModelWithin10Percent) {
   const double est_model =
       static_cast<double>(est.traffic_bytes(perf::ModelFormat::kTalon));
   EXPECT_NEAR(est_model, model, 0.10 * model);
+}
+
+TEST(ProfKernels, MeasuredBytesMatchTrafficModelOnBandwidthBoundSize) {
+  // Kestrel Pulse acceptance: on a perf-capable host, the MEASURED DRAM
+  // bytes per SpMV on a bandwidth-bound (larger-than-LLC) Gray-Scott
+  // matrix must land within the bench_hwc tolerance gate of
+  // spmv_traffic_bytes(). Skips cleanly where perf events are unavailable
+  // (VMs, containers, perf_event_paranoid).
+  const prof::hwc::Capability& cap = prof::hwc::capability();
+  if (!cap.counters) {
+    GTEST_SKIP() << "perf events unavailable: " << cap.detail;
+  }
+
+  // ~128k rows x 10 nnz: ~16 MB of matrix data, streamed past any
+  // reasonable LLC share, so DRAM traffic is the dominant term.
+  const Index n = 256;
+  app::GrayScott gs(n);
+  Vector u;
+  gs.initial_condition(u);
+  const mat::Csr jac = gs.rhs_jacobian(u);
+  const double model = static_cast<double>(jac.spmv_traffic_bytes());
+
+  const bool was_enabled = prof::hwc::enabled();
+  ASSERT_TRUE(prof::hwc::enable_if_capable());
+  Vector x(jac.cols(), 1.0), y(jac.rows());
+  jac.spmv(x.data(), y.data());  // warm up
+
+  const int reps = 10;
+  const prof::hwc::Reading r0 = prof::hwc::read_thread();
+  for (int r = 0; r < reps; ++r) jac.spmv(x.data(), y.data());
+  const prof::hwc::Reading r1 = prof::hwc::read_thread();
+  prof::hwc::set_enabled(was_enabled);
+
+  const prof::hwc::Reading d = prof::hwc::delta(r0, r1);
+  ASSERT_TRUE(d.valid);
+  EXPECT_GT(d.cycles, 0u);
+  EXPECT_GT(d.instructions, 0u);
+  const double measured = static_cast<double>(d.dram_bytes) / reps;
+  // Same wide gate as bench_hwc: the LLC-miss fallback undercounts under
+  // prefetch and write-allocate overcounts; 10-100x off means broken
+  // wiring, which is what this guards.
+  EXPECT_GT(measured / model, 0.25) << "measured " << measured << " vs model "
+                                    << model;
+  EXPECT_LT(measured / model, 4.0) << "measured " << measured << " vs model "
+                                   << model;
 }
 
 }  // namespace

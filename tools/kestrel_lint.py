@@ -74,6 +74,17 @@ kernel-op-scalar
     non-AVX host and gives the differential tests their oracle. The
     registration-table half of the contract (the TU itself must be a
     KESTREL_KERNEL_TABLE cell) is enforced by kernel-table-tu.
+
+prof-schema-version
+    Profiler export paths must declare their schema version through the
+    shared constants in src/prof/report.hpp (prof::kMetricsSchema /
+    kMetricsSchemaV1). In src/, bench/ and examples/, (a) no code may
+    hardcode a "kestrel-scope-metrics-..." string literal outside
+    report.hpp, and (b) any line emitting a "schema" JSON key must
+    reference kMetricsSchema on that line. Hardcoded copies are how a
+    schema bump silently forks: one writer moves to -v2 while another
+    keeps stamping -v1 over the new fields. Comments are exempt; tests
+    are exempt (they pin exact strings on purpose).
 """
 
 from __future__ import annotations
@@ -139,9 +150,11 @@ def read_text(path: str) -> str:
         return f.read()
 
 
-def strip_comments_and_strings(text: str) -> str:
-    """Blanks out //, /* */ comments and string literals, preserving line
-    structure so reported line numbers stay valid."""
+def strip_comments_and_strings(text: str, keep_strings: bool = False) -> str:
+    """Blanks out //, /* */ comments and (unless keep_strings) string
+    literals, preserving line structure so reported line numbers stay
+    valid. keep_strings=True keeps literal contents verbatim — used by
+    rules that inspect what the code *emits* (prof-schema-version)."""
 
     out = []
     i, n = 0, len(text)
@@ -162,12 +175,12 @@ def strip_comments_and_strings(text: str) -> str:
                 continue
             if ch == '"':
                 state = "string"
-                out.append(" ")
+                out.append('"' if keep_strings else " ")
                 i += 1
                 continue
             if ch == "'":
                 state = "char"
-                out.append(" ")
+                out.append("'" if keep_strings else " ")
                 i += 1
                 continue
             out.append(ch)
@@ -187,12 +200,15 @@ def strip_comments_and_strings(text: str) -> str:
         elif state in ("string", "char"):
             quote = '"' if state == "string" else "'"
             if ch == "\\":
-                out.append("  ")
+                out.append(text[i:i + 2] if keep_strings else "  ")
                 i += 2
                 continue
             if ch == quote:
                 state = "code"
-            out.append("\n" if ch == "\n" else " ")
+            if keep_strings:
+                out.append(ch)
+            else:
+                out.append("\n" if ch == "\n" else " ")
         i += 1
     return "".join(out)
 
@@ -507,6 +523,44 @@ def check_argus_contracts(repo: str) -> list[Violation]:
     return violations
 
 
+SCHEMA_PREFIX = "kestrel-scope-metrics-"
+SCHEMA_CONSTANT = "kMetricsSchema"
+SCHEMA_HOME = os.path.join("src", "prof", "report.hpp")
+# A writer emitting the "schema" JSON key: the C++ source spells the quoted
+# key as \"schema\" inside a string literal.
+SCHEMA_KEY_EMIT = '\\"schema\\"'
+
+
+def check_prof_schema_version(repo: str) -> list[Violation]:
+    violations = []
+    for top in ("src", "bench", "examples"):
+        root = os.path.join(repo, top)
+        if not os.path.isdir(root):
+            continue
+        for path in iter_source_files(root):
+            rel = os.path.relpath(path, repo)
+            if rel == SCHEMA_HOME:
+                continue  # the constants' single definition site
+            code = strip_comments_and_strings(read_text(path),
+                                              keep_strings=True)
+            for lineno, line in enumerate(code.splitlines(), start=1):
+                if SCHEMA_PREFIX in line:
+                    violations.append(Violation(
+                        "prof-schema-version", rel, lineno,
+                        f"hardcodes a '{SCHEMA_PREFIX}...' schema string — "
+                        f"use prof::{SCHEMA_CONSTANT} (or "
+                        f"{SCHEMA_CONSTANT}V1) from {SCHEMA_HOME} so every "
+                        f"export path versions together"))
+                elif SCHEMA_KEY_EMIT in line and SCHEMA_CONSTANT not in line:
+                    violations.append(Violation(
+                        "prof-schema-version", rel, lineno,
+                        f"emits a \"schema\" JSON key without "
+                        f"prof::{SCHEMA_CONSTANT} on the same line — the "
+                        f"document's declared version can drift from the "
+                        f"shared constant"))
+    return violations
+
+
 def lint(repo: str) -> list[Violation]:
     violations = []
     violations += check_kernel_table(repo)
@@ -517,6 +571,7 @@ def lint(repo: str) -> list[Violation]:
     violations += check_abft_hook(repo)
     violations += check_kernel_op_scalar(repo)
     violations += check_argus_contracts(repo)
+    violations += check_prof_schema_version(repo)
     return violations
 
 
@@ -823,12 +878,54 @@ def self_test() -> int:
         expect("no_argus_kernel", {v.rule for v in lint(fx)},
                "argus-contract", True)
 
+        # 16. A bench hardcoding the schema string instead of using the
+        # shared constant.
+        fx = os.path.join(tmp, "hardcoded_schema")
+        _make_clean_fixture(fx)
+        _write(fx, os.path.join("bench", "bench_rogue.cpp"),
+               '#include <ostream>\n'
+               'void w(std::ostream& os) {\n'
+               '  os << "{\\"schema\\":\\"kestrel-scope-metrics-v1\\"}";\n'
+               '}\n')
+        expect("hardcoded_schema", {v.rule for v in lint(fx)},
+               "prof-schema-version", True)
+
+        # 17. Emitting the "schema" key from a string the constant never
+        # reaches (version drift), even without naming a concrete version.
+        fx = os.path.join(tmp, "drifting_schema_key")
+        _make_clean_fixture(fx)
+        _write(fx, os.path.join("src", "prof", "rogue_writer.cpp"),
+               '#include <ostream>\n'
+               'void w(std::ostream& os, const char* v) {\n'
+               '  os << "{\\"schema\\":\\"" << v << "\\"}";\n'
+               '}\n')
+        expect("drifting_schema_key", {v.rule for v in lint(fx)},
+               "prof-schema-version", True)
+
+        # 18. The blessed pattern stays quiet: key emitted together with
+        # the constant, version literals only in comments and report.hpp.
+        fx = os.path.join(tmp, "schema_via_constant")
+        _make_clean_fixture(fx)
+        _write(fx, os.path.join("src", "prof", "report.hpp"),
+               '#pragma once\n'
+               'inline constexpr const char* kMetricsSchema =\n'
+               '    "kestrel-scope-metrics-v2";\n')
+        _write(fx, os.path.join("src", "prof", "writer.cpp"),
+               '#include <ostream>\n'
+               '// artifact schema: kestrel-scope-metrics-v2 (see report.hpp)\n'
+               'inline constexpr const char* kMetricsSchema = "";\n'
+               'void w(std::ostream& os) {\n'
+               '  os << "{\\"schema\\":\\"" << kMetricsSchema << "\\"}";\n'
+               '}\n')
+        expect("schema_via_constant", {v.rule for v in lint(fx)},
+               "prof-schema-version", False)
+
     if failures:
         print("kestrel_lint self-test FAILED:", file=sys.stderr)
         for f in failures:
             print("  " + f, file=sys.stderr)
         return 1
-    print("kestrel_lint self-test passed (18 fixtures).")
+    print("kestrel_lint self-test passed (21 fixtures).")
     return 0
 
 
