@@ -1,0 +1,173 @@
+// Kestrel Flock — intra-rank thread scaling: SpMV throughput of every
+// format at 1..8 pool threads with nnz-balanced partitions.
+//
+// Two Gray–Scott sizes bracket the roofline: a cache-resident "small"
+// matrix where the kernels are compute-bound and threads should scale
+// (this is the size the CI speedup gate watches), and a memory-resident
+// "large" one where shared bandwidth caps the gain — the measured contrast
+// is the efficiency input of the perf::ThreadModel term (spmv_model.hpp).
+//
+//   ./bench_threads [--smoke] [--json BENCH_threads.json]
+//
+// Exported metrics: <fmt>_t<N>_gflops / <fmt>_t<N>_speedup per small-size
+// config, threads_hw_cores, and threads_gate_speedup — the best speedup at
+// 4 threads across formats, gated >= 2x in scripts/check.sh and CI when
+// the host has at least 4 cores (threads_gate_eligible).
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/options.hpp"
+#include "bench_common.hpp"
+#include "mat/bcsr.hpp"
+#include "mat/csr_perm.hpp"
+#include "mat/sell.hpp"
+#include "mat/talon.hpp"
+#include "par/pool.hpp"
+#include "prof/profiler.hpp"
+#include "prof/report.hpp"
+
+namespace {
+
+using namespace kestrel;
+
+struct FormatEntry {
+  const char* label;
+  std::shared_ptr<mat::Matrix> m;
+};
+
+std::vector<FormatEntry> build_formats(const mat::Csr& csr) {
+  std::vector<FormatEntry> out;
+  out.push_back({"csr", std::make_shared<mat::Csr>(csr)});
+  out.push_back({"csrperm", std::make_shared<mat::CsrPerm>(csr)});
+  out.push_back({"sell", std::make_shared<mat::Sell>(csr)});
+  out.push_back({"bcsr", std::make_shared<mat::Bcsr>(csr, 2)});
+  out.push_back({"talon", std::make_shared<mat::Talon>(csr)});
+  return out;
+}
+
+double time_cfg(const mat::Matrix& a) {
+  // The small matrix is fast; keep real repetitions even under --smoke so
+  // the gate metric is a measurement, not a wiring check.
+  const int reps = bench::smoke_mode() ? 5 : 30;
+  const double secs = bench::smoke_mode() ? 0.02 : 0.2;
+  Vector x(a.cols()), y(a.rows());
+  for (Index i = 0; i < x.size(); ++i) {
+    x[i] = 0.5 + 0.25 * ((i * 2654435761u) % 1024) / 1024.0;
+  }
+  a.spmv(x.data(), y.data());
+  double best = 1e300, spent = 0.0;
+  int k = 0;
+  while (k < reps || spent < secs) {
+    const double t0 = wall_time();
+    a.spmv(x.data(), y.data());
+    const double dt = wall_time() - t0;
+    best = std::min(best, dt);
+    spent += dt;
+    ++k;
+  }
+  volatile double sink = y[0];
+  (void)sink;
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
+  Options::global().parse(argc, argv);
+
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const std::vector<int> counts = {1, 2, 4, 8};
+
+  // The small size is fixed (not --smoke scaled): the >= 2x gate needs a
+  // matrix big enough that the pool barrier is noise, yet small enough to
+  // stay cache-resident (~180k nnz, ~2.6 MB of values+indices).
+  const Index small_n = 96;
+  const mat::Csr small = bench::gray_scott_matrix(small_n);
+  bench::header("Kestrel Flock: thread scaling, cache-resident Gray-Scott " +
+                std::to_string(small.rows()) + " rows");
+  std::printf("host: %d hardware threads\n\n", hw);
+
+  const std::string saved_threads =
+      Options::global().get_string("threads", "");
+
+  prof::Profiler log;
+  log.set_metric("threads_hw_cores", static_cast<double>(hw));
+  double gate_speedup = 0.0;
+
+  auto formats = build_formats(small);
+  std::printf("%-10s", "format");
+  for (int t : counts) std::printf("   t=%d [Gflop/s]", t);
+  std::printf("   speedup@4\n");
+  for (auto& fe : formats) {
+    std::printf("%-10s", fe.label);
+    double t1 = 0.0, sp4 = 0.0;
+    for (int t : counts) {
+      Options::global().set("threads", std::to_string(t));
+      fe.m->repartition(t);
+      const double dt = time_cfg(*fe.m);
+      if (t == 1) t1 = dt;
+      const double speedup = t1 / dt;
+      if (t == 4) sp4 = speedup;
+      std::printf("   %13.2f", bench::gflops(*fe.m, dt));
+      log.set_metric(std::string(fe.label) + "_t" + std::to_string(t) +
+                         "_gflops",
+                     bench::gflops(*fe.m, dt));
+      log.set_metric(std::string(fe.label) + "_t" + std::to_string(t) +
+                         "_speedup",
+                     speedup);
+    }
+    gate_speedup = std::max(gate_speedup, sp4);
+    std::printf("   %8.2fx\n", sp4);
+  }
+
+  log.set_metric("threads_gate_speedup", gate_speedup);
+  log.set_metric("threads_gate_eligible", hw >= 4 ? 1.0 : 0.0);
+  std::printf("\nbest speedup at 4 threads: %.2fx (gate %s: host has %d "
+              "cores)\n",
+              gate_speedup, hw >= 4 ? "ELIGIBLE, needs >= 2x" : "SKIPPED",
+              hw);
+
+  // Memory-resident contrast (skipped under --smoke): shared bandwidth
+  // caps scaling here — this is the regime the ThreadModel keeps t_mem
+  // constant in.
+  if (!bench::smoke_mode()) {
+    const mat::Csr large = bench::gray_scott_matrix(384);
+    bench::header("Kestrel Flock: thread scaling, memory-resident Gray-"
+                  "Scott " + std::to_string(large.rows()) + " rows");
+    auto lformats = build_formats(large);
+    std::printf("%-10s", "format");
+    for (int t : counts) std::printf("   t=%d [Gflop/s]", t);
+    std::printf("\n");
+    for (auto& fe : lformats) {
+      std::printf("%-10s", fe.label);
+      for (int t : counts) {
+        Options::global().set("threads", std::to_string(t));
+        fe.m->repartition(t);
+        const double dt = time_cfg(*fe.m);
+        std::printf("   %13.2f", bench::gflops(*fe.m, dt));
+        log.set_metric(std::string("large_") + fe.label + "_t" +
+                           std::to_string(t) + "_gflops",
+                       bench::gflops(*fe.m, dt));
+      }
+      std::printf("\n");
+    }
+  }
+
+  // Restore the caller's -threads so the option state is as we found it.
+  Options::global().set("threads",
+                        saved_threads.empty() ? "1" : saved_threads);
+
+  if (!bench::json_path().empty()) {
+    std::ofstream out(bench::json_path());
+    prof::write_json_metrics(out, prof::reduce(log));
+    std::printf("\nmetrics written to %s\n", bench::json_path().c_str());
+  }
+  return 0;
+}

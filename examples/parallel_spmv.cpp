@@ -10,6 +10,7 @@
 // through the profiler metrics.
 //
 //   ./parallel_spmv [-ranks 4] [-n 64] [-mat_type sell|csr]
+//                   [-threads N]
 //                   [-ghost_exchange persistent|mailbox]
 //                   [-aegis_faults "seed=42,drop=0.05"] [-aegis_abft]
 //                   [-aegis_abft_tol 1e-8] [-ksp_breakdown_recovery]
@@ -28,6 +29,7 @@
 #include "base/options.hpp"
 #include "ksp/context.hpp"
 #include "par/parmat.hpp"
+#include "par/pool.hpp"
 #include "prof/profiler.hpp"
 #include "prof/report.hpp"
 
@@ -54,8 +56,11 @@ int main(int argc, char** argv) {
   const bool abft = Options::global().get_bool("aegis_abft", false);
 
   const mat::Csr global = app::laplacian_dirichlet(n, n);
-  std::printf("global matrix: %d x %d, %lld nnz, %d ranks\n", global.rows(),
-              global.cols(), static_cast<long long>(global.nnz()), nranks);
+  std::printf("global matrix: %d x %d, %lld nnz, %d ranks, "
+              "%d threads/rank\n",
+              global.rows(), global.cols(),
+              static_cast<long long>(global.nnz()), nranks,
+              par::configured_threads());
 
   auto layout =
       std::make_shared<par::Layout>(par::Layout::even(global.rows(), nranks));

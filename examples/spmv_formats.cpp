@@ -3,7 +3,10 @@
 // and times SpMV under every ISA tier this CPU supports — a miniature of
 // the paper's Figure 8 for your own matrix.
 //
-//   ./spmv_formats [-n 256] [-file matrix.mtx]
+//   ./spmv_formats [-n 256] [-file matrix.mtx] [-threads N]
+//
+// -threads N (or KESTREL_THREADS) runs every format's SpMV on the Kestrel
+// Flock pool with N threads and nnz-balanced partitions.
 
 #include <cstdio>
 
@@ -15,6 +18,7 @@
 #include "mat/mm_io.hpp"
 #include "mat/sell.hpp"
 #include "mat/talon.hpp"
+#include "par/pool.hpp"
 
 using namespace kestrel;
 
@@ -62,7 +66,8 @@ int main(int argc, char** argv) {
               csr.max_row_nnz());
 
   const simd::IsaTier best = simd::detect_best_tier();
-  std::printf("CPU supports up to: %s\n\n", simd::tier_name(best));
+  std::printf("CPU supports up to: %s, %d flock thread(s)\n\n",
+              simd::tier_name(best), par::configured_threads());
 
   for (int ti = 0; ti <= static_cast<int>(best); ++ti) {
     const auto tier = static_cast<simd::IsaTier>(ti);

@@ -113,6 +113,30 @@ print(f"comm bench ok: {m['exchange_speedup']:.2f}x speedup, "
       f"alpha={m['comm_alpha_s'] * 1e6:.2f}us, 0 steady-state allocs")
 EOF
 
+banner "flock thread-scaling bench + BENCH_threads.json (speedup gate)"
+./build/bench/bench_threads --smoke --json build/BENCH_threads.json
+python3 - <<'EOF'
+import json
+with open("build/BENCH_threads.json") as f:
+    doc = json.load(f)
+assert doc["schema"] in ("kestrel-scope-metrics-v1",
+                         "kestrel-scope-metrics-v2"), doc.get("schema")
+m = doc["metrics"]
+for fmt in ("csr", "csrperm", "sell", "bcsr", "talon"):
+    for t in (1, 2, 4, 8):
+        key = f"{fmt}_t{t}_gflops"
+        assert m.get(key, 0.0) > 0.0, key
+if m["threads_gate_eligible"] == 1.0:
+    assert m["threads_gate_speedup"] >= 2.0, (
+        f"best 4-thread speedup only {m['threads_gate_speedup']:.2f}x "
+        f"on a {int(m['threads_hw_cores'])}-core host (gate: >= 2x)")
+    print(f"flock bench ok: {m['threads_gate_speedup']:.2f}x at 4 threads "
+          f"({int(m['threads_hw_cores'])} cores)")
+else:
+    print(f"flock gate skipped: host has only "
+          f"{int(m['threads_hw_cores'])} cores (< 4); metrics exported")
+EOF
+
 banner "aegis fault-tolerance suite (ctest -L aegis) + fault-injected solve"
 ctest --test-dir build -L aegis --output-on-failure
 # Deterministic end-to-end fault sweep on both ghost transports; the spec is

@@ -4,6 +4,7 @@
 
 #include "base/error.hpp"
 #include "mat/csr.hpp"
+#include "par/pool.hpp"
 #include "prof/profiler.hpp"
 #include "simd/dispatch.hpp"
 
@@ -62,12 +63,33 @@ Bcsr::Bcsr(const Csr& csr, Index bs) : bs_(bs), nnz_(csr.nnz()) {
       }
     }
   }
+  repartition(par::configured_threads());
+}
+
+void Bcsr::repartition(int nparts) {
+  // Weight each block row by its stored scalars; bs^2 is a common factor,
+  // so the block-count prefix (rowptr) balances identically.
+  part_ = nnz_balance(rowptr_.data(), mb_, nparts);
 }
 
 void Bcsr::spmv(const Scalar* x, Scalar* y) const {
   KESTREL_PROF_SPMV("MatMult(bcsr)", 2 * nnz(), spmv_traffic_bytes());
   auto fn = simd::lookup_as<simd::BcsrSpmvFn>(simd::Op::kBcsrSpmv, tier_);
-  fn(view(), x, y);
+  if (part_.nparts() <= 1) {
+    fn(view(), x, y);
+    return;
+  }
+  // Flock: contiguous block-row ranges through offset sub-views. rowptr
+  // values are absolute block indices into colidx/val, so only the rowptr
+  // pointer and y (by whole blocks) shift.
+  par::ThreadPool::rank_pool().run(part_.nparts(), [&](int p, int) {
+    const Index b0 = part_.begin(p);
+    const Index b1 = part_.end(p);
+    if (b0 == b1) return;
+    const BcsrView sub{b1 - b0, nb_, bs_, rowptr_.data() + b0,
+                       colidx_.data(), val_.data()};
+    fn(sub, x, y + b0 * bs_);
+  });
 }
 
 void Bcsr::get_diagonal(Vector& d) const {

@@ -10,6 +10,7 @@
 #include "base/aligned.hpp"
 #include "mat/kernels/views.hpp"
 #include "mat/matrix.hpp"
+#include "mat/partition.hpp"
 
 namespace kestrel::mat {
 
@@ -43,12 +44,21 @@ class Bcsr final : public Matrix {
     return {mb_, nb_, bs_, rowptr_.data(), colidx_.data(), val_.data()};
   }
 
+  // Kestrel Flock ----------------------------------------------------------
+  // flock-pool-safe: blockrow
+  /// Re-plans the stored partition. Units are BLOCK rows (granularity: a
+  /// thread never splits a bs x bs block), weighted by stored scalar
+  /// entries (blocks * bs^2).
+  void repartition(int nparts) override;
+  const FlockPartition& partition() const { return part_; }
+
  private:
   Index mb_ = 0, nb_ = 0, bs_ = 0;
   std::int64_t nnz_ = 0;  ///< logical scalar nonzeros (pre-fill)
   AlignedBuffer<Index> rowptr_;
   AlignedBuffer<Index> colidx_;
   AlignedBuffer<Scalar> val_;
+  FlockPartition part_;
 };
 
 }  // namespace kestrel::mat

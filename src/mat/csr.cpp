@@ -4,6 +4,7 @@
 
 #include "base/error.hpp"
 #include "mat/coo.hpp"
+#include "par/pool.hpp"
 #include "prof/profiler.hpp"
 #include "simd/dispatch.hpp"
 
@@ -28,6 +29,11 @@ Csr::Csr(Index m, Index n, std::vector<Index> rowptr,
       colidx_(to_aligned(colidx)),
       val_(to_aligned(val)) {
   validate();
+  repartition(par::configured_threads());
+}
+
+void Csr::repartition(int nparts) {
+  part_ = nnz_balance(rowptr_.data(), m_, nparts);
 }
 
 void Csr::validate() const {
@@ -60,7 +66,22 @@ Csr Csr::from_coo(const Coo& coo, bool drop_zeros) {
 void Csr::spmv(const Scalar* x, Scalar* y) const {
   KESTREL_PROF_SPMV("MatMult(csr)", 2 * nnz(), spmv_traffic_bytes());
   auto fn = simd::lookup_as<simd::CsrSpmvFn>(simd::Op::kCsrSpmv, tier_);
-  fn(view(), x, y);
+  if (part_.nparts() <= 1) {
+    fn(view(), x, y);
+    return;
+  }
+  // Flock: each part multiplies a contiguous row range through an offset
+  // sub-view. rowptr values are absolute into colidx/val, so only the
+  // rowptr pointer and y shift; per-row accumulation order is untouched
+  // and the result is bitwise-identical to the serial multiply.
+  par::ThreadPool::rank_pool().run(part_.nparts(), [&](int p, int) {
+    const Index r0 = part_.begin(p);
+    const Index r1 = part_.end(p);
+    if (r0 == r1) return;
+    const CsrView sub{r1 - r0, n_, rowptr_.data() + r0, colidx_.data(),
+                      val_.data()};
+    fn(sub, x, y + r0);
+  });
 }
 
 void Csr::get_diagonal(Vector& d) const {

@@ -11,6 +11,7 @@
 #include "base/aligned.hpp"
 #include "mat/kernels/views.hpp"
 #include "mat/matrix.hpp"
+#include "mat/partition.hpp"
 
 namespace kestrel::mat {
 
@@ -80,6 +81,14 @@ class Csr final : public Matrix {
     return {m_, n_, rowptr_.data(), colidx_.data(), val_.data()};
   }
 
+  // Kestrel Flock ----------------------------------------------------------
+  // flock-pool-safe: row
+  /// Re-plans the stored nnz-balanced row partition (units = rows, weights
+  /// straight from rowptr). Planned at construction for
+  /// par::configured_threads().
+  void repartition(int nparts) override;
+  const FlockPartition& partition() const { return part_; }
+
  private:
   void validate() const;
 
@@ -87,6 +96,7 @@ class Csr final : public Matrix {
   AlignedBuffer<Index> rowptr_;
   AlignedBuffer<Index> colidx_;
   AlignedBuffer<Scalar> val_;
+  FlockPartition part_;
 };
 
 }  // namespace kestrel::mat

@@ -9,6 +9,7 @@
 #include "mat/csr.hpp"
 #include "mat/kernels/views.hpp"
 #include "mat/matrix.hpp"
+#include "mat/partition.hpp"
 
 namespace kestrel::mat {
 
@@ -48,12 +49,32 @@ class CsrPerm final : public Matrix {
             group_rlen_.data()};
   }
 
+  // Kestrel Flock ----------------------------------------------------------
+  // flock-pool-safe: group8
+  /// Re-plans the stored partition. Units are the kernel's width-8 VECTOR
+  /// CHUNKS of permuted positions (plus per-group remainder chunks), so a
+  /// split can only land on group_begin[g] + 8k — every row keeps its
+  /// vector-vs-remainder membership and the FMA accumulation it had
+  /// serially. Each part gets a synthesized group table re-using the same
+  /// absolute positions, perm and CSR arrays.
+  void repartition(int nparts) override;
+  const FlockPartition& partition() const { return part_; }
+
  private:
+  /// One part's view of the group structure: a contiguous run of (possibly
+  /// clipped) groups in absolute position space.
+  struct PartGroups {
+    std::vector<Index> begin;  ///< size rlen.size()+1, absolute positions
+    std::vector<Index> rlen;
+  };
+
   Csr csr_;
   Index ngroups_ = 0;
   AlignedBuffer<Index> group_begin_;
   AlignedBuffer<Index> perm_;
   AlignedBuffer<Index> group_rlen_;
+  FlockPartition part_;  ///< over vector chunks (see repartition)
+  std::vector<PartGroups> part_groups_;
 };
 
 }  // namespace kestrel::mat

@@ -6,6 +6,7 @@
 #include "simd/dispatch.hpp"
 
 // argus-contract: format=gather isa=scalar
+// flock-pool-safe: element  (pure elementwise map: any split is bitwise-safe)
 
 namespace kestrel::mat::kernels {
 

@@ -60,6 +60,14 @@ class Matrix {
   simd::IsaTier tier() const { return tier_; }
   void set_tier(simd::IsaTier tier) { tier_ = tier; }
 
+  /// Kestrel Flock: re-plan the stored nnz-balanced partition for `nparts`
+  /// pool threads. Formats that thread their spmv override this; the
+  /// default is a no-op so wrappers / formats without a threaded path
+  /// (Dense, AbftMatrix) stay valid targets. Partitions are planned once at
+  /// construction from par::configured_threads(); call this only to sweep
+  /// thread counts (bench_threads, flock_test).
+  virtual void repartition(int nparts) { (void)nparts; }
+
  protected:
   simd::IsaTier tier_ = simd::default_tier();
 };

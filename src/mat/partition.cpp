@@ -1,0 +1,67 @@
+#include "mat/partition.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+
+namespace kestrel::mat {
+
+namespace {
+
+FlockPartition even_split(Index nunits, int nparts) {
+  FlockPartition part;
+  part.bounds.resize(static_cast<std::size_t>(nparts) + 1);
+  for (int k = 0; k <= nparts; ++k) {
+    part.bounds[static_cast<std::size_t>(k)] = static_cast<Index>(
+        static_cast<std::int64_t>(nunits) * k / nparts);
+  }
+  return part;
+}
+
+}  // namespace
+
+FlockPartition nnz_balance(const std::int64_t* prefix, Index nunits,
+                           int nparts) {
+  KESTREL_CHECK(nparts >= 1, "flock: nnz_balance needs nparts >= 1");
+  KESTREL_CHECK(nunits >= 0, "flock: negative unit count");
+  const std::int64_t total = nunits > 0 ? prefix[nunits] : 0;
+  if (total <= 0) return even_split(nunits, nparts);
+
+  FlockPartition part;
+  part.bounds.resize(static_cast<std::size_t>(nparts) + 1);
+  part.bounds.front() = 0;
+  part.bounds.back() = nunits;
+  for (int k = 1; k < nparts; ++k) {
+    const std::int64_t target = total * k / nparts;
+    const std::int64_t* it =
+        std::lower_bound(prefix, prefix + nunits + 1, target);
+    Index b = static_cast<Index>(it - prefix);
+    // Monotone clamp: equal-weight targets (many empty units) must not
+    // produce decreasing bounds.
+    const Index prev = part.bounds[static_cast<std::size_t>(k) - 1];
+    if (b < prev) b = prev;
+    if (b > nunits) b = nunits;
+    part.bounds[static_cast<std::size_t>(k)] = b;
+  }
+  return part;
+}
+
+FlockPartition nnz_balance(const Index* prefix, Index nunits, int nparts) {
+  std::vector<std::int64_t> wide(static_cast<std::size_t>(nunits) + 1);
+  for (Index u = 0; u <= nunits; ++u) {
+    wide[static_cast<std::size_t>(u)] = prefix[u];
+  }
+  return nnz_balance(wide.data(), nunits, nparts);
+}
+
+FlockPartition nnz_balance_weights(const std::vector<std::int64_t>& weights,
+                                   int nparts) {
+  std::vector<std::int64_t> prefix(weights.size() + 1, 0);
+  for (std::size_t u = 0; u < weights.size(); ++u) {
+    prefix[u + 1] = prefix[u] + weights[u];
+  }
+  return nnz_balance(prefix.data(), static_cast<Index>(weights.size()),
+                     nparts);
+}
+
+}  // namespace kestrel::mat

@@ -6,6 +6,7 @@
 
 #include "base/error.hpp"
 #include "mat/csr.hpp"
+#include "par/pool.hpp"
 #include "prof/profiler.hpp"
 #include "simd/dispatch.hpp"
 
@@ -119,6 +120,41 @@ void Sell::build(const Csr& csr, const SellOptions& opts) {
   } else {
     bitmask_.resize(0);
   }
+  repartition(par::configured_threads());
+}
+
+void Sell::repartition(int nparts) {
+  part_ = nnz_balance(sliceptr_.data(), nslices_, nparts);
+}
+
+void Sell::run_partitioned(simd::SellSpmvFn fn, const Scalar* x,
+                           Scalar* out) const {
+  if (part_.nparts() <= 1) {
+    fn(view(), x, out);
+    return;
+  }
+  par::ThreadPool::rank_pool().run(part_.nparts(), [&](int p, int) {
+    const Index s0 = part_.begin(p);
+    const Index s1 = part_.end(p);
+    if (s0 == s1) return;
+    // Slice s0+s' becomes local slice s': the kernel derives row0 = s'*c, so
+    // output shifts by s0*c and the local m clips the final partial slice.
+    // sliceptr values stay absolute into colidx/val (and the bitmask, which
+    // kernels index by absolute element position), so those pointers do not
+    // move.
+    const Index row0 = s0 * c_;
+    const Index local_m = std::min(m_ - row0, (s1 - s0) * c_);
+    const SellView sub{local_m,
+                       n_,
+                       c_,
+                       s1 - s0,
+                       sliceptr_.data() + s0,
+                       colidx_.data(),
+                       val_.data(),
+                       rlen_.data(),
+                       bitmask_.empty() ? nullptr : bitmask_.data()};
+    fn(sub, x, out + row0);
+  });
 }
 
 void Sell::spmv(const Scalar* x, Scalar* y) const {
@@ -135,11 +171,11 @@ void Sell::spmv(const Scalar* x, Scalar* y) const {
   }
   auto fn = simd::lookup_as<simd::SellSpmvFn>(simd::Op::kSellSpmv, want);
   if (perm_.empty()) {
-    fn(view(), x, y);
+    run_partitioned(fn, x, y);
     return;
   }
   sorted_tmp_.resize(m_);
-  fn(view(), x, sorted_tmp_.data());
+  run_partitioned(fn, x, sorted_tmp_.data());
   spmv_sorted_fixup(y);
 }
 
@@ -155,7 +191,7 @@ void Sell::spmv_add(const Scalar* x, Scalar* y) const {
   }
   KESTREL_CHECK(perm_.empty(), "spmv_add does not support sigma sorting");
   auto fn = simd::lookup_as<simd::SellSpmvAddFn>(simd::Op::kSellSpmvAdd, want);
-  fn(view(), x, y);
+  run_partitioned(fn, x, y);
 }
 
 void Sell::spmv_bitmask(const Scalar* x, Scalar* y) const {
@@ -168,11 +204,11 @@ void Sell::spmv_bitmask(const Scalar* x, Scalar* y) const {
   auto fn =
       simd::lookup_as<simd::SellSpmvFn>(simd::Op::kSellSpmvBitmask, want);
   if (perm_.empty()) {
-    fn(view(), x, y);
+    run_partitioned(fn, x, y);
     return;
   }
   sorted_tmp_.resize(m_);
-  fn(view(), x, sorted_tmp_.data());
+  run_partitioned(fn, x, sorted_tmp_.data());
   spmv_sorted_fixup(y);
 }
 
@@ -191,9 +227,22 @@ void Sell::spmv_prefetch(const Scalar* x, Scalar* y) const {
 }
 
 void Sell::spmv_sorted_fixup(Scalar* y) const {
-  for (Index p = 0; p < m_; ++p) {
-    y[perm_[static_cast<std::size_t>(p)]] = sorted_tmp_[p];
+  // Scatter back to logical row order. perm_ is a permutation, so the
+  // partition's row ranges write disjoint y entries; the same slice bounds
+  // as the multiply keep the pool's part->thread mapping aligned.
+  if (part_.nparts() <= 1) {
+    for (Index p = 0; p < m_; ++p) {
+      y[perm_[static_cast<std::size_t>(p)]] = sorted_tmp_[p];
+    }
+    return;
   }
+  par::ThreadPool::rank_pool().run(part_.nparts(), [&](int part, int) {
+    const Index p0 = part_.begin(part) * c_;
+    const Index p1 = std::min(part_.end(part) * c_, m_);
+    for (Index p = p0; p < p1; ++p) {
+      y[perm_[static_cast<std::size_t>(p)]] = sorted_tmp_[p];
+    }
+  });
 }
 
 void Sell::abft_col_checksum(Vector& c) const {

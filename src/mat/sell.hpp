@@ -23,6 +23,8 @@
 #include "base/aligned.hpp"
 #include "mat/kernels/views.hpp"
 #include "mat/matrix.hpp"
+#include "mat/partition.hpp"
+#include "simd/dispatch.hpp"
 
 namespace kestrel::mat {
 
@@ -103,9 +105,22 @@ class Sell final : public Matrix {
             bitmask_.empty() ? nullptr : bitmask_.data()};
   }
 
+  // Kestrel Flock ----------------------------------------------------------
+  // flock-pool-safe: slice
+  /// Re-plans the stored partition. Units are SLICES (the format's
+  /// vector-safe granularity — a thread never splits a slice), weighted by
+  /// stored elements including padding, i.e. the work the kernel actually
+  /// streams.
+  void repartition(int nparts) override;
+  const FlockPartition& partition() const { return part_; }
+
  private:
   void build(const Csr& csr, const SellOptions& opts);
   void spmv_sorted_fixup(Scalar* y) const;
+  /// Dispatches `fn` over the slice partition through offset sub-views
+  /// (sliceptr values are absolute into colidx/val, so only the sliceptr
+  /// pointer, m and the output shift); serial when the partition is.
+  void run_partitioned(simd::SellSpmvFn fn, const Scalar* x, Scalar* out) const;
 
   Index m_ = 0, n_ = 0;
   Index c_ = kZmmDoubles;
@@ -119,6 +134,7 @@ class Sell final : public Matrix {
   std::vector<Index> perm_;           ///< storage row -> logical row
   AlignedBuffer<std::uint64_t> bitmask_;
   mutable Vector sorted_tmp_;  ///< scratch for sigma-sorted SpMV output
+  FlockPartition part_;        ///< Flock slice partition
 };
 
 }  // namespace kestrel::mat

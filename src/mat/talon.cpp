@@ -8,6 +8,7 @@
 
 #include "base/error.hpp"
 #include "mat/csr.hpp"
+#include "par/pool.hpp"
 #include "prof/profiler.hpp"
 #include "simd/dispatch.hpp"
 
@@ -142,6 +143,39 @@ void Talon::build(const Csr& csr, const TalonOptions& opts) {
   copy_to(block_col_, block_col);
   copy_to(block_mask_, block_mask);
   copy_to(val_, val);
+  repartition(par::configured_threads());
+}
+
+void Talon::repartition(int nparts) {
+  part_ = nnz_balance(panel_valptr_.data(), npanels_, nparts);
+}
+
+void Talon::run_partitioned(simd::TalonSpmvFn fn, const Scalar* x,
+                            Scalar* y) const {
+  if (part_.nparts() <= 1) {
+    fn(view(), x, y);
+    return;
+  }
+  // Flock: contiguous panel ranges through offset sub-views. All three
+  // panel arrays hold absolute positions (rows, blocks, values), so only
+  // their pointers shift; the kernels write y[panel_row[p] + j] absolutely,
+  // so y does not move and panels' disjoint row ranges keep writes
+  // race-free.
+  par::ThreadPool::rank_pool().run(part_.nparts(), [&](int p, int) {
+    const Index p0 = part_.begin(p);
+    const Index p1 = part_.end(p);
+    if (p0 == p1) return;
+    const TalonView sub{m_,
+                        n_,
+                        p1 - p0,
+                        panel_row_.data() + p0,
+                        panel_blockptr_.data() + p0,
+                        panel_valptr_.data() + p0,
+                        block_col_.data(),
+                        block_mask_.data(),
+                        val_.data()};
+    fn(sub, x, y);
+  });
 }
 
 void Talon::spmv(const Scalar* x, Scalar* y) const {
@@ -149,14 +183,14 @@ void Talon::spmv(const Scalar* x, Scalar* y) const {
   // No tier constraints: every kernel handles all panel heights, and the
   // missing AVX tier falls back to scalar through dispatch.
   auto fn = simd::lookup_as<simd::TalonSpmvFn>(simd::Op::kTalonSpmv, tier_);
-  fn(view(), x, y);
+  run_partitioned(fn, x, y);
 }
 
 void Talon::spmv_add(const Scalar* x, Scalar* y) const {
   KESTREL_PROF_SPMV("MatMultAdd(talon)", 2 * nnz(), spmv_traffic_bytes());
   auto fn =
       simd::lookup_as<simd::TalonSpmvFn>(simd::Op::kTalonSpmvAdd, tier_);
-  fn(view(), x, y);
+  run_partitioned(fn, x, y);
 }
 
 double Talon::block_fill() const {

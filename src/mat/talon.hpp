@@ -28,6 +28,8 @@
 #include "base/aligned.hpp"
 #include "mat/kernels/views.hpp"
 #include "mat/matrix.hpp"
+#include "mat/partition.hpp"
+#include "simd/dispatch.hpp"
 
 namespace kestrel::mat {
 
@@ -89,8 +91,19 @@ class Talon final : public Matrix {
             val_.data()};
   }
 
+  // Kestrel Flock ----------------------------------------------------------
+  // flock-pool-safe: panel
+  /// Re-plans the stored partition. Units are PANELS (granularity: a thread
+  /// never splits a beta(r,c) panel's block walk), weighted by stored
+  /// values (panel_valptr deltas — Talon stores no padding, so that IS the
+  /// nnz distribution).
+  void repartition(int nparts) override;
+  const FlockPartition& partition() const { return part_; }
+
  private:
   void build(const Csr& csr, const TalonOptions& opts);
+  void run_partitioned(simd::TalonSpmvFn fn, const Scalar* x,
+                       Scalar* y) const;
 
   Index m_ = 0, n_ = 0;
   Index npanels_ = 0;
@@ -101,6 +114,7 @@ class Talon final : public Matrix {
   AlignedBuffer<Index> block_col_;
   AlignedBuffer<std::uint32_t> block_mask_;
   AlignedBuffer<Scalar> val_;
+  FlockPartition part_;
 };
 
 }  // namespace kestrel::mat

@@ -6,6 +6,7 @@
 #include "aegis/abft.hpp"
 #include "aegis/fault.hpp"
 #include "base/error.hpp"
+#include "par/pool.hpp"
 #include "prof/profiler.hpp"
 #include "simd/dispatch.hpp"
 
@@ -14,6 +15,87 @@ namespace kestrel::par {
 namespace {
 constexpr int kTagGhost = 1;  ///< x-entry exchange during SpMV (mailbox path)
 constexpr int kTagPlan = 2;   ///< setup-time plan exchange (typed indices)
+
+// Kestrel Flock: elementwise pool splitting for the gather-pack and ABFT
+// reduction passes. Chunks are a fixed multiple of kZmmDoubles derived only
+// from (n, nthreads), so part boundaries — and therefore each part's
+// partial result — are deterministic for a given thread count no matter
+// which worker runs which part. Short arrays stay serial: the barrier
+// costs more than the scan.
+constexpr Index kPoolElemCutoff = 4096;
+
+Index pool_chunk(Index n, int nthreads) {
+  const Index per = (n + nthreads - 1) / nthreads;
+  return (per + kZmmDoubles - 1) / kZmmDoubles * kZmmDoubles;
+}
+
+void pooled_gather_pack(simd::GatherPackFn fn, const Scalar* x,
+                        const Index* idx, Index n, Scalar* out) {
+  ThreadPool& pool = ThreadPool::rank_pool();
+  if (pool.nthreads() == 1 || n < kPoolElemCutoff) {
+    fn(x, idx, n, out);
+    return;
+  }
+  const Index chunk = pool_chunk(n, pool.nthreads());
+  const int nparts = static_cast<int>((n + chunk - 1) / chunk);
+  pool.run(nparts, [&](int p, int) {
+    const Index i0 = static_cast<Index>(p) * chunk;
+    const Index i1 = std::min(n, i0 + chunk);
+    if (i0 < i1) fn(x, idx + i0, i1 - i0, out + i0);
+  });
+}
+
+// chunk >= ceil(n / nthreads) makes nparts <= nthreads <= kMaxPoolThreads,
+// so the per-part partials fit in stack scratch; the final sums run in
+// part-index order on the caller.
+void pooled_dot_abs(const Scalar* c, const Scalar* x, Index n, Scalar* s,
+                    Scalar* abs_s) {
+  ThreadPool& pool = ThreadPool::rank_pool();
+  if (pool.nthreads() == 1 || n < kPoolElemCutoff) {
+    aegis::dot_abs(c, x, n, s, abs_s);
+    return;
+  }
+  const Index chunk = pool_chunk(n, pool.nthreads());
+  const int nparts = static_cast<int>((n + chunk - 1) / chunk);
+  Scalar ps[kMaxPoolThreads] = {};
+  Scalar pa[kMaxPoolThreads] = {};
+  pool.run(nparts, [&](int p, int) {
+    const Index i0 = static_cast<Index>(p) * chunk;
+    const Index i1 = std::min(n, i0 + chunk);
+    if (i0 < i1) aegis::dot_abs(c + i0, x + i0, i1 - i0, &ps[p], &pa[p]);
+  });
+  Scalar sum = 0.0, abs_sum = 0.0;
+  for (int p = 0; p < nparts; ++p) {
+    sum += ps[p];
+    abs_sum += pa[p];
+  }
+  *s = sum;
+  *abs_s = abs_sum;
+}
+
+void pooled_sum_abs(const Scalar* y, Index n, Scalar* s, Scalar* abs_s) {
+  ThreadPool& pool = ThreadPool::rank_pool();
+  if (pool.nthreads() == 1 || n < kPoolElemCutoff) {
+    aegis::sum_abs(y, n, s, abs_s);
+    return;
+  }
+  const Index chunk = pool_chunk(n, pool.nthreads());
+  const int nparts = static_cast<int>((n + chunk - 1) / chunk);
+  Scalar ps[kMaxPoolThreads] = {};
+  Scalar pa[kMaxPoolThreads] = {};
+  pool.run(nparts, [&](int p, int) {
+    const Index i0 = static_cast<Index>(p) * chunk;
+    const Index i1 = std::min(n, i0 + chunk);
+    if (i0 < i1) aegis::sum_abs(y + i0, i1 - i0, &ps[p], &pa[p]);
+  });
+  Scalar sum = 0.0, abs_sum = 0.0;
+  for (int p = 0; p < nparts; ++p) {
+    sum += ps[p];
+    abs_sum += pa[p];
+  }
+  *s = sum;
+  *abs_s = abs_sum;
+}
 }
 
 DiagFormat parse_diag_format(const std::string& name) {
@@ -159,6 +241,15 @@ ParMatrix::ParMatrix(const mat::Csr& local_rows, LayoutPtr layout,
       break;
   }
   diag_->set_tier(opts.tier);
+
+  // Kestrel Flock: construction planned every block's partition from
+  // par::configured_threads(); an explicit thread count re-plans them all.
+  if (opts.threads > 0) {
+    diag_->repartition(opts.threads);
+    offdiag_.repartition(opts.threads);
+    if (offdiag_sell_) offdiag_sell_->repartition(opts.threads);
+    if (offdiag_talon_) offdiag_talon_->repartition(opts.threads);
+  }
 
   // ---- Exchange communication plans (collective) ----------------------
   // needed[r] = sorted global indices owned by rank r that I gather from.
@@ -323,7 +414,8 @@ void ParMatrix::spmv_local(const Scalar* x_local, Vector& y_local,
     Scalar* packed = packbuf_.data() + send_offsets_[si];
     {
       prof::ScopedEvent pack(ev_pack);
-      gather_fn_(x_local, plan.local_indices.data(), count, packed);
+      pooled_gather_pack(gather_fn_, x_local, plan.local_indices.data(),
+                         count, packed);
     }
     prof::ScopedEvent send(ev_send);
     if (persistent) {
@@ -352,8 +444,25 @@ void ParMatrix::spmv_local(const Scalar* x_local, Vector& y_local,
     } else if (!offdiag_rows_.empty()) {
       auto fn = simd::lookup_as<simd::CsrSpmvAddRowsFn>(
           simd::Op::kCsrSpmvAddRows, offdiag_.tier());
-      fn(offdiag_.view(), offdiag_rows_.data(), ghost_.data(),
-         y_local.data());
+      const mat::FlockPartition& part = offdiag_.partition();
+      if (part.nparts() <= 1) {
+        fn(offdiag_.view(), offdiag_rows_.data(), ghost_.data(),
+           y_local.data());
+        return;
+      }
+      // Flock over the compressed rows: rowptr values are absolute, the
+      // row-id list shifts with the range, and y stays unshifted because
+      // the kernel scatters through rows[] — compressed rows are distinct
+      // local rows, so parts never touch the same y entry.
+      const mat::CsrView v = offdiag_.view();
+      ThreadPool::rank_pool().run(part.nparts(), [&](int p, int) {
+        const Index r0 = part.begin(p);
+        const Index r1 = part.end(p);
+        if (r0 == r1) return;
+        const mat::CsrView sub{r1 - r0, v.n, v.rowptr + r0, v.colidx,
+                               v.val};
+        fn(sub, offdiag_rows_.data() + r0, ghost_.data(), y_local.data());
+      });
     }
   };
 
@@ -403,12 +512,12 @@ void ParMatrix::spmv_local(const Scalar* x_local, Vector& y_local,
       // either term is pooled into one drift and one scale. The reductions
       // are the tier-dispatched Aegis passes (aegis/abft.hpp).
       Scalar cxd = 0.0, cxd_abs = 0.0, cxo = 0.0, cxo_abs = 0.0;
-      aegis::dot_abs(abft_cdiag_.data(), x_local, abft_cdiag_.size(), &cxd,
+      pooled_dot_abs(abft_cdiag_.data(), x_local, abft_cdiag_.size(), &cxd,
                      &cxd_abs);
-      aegis::dot_abs(abft_coff_.data(), ghost_.data(), abft_coff_.size(),
+      pooled_dot_abs(abft_coff_.data(), ghost_.data(), abft_coff_.size(),
                      &cxo, &cxo_abs);
       Scalar ysum = 0.0, ysum_abs = 0.0;
-      aegis::sum_abs(y_local.data(), y_local.size(), &ysum, &ysum_abs);
+      pooled_sum_abs(y_local.data(), y_local.size(), &ysum, &ysum_abs);
       *drift = std::abs((cxd + cxo) - ysum);
       if (std::isnan(*drift)) return false;
       return *drift <= abft_tol_ * (cxd_abs + cxo_abs + ysum_abs + 1.0);

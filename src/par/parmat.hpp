@@ -59,6 +59,11 @@ struct ParMatrixOptions {
   /// Ghost exchange transport: persistent zero-copy channels (default) or
   /// the seed mailbox path (see the header comment).
   bool persistent_ghosts = true;
+  /// Kestrel Flock: in-rank thread count for the diag/offdiag partitions.
+  /// 0 (default) keeps the partitions planned at construction from
+  /// par::configured_threads() (-threads / KESTREL_THREADS); a positive
+  /// value re-plans both blocks for exactly that many pool threads.
+  int threads = 0;
   /// Kestrel Aegis ABFT: precompute per-block column checksums at assembly
   /// and verify c_diag·x + c_off·ghost == Σy after every spmv, recomputing
   /// the local multiply once on a mismatch before throwing AbftError.

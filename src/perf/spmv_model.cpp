@@ -140,7 +140,8 @@ simd::IsaTier clamp_tier(const MachineProfile& machine, simd::IsaTier tier) {
 
 double modeled_spmv_seconds(const MachineProfile& machine, MemoryMode mode,
                             int procs, ModelFormat fmt, simd::IsaTier tier,
-                            const SpmvWorkload& workload) {
+                            const SpmvWorkload& workload,
+                            const ThreadModel* flock) {
   KESTREL_CHECK(procs >= 1, "need at least one process");
   tier = clamp_tier(machine, tier);
   const bool vectorized =
@@ -155,7 +156,14 @@ double modeled_spmv_seconds(const MachineProfile& machine, MemoryMode mode,
       (static_cast<double>(workload.stored) * cost.cycles_per_element +
        static_cast<double>(workload.rows) * cost.cycles_per_row) *
       machine.core_cycle_scale;
-  const double t_cpu = cycles / (procs * machine.freq_ghz * 1e9);
+  double t_cpu = cycles / (procs * machine.freq_ghz * 1e9);
+  // Kestrel Flock: in-rank pool threads divide the cycle cost at the
+  // measured efficiency; the t_mem roofline is already node-saturated.
+  if (flock != nullptr && flock->threads > 1) {
+    KESTREL_CHECK(flock->efficiency > 0.0,
+                  "thread efficiency must be positive");
+    t_cpu /= flock->threads * flock->efficiency;
+  }
 
   return smooth_max(t_mem, t_cpu);
 }
@@ -172,7 +180,8 @@ MultinodeEstimate modeled_multinode(const MachineProfile& machine,
                                     MemoryMode mode, int nodes,
                                     ModelFormat fmt, simd::IsaTier tier,
                                     Index grid_n, int time_steps,
-                                    int mg_levels, const CommModel* comm) {
+                                    int mg_levels, const CommModel* comm,
+                                    const ThreadModel* flock) {
   KESTREL_CHECK(nodes >= 1, "need at least one node");
   // Per-node share of the global matrix; ranks-per-node fixed at the
   // machine's core count (the paper pins one rank per core).
@@ -192,7 +201,7 @@ MultinodeEstimate modeled_multinode(const MachineProfile& machine,
       time_steps * newton_per_step * gmres_per_solve * mg_applies;
 
   const double t_apply = modeled_spmv_seconds(machine, mode, machine.cores,
-                                              fmt, tier, local);
+                                              fmt, tier, local, flock);
   const double matmult = n_applies * t_apply;
 
   // Non-SpMV work (Jacobian assembly, matrix conversion/assembly, vector

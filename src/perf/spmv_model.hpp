@@ -56,15 +56,30 @@ struct KernelCost {
   double cycles_per_row;
 };
 
+/// Kestrel Flock intra-rank threading term. The pool splits a rank's kernel
+/// cycles across `threads` workers at a measured `efficiency`
+/// (t1 / (threads * tN); 1.0 = perfect scaling), so t_cpu divides by
+/// threads * efficiency while t_mem is untouched: with one rank per core
+/// the node's memory bandwidth is already fully subscribed, and in-rank
+/// threads only help on the compute side of the roofline. Calibrate
+/// `efficiency` from a measured 1-vs-N-thread SpMV (bench_fig10 does this
+/// with the same matrices it times, bench_threads sweeps it per format).
+struct ThreadModel {
+  int threads = 1;
+  double efficiency = 1.0;
+};
+
 /// Calibrated KNL-core costs (see implementation for the calibration
 /// table and its provenance). `tier` is ignored for the baseline/MKL/perm
 /// formats except that perm only has scalar and AVX-512 variants.
 KernelCost kernel_cost(ModelFormat fmt, simd::IsaTier tier);
 
-/// Modeled wall seconds of ONE SpMV over `workload` using `procs` ranks.
+/// Modeled wall seconds of ONE SpMV over `workload` using `procs` ranks,
+/// each running `flock` pool threads (null = serial ranks).
 double modeled_spmv_seconds(const MachineProfile& machine, MemoryMode mode,
                             int procs, ModelFormat fmt, simd::IsaTier tier,
-                            const SpmvWorkload& workload);
+                            const SpmvWorkload& workload,
+                            const ThreadModel* flock = nullptr);
 
 /// Convenience: flop rate 2*nnz / t in Gflop/s.
 double modeled_spmv_gflops(const MachineProfile& machine, MemoryMode mode,
@@ -87,11 +102,14 @@ struct MultinodeEstimate {
 /// 250 us-per-level latency term this model used before calibration
 /// existed; pass CommModel::measure_fabric() (what bench_comm records) or
 /// interconnect constants to re-anchor the curve.
+/// `flock` (optional) applies the intra-rank threading term to the MatMult
+/// share only — the non-SpMV work does not run on the pool.
 MultinodeEstimate modeled_multinode(const MachineProfile& machine,
                                     MemoryMode mode, int nodes,
                                     ModelFormat fmt, simd::IsaTier tier,
                                     Index grid_n = 16384, int time_steps = 5,
                                     int mg_levels = 6,
-                                    const CommModel* comm = nullptr);
+                                    const CommModel* comm = nullptr,
+                                    const ThreadModel* flock = nullptr);
 
 }  // namespace kestrel::perf

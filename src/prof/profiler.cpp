@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <thread>
 #include <unordered_map>
 
 #include "base/error.hpp"
@@ -144,6 +145,14 @@ EventPerf& Profiler::cell(int stage, int event) {
   return row[static_cast<std::size_t>(event)];
 }
 
+std::vector<Profiler::Running>& Profiler::running_stack() {
+  // Keyed per thread: Flock pool workers begin/end concurrently against the
+  // rank profiler, and a shared LIFO would cross-pair their spans. The map
+  // node outlives the job (stale empty stacks cost a few bytes until
+  // reset()); the reference is only used under mu_.
+  return running_[std::this_thread::get_id()];
+}
+
 void Profiler::begin(int event) {
   // Snapshot counters and clock before taking the lock: lock wait time must
   // not be attributed to the event.
@@ -151,7 +160,7 @@ void Profiler::begin(int event) {
   if (hwc::enabled()) hwc0 = hwc::read_thread();
   const double now = wall_time();
   std::lock_guard<std::mutex> lock(mu_);
-  running_.push_back({event, now, hwc0});
+  running_stack().push_back({event, now, hwc0});
 }
 
 void Profiler::end(int event, std::uint64_t flops, std::uint64_t bytes) {
@@ -159,15 +168,16 @@ void Profiler::end(int event, std::uint64_t flops, std::uint64_t bytes) {
   if (hwc::enabled()) hwc1 = hwc::read_thread();
   const double now = wall_time();
   std::lock_guard<std::mutex> lock(mu_);
-  KESTREL_CHECK(!running_.empty(), "prof: end('" + event_name(event) +
-                                       "') with no running event");
-  const Running top = running_.back();
+  std::vector<Running>& running = running_stack();
+  KESTREL_CHECK(!running.empty(), "prof: end('" + event_name(event) +
+                                      "') with no running event");
+  const Running top = running.back();
   if (top.event != event) {
     KESTREL_FAIL("prof: end('" + event_name(event) +
                  "') does not match the innermost running event '" +
                  event_name(top.event) + "' — begin/end must nest");
   }
-  running_.pop_back();
+  running.pop_back();
   const int stage = stage_stack_.back();
   EventPerf& p = cell(stage, event);
   p.seconds += now - top.t0;
@@ -182,7 +192,7 @@ void Profiler::end(int event, std::uint64_t flops, std::uint64_t bytes) {
   if (tracing()) {
     if (spans_.size() < kMaxSpans) {
       spans_.push_back({event, stage, top.t0, now,
-                        static_cast<int>(running_.size()), d.cycles,
+                        static_cast<int>(running.size()), d.cycles,
                         d.instructions, d.llc_misses, d.dram_bytes});
     } else {
       ++dropped_spans_;
@@ -195,7 +205,8 @@ void Profiler::message(std::uint64_t count, std::uint64_t payload_bytes) {
   total_messages_ += count;
   total_message_bytes_ += payload_bytes;
   static const int comm_event = registered_event("Comm");
-  const int event = running_.empty() ? comm_event : running_.back().event;
+  const std::vector<Running>& running = running_stack();
+  const int event = running.empty() ? comm_event : running.back().event;
   EventPerf& p = cell(stage_stack_.back(), event);
   p.messages += count;
   p.message_bytes += payload_bytes;
@@ -205,7 +216,8 @@ void Profiler::reduction() {
   std::lock_guard<std::mutex> lock(mu_);
   total_reductions_ += 1;
   static const int comm_event = registered_event("Comm");
-  const int event = running_.empty() ? comm_event : running_.back().event;
+  const std::vector<Running>& running = running_stack();
+  const int event = running.empty() ? comm_event : running.back().event;
   cell(stage_stack_.back(), event).reductions += 1;
 }
 

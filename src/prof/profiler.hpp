@@ -16,6 +16,11 @@
 //     by default. Profiler::global() remains for single-rank use; every
 //     Profiler is internally locked, so even a mis-shared global is
 //     thread-safe (though concurrent ranks then interleave attribution).
+//   * Kestrel Flock pool workers share the rank's Profiler during a job.
+//     The running begin/end stack is kept PER THREAD (keyed on thread id
+//     under the profiler lock), so concurrent spans from pool workers
+//     nest correctly, never cross-pair, and accumulate each flops/bytes
+//     record exactly once — totals are thread-count-invariant.
 //
 // Collection is off unless -log_view/-log_trace/-log_json (or the
 // KESTREL_LOG_* environment variables) turn it on: the instrumentation
@@ -29,6 +34,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -209,10 +215,13 @@ class Profiler {
   };
 
   EventPerf& cell(int stage, int event);  // mu_ must be held
+  std::vector<Running>& running_stack();  // mu_ must be held; calling thread
 
   mutable std::mutex mu_;
   std::vector<std::vector<EventPerf>> perf_;  ///< [stage][event]
-  std::vector<Running> running_;
+  /// Per-thread running-event stacks (Flock pool workers record
+  /// concurrently into the rank profiler; see header comment).
+  std::map<std::thread::id, std::vector<Running>> running_;
   std::vector<int> stage_stack_;
   std::vector<TraceSpan> spans_;
   std::uint64_t dropped_spans_ = 0;

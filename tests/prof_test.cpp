@@ -5,14 +5,18 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdint>
 #include <sstream>
+#include <string>
 
 #include "app/gray_scott.hpp"
 #include "base/error.hpp"
 #include "base/options.hpp"
+#include "mat/csr.hpp"
 #include "mat/sell.hpp"
 #include "mat/talon.hpp"
+#include "par/pool.hpp"
 #include "perf/spmv_model.hpp"
 #include "prof/hwc.hpp"
 #include "prof/json.hpp"
@@ -422,6 +426,70 @@ TEST(ProfKernels, MeasuredBytesMatchTrafficModelOnBandwidthBoundSize) {
                                     << model;
   EXPECT_LT(measured / model, 4.0) << "measured " << measured << " vs model "
                                    << model;
+}
+
+TEST(ProfFlock, AccountedTotalsAreThreadCountInvariant) {
+  // Kestrel Flock regression: Scope once kept a single running-span stack,
+  // so concurrent begin/end from pool workers could cross-pair or
+  // double-count. The per-thread stacks must make every accounted total —
+  // calls, flops, bytes — identical whether a kernel ran serial or on the
+  // pool.
+  const mat::Csr jac = [&] {
+    app::GrayScott gs(24);
+    Vector u;
+    gs.initial_condition(u);
+    return gs.rhs_jacobian(u);
+  }();
+  const std::string saved = Options::global().get_string("threads", "");
+  const int ev_csr = prof::registered_event("MatMult(csr)");
+  const int ev_sell = prof::registered_event("MatMult(sell)");
+
+  auto totals = [&](int threads) {
+    Options::global().set("threads", std::to_string(threads));
+    mat::Csr csr(jac);
+    mat::Sell sell(jac);
+    csr.repartition(threads);
+    sell.repartition(threads);
+    prof::Profiler log;
+    prof::AttachGuard attach(&log);
+    prof::EnableGuard enable(true);
+    Vector x(jac.cols(), 1.0), y(jac.rows());
+    for (int r = 0; r < 3; ++r) {
+      csr.spmv(x.data(), y.data());
+      sell.spmv(x.data(), y.data());
+    }
+    return std::array<std::uint64_t, 6>{
+        log.calls(ev_csr),  log.flops(ev_csr),  log.bytes(ev_csr),
+        log.calls(ev_sell), log.flops(ev_sell), log.bytes(ev_sell)};
+  };
+
+  const auto serial = totals(1);
+  for (int t : {2, 4}) {
+    const auto threaded = totals(t);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(threaded[i], serial[i])
+          << "total " << i << " drifted at threads=" << t;
+    }
+  }
+  Options::global().set("threads", saved.empty() ? "1" : saved);
+}
+
+TEST(ProfFlock, PoolWorkerSpansLandInCallerProfiler) {
+  // Spans opened inside pool parts must record into the caller's attached
+  // profiler (the pool re-attaches it per job) without cross-thread
+  // pairing errors.
+  prof::Profiler log;
+  prof::AttachGuard attach(&log);
+  prof::EnableGuard enable(true);
+  const int ev = prof::registered_event("prof_flock_part_span");
+  par::ThreadPool pool(4);
+  constexpr int kParts = 16;
+  pool.run(kParts, [&](int, int) {
+    prof::ScopedEvent span(ev, 10, 100);
+  });
+  EXPECT_EQ(log.calls(ev), static_cast<std::uint64_t>(kParts));
+  EXPECT_EQ(log.flops(ev), static_cast<std::uint64_t>(10 * kParts));
+  EXPECT_EQ(log.bytes(ev), static_cast<std::uint64_t>(100 * kParts));
 }
 
 }  // namespace

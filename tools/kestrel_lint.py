@@ -42,7 +42,9 @@ banned-construct
     Kernel TUs (src/mat/kernels/) must not use raw `new`: kernels operate
     on caller-owned views and must not allocate. `std::thread` is banned
     everywhere in src/ outside src/par/ — threading is the fabric's job
-    (the hardware-query std::thread::hardware_concurrency is allowed).
+    (the hardware-query std::thread::hardware_concurrency and the
+    identity type std::thread::id — Kestrel Scope keys per-thread span
+    stacks on it — are allowed: neither spawns a thread).
 
 kernel-perf-reporting
     Every format in KESTREL_KERNEL_TABLE must report spmv flops and
@@ -63,6 +65,20 @@ abft-hook
     format's implementation would checksum the wrong value stream and
     either miss corruption or flag clean multiplies. Utility kernel
     families (UTILITY_FORMATS) are exempt: they are not matrix formats.
+
+flock-pool-safety
+    Every kernel family in KESTREL_KERNEL_TABLE must declare how the
+    Kestrel Flock thread pool may partition its work: a
+    `// flock-pool-safe: <granularity>` annotation with granularity in
+    {row, slice, blockrow, panel, group8, element}. Matrix formats carry
+    it in their own src/mat/<fmt>.cpp or .hpp (next to repartition());
+    utility families (UTILITY_FORMATS) carry it in one of their kernel
+    TUs. The granularity is the unit a partition boundary may NOT split
+    — e.g. SELL slices (vector lanes span a slice) or csr_perm's
+    width-8 vector chunks (group8: splitting one would move rows between
+    the FMA path and the scalar remainder and change rounding). A new
+    table entry without the declaration has never been audited for
+    threaded execution and must not silently inherit pool dispatch.
 
 kernel-op-scalar
     Every simd::Op registered from a kernel TU at a vector tier
@@ -407,6 +423,8 @@ def check_banned_constructs(repo: str) -> list[Violation]:
             if not in_par and "std::thread" in line:
                 if "hardware_concurrency" in line:
                     continue  # hardware query, spawns nothing
+                if "std::thread::id" in line:
+                    continue  # identity token, spawns nothing
                 violations.append(Violation(
                     "banned-construct", rel, lineno,
                     "std::thread outside src/par/ — threading is the "
@@ -463,6 +481,59 @@ def check_abft_hook(repo: str) -> list[Violation]:
             f"files — Kestrel Aegis cannot build the c = A^T.1 checksum "
             f"from this format's storage, so AbftMatrix('{fmt}') would "
             f"verify against the wrong value stream"))
+    return violations
+
+
+FLOCK_ANNOTATION_RE = re.compile(r"flock-pool-safe:\s*(\w+)")
+FLOCK_GRANULARITIES = {"row", "slice", "blockrow", "panel", "group8",
+                       "element"}
+
+
+def check_flock_pool_safety(repo: str) -> list[Violation]:
+    """Every kernel-table family must declare the partition granularity the
+    Kestrel Flock pool may use (// flock-pool-safe: <granularity>). Matrix
+    formats declare it in src/mat/<fmt>.{cpp,hpp}; utility families in one
+    of their src/mat/kernels/<fmt>_*.cpp TUs."""
+    cells, _ = parse_kernel_table(repo)
+    if not cells:
+        return []
+    violations = []
+    kernels_dir = os.path.join(repo, KERNELS_DIR)
+    for fmt in sorted({fmt for fmt, isa in cells if isa in ISA_TIER_TOKEN}):
+        if fmt in UTILITY_FORMATS:
+            candidates = []
+            if os.path.isdir(kernels_dir):
+                for name in sorted(os.listdir(kernels_dir)):
+                    m = KERNEL_TU_RE.match(name)
+                    if m and m.group(1) == fmt:
+                        candidates.append(os.path.join(KERNELS_DIR, name))
+        else:
+            candidates = [rel for rel in
+                          (os.path.join("src", "mat", f"{fmt}.cpp"),
+                           os.path.join("src", "mat", f"{fmt}.hpp"))
+                          if os.path.isfile(os.path.join(repo, rel))]
+        if not candidates:
+            # kernel-perf-reporting / kernel-table-tu flag the missing TU.
+            continue
+        tokens = []
+        for rel in candidates:
+            tokens += FLOCK_ANNOTATION_RE.findall(
+                read_text(os.path.join(repo, rel)))
+        if not tokens:
+            violations.append(Violation(
+                "flock-pool-safety", candidates[0], 0,
+                f"family '{fmt}' never declares '// flock-pool-safe: "
+                f"<granularity>' in its own files — the Flock pool would "
+                f"dispatch a kernel whose split-safety was never audited "
+                f"(granularities: {', '.join(sorted(FLOCK_GRANULARITIES))})"))
+            continue
+        bad = sorted(set(tokens) - FLOCK_GRANULARITIES)
+        if bad:
+            violations.append(Violation(
+                "flock-pool-safety", candidates[0], 0,
+                f"family '{fmt}' declares unknown flock-pool-safe "
+                f"granularity {bad} — use one of "
+                f"{', '.join(sorted(FLOCK_GRANULARITIES))}"))
     return violations
 
 
@@ -569,6 +640,7 @@ def lint(repo: str) -> list[Violation]:
     violations += check_banned_constructs(repo)
     violations += check_kernel_perf_reporting(repo)
     violations += check_abft_hook(repo)
+    violations += check_flock_pool_safety(repo)
     violations += check_kernel_op_scalar(repo)
     violations += check_argus_contracts(repo)
     violations += check_prof_schema_version(repo)
@@ -618,6 +690,7 @@ void register_foo_avx512() {
 """
 
 CLEAN_FORMAT_TU = """
+// flock-pool-safe: row
 namespace k {
 void Foo_spmv(const double* x, double* y) {
   KESTREL_PROF_SPMV("MatMult(foo)", 2 * nnz(), spmv_traffic_bytes());
@@ -728,6 +801,9 @@ def self_test() -> int:
         _write(fx, os.path.join("src", "perf", "machine.cpp"),
                "#include <thread>\nunsigned n() "
                "{ return std::thread::hardware_concurrency(); }\n")
+        _write(fx, os.path.join("src", "prof", "stacks.cpp"),
+               "#include <map>\n#include <thread>\n"
+               "std::map<std::thread::id, int> depth;\n")
         expect("allowed_thread", {v.rule for v in lint(fx)},
                "banned-construct", False)
 
@@ -817,7 +893,8 @@ def self_test() -> int:
             CLEAN_AVX512_TU.replace("foo_spmv_avx512", "gather_pack_avx512")
                            .replace("register_foo_avx512",
                                     "register_gather_avx512")
-                           .replace("kFooSpmv", "kGatherPack"))
+                           .replace("kFooSpmv", "kGatherPack")
+            + "// flock-pool-safe: element\n")
 
         # 12. A new op added vector-only: gather_avx512.cpp registers
         # kGatherPack at kAvx512, but no TU registers it at kScalar (the
@@ -920,12 +997,51 @@ def self_test() -> int:
         expect("schema_via_constant", {v.rule for v in lint(fx)},
                "prof-schema-version", False)
 
+        # 19. A table format whose own files never declare the Flock
+        # partition granularity.
+        fx = os.path.join(tmp, "no_flock_declaration")
+        _make_clean_fixture(fx)
+        _write(fx, os.path.join("src", "mat", "foo.cpp"),
+               CLEAN_FORMAT_TU.replace("// flock-pool-safe: row\n", ""))
+        rules = {v.rule for v in lint(fx)}
+        expect("no_flock_declaration", rules, "flock-pool-safety", True)
+        expect("no_flock_declaration", rules, "kernel-perf-reporting", False)
+
+        # 20. A declaration with a granularity token outside the audited
+        # vocabulary (typo'd or invented) must fire too.
+        fx = os.path.join(tmp, "bad_flock_granularity")
+        _make_clean_fixture(fx)
+        _write(fx, os.path.join("src", "mat", "foo.cpp"),
+               CLEAN_FORMAT_TU.replace("flock-pool-safe: row",
+                                       "flock-pool-safe: column"))
+        expect("bad_flock_granularity", {v.rule for v in lint(fx)},
+               "flock-pool-safety", True)
+
+        # 21. A utility family (no format TU) whose kernel TUs never carry
+        # the declaration: the gather-clean scaffolding minus the
+        # annotation in the avx512 TU.
+        fx = os.path.join(tmp, "utility_no_flock")
+        _make_clean_fixture(fx)
+        _write(fx, REGISTRATION_HPP, gather_registration)
+        _write(fx, SRC_CMAKE, gather_cmake)
+        _write(fx, os.path.join(KERNELS_DIR, "gather_scalar.cpp"),
+               CLEAN_SCALAR_TU.replace("foo_spmv_scalar",
+                                       "gather_pack_scalar")
+                              .replace("register_foo_scalar",
+                                       "register_gather_scalar")
+                              .replace("kFooSpmv", "kGatherPack"))
+        _write(fx, os.path.join(KERNELS_DIR, "gather_avx512.cpp"),
+               gather_avx512_tu.replace("// flock-pool-safe: element\n",
+                                        ""))
+        expect("utility_no_flock", {v.rule for v in lint(fx)},
+               "flock-pool-safety", True)
+
     if failures:
         print("kestrel_lint self-test FAILED:", file=sys.stderr)
         for f in failures:
             print("  " + f, file=sys.stderr)
         return 1
-    print("kestrel_lint self-test passed (21 fixtures).")
+    print("kestrel_lint self-test passed (24 fixtures).")
     return 0
 
 
