@@ -3,6 +3,7 @@
 // wall-clock kernel timing, and table formatting.
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "app/gray_scott.hpp"
@@ -28,8 +29,19 @@ inline std::string& json_path() {
   return path;
 }
 
-/// Parses the flags shared by every figure bench: --smoke, --json PATH.
-/// Unknown arguments are ignored so wrappers can pass extras through.
+/// Measurement-time floor in seconds (--min-time SECONDS): every timing
+/// loop keeps iterating until it has spent at least this long, instead of
+/// stopping after a fixed repetition count. 0 (the default) keeps each
+/// bench's built-in budget. Useful on noisy machines: `--min-time 2`
+/// trades wall-clock for a tighter best-of distribution.
+inline double& min_time() {
+  static double seconds = 0.0;
+  return seconds;
+}
+
+/// Parses the flags shared by every figure bench: --smoke, --json PATH,
+/// --min-time SECONDS. Unknown arguments are ignored so wrappers can pass
+/// extras through.
 inline void parse_args(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -37,6 +49,8 @@ inline void parse_args(int argc, char** argv) {
       smoke_mode() = true;
     } else if (arg == "--json" && i + 1 < argc) {
       json_path() = argv[++i];
+    } else if (arg == "--min-time" && i + 1 < argc) {
+      min_time() = std::strtod(argv[++i], nullptr);
     }
   }
 }
@@ -66,9 +80,12 @@ inline mat::Csr gray_scott_matrix(Index n) {
   return gs.rhs_jacobian(u);
 }
 
-/// Best-of-k timing of y = A x. Returns seconds per multiply.
+/// Best-of-k timing of y = A x. Returns seconds per multiply. A --min-time
+/// flag raises the measurement-time floor over the caller's default (fixed
+/// time instead of fixed iterations); --smoke overrides both to one rep.
 inline double time_spmv(const mat::Matrix& a, int min_reps = 20,
                         double min_seconds = 0.15) {
+  if (min_time() > min_seconds) min_seconds = min_time();
   if (smoke_mode()) {
     min_reps = 1;
     min_seconds = 0.0;

@@ -5,6 +5,7 @@
 // options the paper lists:
 //
 //   ./gray_scott [-n 128] [-steps 5] [-mat_type sell|csr]
+//                [-mat_index 32|16] [-mat_scalar fp64|fp32]
 //                [-pc_mg_levels 3] [-ksp_type gmres] [-spmv_isa avx512]
 //                [-aegis_checkpoint_every 5] [-aegis_max_rollbacks 2]
 //                [-ksp_breakdown_recovery]
@@ -16,6 +17,7 @@
 #include "app/gray_scott.hpp"
 #include "base/options.hpp"
 #include "mat/sell.hpp"
+#include "mat/slim.hpp"
 #include "pc/mg.hpp"
 #include "perf/spmv_model.hpp"
 #include "prof/profiler.hpp"
@@ -66,9 +68,22 @@ int main(int argc, char** argv) {
   topts.max_rollbacks =
       static_cast<int>(opts.get_index("aegis_max_rollbacks", 2));
 
+  // Kestrel Slim applies inside the format factory: the Newton loop
+  // reassembles the Jacobian every (lagged) step, and each rebuilt operator
+  // re-attaches its slim streams. MG level operators stay fat — the
+  // smoothers' work is not bandwidth bound at coarse sizes.
+  const mat::SlimOptions slim = mat::slim_options_from(opts);
   if (use_sell) {
-    topts.newton.format_factory = [](const mat::Csr& a) {
-      return std::make_shared<const mat::Sell>(a);
+    topts.newton.format_factory = [slim](const mat::Csr& a) {
+      auto s = std::make_shared<mat::Sell>(a);
+      s->set_slim(slim);
+      return std::shared_ptr<const mat::Sell>(std::move(s));
+    };
+  } else if (slim.any()) {
+    topts.newton.format_factory = [slim](const mat::Csr& a) {
+      auto c = std::make_shared<mat::Csr>(a);
+      c->set_slim(slim);
+      return std::shared_ptr<const mat::Csr>(std::move(c));
     };
   }
   const auto chain = app::gray_scott_interpolation_chain(gs.grid(), levels);

@@ -4,6 +4,7 @@
 // discretization-order error decay.
 //
 //   ./poisson_multigrid [-n 63] [-pc_mg_levels 4] [-mat_type sell|csr]
+//                       [-mat_index 32|16] [-mat_scalar fp64|fp32]
 
 #include <cmath>
 #include <cstdio>
@@ -13,6 +14,7 @@
 #include "ksp/context.hpp"
 #include "mat/coo.hpp"
 #include "mat/sell.hpp"
+#include "mat/slim.hpp"
 #include "pc/mg.hpp"
 
 using namespace kestrel;
@@ -55,7 +57,13 @@ int main(int argc, char** argv) {
               "operators in %s\n",
               n, n, levels, use_sell ? "SELL" : "CSR");
 
-  const mat::Csr a = app::laplacian_dirichlet(n, n);
+  mat::Csr a = app::laplacian_dirichlet(n, n);
+  // Optional Kestrel Slim streams on the fine operator (the MG hierarchy
+  // below reads the fat arrays, which slim storage keeps intact).
+  if (!mat::apply_slim_options(a, Options::global())) {
+    std::printf("slim storage declined (16-bit column span exceeded); "
+                "keeping fat streams\n");
+  }
   std::vector<mat::Csr> interps;
   Index sz = n;
   for (int l = 0; l + 1 < levels && sz >= 7; ++l) {

@@ -137,6 +137,30 @@ else:
           f"{int(m['threads_hw_cores'])} cores (< 4); metrics exported")
 EOF
 
+banner "slim storage suite (ctest -L slim) + BENCH_slim.json (speedup gate)"
+ctest --test-dir build -L slim --output-on-failure
+./build/bench/bench_slim --smoke --json build/BENCH_slim.json
+python3 - <<'EOF'
+import json
+with open("build/BENCH_slim.json") as f:
+    doc = json.load(f)
+assert doc["schema"] in ("kestrel-scope-metrics-v1",
+                         "kestrel-scope-metrics-v2"), doc.get("schema")
+m = doc["metrics"]
+for fmt in ("csr", "csrperm", "sell", "bcsr", "talon"):
+    for cfg in ("fat", "idx16", "fp32", "slim"):
+        key = f"slim/{fmt}/{cfg}_gflops"
+        assert m.get(key, 0.0) > 0.0, key
+if m["slim_gate_eligible"] == 1.0:
+    assert m["slim_gate_count"] >= 2.0, (
+        f"only {int(m['slim_gate_count'])} format(s) reached 1.3x full-slim "
+        f"speedup on a bandwidth-bound matrix (gate: >= 2)")
+    print(f"slim bench ok: {int(m['slim_gate_count'])} formats >= 1.3x "
+          f"with idx16+fp32 streams")
+else:
+    print("slim gate skipped: host lacks the AVX-512 tier; metrics exported")
+EOF
+
 banner "aegis fault-tolerance suite (ctest -L aegis) + fault-injected solve"
 ctest --test-dir build -L aegis --output-on-failure
 # Deterministic end-to-end fault sweep on both ghost transports; the spec is
@@ -154,6 +178,9 @@ sanitizer_suite() {
     -DKESTREL_BUILD_BENCH=OFF -DKESTREL_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build "build-$label" -j "$jobs"
   ctest --test-dir "build-$label" -L "$label" --output-on-failure
+  # The slim differential sweep runs under every sanitizer: the compressed
+  # kernels do the repo's most intricate pointer math (base + u16 rebase).
+  ctest --test-dir "build-$label" -L slim --output-on-failure
 }
 
 sanitizer_suite address asan

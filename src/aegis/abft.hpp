@@ -61,6 +61,14 @@ class AbftMatrix final : public mat::Matrix {
   std::int64_t nnz() const override { return inner_->nnz(); }
   void spmv(const Scalar* x, Scalar* y) const override;
   using Matrix::spmv;
+  /// Wide multiplies bypass verification: they run the inner fat double
+  /// path (the refinement outer loop verifies its own residual products).
+  void spmv_wide(const Scalar* x, Scalar* y) const override {
+    inner_->spmv_wide(x, y);
+  }
+  /// Kestrel Slim state is the wrapped format's (the inner matrix must be
+  /// slimmed before wrapping — MatrixPtr is const, so set_slim declines).
+  bool slim_active() const override { return inner_->slim_active(); }
   void get_diagonal(Vector& d) const override { inner_->get_diagonal(d); }
   void abft_col_checksum(Vector& c) const override { c.copy_from(colsum_); }
   std::string format_name() const override {
@@ -87,6 +95,13 @@ class AbftMatrix final : public mat::Matrix {
                      Index ylen, Scalar tol, Scalar* drift_out);
 
  private:
+  /// Detection threshold actually used: when the wrapped matrix streams
+  /// fp32 values (Kestrel Slim), the checksum c (built from the fat double
+  /// values) and the fp32 multiply legitimately disagree at single-precision
+  /// rounding, so the band widens to keep fault detection meaningful
+  /// instead of tripping on every multiply.
+  Scalar effective_tol() const;
+
   mat::MatrixPtr inner_;
   AbftOptions opts_;
   Vector colsum_;  ///< c = Aᵀ·1, fixed at construction

@@ -23,6 +23,13 @@ AbftError::AbftError(const std::string& format, Scalar drift,
       format_(format),
       drift_(drift) {}
 
+IndexOverflowError::IndexOverflowError(GIndex count, const std::string& what,
+                                       const char* file, int line)
+    : Error("index overflow (" + std::to_string(count) + " entries > " +
+                std::to_string(ceiling()) + "): " + what,
+            file, line),
+      count_(count) {}
+
 OptionsError::OptionsError(const std::string& key, const std::string& value,
                            const std::string& expected, const char* file,
                            int line)

@@ -52,6 +52,24 @@ class AbftError : public Error {
   Scalar drift_;
 };
 
+/// Structured nonzero-count overflow: an assembly path or reader accumulated
+/// more entries than the 32-bit Index CSR layout can address (the paper's
+/// largest case is "close to the largest that does not require 64-bit
+/// integers" — anything past that must fail loudly, not wrap). Carries the
+/// offending 64-bit count so callers and tests can report it precisely.
+class IndexOverflowError : public Error {
+ public:
+  IndexOverflowError(GIndex count, const std::string& what, const char* file,
+                     int line);
+  /// The 64-bit entry count that exceeded ceiling().
+  GIndex count() const noexcept { return count_; }
+  /// Largest entry count a CSR rowptr of Index can address.
+  static constexpr GIndex ceiling() { return GIndex{0x7FFFFFFF}; }
+
+ private:
+  GIndex count_;
+};
+
 /// Structured option-parse failure: carries the key, the raw value and what
 /// was expected, so callers can report (or test) malformed flags precisely
 /// instead of getting a silent default or a bare abort.

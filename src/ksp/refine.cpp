@@ -1,0 +1,64 @@
+#include "ksp/refine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "aegis/abft.hpp"
+#include "base/error.hpp"
+#include "ksp/context.hpp"
+
+namespace kestrel::ksp {
+
+RefineResult refine_solve(const mat::Matrix& a, const Vector& b, Vector& x,
+                          const RefineSettings& settings, const pc::Pc* pc) {
+  KESTREL_CHECK(a.rows() == a.cols(), "refine_solve requires a square matrix");
+  KESTREL_CHECK(b.size() == a.rows(), "refine_solve: rhs size mismatch");
+  const Index n = a.rows();
+  x.resize(n);
+
+  Vector colsum;
+  if (settings.abft_guard) a.abft_col_checksum(colsum);
+
+  SeqContext ctx(a, pc);
+  auto inner = make_solver(settings.inner_type, settings.inner);
+
+  Vector ax(n);
+  Vector r(n);
+  Vector d(n);
+
+  RefineResult out;
+  const Scalar bnorm = b.norm2();
+  const Scalar stop = std::max(settings.rtol * bnorm, settings.atol);
+
+  for (int outer = 0;; ++outer) {
+    // Wide residual: the fat double streams define what "solved" means.
+    a.spmv_wide(x.data(), ax.data());
+    if (settings.abft_guard) {
+      Scalar drift = 0.0;
+      if (!aegis::AbftMatrix::verify(colsum, x.data(), ax.data(), n,
+                                     settings.abft_tol, &drift)) {
+        ++out.abft_trips;
+      }
+    }
+    for (Index i = 0; i < n; ++i) r[i] = b[i] - ax[i];
+    out.residual_norm = r.norm2();
+    if (settings.monitor) settings.monitor(outer, out.residual_norm);
+    if (out.residual_norm <= stop) {
+      out.converged = true;
+      break;
+    }
+    if (outer >= settings.max_outer) break;
+
+    // Correction solve on the (slim) operator; a loose inner tolerance is
+    // enough — each pass only has to gain settings.inner.rtol digits.
+    d.set(0.0);
+    const SolveResult sr = inner->solve(ctx, r, d);
+    out.inner_iterations += sr.iterations;
+    out.outer_iterations = outer + 1;
+    if (sr.iterations == 0 && !sr.converged) break;  // inner made no progress
+    x.axpy(1.0, d);
+  }
+  return out;
+}
+
+}  // namespace kestrel::ksp

@@ -1,0 +1,79 @@
+#pragma once
+// Kestrel Slim iterative refinement (mixed-precision solves).
+//
+// With -mat_scalar fp32 the SpMV streams single-precision values, which
+// caps the attainable residual of a plain Krylov solve near fp32 rounding
+// (~1e-7 relative). Classical iterative refinement recovers full double
+// accuracy while keeping almost all the work on the cheap slim multiply:
+//
+//   x = 0
+//   loop:
+//     r = b - A·x          — through Matrix::spmv_wide, i.e. the fat
+//                            double/int32 streams, so the correction
+//                            target is exact to double rounding
+//     stop when ||r|| <= rtol·||b||  (double tolerance)
+//     solve A·d = r loosely with an inner Krylov method whose operator
+//       application is the (slim) Matrix::spmv
+//     x += d
+//
+// Each outer pass costs one wide multiply; the inner solve typically takes
+// a handful of iterations at inner.rtol ~ 1e-4, all on the slim streams.
+// An optional Aegis drift guard verifies the Huang–Abraham column-checksum
+// invariant on every wide residual multiply, counting (not throwing on)
+// violations — the outer loop is itself self-correcting, so a transient
+// fault surfaces as one extra outer iteration plus a tripped counter.
+
+#include <functional>
+#include <string>
+
+#include "base/types.hpp"
+#include "ksp/ksp.hpp"
+#include "mat/matrix.hpp"
+#include "vec/vector.hpp"
+
+namespace kestrel::pc {
+class Pc;
+}
+
+namespace kestrel::ksp {
+
+struct RefineSettings {
+  Scalar rtol = 1e-10;  ///< outer relative tolerance, on the WIDE residual
+  Scalar atol = 1e-50;
+  int max_outer = 20;
+  /// Inner Krylov method (make_solver name: cg, gmres, bicgstab, ...).
+  std::string inner_type = "cg";
+  /// Inner solver settings; the loose default rtol is the point — the
+  /// inner solve only needs to gain a few digits per outer pass, well
+  /// within fp32's reach.
+  Settings inner = loose_inner();
+  /// Aegis drift guard on the wide residual multiplies (see header).
+  bool abft_guard = true;
+  Scalar abft_tol = 1e-8;
+  /// Called once per outer iteration with (outer index, wide ||r||).
+  std::function<void(int, Scalar)> monitor;
+
+  static Settings loose_inner() {
+    Settings s;
+    s.rtol = 1e-4;
+    s.max_iterations = 1000;
+    return s;
+  }
+};
+
+struct RefineResult {
+  bool converged = false;
+  int outer_iterations = 0;
+  int inner_iterations = 0;  ///< summed over all inner solves
+  Scalar residual_norm = 0.0;  ///< final WIDE residual norm
+  int abft_trips = 0;  ///< drift-guard violations observed (informational)
+};
+
+/// Solves A x = b to double tolerance by iterative refinement over the
+/// matrix's (possibly slim) spmv; see the header comment. The incoming x
+/// is the initial guess. `pc` (optional) preconditions the inner solves.
+RefineResult refine_solve(const mat::Matrix& a, const Vector& b, Vector& x,
+                          const RefineSettings& settings = {},
+                          const pc::Pc* pc = nullptr);
+
+}  // namespace kestrel::ksp

@@ -64,6 +64,13 @@ Csr Assembler::assemble(bool drop_zeros) const {
     colidx.push_back(j);
     val.push_back(value);
   }
+  // Exact 64-bit count of the folded entries, checked before the Index
+  // prefix sum below can wrap.
+  const GIndex total = static_cast<GIndex>(colidx.size());
+  if (total > IndexOverflowError::ceiling()) {
+    throw IndexOverflowError(total, "Assembler::assemble nonzero count",
+                             __FILE__, __LINE__);
+  }
   for (Index i = 0; i < m_; ++i) {
     rowptr[static_cast<std::size_t>(i) + 1] +=
         rowptr[static_cast<std::size_t>(i)];

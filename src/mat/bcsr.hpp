@@ -28,6 +28,9 @@ class Bcsr final : public Matrix {
   std::int64_t nnz() const override { return nnz_; }
   void spmv(const Scalar* x, Scalar* y) const override;
   using Matrix::spmv;
+  void spmv_wide(const Scalar* x, Scalar* y) const override;
+  bool set_slim(const SlimOptions& opts) override;
+  bool slim_active() const override { return slim_.active(); }
   void get_diagonal(Vector& d) const override;
   void abft_col_checksum(Vector& c) const override;
   std::string format_name() const override { return "bcsr"; }
@@ -44,6 +47,14 @@ class Bcsr final : public Matrix {
     return {mb_, nb_, bs_, rowptr_.data(), colidx_.data(), val_.data()};
   }
 
+  // Kestrel Slim ----------------------------------------------------------
+  const SlimStore& slim() const { return slim_; }
+  BcsrSlimView slim_view() const;
+  /// Traffic of the fat double/int32 SpMV.
+  std::size_t fat_spmv_traffic_bytes() const;
+  /// Traffic of the fully slim (idx16 + fp32) SpMV.
+  std::size_t slim_spmv_traffic_bytes() const;
+
   // Kestrel Flock ----------------------------------------------------------
   // flock-pool-safe: blockrow
   /// Re-plans the stored partition. Units are BLOCK rows (granularity: a
@@ -53,12 +64,16 @@ class Bcsr final : public Matrix {
   const FlockPartition& partition() const { return part_; }
 
  private:
+  void spmv_fat(const Scalar* x, Scalar* y) const;
+  void spmv_slim(const Scalar* x, Scalar* y) const;
+
   Index mb_ = 0, nb_ = 0, bs_ = 0;
   std::int64_t nnz_ = 0;  ///< logical scalar nonzeros (pre-fill)
   AlignedBuffer<Index> rowptr_;
   AlignedBuffer<Index> colidx_;
   AlignedBuffer<Scalar> val_;
   FlockPartition part_;
+  SlimStore slim_;
 };
 
 }  // namespace kestrel::mat

@@ -64,6 +64,14 @@ Csr Coo::to_csr(bool drop_zeros) const {
     colidx.push_back(j);
     val.push_back(sum);
   }
+  // The deduplicated count lives in a size_t, so it is exact even when the
+  // per-row Index counters above would have wrapped; check it before the
+  // prefix sum touches them.
+  const GIndex total = static_cast<GIndex>(colidx.size());
+  if (total > IndexOverflowError::ceiling()) {
+    throw IndexOverflowError(total, "Coo::to_csr nonzero count", __FILE__,
+                             __LINE__);
+  }
   for (Index i = 0; i < m_; ++i) {
     rowptr[static_cast<std::size_t>(i) + 1] +=
         rowptr[static_cast<std::size_t>(i)];

@@ -22,6 +22,16 @@ class CsrPerm final : public Matrix {
   std::int64_t nnz() const override { return csr_.nnz(); }
   void spmv(const Scalar* x, Scalar* y) const override;
   using Matrix::spmv;
+  void spmv_wide(const Scalar* x, Scalar* y) const override {
+    spmv_fat(x, y);
+  }
+  // Kestrel Slim: delegated to the inner CSR — with slim streams active,
+  // spmv() runs the csr_slim kernels directly (the grouped-permutation
+  // walk has no slim variant; the base+off16/fp32 layout is the CSR one).
+  bool set_slim(const SlimOptions& opts) override {
+    return csr_.set_slim(opts);
+  }
+  bool slim_active() const override { return csr_.slim_active(); }
   void get_diagonal(Vector& d) const override { csr_.get_diagonal(d); }
   void abft_col_checksum(Vector& c) const override {
     csr_.abft_col_checksum(c);
@@ -33,12 +43,18 @@ class CsrPerm final : public Matrix {
   // argus-traffic-stream: perm = 4 * m
   // argus-traffic-stream: group_begin = 0 : amortized
   // argus-traffic-stream: group_rlen = 0 : amortized
-  // argus-traffic-bind: csr_.spmv_traffic_bytes() = include_csr
+  // argus-traffic-bind: csr_.fat_spmv_traffic_bytes() = include_csr
   // argus-traffic-bind: rows() = m
-  // argus-traffic-cpp: spmv_traffic_bytes
-  std::size_t spmv_traffic_bytes() const override {
+  // argus-traffic-cpp: fat_spmv_traffic_bytes
+  std::size_t fat_spmv_traffic_bytes() const {
     // CSR traffic plus the permutation array read (4 bytes/row).
-    return csr_.spmv_traffic_bytes() + 4 * static_cast<std::size_t>(rows());
+    return csr_.fat_spmv_traffic_bytes() +
+           4 * static_cast<std::size_t>(rows());
+  }
+  std::size_t spmv_traffic_bytes() const override {
+    // Slim multiplies run the plain csr_slim kernels (no perm read).
+    return slim_active() ? csr_.spmv_traffic_bytes()
+                         : fat_spmv_traffic_bytes();
   }
 
   Index num_groups() const { return ngroups_; }
@@ -61,6 +77,8 @@ class CsrPerm final : public Matrix {
   const FlockPartition& partition() const { return part_; }
 
  private:
+  void spmv_fat(const Scalar* x, Scalar* y) const;
+
   /// One part's view of the group structure: a contiguous run of (possibly
   /// clipped) groups in absolute position space.
   struct PartGroups {

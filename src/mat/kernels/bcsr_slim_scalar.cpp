@@ -1,0 +1,78 @@
+// Scalar Kestrel Slim BCSR (BAIJ) SpMV. Compressed block columns resolve to
+// x + base[ib] + off16[k] — base and offsets are stored in scalar column
+// units (bs * block column), so the only per-block index cost is the 2-byte
+// offset read. fp32 block values widen to double before the multiply.
+
+#include "mat/kernels/registration.hpp"
+#include "mat/kernels/views.hpp"
+#include "simd/dispatch.hpp"
+
+// argus-contract: format=bcsr_slim isa=scalar
+
+namespace kestrel::mat::kernels {
+
+namespace {
+
+// argus-kernel: bcsr_slim_spmv_scalar
+// argus-param: a : view BcsrSlimView
+// argus-param: x : in extent nb * bs
+// argus-param: y : out extent mb * bs
+// argus-traffic: bcsr_slim
+void bcsr_slim_spmv_scalar(const BcsrSlimView& a, const Scalar* x, Scalar* y) {
+  const Index bs = a.bs;
+  for (Index ib = 0; ib < a.mb; ++ib) {
+    Scalar* yr = y + ib * bs;
+    for (Index r = 0; r < bs; ++r) yr[r] = 0.0;
+    if (a.idx16 != 0) {
+      const Index b = a.base[ib];
+      if (a.fp32 != 0) {
+        for (Index k = a.rowptr[ib]; k < a.rowptr[ib + 1]; ++k) {
+          const float* blk = a.val32 + static_cast<std::size_t>(k) * bs * bs;
+          const Scalar* xc = x + b + a.off16[k];
+          for (Index r = 0; r < bs; ++r) {
+            Scalar sum = 0.0;
+            for (Index cidx = 0; cidx < bs; ++cidx) {
+              const Scalar bv = blk[r * bs + cidx];
+              sum += bv * xc[cidx];
+            }
+            yr[r] += sum;
+          }
+        }
+      } else {
+        for (Index k = a.rowptr[ib]; k < a.rowptr[ib + 1]; ++k) {
+          const Scalar* blk = a.val + static_cast<std::size_t>(k) * bs * bs;
+          const Scalar* xc = x + b + a.off16[k];
+          for (Index r = 0; r < bs; ++r) {
+            Scalar sum = 0.0;
+            for (Index cidx = 0; cidx < bs; ++cidx) {
+              sum += blk[r * bs + cidx] * xc[cidx];
+            }
+            yr[r] += sum;
+          }
+        }
+      }
+    } else {
+      // fp32-only mode: fat block columns, float values.
+      for (Index k = a.rowptr[ib]; k < a.rowptr[ib + 1]; ++k) {
+        const float* blk = a.val32 + static_cast<std::size_t>(k) * bs * bs;
+        const Scalar* xc = x + a.colidx[k] * bs;
+        for (Index r = 0; r < bs; ++r) {
+          Scalar sum = 0.0;
+          for (Index cidx = 0; cidx < bs; ++cidx) {
+            const Scalar bv = blk[r * bs + cidx];
+            sum += bv * xc[cidx];
+          }
+          yr[r] += sum;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void register_bcsr_slim_scalar() {
+  KESTREL_REGISTER_KERNEL(kBcsrSlimSpmv, kScalar, bcsr_slim_spmv_scalar);
+}
+
+}  // namespace kestrel::mat::kernels

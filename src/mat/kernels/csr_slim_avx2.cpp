@@ -1,0 +1,116 @@
+// AVX2 Kestrel Slim CSR SpMV: the compressed streams at 256-bit width.
+// Four 16-bit offsets are loaded with one 8-byte movq (_mm_loadl_epi64),
+// zero-extended with vpmovzxwd and rebased before the gather; fp32 values
+// load four floats and widen with vcvtps2pd. Remainders are scalar like the
+// fat AVX2 kernel (no masked loads below AVX-512).
+
+#include <immintrin.h>
+
+#include "mat/kernels/registration.hpp"
+#include "mat/kernels/views.hpp"
+#include "simd/dispatch.hpp"
+
+// argus-contract: format=csr_slim isa=avx2
+
+namespace kestrel::mat::kernels {
+
+namespace {
+
+inline Scalar hsum256(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d sum2 = _mm_add_pd(lo, hi);
+  const __m128d swapped = _mm_unpackhi_pd(sum2, sum2);
+  return _mm_cvtsd_f64(_mm_add_sd(sum2, swapped));
+}
+
+/// idx16 + fp32: base+off16 columns, float values, double accumulation.
+inline Scalar row_dot_slim_if(Index b, const std::uint16_t* off,
+                              const float* v32, Index len, const Scalar* x) {
+  const __m128i vb = _mm_set1_epi32(b);
+  __m256d acc = _mm256_setzero_pd();
+  Index k = 0;
+  for (; k + 4 <= len; k += 4) {
+    const __m128i raw =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(off + k));
+    const __m128i idx = _mm_add_epi32(_mm_cvtepu16_epi32(raw), vb);
+    const __m256d vals = _mm256_cvtps_pd(_mm_loadu_ps(v32 + k));
+    const __m256d vx = _mm256_i32gather_pd(x, idx, 8);
+    acc = _mm256_fmadd_pd(vals, vx, acc);
+  }
+  Scalar sum = hsum256(acc);
+  for (; k < len; ++k) {
+    const Scalar v = v32[k];
+    sum += v * x[b + off[k]];
+  }
+  return sum;
+}
+
+/// idx16 only: base+off16 columns, fat double values.
+inline Scalar row_dot_slim_i(Index b, const std::uint16_t* off,
+                             const Scalar* val, Index len, const Scalar* x) {
+  const __m128i vb = _mm_set1_epi32(b);
+  __m256d acc = _mm256_setzero_pd();
+  Index k = 0;
+  for (; k + 4 <= len; k += 4) {
+    const __m128i raw =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(off + k));
+    const __m128i idx = _mm_add_epi32(_mm_cvtepu16_epi32(raw), vb);
+    const __m256d vals = _mm256_loadu_pd(val + k);
+    const __m256d vx = _mm256_i32gather_pd(x, idx, 8);
+    acc = _mm256_fmadd_pd(vals, vx, acc);
+  }
+  Scalar sum = hsum256(acc);
+  for (; k < len; ++k) sum += val[k] * x[b + off[k]];
+  return sum;
+}
+
+/// fp32 only: fat int32 columns, float values.
+inline Scalar row_dot_slim_f(const Index* colidx, const float* v32, Index len,
+                             const Scalar* x) {
+  __m256d acc = _mm256_setzero_pd();
+  Index k = 0;
+  for (; k + 4 <= len; k += 4) {
+    const __m128i idx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(colidx + k));
+    const __m256d vals = _mm256_cvtps_pd(_mm_loadu_ps(v32 + k));
+    const __m256d vx = _mm256_i32gather_pd(x, idx, 8);
+    acc = _mm256_fmadd_pd(vals, vx, acc);
+  }
+  Scalar sum = hsum256(acc);
+  for (; k < len; ++k) {
+    const Scalar v = v32[k];
+    sum += v * x[colidx[k]];
+  }
+  return sum;
+}
+
+// argus-kernel: csr_slim_spmv_avx2
+// argus-param: a : view CsrSlimView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-traffic: csr_slim
+void csr_slim_spmv_avx2(const CsrSlimView& a, const Scalar* x, Scalar* y) {
+  for (Index i = 0; i < a.m; ++i) {
+    const Index begin = a.rowptr[i];
+    const Index len = a.rowptr[i + 1] - begin;
+    if (a.idx16 != 0) {
+      const Index b = a.base[i];
+      if (a.fp32 != 0) {
+        y[i] = row_dot_slim_if(b, a.off16 + begin, a.val32 + begin, len, x);
+      } else {
+        y[i] = row_dot_slim_i(b, a.off16 + begin, a.val + begin, len, x);
+      }
+    } else {
+      y[i] = row_dot_slim_f(a.colidx + begin, a.val32 + begin, len, x);
+    }
+  }
+}
+
+}  // namespace
+
+void register_csr_slim_avx2() {
+  KESTREL_REGISTER_KERNEL(kCsrSlimSpmv, kAvx2, csr_slim_spmv_avx2);
+}
+
+}  // namespace kestrel::mat::kernels

@@ -1,0 +1,147 @@
+// AVX-512 Kestrel Slim CSR SpMV — Algorithm 1 over the compressed streams.
+//
+// idx16 mode unpacks eight 16-bit column offsets per iteration with
+// vpmovzxwd (_mm256_cvtepu16_epi32), adds the row's broadcast base column
+// and gathers from x exactly like the fat kernel; fp32 mode loads eight
+// floats and widens them with vcvtps2pd (_mm512_cvtps_pd) so the FMA and
+// the accumulator stay double. Remainders reuse the fat kernel's masked
+// tail (section 4: masks only when longer than 2 elements), with
+// _mm_maskz_loadu_epi16 / _mm256_maskz_loadu_ps as the slim counterparts of
+// the masked index/value loads.
+
+#include <immintrin.h>
+
+#include "mat/kernels/registration.hpp"
+#include "mat/kernels/views.hpp"
+#include "simd/dispatch.hpp"
+
+// argus-contract: format=csr_slim isa=avx512
+
+namespace kestrel::mat::kernels {
+
+namespace {
+
+/// idx16 + fp32: base+off16 columns, float values, double accumulation.
+inline Scalar row_dot_slim_if(Index b, const std::uint16_t* off,
+                              const float* v32, Index len, const Scalar* x) {
+  const __m256i vb = _mm256_set1_epi32(b);
+  __m512d acc = _mm512_setzero_pd();
+  Index k = 0;
+  for (; k + 8 <= len; k += 8) {
+    const __m128i raw =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(off + k));
+    const __m256i idx = _mm256_add_epi32(_mm256_cvtepu16_epi32(raw), vb);
+    const __m512d vals = _mm512_cvtps_pd(_mm256_loadu_ps(v32 + k));
+    const __m512d vx = _mm512_i32gather_pd(idx, x, 8);
+    acc = _mm512_fmadd_pd(vals, vx, acc);
+  }
+  Scalar sum = _mm512_reduce_add_pd(acc);
+  const Index rem = len - k;
+  if (rem > 2) {
+    const __mmask8 mask = static_cast<__mmask8>((1u << rem) - 1u);
+    const __m128i raw = _mm_maskz_loadu_epi16(mask, off + k);
+    const __m256i idx = _mm256_add_epi32(_mm256_cvtepu16_epi32(raw), vb);
+    const __m512d vals =
+        _mm512_cvtps_pd(_mm256_maskz_loadu_ps(mask, v32 + k));
+    const __m512d vx =
+        _mm512_mask_i32gather_pd(_mm512_setzero_pd(), mask, idx, x, 8);
+    sum += _mm512_reduce_add_pd(_mm512_maskz_mul_pd(mask, vals, vx));
+  } else {
+    for (; k < len; ++k) {
+      const Scalar v = v32[k];
+      sum += v * x[b + off[k]];
+    }
+  }
+  return sum;
+}
+
+/// idx16 only: base+off16 columns, fat double values.
+inline Scalar row_dot_slim_i(Index b, const std::uint16_t* off,
+                             const Scalar* val, Index len, const Scalar* x) {
+  const __m256i vb = _mm256_set1_epi32(b);
+  __m512d acc = _mm512_setzero_pd();
+  Index k = 0;
+  for (; k + 8 <= len; k += 8) {
+    const __m128i raw =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(off + k));
+    const __m256i idx = _mm256_add_epi32(_mm256_cvtepu16_epi32(raw), vb);
+    const __m512d vals = _mm512_loadu_pd(val + k);
+    const __m512d vx = _mm512_i32gather_pd(idx, x, 8);
+    acc = _mm512_fmadd_pd(vals, vx, acc);
+  }
+  Scalar sum = _mm512_reduce_add_pd(acc);
+  const Index rem = len - k;
+  if (rem > 2) {
+    const __mmask8 mask = static_cast<__mmask8>((1u << rem) - 1u);
+    const __m128i raw = _mm_maskz_loadu_epi16(mask, off + k);
+    const __m256i idx = _mm256_add_epi32(_mm256_cvtepu16_epi32(raw), vb);
+    const __m512d vals = _mm512_maskz_loadu_pd(mask, val + k);
+    const __m512d vx =
+        _mm512_mask_i32gather_pd(_mm512_setzero_pd(), mask, idx, x, 8);
+    sum += _mm512_reduce_add_pd(_mm512_maskz_mul_pd(mask, vals, vx));
+  } else {
+    for (; k < len; ++k) sum += val[k] * x[b + off[k]];
+  }
+  return sum;
+}
+
+/// fp32 only: fat int32 columns, float values.
+inline Scalar row_dot_slim_f(const Index* colidx, const float* v32, Index len,
+                             const Scalar* x) {
+  __m512d acc = _mm512_setzero_pd();
+  Index k = 0;
+  for (; k + 8 <= len; k += 8) {
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(colidx + k));
+    const __m512d vals = _mm512_cvtps_pd(_mm256_loadu_ps(v32 + k));
+    const __m512d vx = _mm512_i32gather_pd(idx, x, 8);
+    acc = _mm512_fmadd_pd(vals, vx, acc);
+  }
+  Scalar sum = _mm512_reduce_add_pd(acc);
+  const Index rem = len - k;
+  if (rem > 2) {
+    const __mmask8 mask = static_cast<__mmask8>((1u << rem) - 1u);
+    const __m256i idx = _mm256_maskz_loadu_epi32(mask, colidx + k);
+    const __m512d vals =
+        _mm512_cvtps_pd(_mm256_maskz_loadu_ps(mask, v32 + k));
+    const __m512d vx =
+        _mm512_mask_i32gather_pd(_mm512_setzero_pd(), mask, idx, x, 8);
+    sum += _mm512_reduce_add_pd(_mm512_maskz_mul_pd(mask, vals, vx));
+  } else {
+    for (; k < len; ++k) {
+      const Scalar v = v32[k];
+      sum += v * x[colidx[k]];
+    }
+  }
+  return sum;
+}
+
+// argus-kernel: csr_slim_spmv_avx512
+// argus-param: a : view CsrSlimView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-traffic: csr_slim
+void csr_slim_spmv_avx512(const CsrSlimView& a, const Scalar* x, Scalar* y) {
+  for (Index i = 0; i < a.m; ++i) {
+    const Index begin = a.rowptr[i];
+    const Index len = a.rowptr[i + 1] - begin;
+    if (a.idx16 != 0) {
+      const Index b = a.base[i];
+      if (a.fp32 != 0) {
+        y[i] = row_dot_slim_if(b, a.off16 + begin, a.val32 + begin, len, x);
+      } else {
+        y[i] = row_dot_slim_i(b, a.off16 + begin, a.val + begin, len, x);
+      }
+    } else {
+      y[i] = row_dot_slim_f(a.colidx + begin, a.val32 + begin, len, x);
+    }
+  }
+}
+
+}  // namespace
+
+void register_csr_slim_avx512() {
+  KESTREL_REGISTER_KERNEL(kCsrSlimSpmv, kAvx512, csr_slim_spmv_avx512);
+}
+
+}  // namespace kestrel::mat::kernels

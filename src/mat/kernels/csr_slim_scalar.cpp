@@ -1,0 +1,56 @@
+// Scalar Kestrel Slim CSR SpMV reference. Branches once per multiply on the
+// slim mode flags (idx16 / fp32) and walks rows exactly like the fat scalar
+// kernel, so it doubles as the differential oracle for the vector tiers:
+// compressed columns resolve to base[i] + off16[k], and fp32 values are
+// widened to double before the multiply so accumulation is always double.
+
+#include "mat/kernels/registration.hpp"
+#include "mat/kernels/views.hpp"
+#include "simd/dispatch.hpp"
+
+// argus-contract: format=csr_slim isa=scalar
+
+namespace kestrel::mat::kernels {
+
+namespace {
+
+// argus-kernel: csr_slim_spmv_scalar
+// argus-param: a : view CsrSlimView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-traffic: csr_slim
+void csr_slim_spmv_scalar(const CsrSlimView& a, const Scalar* x, Scalar* y) {
+  for (Index i = 0; i < a.m; ++i) {
+    const Index r0 = a.rowptr[i];
+    const Index r1 = a.rowptr[i + 1];
+    Scalar sum = 0.0;
+    if (a.idx16 != 0) {
+      const Index b = a.base[i];
+      if (a.fp32 != 0) {
+        for (Index k = r0; k < r1; ++k) {
+          const Scalar v = a.val32[k];
+          sum += v * x[b + a.off16[k]];
+        }
+      } else {
+        for (Index k = r0; k < r1; ++k) {
+          sum += a.val[k] * x[b + a.off16[k]];
+        }
+      }
+    } else {
+      // fp32-only mode: fat column indices, float values.
+      for (Index k = r0; k < r1; ++k) {
+        const Scalar v = a.val32[k];
+        sum += v * x[a.colidx[k]];
+      }
+    }
+    y[i] = sum;
+  }
+}
+
+}  // namespace
+
+void register_csr_slim_scalar() {
+  KESTREL_REGISTER_KERNEL(kCsrSlimSpmv, kScalar, csr_slim_spmv_scalar);
+}
+
+}  // namespace kestrel::mat::kernels

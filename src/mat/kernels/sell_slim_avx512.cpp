@@ -1,0 +1,82 @@
+// AVX-512 Kestrel Slim SELL SpMV — Algorithm 2 over the compressed streams
+// at the production slice height c == 8 (other heights take the scalar slim
+// kernel through dispatch). One slice-column iteration unpacks eight 16-bit
+// offsets with vpmovzxwd, rebases them with the slice's base column and
+// gathers from x; fp32 values widen with vcvtps2pd so FMA and accumulation
+// stay double. Padding keeps every slice a whole number of 8-element
+// columns, so the inner loop needs no masks; only the final short slice's
+// store is masked, exactly like the fat kernel.
+
+#include <immintrin.h>
+
+#include "mat/kernels/registration.hpp"
+#include "mat/kernels/views.hpp"
+#include "simd/dispatch.hpp"
+
+// argus-contract: format=sell_slim isa=avx512
+
+namespace kestrel::mat::kernels {
+
+namespace {
+
+inline void store_slice(Scalar* y, Index nrows, __m512d acc) {
+  if (nrows >= 8) {
+    _mm512_storeu_pd(y, acc);
+  } else if (nrows > 0) {
+    const __mmask8 mask = static_cast<__mmask8>((1u << nrows) - 1u);
+    _mm512_mask_storeu_pd(y, mask, acc);
+  }
+}
+
+// argus-kernel: sell_slim_spmv_avx512
+// argus-param: a : view SellSlimView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-require: c == 8
+// argus-traffic: sell_slim
+void sell_slim_spmv_avx512(const SellSlimView& a, const Scalar* x, Scalar* y) {
+  for (Index s = 0; s < a.nslices; ++s) {
+    __m512d acc = _mm512_setzero_pd();
+    const Index begin = a.sliceptr[s];
+    const Index end = a.sliceptr[s + 1];
+    if (a.idx16 != 0) {
+      const __m256i vb = _mm256_set1_epi32(a.base[s]);
+      if (a.fp32 != 0) {
+        for (Index k = begin; k < end; k += 8) {
+          const __m128i raw =
+              _mm_loadu_si128(reinterpret_cast<const __m128i*>(a.off16 + k));
+          const __m256i idx = _mm256_add_epi32(_mm256_cvtepu16_epi32(raw), vb);
+          const __m512d vals = _mm512_cvtps_pd(_mm256_loadu_ps(a.val32 + k));
+          acc = _mm512_fmadd_pd(vals, _mm512_i32gather_pd(idx, x, 8), acc);
+        }
+      } else {
+        for (Index k = begin; k < end; k += 8) {
+          const __m128i raw =
+              _mm_loadu_si128(reinterpret_cast<const __m128i*>(a.off16 + k));
+          const __m256i idx = _mm256_add_epi32(_mm256_cvtepu16_epi32(raw), vb);
+          const __m512d vals = _mm512_loadu_pd(a.val + k);
+          acc = _mm512_fmadd_pd(vals, _mm512_i32gather_pd(idx, x, 8), acc);
+        }
+      }
+    } else {
+      // fp32-only mode: fat column indices, float values.
+      for (Index k = begin; k < end; k += 8) {
+        const __m256i idx =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a.colidx + k));
+        const __m512d vals = _mm512_cvtps_pd(_mm256_loadu_ps(a.val32 + k));
+        acc = _mm512_fmadd_pd(vals, _mm512_i32gather_pd(idx, x, 8), acc);
+      }
+    }
+    const Index row0 = s * 8;
+    const Index nrows = (row0 + 8 <= a.m) ? 8 : (a.m - row0);
+    store_slice(y + row0, nrows, acc);
+  }
+}
+
+}  // namespace
+
+void register_sell_slim_avx512() {
+  KESTREL_REGISTER_KERNEL(kSellSlimSpmv, kAvx512, sell_slim_spmv_avx512);
+}
+
+}  // namespace kestrel::mat::kernels

@@ -1,0 +1,65 @@
+// Scalar Kestrel Slim SELL SpMV reference. Walks the slice-major storage in
+// the same order as the vector tier — padded entries carry an in-slice
+// column offset and a zero value, so multiplying them is harmless in every
+// mode — and resolves compressed columns as base[s] + off16[k]. fp32 values
+// widen to double before the multiply; accumulation is always double.
+
+#include "mat/kernels/registration.hpp"
+#include "mat/kernels/views.hpp"
+#include "simd/dispatch.hpp"
+
+// argus-contract: format=sell_slim isa=scalar
+
+namespace kestrel::mat::kernels {
+
+namespace {
+
+// argus-kernel: sell_slim_spmv_scalar
+// argus-param: a : view SellSlimView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-traffic: sell_slim
+void sell_slim_spmv_scalar(const SellSlimView& a, const Scalar* x, Scalar* y) {
+  const Index c = a.c;
+  for (Index s = 0; s < a.nslices; ++s) {
+    const Index row0 = s * c;
+    const Index nrows = (row0 + c <= a.m) ? c : (a.m - row0);
+    Scalar acc[64] = {};  // c <= 64 enforced at Sell construction
+    if (a.idx16 != 0) {
+      const Index b = a.base[s];
+      if (a.fp32 != 0) {
+        for (Index k = a.sliceptr[s]; k < a.sliceptr[s + 1]; k += c) {
+          for (Index lane = 0; lane < c; ++lane) {
+            const Scalar v = a.val32[k + lane];
+            acc[lane] += v * x[b + a.off16[k + lane]];
+          }
+        }
+      } else {
+        for (Index k = a.sliceptr[s]; k < a.sliceptr[s + 1]; k += c) {
+          for (Index lane = 0; lane < c; ++lane) {
+            acc[lane] += a.val[k + lane] * x[b + a.off16[k + lane]];
+          }
+        }
+      }
+    } else {
+      // fp32-only mode: fat column indices, float values.
+      for (Index k = a.sliceptr[s]; k < a.sliceptr[s + 1]; k += c) {
+        for (Index lane = 0; lane < c; ++lane) {
+          const Scalar v = a.val32[k + lane];
+          acc[lane] += v * x[a.colidx[k + lane]];
+        }
+      }
+    }
+    for (Index lane = 0; lane < nrows; ++lane) {
+      y[row0 + lane] = acc[lane];
+    }
+  }
+}
+
+}  // namespace
+
+void register_sell_slim_scalar() {
+  KESTREL_REGISTER_KERNEL(kSellSlimSpmv, kScalar, sell_slim_spmv_scalar);
+}
+
+}  // namespace kestrel::mat::kernels

@@ -1,0 +1,85 @@
+// AVX-512 Kestrel Slim Talon SpMV. Identical block walk to the fat kernel —
+// one (edge-masked) contiguous load of x per block, vpexpandps
+// (_mm256_maskz_expandloadu_ps) to scatter the packed fp32 values into the
+// mask's lanes, then vcvtps2pd so the FMA and the accumulators stay double.
+// The value pointer advances by popcount(mask) exactly like the fat walk.
+
+#include <immintrin.h>
+
+#include <bit>
+
+#include "mat/kernels/registration.hpp"
+#include "mat/kernels/views.hpp"
+#include "simd/dispatch.hpp"
+
+// argus-contract: format=talon_slim isa=avx512
+
+namespace kestrel::mat::kernels {
+
+namespace {
+
+template <int R>
+void talon_slim_panel_avx512(const TalonSlimView& a, Index p, const Scalar* x,
+                             Scalar* y) {
+  const Index row0 = a.panel_row[p];
+  const float* v = a.val32 + a.panel_valptr[p];
+  __m512d acc[R];
+  for (int j = 0; j < R; ++j) acc[j] = _mm512_setzero_pd();
+  for (Index b = a.panel_blockptr[p]; b < a.panel_blockptr[p + 1]; ++b) {
+    const Index c0 = a.block_col[b];
+    const std::uint32_t mask = a.block_mask[b];
+    // One contiguous load of x covers the whole block; mask the tail off
+    // at the right matrix edge so no out-of-bounds lane is touched.
+    __m512d xv;
+    if (c0 + kZmmDoubles <= a.n) {
+      xv = _mm512_loadu_pd(x + c0);
+    } else {
+      const auto edge = static_cast<__mmask8>(
+          (1u << static_cast<unsigned>(a.n - c0)) - 1u);
+      xv = _mm512_maskz_loadu_pd(edge, x + c0);
+    }
+    for (int j = 0; j < R; ++j) {
+      const auto mj = static_cast<__mmask8>(
+          (mask >> (8u * static_cast<unsigned>(j))) & 0xFFu);
+      const __m512d vals =
+          _mm512_cvtps_pd(_mm256_maskz_expandloadu_ps(mj, v));
+      // mask3 keeps lanes outside mj untouched, so an Inf/NaN in an
+      // uncovered x lane can never leak into the accumulator.
+      acc[j] = _mm512_mask3_fmadd_pd(vals, xv, acc[j], mj);
+      v += std::popcount(static_cast<unsigned>(mj));
+    }
+  }
+  for (int j = 0; j < R; ++j) {
+    y[row0 + j] = _mm512_reduce_add_pd(acc[j]);
+  }
+}
+
+// argus-kernel: talon_slim_spmv_avx512
+// argus-param: a : view TalonSlimView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-traffic: talon_slim
+void talon_slim_spmv_avx512(const TalonSlimView& a, const Scalar* x,
+                            Scalar* y) {
+  for (Index p = 0; p < a.npanels; ++p) {
+    switch (a.panel_row[p + 1] - a.panel_row[p]) {
+      case 1:
+        talon_slim_panel_avx512<1>(a, p, x, y);
+        break;
+      case 2:
+        talon_slim_panel_avx512<2>(a, p, x, y);
+        break;
+      default:
+        talon_slim_panel_avx512<4>(a, p, x, y);
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+void register_talon_slim_avx512() {
+  KESTREL_REGISTER_KERNEL(kTalonSlimSpmv, kAvx512, talon_slim_spmv_avx512);
+}
+
+}  // namespace kestrel::mat::kernels

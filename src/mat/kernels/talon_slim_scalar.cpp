@@ -1,0 +1,55 @@
+// Scalar Kestrel Slim Talon SpMV reference. Talon's block metadata is
+// already a compressed index stream (base column + presence mask), so slim
+// Talon only swaps the packed value walk to the fp32 stream; each value
+// widens to double before the multiply and accumulation stays double.
+
+#include <bit>
+
+#include "mat/kernels/registration.hpp"
+#include "mat/kernels/views.hpp"
+#include "simd/dispatch.hpp"
+
+// argus-contract: format=talon_slim isa=scalar
+
+namespace kestrel::mat::kernels {
+
+namespace {
+
+// argus-kernel: talon_slim_spmv_scalar
+// argus-param: a : view TalonSlimView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-traffic: talon_slim
+void talon_slim_spmv_scalar(const TalonSlimView& a, const Scalar* x,
+                            Scalar* y) {
+  for (Index p = 0; p < a.npanels; ++p) {
+    const Index row0 = a.panel_row[p];
+    const Index r = a.panel_row[p + 1] - row0;
+    const float* v = a.val32 + a.panel_valptr[p];
+    Scalar acc[4] = {};  // r <= 4 by construction
+    for (Index b = a.panel_blockptr[p]; b < a.panel_blockptr[p + 1]; ++b) {
+      const Index c0 = a.block_col[b];
+      const std::uint32_t mask = a.block_mask[b];
+      for (Index j = 0; j < r; ++j) {
+        std::uint32_t bits = (mask >> (8u * static_cast<unsigned>(j))) & 0xFFu;
+        while (bits != 0) {
+          const Scalar vv = *v;
+          acc[j] += vv * x[c0 + std::countr_zero(bits)];
+          ++v;
+          bits &= bits - 1;
+        }
+      }
+    }
+    for (Index j = 0; j < r; ++j) {
+      y[row0 + j] = acc[j];
+    }
+  }
+}
+
+}  // namespace
+
+void register_talon_slim_scalar() {
+  KESTREL_REGISTER_KERNEL(kTalonSlimSpmv, kScalar, talon_slim_spmv_scalar);
+}
+
+}  // namespace kestrel::mat::kernels

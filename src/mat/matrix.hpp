@@ -10,6 +10,7 @@
 
 #include "base/error.hpp"
 #include "base/types.hpp"
+#include "mat/slim.hpp"
 #include "simd/isa.hpp"
 #include "vec/vector.hpp"
 
@@ -26,6 +27,21 @@ class Matrix {
 
   /// y = A * x (raw pointers; y must not alias x).
   virtual void spmv(const Scalar* x, Scalar* y) const = 0;
+
+  /// y = A * x through the fat double/int32 streams even when slim storage
+  /// is active. The iterative-refinement outer loop computes its residuals
+  /// through this so the correction target is full double precision.
+  virtual void spmv_wide(const Scalar* x, Scalar* y) const { spmv(x, y); }
+
+  /// Kestrel Slim: attach compressed-index / fp32 side streams
+  /// (-mat_index 16 / -mat_scalar fp32). Returns false when the format
+  /// cannot honor the request (unsupported format, or a segment's column
+  /// span overflows 16 bits); the matrix then keeps its fat streams.
+  /// An empty request always succeeds and clears any active slim state.
+  virtual bool set_slim(const SlimOptions& opts) { return !opts.any(); }
+
+  /// True when spmv() currently runs on slim side streams.
+  virtual bool slim_active() const { return false; }
 
   /// y = A * x with size checks.
   void spmv(const Vector& x, Vector& y) const {

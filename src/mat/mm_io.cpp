@@ -58,18 +58,32 @@ Csr read_matrix_market(std::istream& in) {
 
   KESTREL_CHECK(next_content_line(in, line), "missing MatrixMarket size line");
   std::istringstream dims(line);
-  long m = 0, n = 0, nz = 0;
+  // Count in 64 bits: `long` is 32-bit on some ABIs, and a size line from a
+  // large SuiteSparse matrix must either fit the Index layout or fail with a
+  // structured error — never wrap during the casts and the reserve below.
+  std::int64_t m = 0, n = 0, nz = 0;
   dims >> m >> n >> nz;
   KESTREL_CHECK(!dims.fail(), "malformed MatrixMarket size line: " + line);
   KESTREL_CHECK(m > 0 && n > 0 && nz >= 0, "bad MatrixMarket dimensions");
+  if (m > IndexOverflowError::ceiling() || n > IndexOverflowError::ceiling()) {
+    throw IndexOverflowError(std::max(m, n), "MatrixMarket dimension",
+                             __FILE__, __LINE__);
+  }
+  const std::int64_t stored = nz * (sym == "symmetric" ? 2 : 1);
+  if (stored > IndexOverflowError::ceiling()) {
+    // Detected from the size line, before reserving tens of GB for entries
+    // that can never form a valid Index-addressed CSR.
+    throw IndexOverflowError(stored, "MatrixMarket nonzero count", __FILE__,
+                             __LINE__);
+  }
 
   Coo coo(static_cast<Index>(m), static_cast<Index>(n));
-  coo.reserve(static_cast<std::size_t>(nz) * (sym == "symmetric" ? 2 : 1));
-  for (long k = 0; k < nz; ++k) {
+  coo.reserve(static_cast<std::size_t>(stored));
+  for (std::int64_t k = 0; k < nz; ++k) {
     KESTREL_CHECK(next_content_line(in, line),
                   "unexpected end of MatrixMarket data");
     std::istringstream entry(line);
-    long i = 0, j = 0;
+    std::int64_t i = 0, j = 0;
     double v = 1.0;
     entry >> i >> j;
     if (f != "pattern") entry >> v;

@@ -158,7 +158,17 @@ void Sell::run_partitioned(simd::SellSpmvFn fn, const Scalar* x,
 }
 
 void Sell::spmv(const Scalar* x, Scalar* y) const {
-  KESTREL_PROF_SPMV("MatMult(sell)", 2 * nnz(), spmv_traffic_bytes());
+  if (slim_.active()) {
+    spmv_slim(x, y);
+    return;
+  }
+  spmv_fat(x, y);
+}
+
+void Sell::spmv_wide(const Scalar* x, Scalar* y) const { spmv_fat(x, y); }
+
+void Sell::spmv_fat(const Scalar* x, Scalar* y) const {
+  KESTREL_PROF_SPMV("MatMult(sell)", 2 * nnz(), fat_spmv_traffic_bytes());
   // Kernel tier constraints: the AVX-512 kernel needs c % 8 == 0, the
   // AVX/AVX2 kernels need c % 4 == 0; anything else runs scalar.
   simd::IsaTier want = tier_;
@@ -179,8 +189,70 @@ void Sell::spmv(const Scalar* x, Scalar* y) const {
   spmv_sorted_fixup(y);
 }
 
+void Sell::spmv_slim(const Scalar* x, Scalar* y) const {
+  KESTREL_PROF_SPMV("MatMult(sell_slim)", 2 * nnz(), spmv_traffic_bytes());
+  // The slim AVX-512 kernel is written for the production slice height
+  // c == 8 only; other heights take the scalar slim kernel (lookup_as
+  // falls through the unregistered AVX2/AVX tiers by itself).
+  const simd::IsaTier want = c_ == 8 ? tier_ : simd::IsaTier::kScalar;
+  auto fn =
+      simd::lookup_as<simd::SellSlimSpmvFn>(simd::Op::kSellSlimSpmv, want);
+  if (perm_.empty()) {
+    run_partitioned_slim(fn, x, y);
+    return;
+  }
+  sorted_tmp_.resize(m_);
+  run_partitioned_slim(fn, x, sorted_tmp_.data());
+  spmv_sorted_fixup(y);
+}
+
+void Sell::run_partitioned_slim(simd::SellSlimSpmvFn fn, const Scalar* x,
+                                Scalar* out) const {
+  const SellSlimView v = slim_view();
+  if (part_.nparts() <= 1) {
+    fn(v, x, out);
+    return;
+  }
+  par::ThreadPool::rank_pool().run(part_.nparts(), [&](int p, int) {
+    const Index s0 = part_.begin(p);
+    const Index s1 = part_.end(p);
+    if (s0 == s1) return;
+    // Same shift rules as the fat sub-view; base is indexed per slice, so
+    // it moves with sliceptr while the element streams stay absolute.
+    const Index row0 = s0 * c_;
+    SellSlimView sub = v;
+    sub.m = std::min(m_ - row0, (s1 - s0) * c_);
+    sub.nslices = s1 - s0;
+    sub.sliceptr = v.sliceptr + s0;
+    if (v.base != nullptr) sub.base = v.base + s0;
+    fn(sub, x, out + row0);
+  });
+}
+
+SellSlimView Sell::slim_view() const {
+  return {m_,
+          n_,
+          c_,
+          nslices_,
+          slim_.idx16() ? Index{1} : Index{0},
+          slim_.fp32() ? Index{1} : Index{0},
+          sliceptr_.data(),
+          colidx_.data(),
+          val_.data(),
+          slim_.idx16() ? slim_.base() : nullptr,
+          slim_.idx16() ? slim_.off16() : nullptr,
+          slim_.fp32() ? slim_.val32() : nullptr};
+}
+
+bool Sell::set_slim(const SlimOptions& opts) {
+  // Segments are whole slices: the padded entries carry in-row column
+  // indices, so the slice-wide column span is what must fit 16 bits.
+  return slim_.attach(opts, sliceptr_.data(), nslices_, colidx_.data(),
+                      val_.data(), val_.size(), 1);
+}
+
 void Sell::spmv_add(const Scalar* x, Scalar* y) const {
-  KESTREL_PROF_SPMV("MatMultAdd(sell)", 2 * nnz(), spmv_traffic_bytes());
+  KESTREL_PROF_SPMV("MatMultAdd(sell)", 2 * nnz(), fat_spmv_traffic_bytes());
   simd::IsaTier want = tier_;
   if (want == simd::IsaTier::kAvx512 && c_ % 8 != 0) {
     want = simd::IsaTier::kAvx2;
@@ -296,14 +368,50 @@ std::size_t Sell::storage_bytes() const {
 // argus-traffic-bind: nnz() = nnz
 // argus-traffic-bind: m_ = m
 // argus-traffic-bind: n_ = n
-// argus-traffic-cpp: spmv_traffic_bytes
-std::size_t Sell::spmv_traffic_bytes() const {
+// argus-traffic-cpp: fat_spmv_traffic_bytes
+std::size_t Sell::fat_spmv_traffic_bytes() const {
   // Paper section 6: 12*nnz + 10*m + 8*n bytes — the slice pointer array is
   // only m/8 integers, rlen is not touched by SpMV, so per-row metadata
   // shrinks from 24 to 10 bytes. Padded zeros are deliberately NOT counted
   // ("extra memory overhead contributed by padded zeros are not counted").
   return static_cast<std::size_t>(12 * nnz()) +
          10 * static_cast<std::size_t>(m_) + 8 * static_cast<std::size_t>(n_);
+}
+
+// Kestrel Slim traffic: 6 B per stored element (4 fp32 value + 2 offset)
+// plus one 4-byte base column per slice; the fat colidx/val streams are not
+// touched in this mode (`alt`).
+// argus-traffic-model: sell_slim
+// argus-traffic-stream: val32 = 4 * nnz : esize 4
+// argus-traffic-stream: off16 = 2 * nnz : esize 2
+// argus-traffic-stream: base = 4 * nslices
+// argus-traffic-stream: sliceptr = 2 * m : conv
+// argus-traffic-stream: y = 8 * m
+// argus-traffic-stream: x = 8 * n
+// argus-traffic-stream: colidx = 0 : alt
+// argus-traffic-stream: val = 0 : alt
+// argus-traffic-bind: nnz() = nnz
+// argus-traffic-bind: m_ = m
+// argus-traffic-bind: n_ = n
+// argus-traffic-bind: nslices_ = nslices
+// argus-traffic-cpp: slim_spmv_traffic_bytes
+std::size_t Sell::slim_spmv_traffic_bytes() const {
+  return static_cast<std::size_t>(6 * nnz()) +
+         10 * static_cast<std::size_t>(m_) +
+         4 * static_cast<std::size_t>(nslices_) +
+         8 * static_cast<std::size_t>(n_);
+}
+
+std::size_t Sell::spmv_traffic_bytes() const {
+  if (!slim_.active()) return fat_spmv_traffic_bytes();
+  if (slim_.idx16() && slim_.fp32()) return slim_spmv_traffic_bytes();
+  const std::size_t vb = slim_.fp32() ? 4 : 8;
+  const std::size_t ib = slim_.idx16() ? 2 : 4;
+  const std::size_t base_bytes =
+      slim_.idx16() ? 4 * static_cast<std::size_t>(nslices_) : 0;
+  return (vb + ib) * static_cast<std::size_t>(nnz()) +
+         10 * static_cast<std::size_t>(m_) + base_bytes +
+         8 * static_cast<std::size_t>(n_);
 }
 
 void Sell::copy_values_from(const Csr& csr) {
@@ -326,6 +434,7 @@ void Sell::copy_values_from(const Csr& csr) {
       val_[static_cast<std::size_t>(k)] = vals[static_cast<std::size_t>(j)];
     }
   }
+  slim_.refresh_values(val_.data(), val_.size());
 }
 
 Csr Sell::to_csr() const {

@@ -52,6 +52,9 @@ class Talon final : public Matrix {
   std::int64_t nnz() const override { return nnz_; }
   void spmv(const Scalar* x, Scalar* y) const override;
   using Matrix::spmv;
+  void spmv_wide(const Scalar* x, Scalar* y) const override;
+  bool set_slim(const SlimOptions& opts) override;
+  bool slim_active() const override { return slim_.active(); }
   void get_diagonal(Vector& d) const override;
   void abft_col_checksum(Vector& c) const override;
   std::string format_name() const override { return "talon"; }
@@ -91,6 +94,18 @@ class Talon final : public Matrix {
             val_.data()};
   }
 
+  // Kestrel Slim ----------------------------------------------------------
+  // Talon's block metadata (base column + presence mask) is already a
+  // compressed index stream, so -mat_index 16 is trivially satisfied and
+  // only -mat_scalar fp32 changes the storage: val32 mirrors the packed
+  // value walk entry for entry.
+  const SlimStore& slim() const { return slim_; }
+  TalonSlimView slim_view() const;
+  /// Traffic of the fat double SpMV.
+  std::size_t fat_spmv_traffic_bytes() const;
+  /// Traffic of the fp32 SpMV.
+  std::size_t slim_spmv_traffic_bytes() const;
+
   // Kestrel Flock ----------------------------------------------------------
   // flock-pool-safe: panel
   /// Re-plans the stored partition. Units are PANELS (granularity: a thread
@@ -104,6 +119,10 @@ class Talon final : public Matrix {
   void build(const Csr& csr, const TalonOptions& opts);
   void run_partitioned(simd::TalonSpmvFn fn, const Scalar* x,
                        Scalar* y) const;
+  void run_partitioned_slim(simd::TalonSlimSpmvFn fn, const Scalar* x,
+                            Scalar* y) const;
+  void spmv_fat(const Scalar* x, Scalar* y) const;
+  void spmv_slim(const Scalar* x, Scalar* y) const;
 
   Index m_ = 0, n_ = 0;
   Index npanels_ = 0;
@@ -115,6 +134,7 @@ class Talon final : public Matrix {
   AlignedBuffer<std::uint32_t> block_mask_;
   AlignedBuffer<Scalar> val_;
   FlockPartition part_;
+  SlimStore slim_;
 };
 
 }  // namespace kestrel::mat

@@ -38,6 +38,17 @@ using TalonSpmvFn = void (*)(const mat::TalonView&, const Scalar* x,
 /// hardware gathers (vgatherdpd); indices must be valid for x.
 using GatherPackFn = void (*)(const Scalar* x, const Index* idx, Index n,
                               Scalar* out);
+/// Kestrel Slim SpMV: the view carries both the fat and the compressed
+/// streams; the kernel branches on the idx16/fp32 mode flags. Accumulation
+/// is always double.
+using CsrSlimSpmvFn = void (*)(const mat::CsrSlimView&, const Scalar* x,
+                               Scalar* y);
+using SellSlimSpmvFn = void (*)(const mat::SellSlimView&, const Scalar* x,
+                                Scalar* y);
+using BcsrSlimSpmvFn = void (*)(const mat::BcsrSlimView&, const Scalar* x,
+                                Scalar* y);
+using TalonSlimSpmvFn = void (*)(const mat::TalonSlimView&, const Scalar* x,
+                                 Scalar* y);
 
 enum class Op : int {
   kCsrSpmv = 0,
@@ -52,6 +63,10 @@ enum class Op : int {
   kTalonSpmv,
   kTalonSpmvAdd,
   kGatherPack,
+  kCsrSlimSpmv,   ///< Kestrel Slim: compressed-stream SpMV variants
+  kSellSlimSpmv,
+  kBcsrSlimSpmv,
+  kTalonSlimSpmv,
   kOpCount,
 };
 

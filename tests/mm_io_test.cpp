@@ -210,5 +210,38 @@ TEST(MatrixMarket, MissingFileThrows) {
   EXPECT_THROW(read_matrix_market_file("/nonexistent/x.mtx"), Error);
 }
 
+// The nnz overflow satellites: a size line whose entry count cannot form a
+// valid Index-addressed CSR must fail with the structured error BEFORE the
+// reader reserves memory or parses billions of entries — not wrap int32.
+
+TEST(MatrixMarket, OverflowingNonzeroCountIsStructuredError) {
+  std::istringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "1000 1000 3000000000\n");
+  try {
+    read_matrix_market(ss);
+    FAIL() << "expected IndexOverflowError";
+  } catch (const IndexOverflowError& e) {
+    EXPECT_EQ(e.count(), 3000000000LL);
+    EXPECT_GT(e.count(), IndexOverflowError::ceiling());
+  }
+}
+
+TEST(MatrixMarket, OverflowingDimensionIsStructuredError) {
+  std::istringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3000000000 10 1\n");
+  EXPECT_THROW(read_matrix_market(ss), IndexOverflowError);
+}
+
+TEST(MatrixMarket, SymmetricDoublingCountsTowardTheCeiling) {
+  // 1.2e9 declared entries fit an Index, but symmetric expansion stores
+  // twice that; the doubled count is what must be checked.
+  std::istringstream ss(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "2000000000 2000000000 1200000000\n");
+  EXPECT_THROW(read_matrix_market(ss), IndexOverflowError);
+}
+
 }  // namespace
 }  // namespace kestrel::mat

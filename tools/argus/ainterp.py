@@ -25,10 +25,12 @@ MAX_INLINE_DEPTH = 16
 MAX_STATES = 48
 
 _TYPE_SIZES = {
-    "Scalar": 8, "double": 8, "Index": 4, "int": 4, "unsigned": 4,
-    "std::uint64_t": 8, "std::uint32_t": 4, "std::uint8_t": 1,
-    "std::size_t": 8, "std::int64_t": 8, "__m512d": 64, "__m256d": 32,
-    "__m128d": 16, "__m256i": 32, "__m128i": 16,
+    "Scalar": 8, "double": 8, "float": 4, "Index": 4, "int": 4,
+    "unsigned": 4, "std::uint64_t": 8, "std::uint32_t": 4,
+    "std::uint16_t": 2, "std::uint8_t": 1,
+    "std::size_t": 8, "std::int64_t": 8, "__m512d": 64, "__m512": 64,
+    "__m256d": 32, "__m128d": 16, "__m256i": 32, "__m128i": 16,
+    "__m256": 32, "__m128": 16,
 }
 _BUILTIN_INTS = {"kZmmDoubles": 8}
 
@@ -148,11 +150,13 @@ class State:
         self.flow: Optional[str] = None      # return|break|continue
         self.retval: Optional[Val] = None
         self.grl_seen: List[Tuple[str, Poly]] = []   # (grl array, index poly)
+        self.base_seen: List[Tuple[str, Poly]] = []  # (base array, index poly)
         self.types: Dict[str, str] = {}      # declared var -> type name
 
     def fork(self) -> "State":
         st = State(dict(self.env), self.db.copy())
         st.grl_seen = list(self.grl_seen)
+        st.base_seen = list(self.base_seen)
         st.types = dict(self.types)
         return st
 
@@ -197,6 +201,7 @@ class Interp:
         self.packed_arrays: set = set()     # arrays with packed discipline
         self.elem_div_sym: Dict[str, Poly] = {}
         self.groups: List[Tuple[str, str, str, str]] = []
+        self.spans: List[Tuple[str, str, str, Poly]] = []  # off,base,seg,bound
         self.kernel = ""
         self._fresh = itertools.count()
         self._depth = 0
@@ -359,6 +364,10 @@ class Interp:
             perm, gb, grl, rowptr = fact.args
             self.groups.append((prefix + perm, prefix + gb, prefix + grl,
                                 prefix + rowptr))
+        elif fact.kind == "span":
+            off, base, seg, bound = fact.args
+            self.spans.append((prefix + off, prefix + base, prefix + seg,
+                               self.annot_poly(bound, scope, prefix, where)))
         else:
             raise ContractError(where, f"unhandled fact kind {fact.kind}")
 
@@ -413,7 +422,8 @@ class Interp:
                 continue
             fp = by_name[ps.name]
             esize = _TYPE_SIZES.get(fp.ptype, 8)
-            fkind = "float" if fp.ptype in ("Scalar", "double") else "int"
+            fkind = "float" if fp.ptype in ("Scalar", "double",
+                                            "float") else "int"
             ext = None
             if ps.extent is not None:
                 ext = self.annot_poly(ps.extent, scope, "", where)
@@ -666,6 +676,7 @@ class Interp:
             val.tag = ("maskword", ptr.array, ptr.off)
         if info is not None and info.kind in ("view", "param"):
             self._group_hook(st, ptr.array, ptr.off)
+            self._span_hook(st, ptr.array, ptr.off)
         return val
 
     def _group_hook(self, st: State, arr: str, idx: Poly) -> None:
@@ -692,6 +703,33 @@ class Interp:
                         rp1 = Poly.atom(ArrElem(rowptr, pe + 1))
                         ln = Poly.atom(ArrElem(grl, g))
                         st.db.add_eq(rp1, rp0 + ln)
+
+    def _span_hook(self, st: State, arr: str, idx: Poly,
+                   width: Optional[int] = None,
+                   bound: Optional[Poly] = None) -> None:
+        """span(off, base, seg, B): reading base[i] records i; reading
+        off[k] with a provable seg[i] <= k < seg[i+1] establishes
+        0 <= base[i] + off[k] < B for the recorded segment i. `width`
+        and `bound` carry the lane count / mask bound of a vector load
+        whose index poly contains LANE."""
+        for off_arr, base_arr, seg_arr, b in self.spans:
+            if arr == base_arr:
+                if all(idx.key() != g.key() for _a, g in st.base_seen):
+                    st.base_seen.append((base_arr, idx))
+            elif arr == off_arr:
+                db = st.db if width is None else self.lane_db(st, width,
+                                                              bound)
+                pr = Prover(db)
+                for b_arr, i in st.base_seen:
+                    if b_arr != base_arr:
+                        continue
+                    lo = Poly.atom(ArrElem(seg_arr, i))
+                    hi = Poly.atom(ArrElem(seg_arr, i + 1))
+                    if pr.prove_ge0(idx - lo) and pr.prove_lt(idx, hi):
+                        s = Poly.atom(ArrElem(base_arr, i)) + \
+                            Poly.atom(ArrElem(off_arr, idx))
+                        st.db.add_ge0(s)
+                        st.db.add_lt(s, b)
 
     def _setbit_value(self, st: State, word: IntV, line: int) -> Val:
         """Reading a set-bit-position table row: fresh value in [0,8) plus
@@ -1041,6 +1079,7 @@ class Interp:
                 callee_env.setdefault(bname, IntV(Poly.const(bval)))
             callee = State(callee_env, st1.db)
             callee.grl_seen = list(st1.grl_seen)
+            callee.base_seen = list(st1.base_seen)
             self._depth += 1
             try:
                 ends = self.exec_block(fn.body, [callee])
@@ -1049,6 +1088,7 @@ class Interp:
             for es in ends:
                 ret = State(dict(st1.env), es.db)
                 ret.grl_seen = list(es.grl_seen)
+                ret.base_seen = list(es.base_seen)
                 outs.append((ret, es.retval if es.retval is not None
                              else NullV()))
         return outs
@@ -1119,10 +1159,34 @@ class Interp:
             self._expandload(st, m, vals[1], line)
             return FloatVecV(wd)
         if op in ("loadu_si256", "loadu_si128"):
-            return self._int_vload(st, vals[0], wi, line, None, name)
+            return self._int_vload(st, vals[0], bits, line, None, name)
+        if op == "loadl_epi64":
+            return self._int_vload(st, vals[0], 64, line, None, name)
         if op == "maskz_loadu_epi32":
             m = self._mask_of(vals[0], wi, line, name)
-            return self._int_vload(st, vals[1], wi, line, m, name)
+            return self._int_vload(st, vals[1], bits, line, m, name)
+        if op == "maskz_loadu_epi16":
+            m = self._mask_of(vals[0], bits // 16, line, name)
+            return self._int_vload(st, vals[1], bits, line, m, name)
+        if op == "cvtepu16_epi32":
+            v = vals[0]
+            if not isinstance(v, VecV):
+                raise Unsupported(line, f"{name} on non-vector")
+            # Zero-extend the low `wi` 16-bit lanes; lane polys carry over.
+            return VecV(v.lane, min(v.width, wi), 4, v.tag)
+        if op in ("loadu_ps", "load_ps"):
+            self._mem(st, vals[0], wi, line, write=False, what=name)
+            return FloatVecV(wi)
+        if op == "maskz_loadu_ps":
+            m = self._mask_of(vals[0], wi, line, name)
+            self._mem(st, vals[1], wi, line, write=False, mask=m, what=name)
+            return FloatVecV(wi)
+        if op == "maskz_expandloadu_ps":
+            m = self._mask_of(vals[0], wi, line, name)
+            self._expandload(st, m, vals[1], line)
+            return FloatVecV(wi)
+        if op == "cvtps_pd":
+            return FloatVecV(wd)
         if op == "cvtsi32_si128":
             return vals[0]                      # keep the tag flowing
         if op == "cvtepu8_epi32":
@@ -1170,17 +1234,22 @@ class Interp:
             self.check_ptr(st, ptr, width, line, write, lane_bound=bound,
                            what=what)
 
-    def _int_vload(self, st: State, ptr: Val, width: int, line: int,
+    def _int_vload(self, st: State, ptr: Val, bits: int, line: int,
                    mask: Optional[MaskV], what: str) -> VecV:
         if not isinstance(ptr, PtrV):
             raise Unsupported(line, f"{what}: not a pointer")
+        info = self.arrays.get(ptr.array)
+        esz = info.esize if info is not None else 4
+        width = max(1, bits // (8 * esz))   # lanes in array-element units
         bound = self._lane_bound(mask) if mask is not None else None
         self._mem(st, ptr, width, line, write=False, mask=mask, what=what)
         lane = Poly.atom(ArrElem(ptr.array, ptr.off + Poly.atom(LANE)))
-        v = VecV(lane, width, 4)
+        v = VecV(lane, width, esz)
         if bound is not None:
             v.tag = ("maskedload", bound)
         self._group_hook(st, ptr.array, ptr.off + Poly.atom(LANE))
+        self._span_hook(st, ptr.array, ptr.off + Poly.atom(LANE), width,
+                        bound)
         return v
 
     def _base_idx(self, two: List[Val], line: int,

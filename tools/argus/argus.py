@@ -63,6 +63,8 @@ _PTR_SIZES = {
     "std::int64_t": (8, "int"),
     "Scalar": (8, "float"),
     "double": (8, "float"),
+    "float": (4, "float"),
+    "std::uint16_t": (2, "int"),
 }
 
 

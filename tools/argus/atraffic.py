@@ -25,6 +25,8 @@ Stream tags:
   wa          write-allocate accounting (count includes the RFO read)
   conv        accounting convention; not required to appear in kernel IR
   amortized   asymptotically negligible stream (may carry count 0)
+  alt         mode-alternative stream billed 0 bytes (a multi-mode kernel
+              touches it on the branches the model does not price)
   esize N     explicit element size (bytes) for the esize cross-check
 """
 
@@ -254,7 +256,7 @@ def check_kernel_streams(kernel: str, where: str, model: TrafficModel,
                     f"kernel {kernel}: stream {name!r} declared esize "
                     f"{declared} but IR accesses {esize}-byte elements"))
     for name, s in sorted(streams.items()):
-        if "conv" in s.tags or "amortized" in s.tags:
+        if "conv" in s.tags or "amortized" in s.tags or "alt" in s.tags:
             continue
         if name not in touched:
             issues.append(TrafficIssue(

@@ -1,0 +1,43 @@
+// SELF-TEST FIXTURE — slim CSR scalar kernel that rebases the compressed
+// column stream off by one: x is indexed with base[i] + off16[k] + 1. The
+// span(off16, base, rowptr, n) contract bounds base[i] + off16[k] in
+// [0, n) only — the +1 pushes the read one past the last column, so the
+// x access must fail the bounds proof.
+//
+// expect-violation: bounds :: cannot prove x\[
+
+#include "mat/kernels/registration.hpp"
+#include "mat/kernels/views.hpp"
+#include "simd/dispatch.hpp"
+
+// argus-contract: format=csr_slim isa=scalar
+
+namespace kestrel::mat::kernels {
+
+namespace {
+
+// argus-kernel: csr_slim_spmv_scalar
+// argus-param: a : view CsrSlimView
+// argus-param: x : in extent n
+// argus-param: y : out extent m
+// argus-traffic: none
+void csr_slim_spmv_scalar(const CsrSlimView& a, const Scalar* x, Scalar* y) {
+  for (Index i = 0; i < a.m; ++i) {
+    const Index begin = a.rowptr[i];
+    const Index end = a.rowptr[i + 1];
+    const Index b = a.base[i];
+    Scalar sum = 0.0;
+    for (Index k = begin; k < end; ++k) {
+      sum += a.val[k] * x[b + a.off16[k] + 1];
+    }
+    y[i] = sum;
+  }
+}
+
+}  // namespace
+
+void register_csr_slim_scalar() {
+  KESTREL_REGISTER_KERNEL(kCsrSlimSpmv, kScalar, csr_slim_spmv_scalar);
+}
+
+}  // namespace kestrel::mat::kernels

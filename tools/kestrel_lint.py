@@ -138,6 +138,16 @@ ABFT_HOOK = "abft_col_checksum"
 # Kernel families in KESTREL_KERNEL_TABLE that are not matrix formats: no
 # src/mat/<fmt>.cpp, no spmv entry point, profiling owned by the caller.
 UTILITY_FORMATS = {"gather"}
+
+
+def home_format(fmt: str) -> str:
+    """Format whose src/mat files own a kernel family's bookkeeping.
+
+    Kestrel Slim registers `<fmt>_slim` table cells, but the slim kernels
+    are dispatched from the parent format's spmv: csr.cpp reports the perf
+    of `csr_slim`, carries its ABFT hook and its Flock granularity. There
+    is deliberately no src/mat/csr_slim.cpp."""
+    return fmt[:-len("_slim")] if fmt.endswith("_slim") else fmt
 VECTOR_TIER_TOKENS = {"kAvx", "kAvx2", "kAvx512"}
 TABLE_CELL_RE = re.compile(r"^\s*X\((\w+),\s*(\w+)\)", re.MULTILINE)
 REGISTER_MACRO_RE = re.compile(r"KESTREL_REGISTER_KERNEL\(\s*(\w+)\s*,\s*(\w+)")
@@ -437,7 +447,9 @@ def check_kernel_perf_reporting(repo: str) -> list[Violation]:
     if not cells:
         return []
     violations = []
-    for fmt in sorted({fmt for fmt, isa in cells if isa in ISA_TIER_TOKEN}):
+    homes = sorted({home_format(fmt) for fmt, isa in cells
+                    if isa in ISA_TIER_TOKEN})
+    for fmt in homes:
         if fmt in UTILITY_FORMATS:
             continue
         rel = os.path.join("src", "mat", f"{fmt}.cpp")
@@ -462,7 +474,8 @@ def check_abft_hook(repo: str) -> list[Violation]:
     if not cells:
         return []
     violations = []
-    for fmt in sorted({fmt for fmt, isa in cells if isa in ISA_TIER_TOKEN}):
+    for fmt in sorted({home_format(fmt) for fmt, isa in cells
+                       if isa in ISA_TIER_TOKEN}):
         if fmt in UTILITY_FORMATS:
             continue
         candidates = [os.path.join("src", "mat", f"{fmt}.cpp"),
@@ -499,7 +512,8 @@ def check_flock_pool_safety(repo: str) -> list[Violation]:
         return []
     violations = []
     kernels_dir = os.path.join(repo, KERNELS_DIR)
-    for fmt in sorted({fmt for fmt, isa in cells if isa in ISA_TIER_TOKEN}):
+    for fmt in sorted({home_format(fmt) for fmt, isa in cells
+                       if isa in ISA_TIER_TOKEN}):
         if fmt in UTILITY_FORMATS:
             candidates = []
             if os.path.isdir(kernels_dir):
@@ -534,6 +548,46 @@ def check_flock_pool_safety(repo: str) -> list[Violation]:
                 f"family '{fmt}' declares unknown flock-pool-safe "
                 f"granularity {bad} — use one of "
                 f"{', '.join(sorted(FLOCK_GRANULARITIES))}"))
+    return violations
+
+
+def check_slim_kernel_contract(repo: str) -> list[Violation]:
+    """Every Kestrel Slim kernel TU (src/mat/kernels/<fmt>_slim_<isa>.cpp)
+    must carry the argus-contract header naming its own slim format — the
+    Argus proof battery keys its span/traffic facts on it — and must have a
+    scalar counterpart TU on disk, the oracle the differential sweep in
+    tests/slim_test.cpp compares every vector tier against."""
+    violations = []
+    kernels_dir = os.path.join(repo, KERNELS_DIR)
+    if not os.path.isdir(kernels_dir):
+        return violations
+    for name in sorted(os.listdir(kernels_dir)):
+        m = KERNEL_TU_RE.match(name)
+        if not m:
+            continue
+        stem = name[:-len(".cpp")]
+        fmt, isa = None, None
+        for cand in ISA_TIER_TOKEN:
+            if stem.endswith("_" + cand):
+                fmt, isa = stem[:-(len(cand) + 1)], cand
+        if fmt is None or not fmt.endswith("_slim"):
+            continue
+        rel = os.path.join(KERNELS_DIR, name)
+        header = re.compile(
+            rf"^\s*//\s*argus-contract:\s*format={fmt}\s+isa={isa}\s*$",
+            re.MULTILINE)
+        if not header.search(read_text(os.path.join(repo, rel))):
+            violations.append(Violation(
+                "slim-kernel-contract", rel, 0,
+                f"slim kernel TU declares no '// argus-contract: "
+                f"format={fmt} isa={isa}' header — the Argus battery "
+                f"cannot prove its u16 rebase / fp32 widen memory-safe"))
+        scalar_rel = os.path.join(KERNELS_DIR, f"{fmt}_scalar.cpp")
+        if not os.path.isfile(os.path.join(repo, scalar_rel)):
+            violations.append(Violation(
+                "slim-kernel-contract", rel, 0,
+                f"slim kernel TU has no scalar counterpart {scalar_rel} — "
+                f"the differential sweep has no oracle for '{fmt}'"))
     return violations
 
 
@@ -641,6 +695,7 @@ def lint(repo: str) -> list[Violation]:
     violations += check_kernel_perf_reporting(repo)
     violations += check_abft_hook(repo)
     violations += check_flock_pool_safety(repo)
+    violations += check_slim_kernel_contract(repo)
     violations += check_kernel_op_scalar(repo)
     violations += check_argus_contracts(repo)
     violations += check_prof_schema_version(repo)
@@ -1036,12 +1091,44 @@ def self_test() -> int:
         expect("utility_no_flock", {v.rule for v in lint(fx)},
                "flock-pool-safety", True)
 
+        # Kestrel Slim scaffolding: a well-formed slim scalar TU.
+        slim_scalar_tu = (
+            CLEAN_SCALAR_TU
+            .replace("foo_spmv_scalar", "foo_slim_spmv_scalar")
+            .replace("register_foo_scalar", "register_foo_slim_scalar")
+            .replace("format=foo isa=scalar", "format=foo_slim isa=scalar")
+            .replace("kFooSpmv", "kFooSlimSpmv"))
+
+        # 22. Slim kernel TU that never declares its argus-contract header
+        # (the scalar counterpart exists, so only the header rule fires).
+        fx = os.path.join(tmp, "slim_no_contract_header")
+        _make_clean_fixture(fx)
+        _write(fx, os.path.join(KERNELS_DIR, "foo_slim_scalar.cpp"),
+               slim_scalar_tu.replace(
+                   "// argus-contract: format=foo_slim isa=scalar\n", ""))
+        expect("slim_no_contract_header", {v.rule for v in lint(fx)},
+               "slim-kernel-contract", True)
+
+        # 23. Slim vector TU with a proper contract header but no scalar
+        # counterpart on disk: the differential sweep would have no oracle.
+        fx = os.path.join(tmp, "slim_no_scalar_oracle")
+        _make_clean_fixture(fx)
+        _write(fx, os.path.join(KERNELS_DIR, "foo_slim_avx512.cpp"),
+               CLEAN_AVX512_TU
+               .replace("foo_spmv_avx512", "foo_slim_spmv_avx512")
+               .replace("register_foo_avx512", "register_foo_slim_avx512")
+               .replace("format=foo isa=avx512",
+                        "format=foo_slim isa=avx512")
+               .replace("kFooSpmv", "kFooSlimSpmv"))
+        expect("slim_no_scalar_oracle", {v.rule for v in lint(fx)},
+               "slim-kernel-contract", True)
+
     if failures:
         print("kestrel_lint self-test FAILED:", file=sys.stderr)
         for f in failures:
             print("  " + f, file=sys.stderr)
         return 1
-    print("kestrel_lint self-test passed (24 fixtures).")
+    print("kestrel_lint self-test passed (26 fixtures).")
     return 0
 
 
