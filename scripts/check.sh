@@ -161,6 +161,37 @@ else:
     print("slim gate skipped: host lacks the AVX-512 tier; metrics exported")
 EOF
 
+banner "bastion solve-service suite (ctest -L svc) + BENCH_serve.json"
+ctest --test-dir build -L svc --output-on-failure
+./build/bench/bench_serve --smoke --json build/BENCH_serve.json
+python3 - <<'EOF'
+import json
+with open("build/BENCH_serve.json") as f:
+    doc = json.load(f)
+assert doc["schema"] in ("kestrel-scope-metrics-v1",
+                         "kestrel-scope-metrics-v2"), doc.get("schema")
+m = doc["metrics"]
+assert m["serve/capacity_rps"] > 0.0, "capacity never calibrated"
+for load in ("half", "1x", "2x"):
+    for field in ("offered_rps", "submitted", "accepted", "shed_rate",
+                  "p50_s", "p99_s"):
+        key = f"serve/{load}/{field}"
+        assert key in m, key
+# The overload proof: every over-capacity submission was a structured
+# RejectedError, and shedding grows monotonically with offered load —
+# admission control refuses work instead of queueing it without bound.
+assert m["serve/unstructured_errors"] == 0.0, \
+    f"{int(m['serve/unstructured_errors'])} submit failures were not " \
+    f"structured RejectedErrors"
+rates = [m[f"serve/{load}/shed_rate"] for load in ("half", "1x", "2x")]
+assert rates == sorted(rates), \
+    f"shed rate not monotonic in offered load: {rates}"
+assert m["serve/shed_rate_monotonic"] == 1.0, "bench disagrees on monotonicity"
+print(f"serve bench ok: capacity {m['serve/capacity_rps']:.0f} req/s, "
+      f"shed rates {[round(r, 3) for r in rates]}, "
+      f"p99(2x)/p99(0.5x) = {m['serve/p99_ratio_2x_over_half']:.2f}")
+EOF
+
 banner "aegis fault-tolerance suite (ctest -L aegis) + fault-injected solve"
 ctest --test-dir build -L aegis --output-on-failure
 # Deterministic end-to-end fault sweep on both ghost transports; the spec is
@@ -181,6 +212,9 @@ sanitizer_suite() {
   # The slim differential sweep runs under every sanitizer: the compressed
   # kernels do the repo's most intricate pointer math (base + u16 rebase).
   ctest --test-dir "build-$label" -L slim --output-on-failure
+  # The bastion service battery too: worker pools + shared queues + cancel
+  # flags are exactly the code sanitizers exist for.
+  ctest --test-dir "build-$label" -L svc --output-on-failure
 }
 
 sanitizer_suite address asan

@@ -1,0 +1,47 @@
+#include "base/budget.hpp"
+
+#include "base/error.hpp"
+
+namespace kestrel {
+
+void MemoryBudget::set_limit_bytes(std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  limit_ = bytes;
+}
+
+std::uint64_t MemoryBudget::limit_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return limit_;
+}
+
+std::uint64_t MemoryBudget::used_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return used_;
+}
+
+void MemoryBudget::require(std::uint64_t bytes, const std::string& what) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (limit_ != 0 && bytes > limit_ - (used_ < limit_ ? used_ : limit_)) {
+    throw BudgetError(bytes, used_, limit_, what, __FILE__, __LINE__);
+  }
+}
+
+void MemoryBudget::reserve(std::uint64_t bytes, const std::string& what) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (limit_ != 0 && bytes > limit_ - (used_ < limit_ ? used_ : limit_)) {
+    throw BudgetError(bytes, used_, limit_, what, __FILE__, __LINE__);
+  }
+  used_ += bytes;
+}
+
+void MemoryBudget::release(std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  used_ = bytes < used_ ? used_ - bytes : 0;
+}
+
+MemoryBudget& MemoryBudget::global() {
+  static MemoryBudget budget;
+  return budget;
+}
+
+}  // namespace kestrel

@@ -1,0 +1,69 @@
+#pragma once
+// Kestrel Bastion: cooperative memory budgeting.
+//
+// A MemoryBudget is a byte ledger that large allocations consult *before*
+// touching the allocator: require() answers "would this fit?" and throws a
+// structured BudgetError (with requested / in-use / limit bytes) when it
+// would not, so callers decline an oversized matrix upload with a precise,
+// recoverable error instead of dying in std::bad_alloc halfway through a
+// read.  reserve()/release() track long-lived residents (registered matrix
+// handles); the limit is advisory for anything that does not ask.
+//
+// The global() instance is configured from -svc_mem_budget (MB) by the
+// solve service and consulted by the Matrix Market reader's pre-size check.
+// Limit 0 means unlimited — the default, so standalone tools pay nothing.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace kestrel {
+
+class MemoryBudget {
+ public:
+  MemoryBudget() = default;
+
+  /// 0 disables enforcement (require() always passes, reserve() still
+  /// counts so usage can be inspected).
+  void set_limit_bytes(std::uint64_t bytes);
+  std::uint64_t limit_bytes() const;
+  std::uint64_t used_bytes() const;
+
+  /// Check-only admission: throws BudgetError when `bytes` on top of the
+  /// current usage would exceed the limit.  Nothing is reserved — use for
+  /// transient allocations (COO staging arrays) that are freed before the
+  /// next budgeted call.
+  void require(std::uint64_t bytes, const std::string& what) const;
+
+  /// Admit and account `bytes` of long-lived usage, or throw BudgetError.
+  void reserve(std::uint64_t bytes, const std::string& what);
+
+  /// Return previously reserved bytes to the pool (clamped at zero).
+  void release(std::uint64_t bytes);
+
+  /// Process-wide budget shared by the solve service and the IO layer.
+  static MemoryBudget& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::uint64_t limit_ = 0;
+  std::uint64_t used_ = 0;
+};
+
+/// RAII convenience: set a limit on a budget for a scope (tests).
+class BudgetLimitGuard {
+ public:
+  BudgetLimitGuard(MemoryBudget& budget, std::uint64_t limit_bytes)
+      : budget_(budget), saved_(budget.limit_bytes()) {
+    budget_.set_limit_bytes(limit_bytes);
+  }
+  ~BudgetLimitGuard() { budget_.set_limit_bytes(saved_); }
+  BudgetLimitGuard(const BudgetLimitGuard&) = delete;
+  BudgetLimitGuard& operator=(const BudgetLimitGuard&) = delete;
+
+ private:
+  MemoryBudget& budget_;
+  std::uint64_t saved_;
+};
+
+}  // namespace kestrel

@@ -1,0 +1,105 @@
+#pragma once
+// Kestrel Bastion: deadlines and cooperative cancellation.
+//
+// A Deadline is a cheap, copyable token carried down through the solver
+// stack (ksp::Settings, snes::NewtonOptions, ts::ThetaOptions) and checked
+// at every iteration boundary: KSP iterations (Solver::check), Newton steps
+// and TS steps. Expiry is cooperative — the math notices at its next
+// checkpoint, stops, and returns the best iterate it has, so a worker
+// thread serving a slow or hung solve is reclaimed within roughly one
+// iteration instead of blocking forever.
+//
+// Two expiry sources compose in one token:
+//   * a wall-clock budget (steady_clock, immune to NTP steps), and
+//   * a CancelSource flag shared with whoever may abort the request
+//     (the solve service's cancel() path, a test, a signal handler).
+// Either one tripping makes expired() true; a default-constructed Deadline
+// has neither and never expires, so un-configured callers pay one branch.
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+
+namespace kestrel {
+
+/// Shared cooperative-cancellation flag. Copy the source's token() into any
+/// number of Deadlines; cancel() trips them all. Thread-safe.
+class CancelSource {
+ public:
+  CancelSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void cancel() { flag_->store(true, std::memory_order_release); }
+  bool cancelled() const { return flag_->load(std::memory_order_acquire); }
+  /// Reverts a previous cancel() (pooled/reused request slots).
+  void reset() { flag_->store(false, std::memory_order_release); }
+
+  std::shared_ptr<const std::atomic<bool>> token() const { return flag_; }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never expires (no wall budget, no cancel flag).
+  Deadline() = default;
+
+  /// Expires `seconds` from now; seconds <= 0 expires immediately.
+  static Deadline after(double seconds) {
+    Deadline d;
+    d.has_deadline_ = true;
+    d.when_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  /// Expires at the given steady-clock instant.
+  static Deadline at(Clock::time_point when) {
+    Deadline d;
+    d.has_deadline_ = true;
+    d.when_ = when;
+    return d;
+  }
+
+  /// The same wall budget, additionally tripped by `source.cancel()`.
+  Deadline with_cancel(const CancelSource& source) const {
+    Deadline d = *this;
+    d.cancel_ = source.token();
+    return d;
+  }
+
+  /// True when the token can ever expire (wall budget or cancel flag set).
+  bool active() const { return has_deadline_ || cancel_ != nullptr; }
+
+  /// True once the wall budget has elapsed or the bound source cancelled.
+  /// Cost when inactive: two branches. The cancel flag is checked first so
+  /// a cancelled request stops without touching the clock.
+  bool expired() const {
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_acquire)) {
+      return true;
+    }
+    return has_deadline_ && Clock::now() >= when_;
+  }
+
+  /// Seconds until the wall budget elapses: +inf when there is none,
+  /// clamped at 0 once past due (or cancelled).
+  double remaining_seconds() const {
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_acquire)) {
+      return 0.0;
+    }
+    if (!has_deadline_) return std::numeric_limits<double>::infinity();
+    const double s =
+        std::chrono::duration<double>(when_ - Clock::now()).count();
+    return s > 0.0 ? s : 0.0;
+  }
+
+ private:
+  Clock::time_point when_{};
+  bool has_deadline_ = false;
+  std::shared_ptr<const std::atomic<bool>> cancel_;
+};
+
+}  // namespace kestrel

@@ -40,6 +40,28 @@ OptionsError::OptionsError(const std::string& key, const std::string& value,
       value_(value),
       expected_(expected) {}
 
+BudgetError::BudgetError(std::uint64_t requested_bytes,
+                         std::uint64_t in_use_bytes, std::uint64_t limit_bytes,
+                         const std::string& what, const char* file, int line)
+    : Error("memory budget exceeded (" + std::to_string(requested_bytes) +
+                " B requested, " + std::to_string(in_use_bytes) +
+                " B in use, limit " + std::to_string(limit_bytes) + " B): " +
+                what,
+            file, line),
+      requested_(requested_bytes),
+      in_use_(in_use_bytes),
+      limit_(limit_bytes) {}
+
+RejectedError::RejectedError(int queue_depth, double retry_after_hint_s,
+                             const std::string& what, const char* file,
+                             int line)
+    : Error("request rejected (queue depth " + std::to_string(queue_depth) +
+                ", retry after ~" + std::to_string(retry_after_hint_s) +
+                " s): " + what,
+            file, line),
+      queue_depth_(queue_depth),
+      retry_after_(retry_after_hint_s) {}
+
 namespace detail {
 
 void throw_error(const std::string& msg, const char* file, int line) {

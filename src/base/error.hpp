@@ -4,6 +4,7 @@
 // always on; KESTREL_ASSERT compiles out in release builds and is meant for
 // hot paths.
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -85,6 +86,43 @@ class OptionsError : public Error {
   std::string key_;
   std::string value_;
   std::string expected_;
+};
+
+/// Structured memory-budget decline (Kestrel Bastion): an allocation or
+/// registration was checked against a configured MemoryBudget and would
+/// exceed it.  Thrown *before* touching the allocator, so the caller gets a
+/// precise, recoverable "no" instead of std::bad_alloc mid-construction.
+/// Carries the request, current usage and limit in bytes.
+class BudgetError : public Error {
+ public:
+  BudgetError(std::uint64_t requested_bytes, std::uint64_t in_use_bytes,
+              std::uint64_t limit_bytes, const std::string& what,
+              const char* file, int line);
+  std::uint64_t requested_bytes() const noexcept { return requested_; }
+  std::uint64_t in_use_bytes() const noexcept { return in_use_; }
+  std::uint64_t limit_bytes() const noexcept { return limit_; }
+
+ private:
+  std::uint64_t requested_;
+  std::uint64_t in_use_;
+  std::uint64_t limit_;
+};
+
+/// Structured admission-control decline (Kestrel Bastion): the bounded
+/// request queue was full, so the request was shed immediately instead of
+/// queueing unboundedly.  Carries the queue depth observed at rejection and
+/// a retry-after hint (an EWMA of recent service time) so a well-behaved
+/// client can back off instead of hammering.
+class RejectedError : public Error {
+ public:
+  RejectedError(int queue_depth, double retry_after_hint_s,
+                const std::string& what, const char* file, int line);
+  int queue_depth() const noexcept { return queue_depth_; }
+  double retry_after_hint_s() const noexcept { return retry_after_; }
+
+ private:
+  int queue_depth_;
+  double retry_after_;
 };
 
 namespace detail {

@@ -152,6 +152,7 @@ SolveResult Gmres::solve_once(LinearContext& ctx, const Vector& b,
     x.maxpy(static_cast<std::size_t>(k), y.data(), ptrs.data());
 
     if (result.converged || result.reason == Reason::kDivergedNan ||
+        result.reason == Reason::kDeadlineExceeded ||
         (result.reason == Reason::kDivergedMaxIts &&
          total_it >= settings_.max_iterations)) {
       return result;

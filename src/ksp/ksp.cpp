@@ -23,6 +23,8 @@ const char* reason_name(Reason r) {
       return "diverged_nan";
     case Reason::kDivergedBreakdown:
       return "diverged_breakdown";
+    case Reason::kDeadlineExceeded:
+      return "deadline_exceeded";
   }
   return "?";
 }
@@ -135,6 +137,14 @@ bool Solver::check(Scalar rnorm, Scalar rnorm0, int it,
   if (rnorm <= settings_.rtol * rnorm0) {
     out->converged = true;
     out->reason = Reason::kConvergedRtol;
+    return true;
+  }
+  // Deadline after the convergence tests: a solve that converges exactly at
+  // the wire still reports success. Not a "broken" reason, so the Aegis
+  // recovery driver never restarts an expired solve.
+  if (settings_.deadline.expired()) {
+    out->converged = false;
+    out->reason = Reason::kDeadlineExceeded;
     return true;
   }
   if (it >= settings_.max_iterations) {

@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 
+#include "base/deadline.hpp"
 #include "base/types.hpp"
 #include "vec/vector.hpp"
 
@@ -26,6 +27,9 @@ enum class Reason {
   kDivergedMaxIts,
   kDivergedNan,
   kDivergedBreakdown,
+  /// Kestrel Bastion: Settings::deadline expired (wall budget or cooperative
+  /// cancel) before convergence; x holds the best iterate reached.
+  kDeadlineExceeded,
 };
 
 const char* reason_name(Reason r);
@@ -51,6 +55,11 @@ struct Settings {
   /// structured failure.
   bool breakdown_recovery = false;
   int max_restarts = 1;
+  /// Kestrel Bastion: checked in Solver::check() at every iteration; on
+  /// expiry (wall budget or cooperative cancel) the method stops with
+  /// Reason::kDeadlineExceeded, leaving the best iterate in x. Default is an
+  /// inactive token that never expires.
+  Deadline deadline;
   /// Called after each iteration with (iteration, residual norm).
   std::function<void(int, Scalar)> monitor;
 };

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "base/budget.hpp"
 #include "base/error.hpp"
 #include "mat/coo.hpp"
 
@@ -70,6 +71,16 @@ Csr read_matrix_market(std::istream& in) {
                              __FILE__, __LINE__);
   }
   const std::int64_t stored = nz * (sym == "symmetric" ? 2 : 1);
+  // Kestrel Bastion pre-size check: when a service memory budget is
+  // configured, an oversized header declines with a structured BudgetError
+  // *before* the COO staging arrays are reserved — a recoverable "no"
+  // instead of std::bad_alloc mid-read. Checked ahead of the Index-overflow
+  // test so budgeted services get the budget story even for counts that
+  // could never form a valid CSR anyway.
+  const std::uint64_t coo_bytes =
+      static_cast<std::uint64_t>(stored) *
+      (2u * sizeof(Index) + sizeof(Scalar));
+  MemoryBudget::global().require(coo_bytes, "MatrixMarket COO staging");
   if (stored > IndexOverflowError::ceiling()) {
     // Detected from the size line, before reserving tens of GB for entries
     // that can never form a valid Index-addressed CSR.

@@ -1,7 +1,10 @@
 #include "par/pool.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
+#include <thread>
 
 #include "base/error.hpp"
 #include "base/options.hpp"
@@ -24,6 +27,21 @@ int configured_threads() {
     if (const char* env = std::getenv("KESTREL_THREADS")) n = std::atol(env);
   }
   if (n <= 0) n = 1;
+  // Kestrel Bastion: a request past the machine's core count would only
+  // park oversubscribed workers on the scheduler; clamp it and say so once
+  // instead of silently degrading every threaded kernel.
+  const std::int64_t hw =
+      static_cast<std::int64_t>(std::thread::hardware_concurrency());
+  if (hw > 0 && n > hw) {
+    static std::once_flag warned;
+    std::call_once(warned, [&] {
+      std::fprintf(stderr,
+                   "kestrel: [flock] requested %lld threads exceeds "
+                   "hardware_concurrency=%lld; clamping\n",
+                   static_cast<long long>(n), static_cast<long long>(hw));
+    });
+    n = hw;
+  }
   if (n > kMaxPoolThreads) n = kMaxPoolThreads;
   return static_cast<int>(n);
 }

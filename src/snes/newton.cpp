@@ -33,6 +33,11 @@ NewtonResult newton_solve(const NonlinearFunction& f, Vector& u,
     };
   }
   auto solver = ksp::make_solver(opts.ksp_type, opts.ksp);
+  // Kestrel Bastion: the outer deadline also bounds the nested KSP, unless
+  // the caller armed a tighter per-linear-solve token already.
+  if (opts.deadline.active() && !solver->settings().deadline.active()) {
+    solver->settings().deadline = opts.deadline;
+  }
 
   NewtonResult result;
   Vector fvec(n), du(n), utrial(n), ftrial(n), rhs(n);
@@ -59,6 +64,12 @@ NewtonResult newton_solve(const NonlinearFunction& f, Vector& u,
   KESTREL_CHECK(opts.pc_lag >= 1, "newton: pc_lag must be >= 1");
   std::unique_ptr<pc::Pc> pc;
   for (int it = 1; it <= opts.max_iterations; ++it) {
+    // Kestrel Bastion: cooperative stop between steps — u keeps the last
+    // completed iterate, nothing half-applied.
+    if (opts.deadline.expired()) {
+      result.deadline_exceeded = true;
+      return result;
+    }
     // Kestrel Aegis: an AbftError out of the KSP means the operator's
     // checksum retry could not clear the corruption — the assembled matrix
     // itself is suspect. Rebuilding it from the user callback replaces the
@@ -95,6 +106,13 @@ NewtonResult newton_solve(const NonlinearFunction& f, Vector& u,
     }
     if (attempt > 1) aegis::stats().recoveries++;
     result.total_linear_iterations += lin.iterations;
+    if (lin.reason == ksp::Reason::kDeadlineExceeded) {
+      // Deadline tripped inside the KSP: stop without applying the partial
+      // update, so u stays at the last completed Newton iterate.
+      result.iterations = it - 1;
+      result.deadline_exceeded = true;
+      return result;
+    }
     if (!lin.converged && lin.reason != ksp::Reason::kDivergedMaxIts) {
       // hard linear failure (NaN/breakdown): stop
       result.iterations = it;

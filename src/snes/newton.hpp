@@ -52,6 +52,11 @@ struct NewtonOptions {
   /// point Jacobi.
   std::function<std::unique_ptr<pc::Pc>(const mat::Csr&)> pc_factory;
 
+  /// Kestrel Bastion: checked before every Newton step and propagated into
+  /// the nested KSP (unless ksp.deadline is already active), so a hung
+  /// outer or inner solve stops cooperatively with the best iterate in u.
+  Deadline deadline;
+
   /// Called after each Newton iteration with (iteration, ||F||).
   std::function<void(int, Scalar)> monitor;
 };
@@ -64,6 +69,9 @@ struct NewtonResult {
   /// Fresh-Jacobian retries taken after an AbftError escaped the KSP
   /// (Kestrel Aegis); 0 on a clean solve.
   int abft_retries = 0;
+  /// Kestrel Bastion: the deadline expired (outer step or nested KSP)
+  /// before convergence; u holds the last completed iterate.
+  bool deadline_exceeded = false;
 };
 
 /// Solves F(u) = 0, updating u in place from the supplied initial guess.

@@ -1,0 +1,310 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "base/error.hpp"
+#include "ksp/context.hpp"
+#include "prof/profiler.hpp"
+
+namespace kestrel::svc {
+
+namespace {
+using SteadyClock = std::chrono::steady_clock;
+
+double seconds_between(SteadyClock::time_point a, SteadyClock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+}  // namespace
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "ok";
+    case Status::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case Status::kFaulted:
+      return "faulted";
+    case Status::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+ServiceOptions ServiceOptions::from_options(const Options& o) {
+  ServiceOptions opts;
+  opts.workers = static_cast<int>(o.get_index("svc_workers", opts.workers));
+  opts.queue_depth =
+      static_cast<int>(o.get_index("svc_queue_depth", opts.queue_depth));
+  opts.default_deadline_s = o.get_scalar("svc_deadline_ms", 0.0) / 1000.0;
+  opts.degraded_max_iterations = static_cast<int>(
+      o.get_index("svc_degraded_max_it", opts.degraded_max_iterations));
+  opts.watchdog.high_watermark =
+      o.get_scalar("svc_watchdog_high", opts.watchdog.high_watermark);
+  opts.watchdog.low_watermark =
+      o.get_scalar("svc_watchdog_low", opts.watchdog.low_watermark);
+  opts.watchdog.window = static_cast<int>(
+      o.get_index("svc_watchdog_window", opts.watchdog.window));
+  // -svc_mem_budget is MB against the global budget shared with the
+  // MatrixMarket reader's pre-size check; 0 leaves it unlimited.
+  const Scalar budget_mb = o.get_scalar("svc_mem_budget", 0.0);
+  if (budget_mb > 0.0) {
+    MemoryBudget::global().set_limit_bytes(
+        static_cast<std::uint64_t>(budget_mb * 1024.0 * 1024.0));
+  }
+  return opts;
+}
+
+/// One accepted request's shared state: the submitter's Ticket and the
+/// serving worker rendezvous here; the cancel source doubles as the
+/// deadline's cooperative trip wire.
+struct SolveService::Ticket::Pending {
+  SolveRequest req;
+  CancelSource cancel;
+  Deadline deadline;  ///< armed at submit: queue wait counts against it
+  SteadyClock::time_point submitted;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+  SolveResponse resp;
+
+  void resolve(SolveResponse&& r) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      resp = std::move(r);
+      ready = true;
+    }
+    cv.notify_all();
+  }
+};
+
+SolveResponse SolveService::Ticket::wait() {
+  KESTREL_CHECK(p_ != nullptr, "svc: wait() on an empty ticket");
+  std::unique_lock<std::mutex> lock(p_->mu);
+  p_->cv.wait(lock, [&] { return p_->ready; });
+  return p_->resp;
+}
+
+bool SolveService::Ticket::done() const {
+  KESTREL_CHECK(p_ != nullptr, "svc: done() on an empty ticket");
+  std::lock_guard<std::mutex> lock(p_->mu);
+  return p_->ready;
+}
+
+void SolveService::Ticket::cancel() {
+  KESTREL_CHECK(p_ != nullptr, "svc: cancel() on an empty ticket");
+  p_->cancel.cancel();
+}
+
+SolveService::SolveService(MatrixRegistry& registry, ServiceOptions opts)
+    : registry_(registry), opts_(opts), watchdog_(opts.watchdog) {
+  KESTREL_CHECK(opts_.workers >= 1, "svc: need at least one worker");
+  KESTREL_CHECK(opts_.queue_depth >= 1, "svc: queue depth must be >= 1");
+  workers_.reserve(static_cast<std::size_t>(opts_.workers));
+  for (int i = 0; i < opts_.workers; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+SolveService::~SolveService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  // Anything still queued resolves as cancelled so no Ticket::wait hangs.
+  for (const auto& pending : queue_) {
+    SolveResponse resp;
+    resp.status = Status::kDeadlineExceeded;
+    resp.error = "service shut down before the request was served";
+    pending->resolve(std::move(resp));
+  }
+  queue_.clear();
+}
+
+SolveService::Ticket SolveService::submit(SolveRequest req) {
+  auto pending = std::make_shared<Ticket::Pending>();
+  pending->req = std::move(req);
+  pending->submitted = SteadyClock::now();
+  const double budget_s = pending->req.deadline_s > 0.0
+                              ? pending->req.deadline_s
+                              : opts_.default_deadline_s;
+  // The deadline clock starts at admission: queue wait spends the same
+  // budget the solve does, so a request cannot hide in the queue past its
+  // own deadline.
+  pending->deadline =
+      (budget_s > 0.0 ? Deadline::after(budget_s) : Deadline())
+          .with_cancel(pending->cancel);
+
+  int depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    depth = static_cast<int>(queue_.size());
+    if (stop_ || depth >= opts_.queue_depth) {
+      ++stats_.shed;
+      // Retry hint: roughly one queue drain at the recent service rate.
+      const double hint =
+          std::max(stats_.ewma_solve_s, 1e-3) * (depth + 1) / opts_.workers;
+      throw RejectedError(depth, hint,
+                          stop_ ? "svc: service is shutting down"
+                                : "svc: request queue is full",
+                          __FILE__, __LINE__);
+    }
+    ++stats_.accepted;
+    queue_.push_back(pending);
+    depth = static_cast<int>(queue_.size());
+    // Observed under mu_ so submit/dequeue observations form one total
+    // order — degradation decisions are then deterministic for a given
+    // request schedule (the shedding-determinism test relies on this).
+    watchdog_.observe(depth, opts_.queue_depth);
+  }
+  cv_work_.notify_one();
+  return Ticket(pending);
+}
+
+void SolveService::worker_main() {
+  for (;;) {
+    std::shared_ptr<Ticket::Pending> pending;
+    int depth = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (stop_) return;
+      pending = queue_.front();
+      queue_.pop_front();
+      depth = static_cast<int>(queue_.size());
+      watchdog_.observe(depth, opts_.queue_depth);
+    }
+    const bool degraded = watchdog_.degraded();
+
+    SolveResponse resp = serve(*pending, degraded);
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      switch (resp.status) {
+        case Status::kOk:
+          ++stats_.completed;
+          break;
+        case Status::kDeadlineExceeded:
+          ++stats_.deadline_exceeded;
+          break;
+        case Status::kFaulted:
+          ++stats_.faulted;
+          break;
+        case Status::kFailed:
+          ++stats_.failed;
+          break;
+      }
+      if (resp.degraded) ++stats_.degraded_served;
+      stats_.total_queue_wait_s += resp.queue_wait_s;
+      stats_.total_solve_s += resp.solve_s;
+      const double alpha = 0.2;  // EWMA horizon ~ last 5 requests
+      stats_.ewma_solve_s = stats_.ewma_solve_s == 0.0
+                                ? resp.solve_s
+                                : alpha * resp.solve_s +
+                                      (1.0 - alpha) * stats_.ewma_solve_s;
+    }
+    pending->resolve(std::move(resp));
+  }
+}
+
+SolveResponse SolveService::serve(Ticket::Pending& pending, bool degraded) {
+  SolveResponse resp;
+  resp.degraded = degraded;
+  const SteadyClock::time_point start = SteadyClock::now();
+  resp.queue_wait_s = seconds_between(pending.submitted, start);
+
+  // Expired while queued (deadline or cancel): resolve without burning a
+  // solve on a request whose client has already given up.
+  if (pending.deadline.expired()) {
+    resp.status = Status::kDeadlineExceeded;
+    resp.error = "svc: deadline expired before the solve started";
+    return resp;
+  }
+
+  try {
+    const MatrixRegistry::HandlePtr handle =
+        registry_.get(pending.req.handle);
+    const mat::MatrixPtr op = degraded ? handle->degraded : handle->full;
+    KESTREL_CHECK(pending.req.b.size() == op->rows(),
+                  "svc: rhs size does not match handle '" +
+                      pending.req.handle + "'");
+
+    ksp::Settings settings = pending.req.ksp;
+    settings.deadline = pending.deadline;
+    if (degraded) {
+      settings.max_iterations =
+          std::min(settings.max_iterations, opts_.degraded_max_iterations);
+    }
+    std::unique_ptr<ksp::Solver> solver;
+    if (pending.req.ksp_type == "chebyshev") {
+      KESTREL_CHECK(pending.req.cheb_emax > 0.0,
+                    "svc: chebyshev requests need cheb_emin/cheb_emax");
+      solver = std::make_unique<ksp::Chebyshev>(
+          settings, pending.req.cheb_emin, pending.req.cheb_emax);
+    } else {
+      solver = ksp::make_solver(pending.req.ksp_type, settings);
+    }
+
+    resp.x.resize(op->rows());
+    resp.x.set(0.0);
+    ksp::SeqContext ctx(*op);
+    const SteadyClock::time_point solve_start = SteadyClock::now();
+    resp.ksp = solver->solve(ctx, pending.req.b, resp.x);
+    resp.solve_s = seconds_between(solve_start, SteadyClock::now());
+    resp.status = resp.ksp.reason == ksp::Reason::kDeadlineExceeded
+                      ? Status::kDeadlineExceeded
+                      : Status::kOk;
+  } catch (const AbftError& e) {
+    // Tenant isolation: the fault is confined to this response. The handle
+    // itself is immutable and other tenants' requests are untouched.
+    resp.status = Status::kFaulted;
+    resp.error = e.what();
+  } catch (const Error& e) {
+    resp.status = Status::kFailed;
+    resp.error = e.what();
+  } catch (const std::exception& e) {
+    // Last-ditch isolation: nothing a request does may take the worker (and
+    // with it every other tenant) down.
+    resp.status = Status::kFailed;
+    resp.error = e.what();
+  }
+  return resp;
+}
+
+SolveService::Stats SolveService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+int SolveService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(queue_.size());
+}
+
+void SolveService::export_metrics(prof::Profiler& p) const {
+  const Stats st = stats();
+  p.set_metric("svc/accepted", static_cast<double>(st.accepted));
+  p.set_metric("svc/completed", static_cast<double>(st.completed));
+  p.set_metric("svc/shed", static_cast<double>(st.shed));
+  p.set_metric("svc/deadline_exceeded",
+               static_cast<double>(st.deadline_exceeded));
+  p.set_metric("svc/faulted", static_cast<double>(st.faulted));
+  p.set_metric("svc/failed", static_cast<double>(st.failed));
+  p.set_metric("svc/degraded_served",
+               static_cast<double>(st.degraded_served));
+  p.set_metric("svc/total_queue_wait_s", st.total_queue_wait_s);
+  p.set_metric("svc/total_solve_s", st.total_solve_s);
+  p.set_metric("svc/ewma_solve_s", st.ewma_solve_s);
+  p.set_metric("svc/watchdog_degrades",
+               static_cast<double>(watchdog_.degrade_events()));
+  p.set_metric("svc/watchdog_recovers",
+               static_cast<double>(watchdog_.recover_events()));
+  p.set_metric("svc/resident_bytes",
+               static_cast<double>(registry_.resident_bytes()));
+}
+
+}  // namespace kestrel::svc

@@ -1,0 +1,62 @@
+#include "svc/watchdog.hpp"
+
+#include "base/error.hpp"
+
+namespace kestrel::svc {
+
+LoadWatchdog::LoadWatchdog(WatchdogOptions opts) : opts_(opts) {
+  KESTREL_CHECK(opts_.window >= 1, "svc: watchdog window must be >= 1");
+  KESTREL_CHECK(opts_.low_watermark >= 0.0 &&
+                    opts_.low_watermark <= opts_.high_watermark &&
+                    opts_.high_watermark <= 1.0,
+                "svc: watchdog watermarks must satisfy 0 <= low <= high <= 1");
+  ring_.assign(static_cast<std::size_t>(opts_.window), 0.0);
+}
+
+void LoadWatchdog::observe(int depth, int capacity) {
+  double occ = 0.0;
+  if (capacity > 0) {
+    occ = static_cast<double>(depth < 0 ? 0 : depth) /
+          static_cast<double>(capacity);
+    if (occ > 1.0) occ = 1.0;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  sum_ -= ring_[next_];
+  ring_[next_] = occ;
+  sum_ += occ;
+  next_ = (next_ + 1) % ring_.size();
+  if (filled_ < ring_.size()) ++filled_;
+  const double mean = sum_ / static_cast<double>(filled_);
+  // Hysteresis: the mean must cross the *other* watermark to flip back, so
+  // the mode is stable when load hovers at one boundary.
+  if (!degraded_ && mean >= opts_.high_watermark &&
+      filled_ == ring_.size()) {
+    degraded_ = true;
+    ++degrade_events_;
+  } else if (degraded_ && mean <= opts_.low_watermark) {
+    degraded_ = false;
+    ++recover_events_;
+  }
+}
+
+bool LoadWatchdog::degraded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return degraded_;
+}
+
+double LoadWatchdog::occupancy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return filled_ == 0 ? 0.0 : sum_ / static_cast<double>(filled_);
+}
+
+std::uint64_t LoadWatchdog::degrade_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return degrade_events_;
+}
+
+std::uint64_t LoadWatchdog::recover_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recover_events_;
+}
+
+}  // namespace kestrel::svc

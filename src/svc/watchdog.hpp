@@ -1,0 +1,54 @@
+#pragma once
+// Kestrel Bastion: load watchdog — graceful degradation before shedding.
+//
+// The bounded queue is the service's hard backstop; the watchdog is the
+// soft one in front of it. It tracks a windowed mean of queue occupancy
+// (depth / capacity, observed at every submit and dequeue) against two
+// watermarks with hysteresis: sustained occupancy above the high watermark
+// enters degraded mode — the service caps per-request max_iterations and
+// switches ABFT handles to their sampled-verification twins, trading
+// accuracy headroom and verification coverage for throughput — and only
+// sustained occupancy below the low watermark leaves it, so the mode does
+// not flap at the boundary. Only when degradation is not enough and the
+// queue actually fills does admission control shed with RejectedError.
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace kestrel::svc {
+
+struct WatchdogOptions {
+  double high_watermark = 0.75;  ///< windowed occupancy that enters degraded
+  double low_watermark = 0.25;   ///< windowed occupancy that leaves it
+  int window = 16;               ///< observations in the moving mean
+};
+
+class LoadWatchdog {
+ public:
+  explicit LoadWatchdog(WatchdogOptions opts = {});
+
+  /// Feed one queue observation (depth just after a submit or dequeue).
+  /// capacity <= 0 is treated as unbounded: occupancy 0.
+  void observe(int depth, int capacity);
+
+  bool degraded() const;
+  double occupancy() const;  ///< current windowed mean
+
+  /// Mode transitions since construction (exported as Scope metrics).
+  std::uint64_t degrade_events() const;
+  std::uint64_t recover_events() const;
+
+ private:
+  WatchdogOptions opts_;
+  mutable std::mutex mu_;
+  std::vector<double> ring_;
+  std::size_t next_ = 0;
+  std::size_t filled_ = 0;
+  double sum_ = 0.0;
+  bool degraded_ = false;
+  std::uint64_t degrade_events_ = 0;
+  std::uint64_t recover_events_ = 0;
+};
+
+}  // namespace kestrel::svc

@@ -71,8 +71,23 @@ ThetaResult theta_integrate(const RhsFunction& f, Vector& u,
     u_ckpt.copy_from(u);
   }
 
+  // Kestrel Bastion: the integration deadline also bounds every nested
+  // Newton (and transitively its KSP), unless the caller armed a tighter
+  // per-step token already.
+  snes::NewtonOptions newton_opts = opts.newton;
+  if (opts.deadline.active() && !newton_opts.deadline.active()) {
+    newton_opts.deadline = opts.deadline;
+  }
+
   static const int ev_step = prof::registered_event("TSStep");
   for (int step = 1; step <= opts.steps; ++step) {
+    // Kestrel Bastion: cooperative stop between steps — u holds the state
+    // after the last completed step.
+    if (opts.deadline.expired()) {
+      result.completed = false;
+      result.deadline_exceeded = true;
+      return result;
+    }
     // One profiler event per time step (nested SNESSolve/KSPSolve events
     // break it down); RAII keeps begin/end paired across rollback paths.
     prof::ScopedEvent step_scope(ev_step);
@@ -82,7 +97,7 @@ ThetaResult theta_integrate(const RhsFunction& f, Vector& u,
     snes::NewtonResult newton;
     bool step_failed = false;
     try {
-      newton = snes::newton_solve(stage, u, opts.newton);
+      newton = snes::newton_solve(stage, u, newton_opts);
       step_failed = !newton.converged;
     } catch (const AbftError&) {
       if (!checkpointing || result.rollbacks >= opts.max_rollbacks) throw;
@@ -90,6 +105,14 @@ ThetaResult theta_integrate(const RhsFunction& f, Vector& u,
     }
     result.total_newton_iterations += newton.iterations;
     result.total_linear_iterations += newton.total_linear_iterations;
+    if (newton.deadline_exceeded) {
+      // Half-finished step: rewind to the step entry state so u reflects
+      // exactly steps_taken completed steps, then stop.
+      u.copy_from(u_old);
+      result.completed = false;
+      result.deadline_exceeded = true;
+      return result;
+    }
     if (step_failed) {
       if (!checkpointing || result.rollbacks >= opts.max_rollbacks) {
         result.completed = false;

@@ -36,6 +36,10 @@ struct ThetaOptions {
   /// (returning completed=false, or rethrowing the AbftError).
   int checkpoint_every = 0;
   int max_rollbacks = 2;
+  /// Kestrel Bastion: checked before every time step and propagated into
+  /// the nested Newton/KSP stack (unless newton.deadline is already
+  /// active). On expiry the integrator stops at the last completed step.
+  Deadline deadline;
   /// Called after each completed step with (step, t, u).
   std::function<void(int, Scalar, const Vector&)> monitor;
 };
@@ -48,6 +52,10 @@ struct ThetaResult {
   int total_linear_iterations = 0;
   /// Checkpoint rewinds taken (Kestrel Aegis); 0 on a clean integration.
   int rollbacks = 0;
+  /// Kestrel Bastion: the deadline expired mid-integration; u holds the
+  /// state after steps_taken completed steps (half-finished steps are
+  /// rolled back to the step entry state).
+  bool deadline_exceeded = false;
 };
 
 /// Integrates u from t = 0 over opts.steps steps of size opts.dt.

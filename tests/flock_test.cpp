@@ -20,6 +20,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdint>
@@ -27,6 +28,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "aegis/abft.hpp"
@@ -262,9 +264,18 @@ TEST(FlockPool, WorkersGetSerialRankPoolSoNestingCannotDeadlock) {
 }
 
 TEST(FlockPool, ConfiguredThreadsReadsOptionAndClamps) {
+  // Kestrel Bastion clamps requests above hardware_concurrency() (when the
+  // runtime can report it) before the [1, kMaxPoolThreads] clamp.
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const auto clamped = [hw](int request) {
+    int n = request;
+    if (hw > 0 && n > hw) n = hw;
+    if (n > par::kMaxPoolThreads) n = par::kMaxPoolThreads;
+    return n;
+  };
   {
     ThreadsGuard g(6);
-    EXPECT_EQ(par::configured_threads(), 6);
+    EXPECT_EQ(par::configured_threads(), clamped(6));
   }
   {
     ThreadsGuard g(0);  // nonsense values clamp to a serial pool
@@ -272,7 +283,14 @@ TEST(FlockPool, ConfiguredThreadsReadsOptionAndClamps) {
   }
   {
     ThreadsGuard g(100000);
-    EXPECT_EQ(par::configured_threads(), par::kMaxPoolThreads);
+    EXPECT_EQ(par::configured_threads(), clamped(100000));
+    EXPECT_LE(par::configured_threads(), par::kMaxPoolThreads);
+  }
+  {
+    // An explicit request at or below the core count passes untouched.
+    const int modest = hw > 0 ? std::min(hw, 2) : 2;
+    ThreadsGuard g(modest);
+    EXPECT_EQ(par::configured_threads(), modest);
   }
 }
 

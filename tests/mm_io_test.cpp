@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/budget.hpp"
 #include "base/error.hpp"
 #include "base/rng.hpp"
 #include "mat/coo.hpp"
@@ -240,6 +241,49 @@ TEST(MatrixMarket, SymmetricDoublingCountsTowardTheCeiling) {
   std::istringstream ss(
       "%%MatrixMarket matrix coordinate real symmetric\n"
       "2000000000 2000000000 1200000000\n");
+  EXPECT_THROW(read_matrix_market(ss), IndexOverflowError);
+}
+
+// Kestrel Bastion satellite: with a service memory budget configured, an
+// oversized header declines with a structured BudgetError before the COO
+// staging arrays are touched — never bad_alloc mid-read.
+
+TEST(MatrixMarket, HugeHeaderDeclinesWithBudgetErrorUnderBudget) {
+  BudgetLimitGuard limit(MemoryBudget::global(), 64ull << 20);  // 64 MB
+  // A fabricated 10^12-nnz header: ~16 TB of COO staging. Must be the
+  // budget's structured "no", not IndexOverflowError or bad_alloc.
+  std::istringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "1000000 1000000 1000000000000\n");
+  try {
+    read_matrix_market(ss);
+    FAIL() << "expected BudgetError";
+  } catch (const BudgetError& e) {
+    EXPECT_EQ(e.limit_bytes(), 64ull << 20);
+    EXPECT_GE(e.requested_bytes(),
+              1000000000000ull * (2 * sizeof(Index) + sizeof(Scalar)));
+  }
+}
+
+TEST(MatrixMarket, ModestFileStillReadsUnderBudget) {
+  BudgetLimitGuard limit(MemoryBudget::global(), 64ull << 20);
+  std::istringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 4.0\n"
+      "2 2 5.0\n");
+  const Csr a = read_matrix_market(ss);
+  EXPECT_EQ(a.rows(), 2);
+  EXPECT_EQ(a.nnz(), 2);
+}
+
+TEST(MatrixMarket, NoBudgetConfiguredKeepsOverflowBehaviour) {
+  // Limit 0 (the default) disables enforcement: the 10^12 header still
+  // fails, but through the pre-existing Index-overflow path.
+  ASSERT_EQ(MemoryBudget::global().limit_bytes(), 0u);
+  std::istringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "1000000 1000000 1000000000000\n");
   EXPECT_THROW(read_matrix_market(ss), IndexOverflowError);
 }
 

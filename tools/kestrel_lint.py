@@ -41,10 +41,13 @@ aligned-load-provenance
 banned-construct
     Kernel TUs (src/mat/kernels/) must not use raw `new`: kernels operate
     on caller-owned views and must not allocate. `std::thread` is banned
-    everywhere in src/ outside src/par/ — threading is the fabric's job
-    (the hardware-query std::thread::hardware_concurrency and the
-    identity type std::thread::id — Kestrel Scope keys per-thread span
-    stacks on it — are allowed: neither spawns a thread).
+    everywhere in src/ outside src/par/ and src/svc/ — data-parallel
+    threading is the fabric's job, while the Bastion service layer owns
+    its long-lived request workers (they block on a condition variable,
+    so running them on the Flock pool would starve kernel dispatch). The
+    hardware-query std::thread::hardware_concurrency and the identity
+    type std::thread::id — Kestrel Scope keys per-thread span stacks on
+    it — are allowed: neither spawns a thread.
 
 kernel-perf-reporting
     Every format in KESTREL_KERNEL_TABLE must report spmv flops and
@@ -90,6 +93,16 @@ kernel-op-scalar
     non-AVX host and gives the differential tests their oracle. The
     registration-table half of the contract (the TU itself must be a
     KESTREL_KERNEL_TABLE cell) is enforced by kernel-table-tu.
+
+svc-structured-errors
+    The Kestrel Bastion service layer (src/svc/) must not throw bare
+    standard-library exceptions (`throw std::runtime_error(...)`, ...).
+    Every decline the service makes is part of its API: admission control
+    answers with RejectedError (queue depth + retry hint), budget declines
+    with BudgetError (requested/in-use/limit bytes), contract violations
+    with KESTREL_CHECK/KESTREL_FAIL. A bare std::* throw is a response a
+    client cannot dispatch on — it collapses "shed, retry later" and
+    "misconfigured, don't retry" into one opaque string.
 
 prof-schema-version
     Profiler export paths must declare their schema version through the
@@ -417,13 +430,17 @@ def check_banned_constructs(repo: str) -> list[Violation]:
     violations = []
     src = os.path.join(repo, "src")
     kernels_prefix = KERNELS_DIR + os.sep
-    par_prefix = os.path.join("src", "par") + os.sep
+    # src/par/ is where threading lives; src/svc/ owns its long-lived
+    # request workers (blocking them on the Flock pool would starve
+    # kernel dispatch).
+    thread_owner_prefixes = (os.path.join("src", "par") + os.sep,
+                             os.path.join("src", "svc") + os.sep)
     for path in iter_source_files(src):
         rel = os.path.relpath(path, repo)
         code = strip_comments_and_strings(read_text(path))
         lines = code.splitlines()
         in_kernels = rel.startswith(kernels_prefix)
-        in_par = rel.startswith(par_prefix)
+        in_par = rel.startswith(thread_owner_prefixes)
         for lineno, line in enumerate(lines, start=1):
             if in_kernels and re.search(r"\bnew\b", line):
                 violations.append(Violation(
@@ -648,6 +665,32 @@ def check_argus_contracts(repo: str) -> list[Violation]:
     return violations
 
 
+SVC_DIR = os.path.join("src", "svc")
+SVC_BARE_THROW_RE = re.compile(r"\bthrow\s+(::)?std\s*::\s*\w+")
+
+
+def check_svc_structured_errors(repo: str) -> list[Violation]:
+    """src/svc/ may only throw the structured kestrel error types; a bare
+    `throw std::*` is an API response clients cannot dispatch on."""
+    violations = []
+    svc_root = os.path.join(repo, SVC_DIR)
+    if not os.path.isdir(svc_root):
+        return violations
+    for path in iter_source_files(svc_root):
+        rel = os.path.relpath(path, repo)
+        code = strip_comments_and_strings(read_text(path))
+        for lineno, line in enumerate(code.splitlines(), start=1):
+            m = SVC_BARE_THROW_RE.search(line)
+            if m:
+                violations.append(Violation(
+                    "svc-structured-errors", rel, lineno,
+                    f"bare '{m.group(0)}' in the service layer — throw a "
+                    f"structured kestrel error (RejectedError, BudgetError, "
+                    f"KESTREL_CHECK/KESTREL_FAIL) so clients can dispatch "
+                    f"on the decline"))
+    return violations
+
+
 SCHEMA_PREFIX = "kestrel-scope-metrics-"
 SCHEMA_CONSTANT = "kMetricsSchema"
 SCHEMA_HOME = os.path.join("src", "prof", "report.hpp")
@@ -698,6 +741,7 @@ def lint(repo: str) -> list[Violation]:
     violations += check_slim_kernel_contract(repo)
     violations += check_kernel_op_scalar(repo)
     violations += check_argus_contracts(repo)
+    violations += check_svc_structured_errors(repo)
     violations += check_prof_schema_version(repo)
     return violations
 
@@ -847,11 +891,15 @@ def self_test() -> int:
         rules = {v.rule for v in lint(fx)}
         expect("banned", rules, "banned-construct", True)
 
-        # 7. std::thread inside src/par/ and the hardware query are allowed.
+        # 7. std::thread inside src/par/ (the fabric) and src/svc/ (the
+        # service's request workers) and the hardware query are allowed.
         fx = os.path.join(tmp, "allowed_thread")
         _make_clean_fixture(fx)
         _write(fx, os.path.join("src", "par", "comm.cpp"),
                "#include <thread>\nvoid t() { std::thread x([]{}); "
+               "x.join(); }\n")
+        _write(fx, os.path.join("src", "svc", "workers.cpp"),
+               "#include <thread>\nvoid w() { std::thread x([]{}); "
                "x.join(); }\n")
         _write(fx, os.path.join("src", "perf", "machine.cpp"),
                "#include <thread>\nunsigned n() "
@@ -1123,12 +1171,40 @@ def self_test() -> int:
         expect("slim_no_scalar_oracle", {v.rule for v in lint(fx)},
                "slim-kernel-contract", True)
 
+        # 24. A bare std::* throw inside the service layer must fire: the
+        # decline carries no structure a client could dispatch on.
+        fx = os.path.join(tmp, "svc_bare_throw")
+        _make_clean_fixture(fx)
+        _write(fx, os.path.join("src", "svc", "rogue.cpp"),
+               '#include <stdexcept>\n'
+               'void submit_full() {\n'
+               '  throw std::runtime_error("queue full");\n'
+               '}\n')
+        expect("svc_bare_throw", {v.rule for v in lint(fx)},
+               "svc-structured-errors", True)
+
+        # 25. Structured throws in src/svc/ stay quiet, as do std::* throws
+        # outside the service layer (other layers own their own policy).
+        fx = os.path.join(tmp, "svc_structured_throw")
+        _make_clean_fixture(fx)
+        _write(fx, os.path.join("src", "svc", "service.cpp"),
+               '// a comment mentioning throw std::logic_error is fine\n'
+               'void submit_full(int depth, double hint) {\n'
+               '  throw RejectedError(depth, hint, "svc: queue full",\n'
+               '                      __FILE__, __LINE__);\n'
+               '}\n')
+        _write(fx, os.path.join("src", "mat", "other_layer.cpp"),
+               '#include <stdexcept>\n'
+               'void boom() { throw std::runtime_error("not svc"); }\n')
+        expect("svc_structured_throw", {v.rule for v in lint(fx)},
+               "svc-structured-errors", False)
+
     if failures:
         print("kestrel_lint self-test FAILED:", file=sys.stderr)
         for f in failures:
             print("  " + f, file=sys.stderr)
         return 1
-    print("kestrel_lint self-test passed (26 fixtures).")
+    print("kestrel_lint self-test passed (28 fixtures).")
     return 0
 
 
